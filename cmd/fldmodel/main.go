@@ -1,0 +1,49 @@
+// Command fldmodel emits CSV sweeps of the paper's analytic models: the
+// driver-memory scalability analysis (Figure 4) and the PCIe-vs-Ethernet
+// performance model (Figure 7a). Pipe the output into your plotting tool
+// of choice.
+//
+// Usage:
+//
+//	fldmodel -fig 4   > fig4.csv
+//	fldmodel -fig 7a  > fig7a.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexdriver/internal/memmodel"
+	"flexdriver/internal/perfmodel"
+)
+
+func main() {
+	fig := flag.String("fig", "4", "figure to sweep: 4 or 7a")
+	flag.Parse()
+
+	switch *fig {
+	case "4":
+		fmt.Println("gbps,queues,software_bytes,fld_bytes,xcku15p_bytes")
+		pts := memmodel.ScalabilitySweep(
+			[]float64{25, 50, 100, 150, 200, 300, 400},
+			[]int{64, 128, 256, 512, 1024, 2048})
+		for _, p := range pts {
+			fmt.Printf("%.0f,%d,%d,%d,%d\n",
+				p.BandwidthGbps, p.TxQueues, p.SoftwareBytes, p.FLDBytes, memmodel.XCKU15PBytes)
+		}
+	case "7a":
+		fmt.Println("config_gbps,size,ethernet_gbps,fld_gbps,fraction")
+		sizes := []int{64, 96, 128, 192, 256, 384, 512, 768, 1024, 1500, 2048, 4096}
+		for _, rate := range []float64{25, 50, 100} {
+			m := perfmodel.DefaultEchoModel(rate)
+			for _, p := range m.Sweep(sizes) {
+				fmt.Printf("%.0f,%d,%.3f,%.3f,%.4f\n",
+					rate, p.Size, p.EthernetGbps, p.FLDGbps, p.FractionOfEthNet)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "fldmodel: unknown figure %q (want 4 or 7a)\n", *fig)
+		os.Exit(2)
+	}
+}

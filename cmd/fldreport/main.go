@@ -1,0 +1,84 @@
+// Command fldreport runs every reproduced experiment — all tables and
+// figures of the FlexDriver paper's evaluation — and prints a
+// paper-vs-measured report. EXPERIMENTS.md is generated from this output.
+//
+// Usage:
+//
+//	fldreport            # run everything
+//	fldreport -exp fig7b # run one experiment
+//	fldreport -quick     # shorter measurement windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexdriver"
+	"flexdriver/internal/exps"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio)")
+	quick := flag.Bool("quick", false, "shorter measurement windows")
+	flag.Parse()
+
+	window := 800 * flexdriver.Microsecond
+	latSamples := 20000
+	loadSamples := 4000
+	if *quick {
+		window = 300 * flexdriver.Microsecond
+		latSamples = 4000
+		loadSamples = 1500
+	}
+
+	sizes := []int{64, 128, 256, 512, 1024}
+	fractions := []float64{0.1, 0.3, 0.5, 0.7, 0.82, 0.95, 1.03}
+
+	runners := []struct {
+		id  string
+		run func() *exps.Result
+	}{
+		{"table1", exps.Table1},
+		{"table2", exps.Table2},
+		{"table3", exps.Table3},
+		{"table4", exps.Table4},
+		{"table5", exps.Table5},
+		{"fig4", exps.Fig4},
+		{"fig7a", exps.Fig7a},
+		{"fig7b", func() *exps.Result { return exps.Fig7b(sizes, window) }},
+		{"fig7c", func() *exps.Result { return exps.Fig7c(fractions, loadSamples) }},
+		{"table6", func() *exps.Result { return exps.Table6(latSamples) }},
+		{"mixed-trace", func() *exps.Result { return exps.MixedTrace(window) }},
+		{"fig8a", func() *exps.Result { return exps.Fig8a([]int{64, 128, 256, 512, 1024, 2048, 4096}, window) }},
+		{"fig8b", func() *exps.Result { return exps.Fig8b([]float64{0.1, 0.3, 0.5, 0.7, 0.9}, loadSamples) }},
+		{"defrag", func() *exps.Result { return exps.Defrag(window) }},
+		{"iot-linerate", func() *exps.Result { return exps.IotLineRate(window) }},
+		{"iot-isolation", func() *exps.Result { return exps.IotIsolation(window) }},
+		{"iot-security", func() *exps.Result { return exps.IotInvalidTokensDropped(window) }},
+		{"ext-virtio", func() *exps.Result { return exps.Portability(window) }},
+	}
+
+	failed := 0
+	ran := 0
+	for _, rn := range runners {
+		if *exp != "" && rn.id != *exp {
+			continue
+		}
+		ran++
+		r := rn.run()
+		fmt.Println(r.String())
+		if !r.Passed() {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "fldreport: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fldreport: %d experiment(s) had failing checks\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("all experiment checks passed")
+}

@@ -1,0 +1,59 @@
+// Command fldsim runs a single parameterized simulation: an echo
+// throughput/latency measurement on a chosen topology, with the knobs
+// (packet size, offered load, window) exposed as flags. It is the
+// exploration tool; cmd/fldreport runs the curated reproductions.
+//
+// Examples:
+//
+//	fldsim -exp echo-bw -mode flde-remote -size 512 -offered 26
+//	fldsim -exp echo-bw -mode fldr-remote -size 1024
+//	fldsim -exp latency -samples 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexdriver"
+	"flexdriver/internal/exps"
+)
+
+func main() {
+	exp := flag.String("exp", "echo-bw", "experiment: echo-bw or latency")
+	mode := flag.String("mode", "flde-remote", "topology: flde-remote, flde-local, fldr-remote, cpu-remote")
+	size := flag.Int("size", 512, "packet/message size in bytes")
+	windowUs := flag.Int("window", 800, "measurement window in microseconds")
+	samples := flag.Int("samples", 10000, "latency samples")
+	flag.Parse()
+
+	window := flexdriver.Duration(*windowUs) * flexdriver.Microsecond
+	switch *exp {
+	case "echo-bw":
+		var m exps.EchoMode
+		switch *mode {
+		case "flde-remote":
+			m = exps.FLDERemote
+		case "flde-local":
+			m = exps.FLDELocal
+		case "fldr-remote":
+			m = exps.FLDRRemote
+		case "cpu-remote":
+			m = exps.CPURemote
+		default:
+			fmt.Fprintf(os.Stderr, "fldsim: unknown mode %q\n", *mode)
+			os.Exit(2)
+		}
+		pts := exps.EchoBandwidth(m, []int{*size}, window)
+		for _, p := range pts {
+			fmt.Printf("mode=%s size=%d model=%.2fGbps achieved=%.2fGbps meets=%v\n",
+				m, p.Size, p.ModelGbps, p.AchievedGbps, p.MeetsModel)
+		}
+	case "latency":
+		r := exps.Table6(*samples)
+		fmt.Println(r.String())
+	default:
+		fmt.Fprintf(os.Stderr, "fldsim: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

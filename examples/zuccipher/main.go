@@ -1,0 +1,62 @@
+// Disaggregated LTE cipher (paper §7): a ZUC accelerator exposed over
+// FLD-R RDMA, driven by a cryptodev-style client — the remote accelerator
+// drops in for a local one with no application changes, and the results
+// are bit-exact with the local software cipher.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"flexdriver"
+	"flexdriver/internal/accel/zuc"
+)
+
+func main() {
+	rp := flexdriver.NewRemotePair(flexdriver.Options{})
+
+	// Server: FLD-R service "zuc" backed by the 8-lane ZUC AFU.
+	rsrv := flexdriver.NewRServer(rp.Server.RT)
+	rsrv.Listen("zuc")
+	rp.Server.RT.Start()
+	afu := zuc.NewAFU(rp.Server.FLD, rp.Eng, 8, zuc.DefaultLaneParams())
+	afu.QueueFor = rsrv.QueueFor
+
+	// Client: connect and wrap the endpoint in the cryptodev driver.
+	ep, err := flexdriver.ConnectRDMA(rp.Client.Drv, rsrv, "zuc",
+		flexdriver.RDMAConfig{SendEntries: 256, RecvEntries: 128})
+	if err != nil {
+		panic(err)
+	}
+	cd := zuc.NewCryptodev(rp.Eng, ep)
+
+	key := [16]byte{0x17, 0x3d, 0x14, 0xba, 0x50, 0x03, 0x73, 0x1d,
+		0x7a, 0x60, 0x04, 0x94, 0x70, 0xf0, 0x0a, 0x29}
+	plain := []byte("user-plane traffic headed for the eNodeB, protected with 128-EEA3")
+
+	// Encrypt remotely, then decrypt remotely, and verify round trip.
+	var cipher, back []byte
+	cd.Enqueue(&zuc.Op{Op: zuc.OpEncrypt, Key: key, Count: 0x66035492, Bearer: 0xf, Data: plain,
+		Done: func(enc *zuc.Op) {
+			cipher = enc.Result
+			cd.Enqueue(&zuc.Op{Op: zuc.OpDecrypt, Key: key, Count: 0x66035492, Bearer: 0xf, Data: cipher,
+				Done: func(dec *zuc.Op) { back = dec.Result }})
+		}})
+
+	// Also compute an integrity tag remotely.
+	var mac uint32
+	cd.Enqueue(&zuc.Op{Op: zuc.OpAuth, Key: key, Count: 7, Bearer: 1, Data: plain,
+		Done: func(o *zuc.Op) { mac = o.MAC }})
+
+	rp.Eng.Run()
+
+	local := zuc.EEA3(key, 0x66035492, 0xf, 0, plain, len(plain)*8)
+	fmt.Printf("plaintext : %q\n", plain)
+	fmt.Printf("ciphertext: %x...\n", cipher[:16])
+	fmt.Printf("matches local 128-EEA3: %v\n", bytes.Equal(cipher, local))
+	fmt.Printf("decrypt round trip OK : %v\n", bytes.Equal(back, plain))
+	fmt.Printf("remote 128-EIA3 MAC   : %08x (local %08x)\n",
+		mac, zuc.EIA3(key, 7, 1, 0, plain, len(plain)*8))
+	fmt.Printf("ops completed: %d, accelerator lanes used: 8\n", cd.Completed)
+	fmt.Printf("virtual time elapsed: %v (RDMA round trips through the NIC's hardware transport)\n", rp.Eng.Now())
+}

@@ -1,0 +1,138 @@
+// Package flexdriver is a faithful, simulation-based reproduction of
+// "FlexDriver: A Network Driver for Your Accelerator" (Eran et al.,
+// ASPLOS 2022) — an on-accelerator hardware module that runs a commodity
+// NIC's data-plane driver over peer-to-peer PCIe, letting accelerators use
+// NIC offloads (RDMA, VXLAN decapsulation, RSS, flow steering, traffic
+// shaping) with no CPU on the data path.
+//
+// The package is the public facade: it builds simulated testbeds (hosts,
+// ConnectX-class NICs, Innova-2-style NIC+FPGA nodes) and re-exports the
+// FlexDriver module, its software control plane, and the paper's three
+// example accelerators. Everything underneath is implemented from scratch
+// in this repository:
+//
+//   - internal/sim      — deterministic discrete-event engine
+//   - internal/pcie     — TLP-accurate PCIe fabric model
+//   - internal/nic      — ConnectX-like NIC (queues, eSwitch, RDMA, QoS)
+//   - internal/fld      — the FlexDriver hardware module itself
+//   - internal/fldsw    — FLD runtime library, FLD-E / FLD-R control planes
+//   - internal/swdriver — CPU poll-mode driver baseline
+//   - internal/accel/*  — ZUC cipher, IP defragmentation, IoT token
+//     authentication, and echo accelerators
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced table and figure.
+package flexdriver
+
+import (
+	"flexdriver/internal/fld"
+	"flexdriver/internal/fldsw"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/pcie"
+	"flexdriver/internal/sim"
+	"flexdriver/internal/swdriver"
+)
+
+// Re-exported core types: these give downstream users public names for
+// the types that cross the facade boundary.
+type (
+	// Engine is the discrete-event simulation engine all components
+	// schedule on.
+	Engine = sim.Engine
+	// Time and Duration are virtual time in picoseconds.
+	Time     = sim.Time
+	Duration = sim.Duration
+	// BitRate is bits per second.
+	BitRate = sim.BitRate
+
+	// FLDConfig sizes a FlexDriver instance.
+	FLDConfig = fld.Config
+	// FLD is the FlexDriver hardware module.
+	FLD = fld.FLD
+	// Metadata rides alongside packets on the FLD-accelerator stream.
+	Metadata = fld.Metadata
+	// Handler is the accelerator-side receive interface.
+	Handler = fld.Handler
+	// HandlerFunc adapts a function to Handler.
+	HandlerFunc = fld.HandlerFunc
+
+	// Runtime is the FLD software control plane.
+	Runtime = fldsw.Runtime
+	// EControlPlane is the FLD-E match-action extension API.
+	EControlPlane = fldsw.EControlPlane
+	// AccelerateSpec describes an FLD-E acceleration detour.
+	AccelerateSpec = fldsw.AccelerateSpec
+	// RServer is the FLD-R connection server.
+	RServer = fldsw.RServer
+
+	// NIC is the ConnectX-class adapter model.
+	NIC = nic.NIC
+	// NICParams are the NIC's timing constants.
+	NICParams = nic.Params
+	// Match and Rule program the NIC's match-action tables.
+	Match = nic.Match
+	Rule  = nic.Rule
+	// Action is a rule's packet treatment.
+	Action = nic.Action
+	// Wire is a point-to-point Ethernet cable.
+	Wire = nic.Wire
+
+	// DriverParams tune the CPU software-driver baseline.
+	DriverParams = swdriver.Params
+	// Driver is the host software driver.
+	Driver = swdriver.Driver
+	// EthPort is a software raw-Ethernet queue set.
+	EthPort = swdriver.EthPort
+	// RDMAEndpoint is a software verbs-style endpoint.
+	RDMAEndpoint = swdriver.RDMAEndpoint
+	// RDMAConfig sizes an RDMAEndpoint.
+	RDMAConfig = swdriver.RDMAConfig
+
+	// LinkConfig describes a PCIe link.
+	LinkConfig = pcie.LinkConfig
+)
+
+// Common rates and durations, re-exported for callers of the facade.
+const (
+	Gbps        = sim.Gbps
+	Mbps        = sim.Mbps
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewEngine returns a fresh simulation engine.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// DefaultFLDConfig is the Innova-2 prototype configuration (paper §6).
+func DefaultFLDConfig() FLDConfig { return fld.DefaultConfig() }
+
+// DefaultNICParams returns ConnectX-5-calibrated NIC constants.
+func DefaultNICParams() NICParams { return nic.DefaultParams() }
+
+// DefaultDriverParams returns the calibrated CPU-driver cost model.
+func DefaultDriverParams() DriverParams { return swdriver.DefaultParams() }
+
+// Gen3x8 is the Innova-2's internal PCIe link configuration.
+func Gen3x8() LinkConfig { return pcie.Gen3x8() }
+
+// NewEControlPlane builds the FLD-E control plane over a runtime.
+func NewEControlPlane(rt *Runtime) *EControlPlane { return fldsw.NewEControlPlane(rt) }
+
+// NewRServer builds the FLD-R connection server over a runtime.
+func NewRServer(rt *Runtime) *RServer { return fldsw.NewRServer(rt) }
+
+// ConnectRDMA dials an FLD-R service with the client library, returning a
+// connected verbs-style endpoint bound to a fresh FLD QP on the server.
+func ConnectRDMA(client *Driver, server *RServer, service string, cfg RDMAConfig) (*RDMAEndpoint, error) {
+	return fldsw.Connect(client, server, service, cfg)
+}
+
+// NewTokenBucket builds a rate limiter for policing/shaping rules.
+func NewTokenBucket(eng *Engine, rate BitRate, burstBytes int) *sim.TokenBucket {
+	return sim.NewTokenBucket(eng, rate, burstBytes)
+}
+
+// TokenBucket is the shaper/policer type used in match-action rules.
+type TokenBucket = sim.TokenBucket

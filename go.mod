@@ -1,0 +1,3 @@
+module flexdriver
+
+go 1.22

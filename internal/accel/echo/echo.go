@@ -1,0 +1,41 @@
+// Package echo implements the trivial echo accelerator the paper uses for
+// FLD-E and FLD-R microbenchmarks (§8.1): every packet received from FLD
+// is transmitted straight back.
+package echo
+
+import "flexdriver/internal/fld"
+
+// AFU is the echo accelerator function unit.
+type AFU struct {
+	f *fld.FLD
+	// QueueFor picks the FLD transmit queue for a packet; defaults to
+	// queue 0. FLD-R deployments map the arriving QP tag to the FLD
+	// queue bound to that QP.
+	QueueFor func(md fld.Metadata) int
+
+	// Echoed and Dropped count forwarded packets and credit-stall drops
+	// (the AFU may not backpressure FLD, §5.5 — excess traffic is
+	// dropped at the application layer).
+	Echoed  int64
+	Dropped int64
+}
+
+// New installs an echo AFU on the FLD instance.
+func New(f *fld.FLD) *AFU {
+	a := &AFU{f: f}
+	f.SetHandler(a)
+	return a
+}
+
+// Receive implements fld.Handler.
+func (a *AFU) Receive(data []byte, md fld.Metadata) {
+	q := 0
+	if a.QueueFor != nil {
+		q = a.QueueFor(md)
+	}
+	if err := a.f.Send(q, data, md); err != nil {
+		a.Dropped++
+		return
+	}
+	a.Echoed++
+}

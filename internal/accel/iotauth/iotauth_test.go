@@ -1,0 +1,181 @@
+package iotauth
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoAPRoundTrip(t *testing.T) {
+	m := Message{
+		Type:      Confirmable,
+		Code:      CodePOST,
+		MessageID: 0x1234,
+		Token:     []byte{1, 2, 3, 4},
+		Options: []Option{
+			{Number: OptURIPath, Value: []byte("sensors")},
+			{Number: OptContentFormat, Value: []byte{0}},
+			{Number: 300, Value: []byte("extended-delta")},
+		},
+		Payload: []byte("hello coap"),
+	}
+	b, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.Code != m.Code || got.MessageID != m.MessageID {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Token, m.Token) || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatal("token/payload mismatch")
+	}
+	if len(got.Options) != 3 {
+		t.Fatalf("options = %d", len(got.Options))
+	}
+	for i := range m.Options {
+		if got.Options[i].Number != m.Options[i].Number ||
+			!bytes.Equal(got.Options[i].Value, m.Options[i].Value) {
+			t.Fatalf("option %d mismatch: %+v", i, got.Options[i])
+		}
+	}
+}
+
+func TestCoAPRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x40},                   // too short
+		{0xC0, 0, 0, 0},          // version 3
+		{0x49, 0, 0, 0},          // TKL 9
+		{0x40, 0, 0, 0, 0xff},    // payload marker, no payload
+		{0x40, 0, 0, 0, 0xD0},    // truncated option extension
+		{0x40, 0, 0, 0, 0x05, 1}, // option value truncated
+	}
+	for i, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestCoAPOptionDeltaProperty(t *testing.T) {
+	f := func(n1, n2, n3 uint16, v []byte) bool {
+		if len(v) > 64 {
+			v = v[:64]
+		}
+		// Build sorted distinct option numbers.
+		a, b, c := n1%100, 100+n2%300, 500+n3%5000
+		m := Message{Options: []Option{
+			{Number: a, Value: v}, {Number: b, Value: v}, {Number: c, Value: v},
+		}}
+		enc, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Parse(enc)
+		if err != nil || len(got.Options) != 3 {
+			return false
+		}
+		return got.Options[0].Number == a && got.Options[1].Number == b && got.Options[2].Number == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJWTSignVerify(t *testing.T) {
+	key := []byte("tenant-42-secret")
+	tok := SignToken(key, Claims{Issuer: "dev-7", Subject: "telemetry", Device: "sensor-1"})
+	c, err := VerifyToken(key, tok, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Issuer != "dev-7" || c.Device != "sensor-1" {
+		t.Fatalf("claims: %+v", c)
+	}
+}
+
+func TestJWTRejectsWrongKey(t *testing.T) {
+	tok := SignToken([]byte("right"), Claims{Device: "d"})
+	if _, err := VerifyToken([]byte("wrong"), tok, 0); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestJWTRejectsTampering(t *testing.T) {
+	key := []byte("k")
+	tok := SignToken(key, Claims{Device: "d1"})
+	evil := SignToken([]byte("attacker"), Claims{Device: "d1"})
+	// Splice attacker signature onto legit body and vice versa.
+	lp := tok[:len(tok)-10] + evil[len(evil)-10:]
+	if _, err := VerifyToken(key, lp, 0); err == nil {
+		t.Fatal("spliced signature accepted")
+	}
+	if _, err := VerifyToken(key, "a.b", 0); err == nil {
+		t.Fatal("2-part token accepted")
+	}
+	if _, err := VerifyToken(key, "!!.!!.!!", 0); err == nil {
+		t.Fatal("non-base64 token accepted")
+	}
+}
+
+func TestJWTExpiry(t *testing.T) {
+	key := []byte("k")
+	tok := SignToken(key, Claims{Expiry: 1000})
+	if _, err := VerifyToken(key, tok, 999); err != nil {
+		t.Fatal("unexpired token rejected")
+	}
+	if _, err := VerifyToken(key, tok, 1001); err == nil {
+		t.Fatal("expired token accepted")
+	}
+}
+
+func TestJWTAlgorithmConfusionRejected(t *testing.T) {
+	// A token claiming alg=none must not verify.
+	key := []byte("k")
+	none := "eyJhbGciOiJub25lIn0" // {"alg":"none"}
+	tok := none + "." + "e30" + "."
+	if _, err := VerifyToken(key, tok, 0); err == nil {
+		t.Fatal("alg=none accepted")
+	}
+}
+
+func TestJWTRoundTripProperty(t *testing.T) {
+	f := func(key []byte, iss, dev string) bool {
+		if len(key) == 0 {
+			key = []byte{0}
+		}
+		tok := SignToken(key, Claims{Issuer: iss, Device: dev})
+		c, err := VerifyToken(key, tok, 0)
+		return err == nil && c.Issuer == iss && c.Device == dev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkVerifyToken(b *testing.B) {
+	key := []byte("bench-key")
+	tok := SignToken(key, Claims{Issuer: "iot", Device: "d1"})
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyToken(key, tok, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseCoAP(b *testing.B) {
+	m := Message{Type: NonConfirmable, Code: CodePOST, MessageID: 1,
+		Token:   []byte{1, 2},
+		Options: []Option{{Number: OptURIPath, Value: []byte("telemetry")}},
+		Payload: make([]byte, 200)}
+	enc, _ := m.Marshal()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package iotauth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Claims is the JWT payload the IoT devices send (RFC 7519 subset).
+type Claims struct {
+	Issuer  string `json:"iss,omitempty"`
+	Subject string `json:"sub,omitempty"`
+	Expiry  int64  `json:"exp,omitempty"`
+	Device  string `json:"dev,omitempty"`
+}
+
+var jwtHeader = base64.RawURLEncoding.EncodeToString([]byte(`{"alg":"HS256","typ":"JWT"}`))
+
+// SignToken creates an HS256 JWT for the claims.
+func SignToken(key []byte, c Claims) string {
+	body, err := json.Marshal(c)
+	if err != nil {
+		panic(err) // Claims is a fixed struct; cannot fail
+	}
+	signing := jwtHeader + "." + base64.RawURLEncoding.EncodeToString(body)
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(signing))
+	return signing + "." + base64.RawURLEncoding.EncodeToString(mac.Sum(nil))
+}
+
+// VerifyToken checks an HS256 JWT's signature (and algorithm header) and
+// returns its claims. now is the validation time for the exp claim
+// (seconds); pass 0 to skip expiry checking.
+func VerifyToken(key []byte, token string, now int64) (Claims, error) {
+	parts := strings.Split(token, ".")
+	if len(parts) != 3 {
+		return Claims{}, fmt.Errorf("iotauth: token must have 3 parts, has %d", len(parts))
+	}
+	hdrRaw, err := base64.RawURLEncoding.DecodeString(parts[0])
+	if err != nil {
+		return Claims{}, fmt.Errorf("iotauth: bad header encoding: %v", err)
+	}
+	var hdr struct {
+		Alg string `json:"alg"`
+	}
+	if err := json.Unmarshal(hdrRaw, &hdr); err != nil || hdr.Alg != "HS256" {
+		return Claims{}, fmt.Errorf("iotauth: unsupported algorithm")
+	}
+	sig, err := base64.RawURLEncoding.DecodeString(parts[2])
+	if err != nil {
+		return Claims{}, fmt.Errorf("iotauth: bad signature encoding: %v", err)
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(parts[0] + "." + parts[1]))
+	if !hmac.Equal(sig, mac.Sum(nil)) {
+		return Claims{}, fmt.Errorf("iotauth: signature mismatch")
+	}
+	body, err := base64.RawURLEncoding.DecodeString(parts[1])
+	if err != nil {
+		return Claims{}, fmt.Errorf("iotauth: bad payload encoding: %v", err)
+	}
+	var c Claims
+	if err := json.Unmarshal(body, &c); err != nil {
+		return Claims{}, fmt.Errorf("iotauth: bad claims: %v", err)
+	}
+	if now != 0 && c.Expiry != 0 && c.Expiry < now {
+		return Claims{}, fmt.Errorf("iotauth: token expired")
+	}
+	return c, nil
+}

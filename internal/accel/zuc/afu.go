@@ -1,0 +1,287 @@
+package zuc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flexdriver/internal/fld"
+	"flexdriver/internal/sim"
+)
+
+// Request/response wire format: a 64-byte header carrying the
+// cryptographic key, IV material and metadata (paper §7: "The
+// request/response format includes a 64 B header for the cryptographic
+// key, initialization vector (IV), and additional metadata"), followed by
+// the payload.
+const (
+	HeaderBytes = 64
+
+	OpEncrypt = 1
+	OpDecrypt = 2
+	OpAuth    = 3
+
+	respFlag = 0x80
+)
+
+// Request is a parsed cipher request.
+type Request struct {
+	Op        uint8
+	Bearer    uint8
+	Direction uint8
+	Count     uint32
+	Key       [16]byte
+	ID        uint32
+	BitLen    int
+	Payload   []byte
+}
+
+// Marshal encodes header+payload.
+func (r Request) Marshal() []byte {
+	b := make([]byte, HeaderBytes, HeaderBytes+len(r.Payload))
+	b[0], b[1] = 'Z', 'C'
+	b[2] = r.Op
+	b[3] = r.Bearer<<3 | r.Direction<<2
+	binary.BigEndian.PutUint32(b[4:], r.Count)
+	copy(b[8:24], r.Key[:])
+	binary.BigEndian.PutUint32(b[40:], r.ID)
+	binary.BigEndian.PutUint32(b[44:], uint32(r.BitLen))
+	return append(b, r.Payload...)
+}
+
+// ParseRequest decodes header+payload.
+func ParseRequest(b []byte) (Request, error) {
+	if len(b) < HeaderBytes {
+		return Request{}, fmt.Errorf("zuc: request shorter than header (%d bytes)", len(b))
+	}
+	if b[0] != 'Z' || b[1] != 'C' {
+		return Request{}, fmt.Errorf("zuc: bad request magic")
+	}
+	r := Request{
+		Op:        b[2] &^ respFlag,
+		Bearer:    b[3] >> 3,
+		Direction: b[3] >> 2 & 1,
+		Count:     binary.BigEndian.Uint32(b[4:]),
+		ID:        binary.BigEndian.Uint32(b[40:]),
+		BitLen:    int(binary.BigEndian.Uint32(b[44:])),
+		Payload:   b[HeaderBytes:],
+	}
+	copy(r.Key[:], b[8:24])
+	if r.BitLen > len(r.Payload)*8 {
+		return Request{}, fmt.Errorf("zuc: bit length %d exceeds payload", r.BitLen)
+	}
+	return r, nil
+}
+
+// LaneParams model one ZUC hardware lane's throughput. The defaults hit
+// the paper's published 4.76 Gbps per module at 512 B messages.
+type LaneParams struct {
+	PerMessage sim.Duration
+	PerByte    sim.Duration
+}
+
+// DefaultLaneParams calibrates to the published module throughput.
+func DefaultLaneParams() LaneParams {
+	// 512 B at 4.76 Gbps => 860 ns/message. Split as fixed + per-byte
+	// with a 64-bit @ 666 MHz datapath asymptote (~5.33 Gbps).
+	return LaneParams{
+		PerMessage: 92 * sim.Nanosecond,
+		PerByte:    1500 * sim.Picosecond,
+	}
+}
+
+// AFU is the disaggregated ZUC accelerator (paper §7): a front-end load
+// balancer over 8 ZUC lanes, exposed to the network through FLD-R.
+type AFU struct {
+	f     *fld.FLD
+	eng   *sim.Engine
+	lanes []*sim.Resource
+	prm   LaneParams
+
+	// QueueFor maps an arriving QP tag to the FLD transmit queue bound
+	// to that connection (wired by the control plane).
+	QueueFor func(tag uint32) int
+
+	reasm map[uint32][]byte // per-QP message reassembly
+
+	// keyStore is the on-FPGA key table (§8.2.1 future work: clients
+	// register keys once and reference them by slot).
+	keyStore map[uint16][16]byte
+
+	// Stats.
+	Requests, Responses, Dropped, Bad int64
+	// KeysStored counts OpSetKey registrations.
+	KeysStored int64
+}
+
+// batchCtx collects the responses of one batched request message so they
+// return to the client as one batched RDMA message.
+type batchCtx struct {
+	remaining int
+	responses [][]byte
+}
+
+// NewAFU installs an n-lane ZUC accelerator on the FLD instance.
+func NewAFU(f *fld.FLD, eng *sim.Engine, nLanes int, prm LaneParams) *AFU {
+	a := &AFU{f: f, eng: eng, prm: prm,
+		reasm:    make(map[uint32][]byte),
+		keyStore: make(map[uint16][16]byte),
+	}
+	for i := 0; i < nLanes; i++ {
+		a.lanes = append(a.lanes, sim.NewResource(eng))
+	}
+	f.SetHandler(a)
+	return a
+}
+
+// Receive implements fld.Handler: reassemble the RDMA message, then
+// dispatch its request(s) to the least-loaded lanes (the front-end
+// load-balancing unit). Messages may be single full-header requests,
+// compact stored-key requests, key registrations, or batches.
+func (a *AFU) Receive(data []byte, md fld.Metadata) {
+	buf := append(a.reasm[md.Tag], data...)
+	if !md.Last {
+		a.reasm[md.Tag] = buf
+		return
+	}
+	delete(a.reasm, md.Tag)
+	a.dispatchMessage(buf, md.Tag)
+}
+
+func (a *AFU) dispatchMessage(buf []byte, tag uint32) {
+	if len(buf) >= 2 && buf[0] == 'Z' && buf[1] == magicBatch {
+		entries, err := ParseBatch(buf)
+		if err != nil {
+			a.Bad++
+			return
+		}
+		ctx := &batchCtx{remaining: len(entries)}
+		for _, e := range entries {
+			a.handleOne(e, tag, ctx)
+		}
+		return
+	}
+	a.handleOne(buf, tag, nil)
+}
+
+// handleOne decodes a single request, runs it on a lane, and routes the
+// response — directly, or into its batch.
+func (a *AFU) handleOne(buf []byte, tag uint32, batch *batchCtx) {
+	finish := func(resp []byte) {
+		if batch == nil {
+			if resp != nil {
+				a.send(tag, resp)
+			}
+			return
+		}
+		if resp != nil {
+			batch.responses = append(batch.responses, resp)
+		}
+		batch.remaining--
+		if batch.remaining == 0 && len(batch.responses) > 0 {
+			a.send(tag, MarshalBatch(batch.responses))
+		}
+	}
+
+	var req Request
+	short := false
+	switch {
+	case len(buf) >= 2 && buf[0] == 'Z' && buf[1] == magicShort:
+		sr, err := ParseShortRequest(buf)
+		if err != nil {
+			a.Bad++
+			finish(nil)
+			return
+		}
+		key, ok := a.keyStore[sr.KeySlot]
+		if !ok {
+			a.Bad++
+			finish(nil)
+			return
+		}
+		req = Request{Op: sr.Op, Bearer: sr.Bearer, Direction: sr.Direction,
+			Count: sr.Count, Key: key, ID: sr.ID, BitLen: sr.BitLen, Payload: sr.Payload}
+		short = true
+	default:
+		r, err := ParseRequest(buf)
+		if err != nil {
+			a.Bad++
+			finish(nil)
+			return
+		}
+		if r.Op == OpSetKey {
+			// On-FPGA key storage: the slot rides in the count field.
+			a.keyStore[uint16(r.Count)] = r.Key
+			a.KeysStored++
+			finish(nil)
+			return
+		}
+		req = r
+	}
+
+	a.Requests++
+	lane := a.pickLane()
+	service := a.prm.PerMessage + sim.Duration(len(req.Payload))*a.prm.PerByte
+	keySlot := uint16(0)
+	if short {
+		// Recover the slot for the compact response header.
+		keySlot = binary.BigEndian.Uint16(buf[4:])
+	}
+	lane.Acquire(service, func() {
+		payload, bitLen := a.compute(req)
+		var resp []byte
+		if short {
+			resp = ShortRequest{Op: req.Op | respFlag, Bearer: req.Bearer,
+				Direction: req.Direction, KeySlot: keySlot, Count: req.Count,
+				ID: req.ID, BitLen: bitLen, Payload: payload}.Marshal()
+		} else {
+			out := req
+			out.Op = req.Op | respFlag
+			out.Payload = payload
+			out.BitLen = bitLen
+			resp = out.Marshal()
+		}
+		finish(resp)
+	})
+}
+
+// send transmits a response message on the FLD queue bound to the QP.
+func (a *AFU) send(tag uint32, resp []byte) {
+	q := 0
+	if a.QueueFor != nil {
+		q = a.QueueFor(tag)
+	}
+	if err := a.f.Send(q, resp, fld.Metadata{}); err != nil {
+		a.Dropped++
+		return
+	}
+	a.Responses++
+}
+
+// pickLane selects the lane that frees up first.
+func (a *AFU) pickLane() *sim.Resource {
+	best := a.lanes[0]
+	for _, l := range a.lanes[1:] {
+		if l.BusyUntil() < best.BusyUntil() {
+			best = l
+		}
+	}
+	return best
+}
+
+// compute runs the real cipher and returns the response payload.
+func (a *AFU) compute(req Request) (payload []byte, bitLen int) {
+	switch req.Op {
+	case OpEncrypt, OpDecrypt:
+		return EEA3(req.Key, req.Count, req.Bearer, req.Direction, req.Payload, req.BitLen), req.BitLen
+	case OpAuth:
+		mac := EIA3(req.Key, req.Count, req.Bearer, req.Direction, req.Payload, req.BitLen)
+		return binary.BigEndian.AppendUint32(nil, mac), 32
+	default:
+		return nil, 0
+	}
+}
+
+// IsResponse reports whether an encoded message is a response.
+func IsResponse(b []byte) bool {
+	return len(b) >= HeaderBytes && b[2]&respFlag != 0
+}

@@ -1,0 +1,662 @@
+package exps
+
+import (
+	"fmt"
+
+	"flexdriver"
+	"flexdriver/internal/accel/echo"
+	"flexdriver/internal/netpkt"
+	"flexdriver/internal/perfmodel"
+	"flexdriver/internal/stats"
+	"flexdriver/internal/swdriver"
+	"flexdriver/internal/trace"
+)
+
+// genDriverParams models a multi-queue line-rate load generator (testpmd
+// with several cores / TRex): negligible per-packet software cost.
+func genDriverParams() flexdriver.DriverParams {
+	return flexdriver.DriverParams{
+		RxCost: 4 * flexdriver.Nanosecond, TxCost: 4 * flexdriver.Nanosecond,
+		DoorbellBatch: 8,
+		SignalEvery:   8,
+	}
+}
+
+// latencyDriverParams models a single pinned testpmd core measuring
+// round trips: realistic per-op cost, immediate doorbells, light OS
+// jitter on the measurement host.
+func latencyDriverParams() flexdriver.DriverParams {
+	return flexdriver.DriverParams{
+		RxCost: 55 * flexdriver.Nanosecond, TxCost: 45 * flexdriver.Nanosecond,
+		DoorbellBatch: 1,
+		SignalEvery:   1,
+		JitterProb:    5e-5,
+		JitterMin:     1 * flexdriver.Microsecond,
+		JitterMax:     3 * flexdriver.Microsecond,
+		JitterAlpha:   2.0,
+		Seed:          11,
+	}
+}
+
+// ioFwdParams models a testpmd io-forward core (~22.7 Mpps), the Fig. 7b
+// CPU-driver bandwidth baseline.
+func ioFwdParams() flexdriver.DriverParams {
+	return flexdriver.DriverParams{
+		RxCost: 24 * flexdriver.Nanosecond, TxCost: 20 * flexdriver.Nanosecond,
+		DoorbellBatch: 8,
+		SignalEvery:   8,
+	}
+}
+
+// fwdCoreParams models the §8.1.1 mixed-trace forwarding core: 104 ns per
+// packet = 9.6 Mpps.
+func fwdCoreParams() flexdriver.DriverParams {
+	return flexdriver.DriverParams{
+		RxCost: 58 * flexdriver.Nanosecond, TxCost: 46 * flexdriver.Nanosecond,
+		DoorbellBatch: 8,
+		SignalEvery:   8,
+	}
+}
+
+// serverCPUParams models the CPU echo server of Table 6: a poll-mode
+// driver core that shares its host with an OS (the 99.9th-percentile
+// tail's origin).
+func serverCPUParams() flexdriver.DriverParams {
+	return flexdriver.DriverParams{
+		RxCost: 55 * flexdriver.Nanosecond, TxCost: 45 * flexdriver.Nanosecond,
+		DoorbellBatch: 1,
+		SignalEvery:   1,
+		JitterProb:    7e-4,
+		JitterMin:     4 * flexdriver.Microsecond,
+		JitterMax:     60 * flexdriver.Microsecond,
+		JitterAlpha:   2.2,
+		Seed:          23,
+	}
+}
+
+func buildFrame(size int, sport, dport uint16) []byte {
+	if size < 46 {
+		size = 46
+	}
+	n := size - netpkt.EthHeaderLen - netpkt.IPv4HeaderLen - netpkt.UDPHeaderLen
+	payload := make([]byte, n)
+	udp := netpkt.UDP{SrcPort: sport, DstPort: dport, Length: uint16(netpkt.UDPHeaderLen + n)}
+	l4 := append(udp.Marshal(nil), payload...)
+	ip := netpkt.IPv4{TotalLen: uint16(netpkt.IPv4HeaderLen + len(l4)), Proto: netpkt.ProtoUDP,
+		Src: netpkt.IPFrom(1), Dst: netpkt.IPFrom(2)}
+	l3 := append(ip.Marshal(nil), l4...)
+	eth := netpkt.Eth{Dst: netpkt.MACFrom(2), Src: netpkt.MACFrom(1), EtherType: netpkt.EtherTypeIPv4}
+	return append(eth.Marshal(nil), l3...)
+}
+
+// fldeRemoteBed wires the remote FLD-E echo topology and returns the
+// client port plus the server's AFU.
+func fldeRemoteBed() (*flexdriver.RemotePair, *swdriver.EthPort, *echo.AFU) {
+	rp := flexdriver.NewRemotePair(flexdriver.Options{Driver: genDriverParams()})
+	srv := rp.Server
+	srv.RT.CreateEthTxQueue(0, nil)
+	ecp := flexdriver.NewEControlPlane(srv.RT)
+	ecp.InstallDefaultEgressToWire()
+	srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{Action: flexdriver.Action{ToRQ: srv.RT.RQ()}})
+	srv.RT.Start()
+	afu := echo.New(srv.FLD)
+
+	port := rp.Client.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
+	rp.Client.NIC.ESwitch().AddRule(0, flexdriver.Rule{Action: flexdriver.Action{ToRQ: port.RQ()}})
+	return rp, port, afu
+}
+
+// fldeLocalBed wires the single-node (hairpin) FLD-E topology.
+func fldeLocalBed(drv flexdriver.DriverParams) (*flexdriver.Innova, *swdriver.EthPort, *echo.AFU) {
+	inn := flexdriver.NewLocalInnova(flexdriver.Options{Driver: drv})
+	inn.RT.CreateEthTxQueue(0, nil)
+	afu := echo.New(inn.FLD)
+	port := inn.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
+	esw := inn.NIC.ESwitch()
+	fldVP, hostVP := inn.RT.VPort(), port.VPort()
+	esw.ClearTable(hostVP.EgressTable)
+	esw.AddRule(hostVP.EgressTable, flexdriver.Rule{Action: flexdriver.Action{ToVPort: &fldVP.ID}})
+	esw.AddRule(fldVP.IngressTable, flexdriver.Rule{Action: flexdriver.Action{ToRQ: inn.RT.RQ()}})
+	esw.AddRule(fldVP.EgressTable, flexdriver.Rule{Action: flexdriver.Action{ToVPort: &hostVP.ID}})
+	esw.AddRule(hostVP.IngressTable, flexdriver.Rule{Action: flexdriver.Action{ToRQ: port.RQ()}})
+	inn.RT.Start()
+	return inn, port, afu
+}
+
+// cpuRemoteBed wires a remote echo served by the *CPU* driver on the
+// server (the Fig. 7b / Table 6 baseline).
+func cpuRemoteBed(serverDrv flexdriver.DriverParams) (*flexdriver.RemotePair, *swdriver.EthPort) {
+	o := flexdriver.Options{Driver: genDriverParams()}
+	rp := flexdriver.NewRemotePair(o)
+	// Replace server driver cost model.
+	rp.Server.Drv.Prm = serverDrv
+	srvPort := rp.Server.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
+	rp.Server.NIC.ESwitch().AddRule(0, flexdriver.Rule{Action: flexdriver.Action{ToRQ: srvPort.RQ()}})
+	srvPort.OnReceive = func(frame []byte, md swdriver.RxMeta) { srvPort.Send(frame) }
+
+	port := rp.Client.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
+	rp.Client.NIC.ESwitch().AddRule(0, flexdriver.Rule{Action: flexdriver.Action{ToRQ: port.RQ()}})
+	return rp, port
+}
+
+// paceSends schedules an open-loop constant-rate stream of calls to send,
+// one every interval, until deadline.
+func paceSends(eng *flexdriver.Engine, interval, deadline flexdriver.Duration, send func()) {
+	var tick func()
+	tick = func() {
+		if eng.Now() >= deadline {
+			return
+		}
+		send()
+		eng.After(interval, tick)
+	}
+	eng.After(0, tick)
+}
+
+// measureEcho runs an offered-rate stream of size-byte frames through an
+// echo path and returns the achieved receive goodput in Gbit/s.
+type echoBedFns struct {
+	eng       *flexdriver.Engine
+	send      func(frame []byte)
+	onReceive func(fn func(n int))
+}
+
+func measureEcho(b echoBedFns, size int, offeredGbps float64, warmup, window flexdriver.Duration) float64 {
+	frame := buildFrame(size, 4000, 7777)
+	interval := flexdriver.Duration(float64(len(frame)*8) / (offeredGbps * 1e9) * float64(flexdriver.Second))
+	var rxBytes int64
+	measuring := false
+	b.onReceive(func(n int) {
+		if measuring {
+			rxBytes += int64(n)
+		}
+	})
+	deadline := warmup + window + 100*flexdriver.Microsecond
+	paceSends(b.eng, interval, deadline, func() { b.send(frame) })
+	b.eng.RunUntil(warmup)
+	measuring = true
+	b.eng.RunUntil(warmup + window)
+	measuring = false
+	b.eng.RunUntil(deadline)
+	return float64(rxBytes) * 8 / window.Seconds() / 1e9
+}
+
+// BWPoint is one Figure 7b sample.
+type BWPoint struct {
+	Size                      int
+	OfferedGbps, AchievedGbps float64
+	ModelGbps                 float64
+	MeetsModel                bool
+}
+
+// EchoMode selects the Figure 7b configuration.
+type EchoMode int
+
+// Echo configurations.
+const (
+	FLDERemote EchoMode = iota
+	FLDELocal
+	FLDRRemote
+	CPURemote
+)
+
+func (m EchoMode) String() string {
+	switch m {
+	case FLDERemote:
+		return "FLD-E remote"
+	case FLDELocal:
+		return "FLD-E local"
+	case FLDRRemote:
+		return "FLD-R remote"
+	case CPURemote:
+		return "CPU remote"
+	}
+	return "?"
+}
+
+// echoModelFor returns the analytic expectation for the mode.
+func echoModelFor(mode EchoMode, size int) float64 {
+	switch mode {
+	case FLDERemote:
+		m := perfmodel.DefaultEchoModel(25)
+		m.PpsCap = 31.25e6
+		return m.Goodput(size)
+	case FLDELocal:
+		// No Ethernet segment: bounded by the Gen3 x8 PCIe links alone
+		// (the paper's "50 Gbps PCIe" line in Figure 7a).
+		m := perfmodel.DefaultEchoModel(50)
+		m.EthRateGbps = 1000 // disable the Ethernet term
+		m.PpsCap = 31.25e6
+		return m.Goodput(size)
+	case FLDRRemote:
+		// RoCE framing on the 25G wire, plus the coalesced ACK share.
+		pkts := (size + 1023) / 1024
+		wire := size + pkts*78 + 78/4
+		return 25 * float64(size) / float64(wire)
+	case CPURemote:
+		eth := perfmodel.EthernetGoodput(25, size)
+		cpu := 22.7e6 * float64(size) * 8 / 1e9 // io-forward-class core
+		if cpu < eth {
+			return cpu
+		}
+		return eth
+	}
+	return 0
+}
+
+// EchoBandwidth reproduces one Figure 7b series.
+func EchoBandwidth(mode EchoMode, sizes []int, window flexdriver.Duration) []BWPoint {
+	return EchoBandwidthWithNIC(mode, sizes, window, flexdriver.DefaultNICParams())
+}
+
+// EchoBandwidthWithNIC is EchoBandwidth with explicit NIC parameters,
+// used by the ablation benchmarks (e.g. ACK coalescing on/off).
+func EchoBandwidthWithNIC(mode EchoMode, sizes []int, window flexdriver.Duration, nicPrm flexdriver.NICParams) []BWPoint {
+	var out []BWPoint
+	for _, size := range sizes {
+		offered := 26.5 // just above the 25G line
+		if mode == FLDELocal {
+			// Local runs have no Ethernet segment to throttle the
+			// generator, and overdriving the PCIe fabric collapses
+			// throughput (ingress crowds out egress reads); measure at
+			// 97% of the model like a sustained-rate sweep would.
+			offered = 0.97 * echoModelFor(mode, size)
+		}
+		var achieved float64
+		switch mode {
+		case FLDERemote:
+			rp, port, _ := fldeRemoteBed()
+			achieved = measureEcho(echoBedFns{
+				eng:  rp.Eng,
+				send: func(f []byte) { port.Send(f) },
+				onReceive: func(fn func(int)) {
+					port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }
+				},
+			}, size, offered, 150*flexdriver.Microsecond, window)
+		case FLDELocal:
+			inn, port, _ := fldeLocalBed(genDriverParams())
+			achieved = measureEcho(echoBedFns{
+				eng:  inn.Eng,
+				send: func(f []byte) { port.Send(f) },
+				onReceive: func(fn func(int)) {
+					port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }
+				},
+			}, size, offered, 150*flexdriver.Microsecond, window)
+		case FLDRRemote:
+			achieved = fldrRemoteBandwidth(size, offered, window, nicPrm)
+		case CPURemote:
+			rp, port := cpuRemoteBed(ioFwdParams())
+			achieved = measureEcho(echoBedFns{
+				eng:  rp.Eng,
+				send: func(f []byte) { port.Send(f) },
+				onReceive: func(fn func(int)) {
+					port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }
+				},
+			}, size, offered, 150*flexdriver.Microsecond, window)
+		}
+		model := echoModelFor(mode, size)
+		// "Meets" = within 10% of the analytic expectation, the same
+		// reading as the paper's "meets the expected performance".
+		out = append(out, BWPoint{
+			Size: size, OfferedGbps: offered, AchievedGbps: achieved,
+			ModelGbps: model, MeetsModel: achieved >= 0.90*model,
+		})
+	}
+	return out
+}
+
+// fldrRemoteBandwidth runs the FLD-R echo at one message size.
+func fldrRemoteBandwidth(size int, offeredGbps float64, window flexdriver.Duration, nicPrm flexdriver.NICParams) float64 {
+	rp := flexdriver.NewRemotePair(flexdriver.Options{Driver: genDriverParams(), NIC: nicPrm})
+	rsrv := flexdriver.NewRServer(rp.Server.RT)
+	rsrv.Listen("echo")
+	rp.Server.RT.Start()
+	installFLDREcho(rp.Server.FLD, rsrv)
+
+	ep, err := flexdriver.ConnectRDMA(rp.Client.Drv, rsrv, "echo",
+		flexdriver.RDMAConfig{SendEntries: 512, RecvEntries: 128})
+	if err != nil {
+		panic(err)
+	}
+	var rxBytes int64
+	measuring := false
+	ep.OnMessage = func(data []byte) {
+		if measuring {
+			rxBytes += int64(len(data))
+		}
+	}
+	msg := make([]byte, size)
+	interval := flexdriver.Duration(float64(size*8) / (offeredGbps * 1e9) * float64(flexdriver.Second))
+	warmup := 150 * flexdriver.Microsecond
+	deadline := warmup + window + 100*flexdriver.Microsecond
+	paceSends(rp.Eng, interval, deadline, func() { ep.Send(msg) })
+	rp.Eng.RunUntil(warmup)
+	measuring = true
+	rp.Eng.RunUntil(warmup + window)
+	measuring = false
+	rp.Eng.RunUntil(deadline)
+	return float64(rxBytes) * 8 / window.Seconds() / 1e9
+}
+
+// installFLDREcho installs a per-QP reassembling echo handler.
+func installFLDREcho(f *flexdriver.FLD, rsrv *flexdriver.RServer) {
+	reasm := map[uint32][]byte{}
+	f.SetHandler(flexdriver.HandlerFunc(func(data []byte, md flexdriver.Metadata) {
+		buf := append(reasm[md.Tag], data...)
+		if !md.Last {
+			reasm[md.Tag] = buf
+			return
+		}
+		delete(reasm, md.Tag)
+		f.Send(rsrv.QueueFor(md.Tag), buf, flexdriver.Metadata{})
+	}))
+}
+
+// Fig7b runs the full Figure 7b reproduction.
+func Fig7b(sizes []int, window flexdriver.Duration) *Result {
+	r := &Result{ID: "fig7b", Title: "Echo bandwidth vs packet size (FLD-E/FLD-R local+remote vs CPU)"}
+	r.Columns = []string{"mode", "size", "model Gbps", "achieved Gbps", "meets"}
+	type claim struct {
+		mode     EchoMode
+		meetFrom int
+	}
+	// Paper: remote FLD-E meets expectation from 128 B, local from
+	// 256 B; FLD-R remote meets line rate from 512 B.
+	claims := []claim{{FLDERemote, 128}, {FLDELocal, 256}, {FLDRRemote, 512}, {CPURemote, 1 << 20}}
+	for _, c := range claims {
+		pts := EchoBandwidth(c.mode, sizes, window)
+		allAbove := true
+		for _, p := range pts {
+			r.AddRow(c.mode.String(), d0(p.Size), f2(p.ModelGbps), f2(p.AchievedGbps),
+				fmt.Sprintf("%v", p.MeetsModel))
+			if p.Size >= c.meetFrom && !p.MeetsModel {
+				allAbove = false
+			}
+		}
+		if c.meetFrom < 1<<20 {
+			r.Check(fmt.Sprintf("%s meets model for sizes >= %d", c.mode, c.meetFrom),
+				1, b2f(allAbove), "", allAbove, "")
+		}
+	}
+	return r
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MixedTrace reproduces the §8.1.1 mixed-size forwarding comparison:
+// forwarding an IMC-2010-like stream, FLD-E is line-bound at 12.7 Mpps
+// while a single CPU forwarding core saturates at 9.6 Mpps.
+func MixedTrace(window flexdriver.Duration) *Result {
+	r := &Result{ID: "mixed-trace", Title: "IMC-2010 mixed-size forwarding (Mpps)"}
+	r.Columns = []string{"engine", "Mpps", "Gbps"}
+	dist := trace.IMC2010()
+
+	run := func(useFLD bool) (mpps, gbps float64) {
+		var eng *flexdriver.Engine
+		var send func([]byte)
+		var hook func(func(int))
+		if useFLD {
+			rp, port, _ := fldeRemoteBed()
+			eng = rp.Eng
+			send = func(f []byte) { port.Send(f) }
+			hook = func(fn func(int)) {
+				port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }
+			}
+		} else {
+			rp, port := cpuRemoteBed(fwdCoreParams())
+			eng = rp.Eng
+			send = func(f []byte) { port.Send(f) }
+			hook = func(fn func(int)) {
+				port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }
+			}
+		}
+		// Offer slightly above line rate of mixed traffic.
+		rng := newRand(77)
+		var rxPkts, rxBytes int64
+		measuring := false
+		hook(func(n int) {
+			if measuring {
+				rxPkts++
+				rxBytes += int64(n)
+			}
+		})
+		mean := dist.Mean()
+		interval := flexdriver.Duration(mean * 8 / 26.5e9 * float64(flexdriver.Second))
+		warmup := 150 * flexdriver.Microsecond
+		deadline := warmup + window + 100*flexdriver.Microsecond
+		paceSends(eng, interval, deadline, func() {
+			send(buildFrame(dist.Sample(rng), 4000, 7777))
+		})
+		eng.RunUntil(warmup)
+		measuring = true
+		eng.RunUntil(warmup + window)
+		measuring = false
+		eng.RunUntil(deadline)
+		return float64(rxPkts) / window.Seconds() / 1e6,
+			float64(rxBytes) * 8 / window.Seconds() / 1e9
+	}
+
+	fldMpps, fldGbps := run(true)
+	cpuMpps, cpuGbps := run(false)
+	r.AddRow("FLD-E", f2(fldMpps), f2(fldGbps))
+	r.AddRow("CPU core", f2(cpuMpps), f2(cpuGbps))
+	r.Check("FLD-E mixed Mpps", 12.7, fldMpps, "Mpps", within(fldMpps, 12.7, 0.25), "line-bound")
+	r.Check("CPU mixed Mpps", 9.6, cpuMpps, "Mpps", within(cpuMpps, 9.6, 0.25), "pps-bound core")
+	r.Check("FLD faster than CPU", 12.7/9.6, fldMpps/cpuMpps, "x", fldMpps > cpuMpps, "")
+	return r
+}
+
+// Table6 reproduces the 64 B echo round-trip latency percentiles.
+func Table6(samples int) *Result {
+	r := &Result{ID: "table6", Title: "64 B echo RTT percentiles (us)"}
+	r.Columns = []string{"path", "mean", "median", "p99", "p99.9"}
+
+	runFLDE := func() stats.Summary {
+		rp, port, _ := fldeRemoteBed()
+		rp.Client.Drv.Prm = latencyDriverParams()
+		return closedLoopRTT(rp.Eng, samples,
+			func(f []byte) { port.Send(f) },
+			func(fn func()) {
+				port.OnReceive = func([]byte, swdriver.RxMeta) { fn() }
+			})
+	}
+	runCPU := func() stats.Summary {
+		rp, port := cpuRemoteBed(serverCPUParams())
+		rp.Client.Drv.Prm = latencyDriverParams()
+		return closedLoopRTT(rp.Eng, samples,
+			func(f []byte) { port.Send(f) },
+			func(fn func()) {
+				port.OnReceive = func([]byte, swdriver.RxMeta) { fn() }
+			})
+	}
+
+	flde := runFLDE()
+	cpu := runCPU()
+	r.AddRow("FLD-E", f2(flde.Mean), f2(flde.Median), f2(flde.P99), f2(flde.P999))
+	r.AddRow("CPU", f2(cpu.Mean), f2(cpu.Median), f2(cpu.P99), f2(cpu.P999))
+
+	r.Check("FLD-E mean", 2.78, flde.Mean, "us", within(flde.Mean, 2.78, 0.35), "")
+	r.Check("CPU mean", 2.36, cpu.Mean, "us", within(cpu.Mean, 2.36, 0.35), "")
+	meanRatio := flde.Mean / cpu.Mean
+	r.Check("FLD-E/CPU mean ratio", 1.17, meanRatio, "x", within(meanRatio, 1.17, 0.15),
+		"FLD slightly slower on average")
+	tailRatio := cpu.P999 / flde.P999
+	r.Check("CPU/FLD-E p99.9 ratio", 2.5, tailRatio, "x", tailRatio > 1.5,
+		"no OS interference on FLD")
+	return r
+}
+
+// closedLoopRTT runs a one-in-flight 64 B echo and summarizes RTTs in us.
+func closedLoopRTT(eng *flexdriver.Engine, samples int,
+	send func([]byte), hookRx func(func())) stats.Summary {
+	frame := buildFrame(64, 5000, 6000)
+	var s stats.Sample
+	var sentAt flexdriver.Time
+	n := 0
+	const warmupSamples = 200
+	var fire func()
+	hookRx(func() {
+		rtt := eng.Now() - sentAt
+		if n >= warmupSamples {
+			s.Add(rtt.Microseconds())
+		}
+		n++
+		if n < samples+warmupSamples {
+			fire()
+		}
+	})
+	fire = func() {
+		sentAt = eng.Now()
+		send(frame)
+	}
+	fire()
+	eng.Run()
+	return s.Summarize()
+}
+
+// LatencyPoint is one Figure 7c sample.
+type LatencyPoint struct {
+	OfferedGbps   float64
+	AchievedGbps  float64
+	MedianUs, P99 float64
+}
+
+// Fig7c measures FLD-R 1 KiB message latency under increasing load
+// (remote), reproducing the queueing knee near ~82% of capacity.
+func Fig7c(fractions []float64, perPoint int) *Result {
+	r := &Result{ID: "fig7c", Title: "FLD-R 1 KiB latency vs load (remote)"}
+	r.Columns = []string{"offered Gbps", "achieved Gbps", "median us", "p99 us"}
+	const size = 1024
+	capacity := echoModelFor(FLDRRemote, size)
+
+	var pts []LatencyPoint
+	for _, frac := range fractions {
+		offered := frac * capacity
+		med, p99, achieved := fldrLatencyAtLoad(size, offered, perPoint)
+		pts = append(pts, LatencyPoint{OfferedGbps: offered, AchievedGbps: achieved, MedianUs: med, P99: p99})
+		r.AddRow(f2(offered), f2(achieved), f2(med), f2(p99))
+	}
+	// The simulated base RTT is lower than the published 10.6 us (the
+	// prototype's FPGA clock-domain crossings and PCIe switch internals
+	// are not modeled); the claims under test are the curve's shape.
+	base := pts[0].MedianUs
+	r.Check("low-load median RTT", 10.6, base, "us", base > 3 && base < 12,
+		"absolute base depends on unmodeled FPGA internals")
+	// The paper also reports the local topology's low-load latency
+	// (9.4 us vs 10.6 us remote): loopback QPs on one Innova node.
+	localMed := fldrLocalLowLoadLatency(size, perPoint/4)
+	r.AddRow("(local, low load)", "-", f2(localMed), "-")
+	r.Check("local < remote at low load", 9.4/10.6, localMed/base,
+		"ratio", localMed < base, "no wire hop on the local path")
+	mono := true
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MedianUs < pts[i-1].MedianUs-0.3 {
+			mono = false
+		}
+	}
+	r.Check("latency grows with load", 1, b2f(mono), "", mono, "")
+	// Knee: the overloaded point's median is several times the base.
+	last := pts[len(pts)-1].MedianUs
+	r.Check("queueing knee near saturation", 3, last/base, "x", last/base > 2, "")
+	// Throughput saturates below the model's expectation, like the
+	// paper's ~82% bottleneck observation.
+	peak := 0.0
+	for _, p := range pts {
+		if p.AchievedGbps > peak {
+			peak = p.AchievedGbps
+		}
+	}
+	sat := peak / capacity
+	r.Check("saturation fraction of expected BW", 0.82, sat, "", sat > 0.75 && sat <= 1.0, "")
+	return r
+}
+
+func fldrLatencyAtLoad(size int, offeredGbps float64, samples int) (medianUs, p99Us, achievedGbps float64) {
+	rp := flexdriver.NewRemotePair(flexdriver.Options{Driver: genDriverParams()})
+	rsrv := flexdriver.NewRServer(rp.Server.RT)
+	rsrv.Listen("echo")
+	rp.Server.RT.Start()
+	installFLDREcho(rp.Server.FLD, rsrv)
+	ep, err := flexdriver.ConnectRDMA(rp.Client.Drv, rsrv, "echo",
+		flexdriver.RDMAConfig{SendEntries: 512, RecvEntries: 128})
+	if err != nil {
+		panic(err)
+	}
+
+	var lat stats.Sample
+	var sendTimes []flexdriver.Time
+	var rxBytes int64
+	var t0 flexdriver.Time
+	recv := 0
+	ep.OnMessage = func(data []byte) {
+		// Echoes return in order: match FIFO.
+		rtt := rp.Eng.Now() - sendTimes[recv]
+		recv++
+		lat.Add(rtt.Microseconds())
+		rxBytes += int64(len(data))
+	}
+	msg := make([]byte, size)
+	mean := flexdriver.Duration(float64(size*8) / (offeredGbps * 1e9) * float64(flexdriver.Second))
+	rng := newRand(5)
+	sent := 0
+	var tick func()
+	tick = func() {
+		if sent >= samples {
+			return
+		}
+		sent++
+		sendTimes = append(sendTimes, rp.Eng.Now())
+		ep.Send(msg)
+		rp.Eng.After(rng.Exp(mean), tick)
+	}
+	t0 = rp.Eng.Now()
+	tick()
+	rp.Eng.Run()
+	dur := rp.Eng.Now() - t0
+	if dur <= 0 {
+		dur = 1
+	}
+	return lat.Median(), lat.Percentile(99), float64(rxBytes) * 8 / dur.Seconds() / 1e9
+}
+
+func engOf(inn *flexdriver.Innova) *flexdriver.Engine { return inn.Eng }
+
+// fldrLocalLowLoadLatency measures the single-node FLD-R echo RTT: the
+// client endpoint lives on the Innova host and its QP loops back through
+// the eSwitch to the FLD QP (the paper's local setup, 9.4 us median).
+func fldrLocalLowLoadLatency(size, samples int) float64 {
+	inn := flexdriver.NewLocalInnova(flexdriver.Options{Driver: genDriverParams()})
+	rsrv := flexdriver.NewRServer(inn.RT)
+	rsrv.Listen("echo")
+	inn.RT.Start()
+	installFLDREcho(inn.FLD, rsrv)
+	ep, err := flexdriver.ConnectRDMA(inn.Drv, rsrv, "echo",
+		flexdriver.RDMAConfig{SendEntries: 64, RecvEntries: 64})
+	if err != nil {
+		panic(err)
+	}
+	var lat stats.Sample
+	var sentAt flexdriver.Time
+	msg := make([]byte, size)
+	n := 0
+	var fire func()
+	ep.OnMessage = func([]byte) {
+		lat.Add((inn.Eng.Now() - sentAt).Microseconds())
+		n++
+		if n < samples {
+			fire()
+		}
+	}
+	fire = func() {
+		sentAt = inn.Eng.Now()
+		ep.Send(msg)
+	}
+	fire()
+	inn.Eng.Run()
+	return lat.Median()
+}

@@ -1,0 +1,112 @@
+// Package exps contains one experiment function per table and figure of
+// the paper's evaluation (§8), each running on the simulated testbed and
+// reporting measured-vs-paper values. cmd/fldreport drives them all;
+// bench_test.go at the repository root exposes each as a benchmark.
+package exps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check compares one measured quantity against the paper's reported value
+// (or a qualitative expectation).
+type Check struct {
+	Name     string
+	Paper    float64
+	Measured float64
+	Unit     string
+	// OK is the experiment's own judgment of shape agreement.
+	OK   bool
+	Note string
+}
+
+// Result is one experiment's full output.
+type Result struct {
+	ID      string // e.g. "fig7b"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Checks  []Check
+}
+
+// AddRow appends a formatted table row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Check records a comparison.
+func (r *Result) Check(name string, paper, measured float64, unit string, ok bool, note string) {
+	r.Checks = append(r.Checks, Check{Name: name, Paper: paper, Measured: measured,
+		Unit: unit, OK: ok, Note: note})
+}
+
+// Passed reports whether every check holds.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the result as a text report block.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Columns) > 0 {
+		widths := make([]int, len(r.Columns))
+		for i, c := range r.Columns {
+			widths[i] = len(c)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		for i, c := range r.Columns {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				w := 0
+				if i < len(widths) {
+					w = widths[i]
+				}
+				fmt.Fprintf(&b, "%-*s  ", w, cell)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, c := range r.Checks {
+		status := "OK  "
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %-38s paper=%.4g measured=%.4g %s", status, c.Name, c.Paper, c.Measured, c.Unit)
+		if c.Note != "" {
+			fmt.Fprintf(&b, "  (%s)", c.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func d0(v int) string     { return fmt.Sprintf("%d", v) }
+
+func within(got, want, frac float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= frac*want
+}

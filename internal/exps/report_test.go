@@ -1,0 +1,54 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultTableFormatting(t *testing.T) {
+	r := &Result{ID: "x", Title: "demo", Columns: []string{"name", "value"}}
+	r.AddRow("alpha", "1.0")
+	r.AddRow("a-much-longer-name", "2.5")
+	r.Check("check-one", 1.0, 1.05, "Gbps", true, "note")
+	r.Check("check-two", 2.0, 9.0, "", false, "")
+	out := r.String()
+	for _, want := range []string{"== x: demo ==", "alpha", "a-much-longer-name",
+		"[OK  ] check-one", "[FAIL] check-two", "(note)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+	if r.Passed() {
+		t.Fatal("Passed() must be false with a failing check")
+	}
+}
+
+func TestResultPassedEmpty(t *testing.T) {
+	r := &Result{ID: "y"}
+	if !r.Passed() {
+		t.Fatal("no checks should count as passed")
+	}
+	if !strings.Contains(r.String(), "== y:") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestWithinHelper(t *testing.T) {
+	if !within(105, 100, 0.10) || within(120, 100, 0.10) {
+		t.Fatal("within tolerance logic broken")
+	}
+	if !within(0, 0, 0.1) {
+		t.Fatal("0 within 0 should hold")
+	}
+}
+
+func TestEchoModeStrings(t *testing.T) {
+	for _, m := range []EchoMode{FLDERemote, FLDELocal, FLDRRemote, CPURemote} {
+		if m.String() == "?" || m.String() == "" {
+			t.Fatalf("mode %d has no name", m)
+		}
+	}
+	if EchoMode(99).String() != "?" {
+		t.Fatal("unknown mode should stringify as ?")
+	}
+}

@@ -1,0 +1,6 @@
+package exps
+
+import "flexdriver/internal/sim"
+
+// newRand returns a deterministic generator for experiment workloads.
+func newRand(seed int64) *sim.Rand { return sim.NewRand(seed) }

@@ -1,0 +1,11 @@
+package exps
+
+import (
+	"testing"
+
+	"flexdriver"
+)
+
+func TestPortability(t *testing.T) {
+	requirePassed(t, Portability(400*flexdriver.Microsecond))
+}

@@ -1,0 +1,72 @@
+package fld
+
+// pagePool is the transmit buffer manager: a shared on-chip SRAM carved
+// into fixed pages, allocated per packet and reference-counted by the ring
+// manager (paper §5.1: "Ring managers maintain reference counts on their
+// buffer pool and recycle buffers as needed").
+type pagePool struct {
+	pageBytes int
+	mem       []byte
+	free      []uint16 // LIFO free list of page indices
+}
+
+func newPagePool(totalBytes, pageBytes int) *pagePool {
+	n := totalBytes / pageBytes
+	p := &pagePool{pageBytes: pageBytes, mem: make([]byte, n*pageBytes)}
+	// Push in reverse so pages allocate in ascending order initially.
+	for i := n - 1; i >= 0; i-- {
+		p.free = append(p.free, uint16(i))
+	}
+	return p
+}
+
+// pages returns how many pages n bytes occupy.
+func (p *pagePool) pages(n int) int {
+	return (n + p.pageBytes - 1) / p.pageBytes
+}
+
+// freePages reports currently available pages.
+func (p *pagePool) freePages() int { return len(p.free) }
+
+// freeBytes reports available capacity in bytes.
+func (p *pagePool) freeBytes() int { return len(p.free) * p.pageBytes }
+
+// alloc reserves pages(n) pages and copies data into them, returning the
+// page list. It returns nil when the pool cannot satisfy the request —
+// the caller must have checked credits first.
+func (p *pagePool) alloc(data []byte) []uint16 {
+	need := p.pages(len(data))
+	if need == 0 {
+		need = 1
+	}
+	if need > len(p.free) {
+		return nil
+	}
+	pages := make([]uint16, need)
+	for i := range pages {
+		pages[i] = p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+	}
+	for i, pg := range pages {
+		lo := i * p.pageBytes
+		hi := lo + p.pageBytes
+		if hi > len(data) {
+			hi = len(data)
+		}
+		copy(p.mem[int(pg)*p.pageBytes:], data[lo:hi])
+	}
+	return pages
+}
+
+// read returns size bytes starting at the given offset within a page.
+func (p *pagePool) read(page uint16, offset, size int) []byte {
+	base := int(page)*p.pageBytes + offset
+	out := make([]byte, size)
+	copy(out, p.mem[base:base+size])
+	return out
+}
+
+// release returns pages to the free list.
+func (p *pagePool) release(pages []uint16) {
+	p.free = append(p.free, pages...)
+}

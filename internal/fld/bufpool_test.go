@@ -1,0 +1,113 @@
+package fld
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestPagePoolAllocRead(t *testing.T) {
+	p := newPagePool(8192, 512)
+	if p.freePages() != 16 {
+		t.Fatalf("free pages = %d", p.freePages())
+	}
+	data := make([]byte, 1300) // 3 pages
+	for i := range data {
+		data[i] = byte(i)
+	}
+	pages := p.alloc(data)
+	if len(pages) != 3 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	if p.freePages() != 13 {
+		t.Fatalf("free after alloc = %d", p.freePages())
+	}
+	// Read back page by page.
+	var got []byte
+	for i, pg := range pages {
+		n := 512
+		if i == 2 {
+			n = 1300 - 1024
+		}
+		got = append(got, p.read(pg, 0, n)...)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("page contents corrupted")
+	}
+	p.release(pages)
+	if p.freePages() != 16 {
+		t.Fatalf("free after release = %d", p.freePages())
+	}
+}
+
+func TestPagePoolExhaustion(t *testing.T) {
+	p := newPagePool(2048, 512)
+	a := p.alloc(make([]byte, 1024))
+	b := p.alloc(make([]byte, 1024))
+	if a == nil || b == nil {
+		t.Fatal("pool should satisfy both")
+	}
+	if c := p.alloc([]byte{1}); c != nil {
+		t.Fatal("exhausted pool allocated")
+	}
+	p.release(a)
+	if c := p.alloc(make([]byte, 700)); c == nil {
+		t.Fatal("pool did not recover after release")
+	}
+}
+
+func TestPagePoolZeroLengthTakesOnePage(t *testing.T) {
+	p := newPagePool(1024, 512)
+	if got := p.alloc(nil); len(got) != 1 {
+		t.Fatalf("zero-length alloc = %d pages", len(got))
+	}
+}
+
+// TestPagePoolChurnNeverLosesPages: random alloc/release cycles conserve
+// pages and never corrupt unrelated allocations (refcount invariant).
+func TestPagePoolChurnNeverLosesPages(t *testing.T) {
+	const total, page = 64 * 512, 512
+	p := newPagePool(total, page)
+	r := rand.New(rand.NewSource(5))
+	type live struct {
+		pages []uint16
+		data  []byte
+	}
+	var allocs []live
+	for round := 0; round < 3000; round++ {
+		if r.Intn(2) == 0 {
+			n := 1 + r.Intn(2000)
+			data := make([]byte, n)
+			r.Read(data)
+			if pages := p.alloc(data); pages != nil {
+				allocs = append(allocs, live{pages, data})
+			}
+		} else if len(allocs) > 0 {
+			i := r.Intn(len(allocs))
+			a := allocs[i]
+			// Verify content integrity before release.
+			var got []byte
+			rem := len(a.data)
+			for _, pg := range a.pages {
+				n := page
+				if n > rem {
+					n = rem
+				}
+				got = append(got, p.read(pg, 0, n)...)
+				rem -= n
+			}
+			if !bytes.Equal(got, a.data) {
+				t.Fatalf("round %d: allocation corrupted", round)
+			}
+			p.release(a.pages)
+			allocs = append(allocs[:i], allocs[i+1:]...)
+		}
+	}
+	inUse := 0
+	for _, a := range allocs {
+		inUse += len(a.pages)
+	}
+	if p.freePages()+inUse != total/page {
+		t.Fatalf("pages leaked: free=%d inuse=%d total=%d", p.freePages(), inUse, total/page)
+	}
+}

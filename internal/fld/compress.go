@@ -1,0 +1,122 @@
+package fld
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flexdriver/internal/nic"
+)
+
+// txDesc is FLD's 8-byte compressed transmit descriptor (vs the NIC's
+// 64-byte WQE). It can afford to be small because FLD's buffers are
+// on-chip: a page index replaces the NIC's 64-bit pointer, and only the
+// fields FLD actually uses survive (paper §5.2 "Compression").
+//
+// Packed layout:
+//
+//	0:2  first buffer page index
+//	2:4  byte count (up to 64 KiB)
+//	4:5  flags: bit0 signal, bit1 valid
+//	5:8  flow tag (24 bits)
+type txDesc struct {
+	Page    uint16
+	Len     uint16
+	Signal  bool
+	Valid   bool
+	FlowTag uint32
+}
+
+func (d txDesc) marshal() [CompressedDescBytes]byte {
+	var b [CompressedDescBytes]byte
+	binary.BigEndian.PutUint16(b[0:], d.Page)
+	binary.BigEndian.PutUint16(b[2:], d.Len)
+	if d.Signal {
+		b[4] |= 1
+	}
+	if d.Valid {
+		b[4] |= 2
+	}
+	b[5] = byte(d.FlowTag >> 16)
+	b[6] = byte(d.FlowTag >> 8)
+	b[7] = byte(d.FlowTag)
+	return b
+}
+
+func parseTxDesc(b [CompressedDescBytes]byte) txDesc {
+	return txDesc{
+		Page:    binary.BigEndian.Uint16(b[0:]),
+		Len:     binary.BigEndian.Uint16(b[2:]),
+		Signal:  b[4]&1 != 0,
+		Valid:   b[4]&2 != 0,
+		FlowTag: uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7]),
+	}
+}
+
+// cqeRec is FLD's 15-byte compressed completion record (vs 64 B on the
+// wire). FLD only needs these fields to recycle resources and build the
+// accelerator's metadata word.
+//
+//	0:1   opcode
+//	1:2   flags: bit0 checksum-ok, bit1 last
+//	2:4   index
+//	4:8   queue
+//	8:11  byte count (24 bits)
+//	11:15 flow tag / local QPN
+type cqeRec struct {
+	Opcode     uint8
+	ChecksumOK bool
+	Last       bool
+	Index      uint16
+	Queue      uint32
+	ByteCount  uint32
+	FlowTag    uint32
+}
+
+func compressCQE(c nic.CQE) cqeRec {
+	tag := c.FlowTag
+	if c.RemoteQPN != 0 {
+		tag = c.RemoteQPN
+	}
+	return cqeRec{
+		Opcode:     c.Opcode,
+		ChecksumOK: c.ChecksumOK,
+		Last:       c.Last,
+		Index:      c.Index,
+		Queue:      c.Queue,
+		ByteCount:  c.ByteCount,
+		FlowTag:    tag,
+	}
+}
+
+func (r cqeRec) marshal() [CompressedCQEBytes]byte {
+	var b [CompressedCQEBytes]byte
+	b[0] = r.Opcode
+	if r.ChecksumOK {
+		b[1] |= 1
+	}
+	if r.Last {
+		b[1] |= 2
+	}
+	binary.BigEndian.PutUint16(b[2:], r.Index)
+	binary.BigEndian.PutUint32(b[4:], r.Queue)
+	if r.ByteCount >= 1<<24 {
+		panic(fmt.Sprintf("fld: byte count %d exceeds 24 bits", r.ByteCount))
+	}
+	b[8] = byte(r.ByteCount >> 16)
+	b[9] = byte(r.ByteCount >> 8)
+	b[10] = byte(r.ByteCount)
+	binary.BigEndian.PutUint32(b[11:], r.FlowTag)
+	return b
+}
+
+func parseCQERec(b [CompressedCQEBytes]byte) cqeRec {
+	return cqeRec{
+		Opcode:     b[0],
+		ChecksumOK: b[1]&1 != 0,
+		Last:       b[1]&2 != 0,
+		Index:      binary.BigEndian.Uint16(b[2:]),
+		Queue:      binary.BigEndian.Uint32(b[4:]),
+		ByteCount:  uint32(b[8])<<16 | uint32(b[9])<<8 | uint32(b[10]),
+		FlowTag:    binary.BigEndian.Uint32(b[11:]),
+	}
+}

@@ -1,0 +1,70 @@
+package fld
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flexdriver/internal/nic"
+)
+
+func TestTxDescRoundTrip(t *testing.T) {
+	d := txDesc{Page: 1023, Len: 16000, Signal: true, Valid: true, FlowTag: 0xABCDEF}
+	got := parseTxDesc(d.marshal())
+	if got != d {
+		t.Fatalf("round trip: %+v != %+v", got, d)
+	}
+}
+
+func TestTxDescProperty(t *testing.T) {
+	f := func(page, length uint16, sig, valid bool, tag uint32) bool {
+		d := txDesc{Page: page, Len: length, Signal: sig, Valid: valid, FlowTag: tag & 0xffffff}
+		return parseTxDesc(d.marshal()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCQERecRoundTrip(t *testing.T) {
+	r := cqeRec{Opcode: nic.CQERecv, ChecksumOK: true, Last: true,
+		Index: 0x1234, Queue: 99, ByteCount: 1 << 20, FlowTag: 0xdeadbeef}
+	got := parseCQERec(r.marshal())
+	if got != r {
+		t.Fatalf("round trip: %+v != %+v", got, r)
+	}
+}
+
+func TestCQERecProperty(t *testing.T) {
+	f := func(op uint8, cs, last bool, idx uint16, q, bc, tag uint32) bool {
+		r := cqeRec{Opcode: op, ChecksumOK: cs, Last: last, Index: idx,
+			Queue: q, ByteCount: bc & 0xffffff, FlowTag: tag}
+		return parseCQERec(r.marshal()) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressCQEKeepsEssentials(t *testing.T) {
+	c := nic.CQE{Opcode: nic.CQERecv, ChecksumOK: true, Last: true, Index: 7,
+		Queue: 3, ByteCount: 1500, FlowTag: 42, RSSHash: 0x1111}
+	r := compressCQE(c)
+	if r.ByteCount != 1500 || r.FlowTag != 42 || !r.Last || !r.ChecksumOK {
+		t.Fatalf("compressed: %+v", r)
+	}
+	// RDMA receives: the local QPN takes the tag slot.
+	c.RemoteQPN = 77
+	if compressCQE(c).FlowTag != 77 {
+		t.Fatal("QPN not propagated into compressed tag")
+	}
+}
+
+func TestCompressionRatios(t *testing.T) {
+	// The paper's Table 2b: 64 B -> 8 B descriptors, 64 B -> 15 B CQEs.
+	if nic.SendWQESize/CompressedDescBytes != 8 {
+		t.Fatalf("descriptor compression ratio %d", nic.SendWQESize/CompressedDescBytes)
+	}
+	if CompressedCQEBytes != 15 || nic.CQESize != 64 {
+		t.Fatal("CQE sizes drifted from the paper")
+	}
+}

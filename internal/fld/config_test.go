@@ -1,0 +1,105 @@
+package fld
+
+import (
+	"testing"
+
+	"flexdriver/internal/sim"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.NumTxQueues = 0 },
+		func(c *Config) { c.TxRingEntries = 1000 },   // not power of two
+		func(c *Config) { c.TxPageBytes = 500 },      // not power of two
+		func(c *Config) { c.RxWQEBytes = 1000 },      // not stride multiple
+		func(c *Config) { c.RxBufBytes = 100 << 10 }, // not RxWQE multiple
+		func(c *Config) { c.SignalEvery = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPacketInterval(t *testing.T) {
+	c := DefaultConfig() // 250 MHz, II=8 -> 32 ns
+	if got := c.PacketInterval(); got != 32*sim.Nanosecond {
+		t.Fatalf("packet interval = %v", got)
+	}
+	c.ClockMHz = 0
+	if c.PacketInterval() != 0 {
+		t.Fatal("zero clock should disable pacing")
+	}
+}
+
+func TestMemoryPrototypeBudget(t *testing.T) {
+	m := DefaultConfig().Memory()
+	// The prototype config must fit comfortably on the XCKU15P
+	// (10.05 MiB) — the paper quotes ~833 KiB-class totals for the
+	// 512-queue analysis; the 2-queue prototype is smaller still.
+	if m.Total() > 1<<20 {
+		t.Fatalf("prototype on-die memory = %d bytes, want < 1 MiB", m.Total())
+	}
+	if m.RxDataBytes != 256<<10 || m.TxDataBytes != 256<<10 {
+		t.Fatalf("buffer SRAM sizes wrong: %+v", m)
+	}
+	if m.PIBytes != (2+1)*4 {
+		t.Fatalf("producer index bytes = %d", m.PIBytes)
+	}
+}
+
+// TestCompressionAblation quantifies §5.2's compression: disabling it
+// multiplies descriptor and completion storage by 8x and 4.3x.
+func TestCompressionAblation(t *testing.T) {
+	on := DefaultConfig()
+	off := on
+	off.CompressDescriptors = false
+	mOn, mOff := on.Memory(), off.Memory()
+	if mOff.Total() <= mOn.Total() {
+		t.Fatalf("uncompressed (%d) not larger than compressed (%d)", mOff.Total(), mOn.Total())
+	}
+	// CQ storage alone: 64 B vs 15 B per entry.
+	if mOff.CQBytes != mOn.CQBytes*64/15 {
+		t.Fatalf("CQ ablation ratio wrong: %d vs %d", mOff.CQBytes, mOn.CQBytes)
+	}
+	// Per-queue rings vs shared pool: scaling queues blows up only the
+	// uncompressed design.
+	onBig, offBig := on, off
+	onBig.NumTxQueues, offBig.NumTxQueues = 512, 512
+	growOn := float64(onBig.Memory().Total()) / float64(mOn.Total())
+	growOff := float64(offBig.Memory().Total()) / float64(mOff.Total())
+	if growOff < 10*growOn {
+		t.Fatalf("queue scaling: compressed grew %.1fx, uncompressed %.1fx — expected divergence",
+			growOn, growOff)
+	}
+}
+
+func TestAreaScalesWithConfig(t *testing.T) {
+	small := DefaultConfig()
+	big := small
+	big.TxBufBytes *= 4
+	big.RxBufBytes *= 4
+	big.NumTxQueues = 64
+	as, ab := small.Area(), big.Area()
+	if ab.URAM <= as.URAM {
+		t.Fatal("URAM should grow with buffer SRAM")
+	}
+	if ab.LUT <= as.LUT || ab.FF <= as.FF {
+		t.Fatal("logic should grow with queue count")
+	}
+}
+
+func TestCompressedSizesMatchPaper(t *testing.T) {
+	if CompressedDescBytes != 8 || CompressedCQEBytes != 15 || ProducerIndexBytes != 4 {
+		t.Fatal("compressed record sizes drifted from Table 2b")
+	}
+}

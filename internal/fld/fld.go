@@ -1,0 +1,543 @@
+package fld
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flexdriver/internal/cuckoo"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/pcie"
+	"flexdriver/internal/sim"
+)
+
+// Metadata accompanies packets across the FLD-accelerator streaming
+// interface (paper §5.5): queue identity, the context/tenant tag or local
+// QPN, and receive-side offload results.
+type Metadata struct {
+	// Queue is the FLD transmit queue (tx) or the NIC receive queue id
+	// (rx).
+	Queue int
+	// Tag is the FLD-E context ID stamped by the NIC's match-action
+	// rules, or the local QPN for FLD-R traffic.
+	Tag uint32
+	// Last marks the final packet of an RDMA message (always true for
+	// Ethernet packets).
+	Last bool
+	// ChecksumOK carries the NIC's checksum-validation offload result.
+	ChecksumOK bool
+}
+
+// Handler consumes packets FLD receives from the NIC. Implementations are
+// accelerator function units (AFUs). Receive must not block: the AXI-Stream
+// contract forbids accelerator backpressure toward FLD (§5.5) — an AFU
+// that cannot keep up must drop or flow-control at the application layer.
+type Handler interface {
+	Receive(data []byte, md Metadata)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(data []byte, md Metadata)
+
+// Receive implements Handler.
+func (f HandlerFunc) Receive(data []byte, md Metadata) { f(data, md) }
+
+// Stats counts FLD data-plane activity.
+type Stats struct {
+	TxPackets, TxBytes int64
+	RxPackets, RxBytes int64
+	CreditStalls       int64
+	Errors             int64
+}
+
+// ErrNoCredits is returned by Send when the queue lacks descriptor or
+// buffer credits; the accelerator should retry after OnCredits fires.
+var ErrNoCredits = fmt.Errorf("fld: insufficient tx credits")
+
+// FLD is the FlexDriver hardware module instance.
+type FLD struct {
+	cfg Config
+	eng *sim.Engine
+
+	fab    *pcie.Fabric
+	port   *pcie.Port
+	nicBAR uint64
+
+	// BAR layout (offsets within our BAR).
+	txDescBase uint64
+	txDescSize uint64
+	txDataBase uint64
+	txDataSize uint64
+	rxBufBase  uint64
+	rxCQBase   uint64
+	txCQBase   uint64
+	barSize    uint64
+
+	windowPages int // virtual data pages per queue window
+
+	// Transmit state.
+	descPool []txDesc
+	descFree []uint16
+	descXlt  *cuckoo.Table // (queue, ring index) -> pool slot
+	dataXlt  *cuckoo.Table // global vpage -> physical page
+	txPool   *pagePool
+	queues   []*txQueue
+
+	// Receive state.
+	rxMem        []byte
+	rxRQN        uint32
+	rxEntries    int
+	rxPI         uint32
+	rxCurBuf     int32 // ring index of the buffer the NIC is filling (-1: none)
+	rxCurStrides int   // strides consumed in that buffer
+
+	txPipe  *sim.Resource // II pacing for the transmit pipeline
+	rxPipe  *sim.Resource // II pacing for the receive pipeline
+	handler Handler
+
+	onCredits func()
+	onError   func(queue int, syndrome uint8)
+
+	Stats Stats
+}
+
+type txQueue struct {
+	nicSQN   uint32
+	pi       uint32
+	released uint32 // completions consumed up to here
+	pending  []txPending
+	cursor   int // next virtual page in this queue's window
+	sinceSig int
+}
+
+type txPending struct {
+	idx    uint32
+	slot   uint16
+	pages  []uint16 // physical pages
+	vstart int      // first virtual page (in-queue)
+	npages int
+	signal bool
+}
+
+// New builds an FLD instance; call AttachPCIe and BindNIC before use.
+func New(eng *sim.Engine, cfg Config) *FLD {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	f := &FLD{cfg: cfg, eng: eng, rxCurBuf: -1}
+
+	// Virtual windows: give each queue double the whole buffer pool so
+	// in-flight virtual pages never collide before their translation
+	// entries are recycled.
+	f.windowPages = 2 * cfg.TxBufBytes / cfg.TxPageBytes
+	ringBytes := uint64(cfg.TxRingEntries) * nic.SendWQESize
+
+	f.txDescBase = 0
+	f.txDescSize = uint64(cfg.NumTxQueues) * ringBytes
+	f.txDataBase = f.txDescBase + f.txDescSize
+	f.txDataSize = uint64(cfg.NumTxQueues) * uint64(f.windowPages*cfg.TxPageBytes)
+	f.rxBufBase = f.txDataBase + f.txDataSize
+	f.txCQBase = f.rxBufBase + uint64(cfg.RxBufBytes)
+	f.rxCQBase = f.txCQBase + uint64(cfg.CQEntries)*nic.CQESize
+	f.barSize = f.rxCQBase + uint64(cfg.CQEntries)*nic.CQESize
+
+	f.descPool = make([]txDesc, cfg.TxDescPool)
+	for i := cfg.TxDescPool - 1; i >= 0; i-- {
+		f.descFree = append(f.descFree, uint16(i))
+	}
+	f.descXlt = cuckoo.New(cfg.TxDescPool)
+	f.dataXlt = cuckoo.New(cfg.TxBufBytes / cfg.TxPageBytes)
+	f.txPool = newPagePool(cfg.TxBufBytes, cfg.TxPageBytes)
+	for i := 0; i < cfg.NumTxQueues; i++ {
+		f.queues = append(f.queues, &txQueue{})
+	}
+	f.rxMem = make([]byte, cfg.RxBufBytes)
+	f.txPipe = sim.NewResource(eng)
+	f.rxPipe = sim.NewResource(eng)
+	return f
+}
+
+// Config returns the instance configuration.
+func (f *FLD) Config() Config { return f.cfg }
+
+// AttachPCIe connects FLD to the fabric.
+func (f *FLD) AttachPCIe(fab *pcie.Fabric, cfg pcie.LinkConfig) *pcie.Port {
+	f.fab = fab
+	f.port = fab.Attach(f, cfg)
+	return f.port
+}
+
+// BindNIC records the NIC's BAR base for doorbell writes. Both devices
+// must already be attached to the same fabric.
+func (f *FLD) BindNIC(n *nic.NIC) {
+	f.nicBAR = f.fab.PortOf(n).Base()
+}
+
+// SetHandler installs the accelerator's receive handler.
+func (f *FLD) SetHandler(h Handler) { f.handler = h }
+
+// SetOnCredits installs a callback fired whenever transmit credits are
+// released (the §5.5 credit interface's notification edge).
+func (f *FLD) SetOnCredits(fn func()) { f.onCredits = fn }
+
+// SetOnError installs the data-plane error callback reported to the
+// control plane through the kernel driver (paper §5.3 error handling).
+func (f *FLD) SetOnError(fn func(queue int, syndrome uint8)) { f.onError = fn }
+
+// --- Addresses the control plane wires into the NIC ---------------------
+
+// TxRingAddr returns the PCIe address the NIC should use as queue q's
+// descriptor ring: a virtual window FLD synthesizes descriptors into.
+func (f *FLD) TxRingAddr(q int) uint64 {
+	return f.port.Base() + f.txDescBase + uint64(q)*uint64(f.cfg.TxRingEntries)*nic.SendWQESize
+}
+
+// TxCQAddr / RxCQAddr return the PCIe addresses for the NIC's completion
+// rings.
+func (f *FLD) TxCQAddr() uint64 { return f.port.Base() + f.txCQBase }
+func (f *FLD) RxCQAddr() uint64 { return f.port.Base() + f.rxCQBase }
+
+// RxBufAddr returns the PCIe address of the i-th receive buffer; the
+// control plane posts these once into the host-memory receive ring.
+func (f *FLD) RxBufAddr(i int) uint64 {
+	return f.port.Base() + f.rxBufBase + uint64(i*f.cfg.RxWQEBytes)
+}
+
+// RxBufCount returns how many MPRQ buffers the receive SRAM holds.
+func (f *FLD) RxBufCount() int { return f.cfg.RxBufBytes / f.cfg.RxWQEBytes }
+
+// ConfigureTxQueue binds FLD queue q to a NIC send queue number.
+func (f *FLD) ConfigureTxQueue(q int, nicSQN uint32) {
+	f.queues[q].nicSQN = nicSQN
+}
+
+// ConfigureRx binds the receive path to a NIC receive queue whose ring
+// (in host memory) holds rxEntries pre-written descriptors; FLD recycles
+// them in order by advancing the producer index.
+func (f *FLD) ConfigureRx(nicRQN uint32, rxEntries int) {
+	f.rxRQN = nicRQN
+	f.rxEntries = rxEntries
+}
+
+// Start posts the initial receive producer index, arming the NIC with
+// every buffer.
+func (f *FLD) Start() {
+	f.rxPI = uint32(f.RxBufCount())
+	f.writeRQDoorbell()
+}
+
+func (f *FLD) writeRQDoorbell() {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], f.rxPI)
+	f.port.Write(f.nicBAR+nic.RQDoorbellOffset(f.rxRQN), b[:], nil)
+}
+
+// --- Transmit path -------------------------------------------------------
+
+// Credits reports queue q's available transmit resources: descriptor
+// slots and buffer bytes (paper §5.5: "per-queue backpressure to the
+// accelerator in the form of a credit interface").
+func (f *FLD) Credits(q int) (descSlots, bufBytes int) {
+	tq := f.queues[q]
+	ringSpace := f.cfg.TxRingEntries - int(tq.pi-tq.released)
+	pool := len(f.descFree)
+	if pool < ringSpace {
+		ringSpace = pool
+	}
+	return ringSpace, f.txPool.freeBytes()
+}
+
+// Send transmits one packet (FLD-E: a complete Ethernet frame; FLD-R: a
+// message for the bound QP) on queue q. The data is copied into FLD's
+// buffer pool; ErrNoCredits is returned when resources are exhausted.
+func (f *FLD) Send(q int, data []byte, md Metadata) error {
+	if q < 0 || q >= len(f.queues) {
+		return fmt.Errorf("fld: no such queue %d", q)
+	}
+	tq := f.queues[q]
+	slots, bufBytes := f.Credits(q)
+	if slots < 1 || bufBytes < len(data) {
+		f.Stats.CreditStalls++
+		return ErrNoCredits
+	}
+
+	pages := f.txPool.alloc(data)
+	if pages == nil {
+		f.Stats.CreditStalls++
+		return ErrNoCredits
+	}
+	slot := f.descFree[len(f.descFree)-1]
+	f.descFree = f.descFree[:len(f.descFree)-1]
+
+	// Map the pages at consecutive virtual addresses in q's window.
+	vstart := tq.cursor
+	for i, pg := range pages {
+		vp := (vstart + i) % f.windowPages
+		key := uint64(q)<<32 | uint64(vp)
+		if !f.dataXlt.Insert(key, uint32(pg)) {
+			panic("fld: data translation table overflow (sizing bug)")
+		}
+	}
+	tq.cursor = (vstart + len(pages)) % f.windowPages
+
+	idx := tq.pi
+	tq.pi++
+	tq.sinceSig++
+	signal := tq.sinceSig >= f.cfg.SignalEvery
+	// Force a completion when resources run low: recycling must never
+	// deadlock behind a run of unsignaled descriptors (with a small pool
+	// every in-flight descriptor could otherwise be unsignaled, and no
+	// completion would ever arrive to free them).
+	if !signal && (len(f.descFree) < f.cfg.SignalEvery ||
+		f.txPool.freePages() < 2*len(pages)+f.cfg.SignalEvery) {
+		signal = true
+	}
+	if signal {
+		tq.sinceSig = 0
+	}
+	d := txDesc{
+		Page:    uint16(vstart),
+		Len:     uint16(len(data)),
+		Signal:  signal,
+		Valid:   true,
+		FlowTag: md.Tag,
+	}
+	f.descPool[slot] = d
+	ringKey := uint64(q)<<32 | uint64(idx%uint32(f.cfg.TxRingEntries))
+	if !f.descXlt.Insert(ringKey, uint32(slot)) {
+		panic("fld: descriptor translation table overflow (sizing bug)")
+	}
+	tq.pending = append(tq.pending, txPending{
+		idx: idx, slot: slot, pages: pages, vstart: vstart, npages: len(pages), signal: signal,
+	})
+
+	f.Stats.TxPackets++
+	f.Stats.TxBytes += int64(len(data))
+
+	// Pace the hardware pipeline, then notify the NIC.
+	f.txPipe.Acquire(f.cfg.PacketInterval(), func() {
+		f.eng.After(f.cfg.PipelineDelay, func() {
+			if f.cfg.WQEByMMIO {
+				wqe := f.generateWQE(q, idx)
+				f.port.Write(f.nicBAR+nic.SQDoorbellOffset(tq.nicSQN), wqe, nil)
+			} else {
+				var b [4]byte
+				binary.BigEndian.PutUint32(b[:], tq.pi)
+				f.port.Write(f.nicBAR+nic.SQDoorbellOffset(tq.nicSQN), b[:], nil)
+			}
+		})
+	})
+	return nil
+}
+
+// generateWQE synthesizes the 64-byte NIC descriptor for (queue, index)
+// from the compressed pool — the on-the-fly structure generation at the
+// heart of §5.2.
+func (f *FLD) generateWQE(q int, idx uint32) []byte {
+	ringKey := uint64(q)<<32 | uint64(idx%uint32(f.cfg.TxRingEntries))
+	slotv, ok := f.descXlt.Lookup(ringKey)
+	if !ok {
+		// The NIC read a descriptor FLD never posted: emit an invalid
+		// WQE; the NIC will complete it with an error that flows back
+		// through the control plane's error channel.
+		bad := make([]byte, nic.SendWQESize)
+		bad[0] = 0xff // invalid opcode
+		return bad
+	}
+	d := f.descPool[slotv]
+	vaddr := f.port.Base() + f.txDataBase +
+		uint64(q)*uint64(f.windowPages*f.cfg.TxPageBytes) +
+		uint64(d.Page)*uint64(f.cfg.TxPageBytes)
+	w := nic.SendWQE{
+		Opcode:  nic.OpSend,
+		Index:   uint16(idx),
+		QPN:     f.queues[q].nicSQN,
+		Signal:  d.Signal,
+		FlowTag: d.FlowTag,
+		Addr:    vaddr,
+		Len:     uint32(d.Len),
+	}
+	return w.Marshal()
+}
+
+// --- pcie.Device ----------------------------------------------------------
+
+// PCIeName implements pcie.Device.
+func (f *FLD) PCIeName() string { return "fld" }
+
+// BARSize implements pcie.Device.
+func (f *FLD) BARSize() uint64 { return f.barSize }
+
+// MMIORead implements pcie.Device: the NIC reading descriptors or packet
+// data out of FLD's virtual windows.
+func (f *FLD) MMIORead(offset uint64, size int) []byte {
+	switch {
+	case offset >= f.txDescBase && offset < f.txDescBase+f.txDescSize:
+		return f.readDescRegion(offset-f.txDescBase, size)
+	case offset >= f.txDataBase && offset < f.txDataBase+f.txDataSize:
+		return f.readDataRegion(offset-f.txDataBase, size)
+	default:
+		return make([]byte, size)
+	}
+}
+
+// readDescRegion serves NIC descriptor-ring reads by generating WQEs on
+// the fly (used when WQEByMMIO is off).
+func (f *FLD) readDescRegion(off uint64, size int) []byte {
+	ringBytes := uint64(f.cfg.TxRingEntries) * nic.SendWQESize
+	out := make([]byte, 0, size)
+	for len(out) < size {
+		q := int(off / ringBytes)
+		idx := uint32((off % ringBytes) / nic.SendWQESize)
+		within := int(off % nic.SendWQESize)
+		wqe := f.generateWQE(q, idx)
+		take := nic.SendWQESize - within
+		if take > size-len(out) {
+			take = size - len(out)
+		}
+		out = append(out, wqe[within:within+take]...)
+		off += uint64(take)
+	}
+	return out
+}
+
+// readDataRegion translates virtual data addresses through the data
+// translation table and serves bytes from the shared buffer pool.
+func (f *FLD) readDataRegion(off uint64, size int) []byte {
+	window := uint64(f.windowPages * f.cfg.TxPageBytes)
+	out := make([]byte, 0, size)
+	for len(out) < size {
+		q := int(off / window)
+		within := off % window
+		vp := int(within) / f.cfg.TxPageBytes
+		pageOff := int(within) % f.cfg.TxPageBytes
+		take := f.cfg.TxPageBytes - pageOff
+		if take > size-len(out) {
+			take = size - len(out)
+		}
+		key := uint64(q)<<32 | uint64(vp)
+		if phys, ok := f.dataXlt.Lookup(key); ok {
+			out = append(out, f.txPool.read(uint16(phys), pageOff, take)...)
+		} else {
+			out = append(out, make([]byte, take)...) // unmapped: zeros
+		}
+		off += uint64(take)
+	}
+	return out
+}
+
+// MMIOWrite implements pcie.Device: the NIC writing received packets and
+// completions.
+func (f *FLD) MMIOWrite(offset uint64, data []byte) {
+	switch {
+	case offset >= f.rxBufBase && offset < f.rxBufBase+uint64(f.cfg.RxBufBytes):
+		copy(f.rxMem[offset-f.rxBufBase:], data)
+	case offset >= f.txCQBase && offset < f.txCQBase+uint64(f.cfg.CQEntries)*nic.CQESize:
+		if c, err := nic.ParseCQE(data); err == nil {
+			f.handleTxCQE(c)
+		}
+	case offset >= f.rxCQBase && offset < f.rxCQBase+uint64(f.cfg.CQEntries)*nic.CQESize:
+		if c, err := nic.ParseCQE(data); err == nil {
+			f.handleRxCQE(c)
+		}
+	}
+}
+
+// handleTxCQE releases the resources of every descriptor up to and
+// including the completed index (selective signalling means one CQE
+// covers its unsignaled predecessors).
+func (f *FLD) handleTxCQE(c nic.CQE) {
+	rec := compressCQE(c) // stored compressed on-die (15 B)
+	if rec.Opcode == nic.CQEError {
+		f.Stats.Errors++
+		if f.onError != nil {
+			f.onError(f.queueBySQN(rec.Queue), 1)
+		}
+	}
+	qi := f.queueBySQN(rec.Queue)
+	if qi < 0 {
+		return
+	}
+	tq := f.queues[qi]
+	released := false
+	for len(tq.pending) > 0 {
+		p := tq.pending[0]
+		// Release entries up to the completed index (16-bit ring
+		// arithmetic like the hardware).
+		if int16(uint16(p.idx)-rec.Index) > 0 {
+			break
+		}
+		tq.pending = tq.pending[1:]
+		tq.released++
+		f.txPool.release(p.pages)
+		for i := 0; i < p.npages; i++ {
+			vp := (p.vstart + i) % f.windowPages
+			f.dataXlt.Delete(uint64(qi)<<32 | uint64(vp))
+		}
+		f.descXlt.Delete(uint64(qi)<<32 | uint64(p.idx%uint32(f.cfg.TxRingEntries)))
+		f.descFree = append(f.descFree, p.slot)
+		released = true
+	}
+	if released && f.onCredits != nil {
+		f.onCredits()
+	}
+}
+
+// recycleRxBuf reposts the buffer the NIC just finished with.
+func (f *FLD) recycleRxBuf() {
+	f.rxPI++
+	f.rxCurBuf = -1
+	f.rxCurStrides = 0
+	f.writeRQDoorbell()
+}
+
+func (f *FLD) queueBySQN(sqn uint32) int {
+	for i, q := range f.queues {
+		if q.nicSQN == sqn {
+			return i
+		}
+	}
+	return -1
+}
+
+// handleRxCQE streams the received packet to the accelerator and recycles
+// exhausted receive buffers in order.
+func (f *FLD) handleRxCQE(c nic.CQE) {
+	rec := compressCQE(c)
+	f.Stats.RxPackets++
+	f.Stats.RxBytes += int64(rec.ByteCount)
+
+	// In-order buffer recycling (§5.2 "Receive Ring in Host Memory"):
+	// a buffer is done either when its strides are fully consumed or
+	// when the NIC moves on to the next buffer (tail-fragmentation
+	// skip); either way FLD reposts it by bumping the producer index —
+	// the host-memory descriptors themselves stay untouched.
+	bufIdx := int32(rec.Index >> 8)
+	if f.rxCurBuf >= 0 && bufIdx != f.rxCurBuf {
+		f.recycleRxBuf() // NIC abandoned the remaining strides
+	}
+	f.rxCurBuf = bufIdx
+	stridesPerBuf := f.cfg.RxWQEBytes / f.cfg.RxStrideBytes
+	f.rxCurStrides += (int(rec.ByteCount) + f.cfg.RxStrideBytes - 1) / f.cfg.RxStrideBytes
+	if f.rxCurStrides >= stridesPerBuf {
+		f.recycleRxBuf()
+	}
+
+	// Copy the packet out of receive SRAM and stream it to the AFU
+	// through the paced pipeline.
+	off := c.Addr - (f.port.Base() + f.rxBufBase)
+	data := make([]byte, rec.ByteCount)
+	copy(data, f.rxMem[off:])
+	md := Metadata{
+		Queue:      int(rec.Queue),
+		Tag:        rec.FlowTag,
+		Last:       rec.Last,
+		ChecksumOK: rec.ChecksumOK,
+	}
+	f.rxPipe.Acquire(f.cfg.PacketInterval(), func() {
+		f.eng.After(f.cfg.PipelineDelay, func() {
+			if f.handler != nil {
+				f.handler.Receive(data, md)
+			}
+		})
+	})
+}

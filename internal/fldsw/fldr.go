@@ -1,0 +1,75 @@
+package fldsw
+
+import (
+	"fmt"
+
+	"flexdriver/internal/nic"
+	"flexdriver/internal/swdriver"
+)
+
+// RServer is the FLD-R control plane (paper §5.3): a standard RDMA
+// connection server whose accepted connections bind directly to FLD QPs.
+// The accelerator never sees connection management — it just gets per-QP
+// tagged packets on its streaming interface and transmits on the FLD
+// queue bound to each QP.
+type RServer struct {
+	rt *Runtime
+	// services maps a service name to the FLD queue allocator for it.
+	services map[string]*rService
+	nextQ    int
+	// queueByQPN records which FLD transmit queue serves each local QP,
+	// so AFUs can route responses from the arriving packet's QP tag.
+	queueByQPN map[uint32]int
+}
+
+type rService struct {
+	name string
+	qps  []*nic.QP
+}
+
+// NewRServer builds the server over a runtime.
+func NewRServer(rt *Runtime) *RServer {
+	return &RServer{rt: rt, services: make(map[string]*rService), queueByQPN: make(map[uint32]int)}
+}
+
+// QueueFor maps a packet's QP tag (fld.Metadata.Tag on FLD-R traffic) to
+// the FLD transmit queue bound to that connection.
+func (s *RServer) QueueFor(qpn uint32) int { return s.queueByQPN[qpn] }
+
+// Listen registers a service name clients can connect to.
+func (s *RServer) Listen(name string) {
+	s.services[name] = &rService{name: name}
+}
+
+// Accept creates an FLD QP for a new client connection to the named
+// service and returns it with the FLD transmit queue bound to it. This is
+// the server half of connection establishment; Connect (the client
+// library) calls it.
+func (s *RServer) Accept(name string) (*nic.QP, int, error) {
+	svc := s.services[name]
+	if svc == nil {
+		return nil, 0, fmt.Errorf("fldsw: no such service %q", name)
+	}
+	if s.nextQ >= s.rt.fld.Config().NumTxQueues {
+		return nil, 0, fmt.Errorf("fldsw: out of FLD transmit queues")
+	}
+	q := s.nextQ
+	s.nextQ++
+	qp := s.rt.CreateQP(q)
+	svc.qps = append(svc.qps, qp)
+	s.queueByQPN[qp.QPN] = q
+	return qp, q, nil
+}
+
+// Connect is the FLD-R client library (paper Table 4: "FLD-R client
+// library"): it creates a client-side verbs endpoint and binds it to a
+// fresh FLD QP on the server, returning the connected endpoint.
+func Connect(client *swdriver.Driver, server *RServer, service string, cfg swdriver.RDMAConfig) (*swdriver.RDMAEndpoint, error) {
+	serverQP, _, err := server.Accept(service)
+	if err != nil {
+		return nil, err
+	}
+	ep := client.NewRDMAEndpoint(cfg)
+	nic.ConnectQPs(ep.QP, serverQP)
+	return ep, nil
+}

@@ -1,0 +1,133 @@
+// Package fldsw is the FlexDriver software control plane (paper §5.3): the
+// runtime library that binds an FLD instance and a NIC together, plus the
+// FLD-E (inline Ethernet acceleration) and FLD-R (RDMA disaggregation)
+// high-level abstractions.
+//
+// Everything here runs "on the host CPU" and only at setup/teardown time:
+// queue creation, match-action programming, and connection establishment.
+// Once configured, the data path runs entirely between the NIC and FLD.
+package fldsw
+
+import (
+	"fmt"
+
+	"flexdriver/internal/fld"
+	"flexdriver/internal/hostmem"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/pcie"
+	"flexdriver/internal/sim"
+)
+
+// Runtime is the FLD runtime library instance for one (NIC, FLD) pair.
+type Runtime struct {
+	eng *sim.Engine
+	fab *pcie.Fabric
+	mem *hostmem.Memory
+	nic *nic.NIC
+	fld *fld.FLD
+
+	vport *nic.VPort
+	txCQ  *nic.CQ
+	rxCQ  *nic.CQ
+	rq    *nic.RQ
+	sqs   []*nic.SQ
+	qps   []*nic.QP
+
+	// Errors receives asynchronous data-plane error reports, mirroring
+	// the kernel driver's error channel (§5.3).
+	Errors []error
+}
+
+// NewRuntime wires an FLD module to a NIC. Both must already be attached
+// to the fabric; mem is the host's memory (holds the receive ring).
+func NewRuntime(eng *sim.Engine, fab *pcie.Fabric, mem *hostmem.Memory, n *nic.NIC, f *fld.FLD) *Runtime {
+	r := &Runtime{eng: eng, fab: fab, mem: mem, nic: n, fld: f}
+	f.BindNIC(n)
+	f.SetOnError(func(queue int, syndrome uint8) {
+		r.Errors = append(r.Errors, fmt.Errorf("fldsw: data-plane error on queue %d (syndrome %d)", queue, syndrome))
+	})
+
+	cfg := f.Config()
+	// Completion queues live in FLD's BAR; the NIC writes into them and
+	// FLD consumes them in hardware, so no OnCQE software hook.
+	r.txCQ = n.CreateCQ(nic.CQConfig{Ring: f.TxCQAddr(), Size: cfg.CQEntries})
+	r.rxCQ = n.CreateCQ(nic.CQConfig{Ring: f.RxCQAddr(), Size: cfg.CQEntries})
+
+	// The shared receive ring lives in HOST memory (§5.2): the control
+	// plane writes its descriptors exactly once; FLD recycles them
+	// in-order by producer-index updates only.
+	count := f.RxBufCount()
+	ringOff := mem.Alloc(uint64(count)*nic.RecvWQESize, 64)
+	strideLog2 := uint8(0)
+	for s := cfg.RxStrideBytes; s > 1; s >>= 1 {
+		strideLog2++
+	}
+	for i := 0; i < count; i++ {
+		w := nic.RecvWQE{Addr: f.RxBufAddr(i), Len: uint32(cfg.RxWQEBytes), StrideLog2: strideLog2}
+		mem.WriteAt(ringOff+uint64(i)*nic.RecvWQESize, w.Marshal())
+	}
+	r.rq = n.CreateRQ(nic.RQConfig{Ring: fab.AddrOf(mem, ringOff), Size: count,
+		CQ: r.rxCQ, StrideSize: cfg.RxStrideBytes})
+	f.ConfigureRx(r.rq.ID, count)
+
+	r.vport = n.ESwitch().AddVPort()
+	return r
+}
+
+// VPort returns the eSwitch vport representing the accelerator.
+func (r *Runtime) VPort() *nic.VPort { return r.vport }
+
+// RQ returns the NIC receive queue feeding FLD (for steering rules).
+func (r *Runtime) RQ() *nic.RQ { return r.rq }
+
+// FLD returns the bound hardware module.
+func (r *Runtime) FLD() *fld.FLD { return r.fld }
+
+// NIC returns the bound adapter.
+func (r *Runtime) NIC() *nic.NIC { return r.nic }
+
+// CreateEthTxQueue binds FLD transmit queue q to a new raw-Ethernet NIC
+// send queue on the accelerator's vport.
+func (r *Runtime) CreateEthTxQueue(q int, shaper *sim.TokenBucket) *nic.SQ {
+	return r.CreateWeightedEthTxQueue(q, shaper, 0)
+}
+
+// CreateWeightedEthTxQueue additionally enrolls the queue in the NIC's
+// ETS egress arbitration with the given weight (§5.5: queues progress at
+// different rates under NIC prioritization; the accelerator observes this
+// through per-queue credits).
+func (r *Runtime) CreateWeightedEthTxQueue(q int, shaper *sim.TokenBucket, weight int) *nic.SQ {
+	cfg := r.fld.Config()
+	sq := r.nic.CreateSQ(nic.SQConfig{
+		Ring:   r.fld.TxRingAddr(q),
+		Size:   cfg.TxRingEntries,
+		CQ:     r.txCQ,
+		VPort:  r.vport,
+		Shaper: shaper,
+		Weight: weight,
+	})
+	r.fld.ConfigureTxQueue(q, sq.ID)
+	r.sqs = append(r.sqs, sq)
+	return sq
+}
+
+// CreateQP binds FLD transmit queue q to a new RDMA queue pair whose
+// receives land in FLD's shared receive queue — the FLD-R split of the
+// verbs QP abstraction: software owns the transport endpoint, the
+// accelerator owns the data motion (§5.3).
+func (r *Runtime) CreateQP(q int) *nic.QP {
+	cfg := r.fld.Config()
+	sq := r.nic.CreateSQ(nic.SQConfig{
+		Ring: r.fld.TxRingAddr(q),
+		Size: cfg.TxRingEntries,
+		CQ:   r.txCQ,
+	})
+	qp := r.nic.CreateQP(nic.QPConfig{SQ: sq, RQ: r.rq})
+	r.fld.ConfigureTxQueue(q, sq.ID)
+	r.sqs = append(r.sqs, sq)
+	r.qps = append(r.qps, qp)
+	return qp
+}
+
+// Start arms the receive path.
+func (r *Runtime) Start() { r.fld.Start() }

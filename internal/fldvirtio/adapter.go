@@ -1,0 +1,297 @@
+// Package fldvirtio adapts FlexDriver to a standardized NIC interface,
+// realizing the paper's §6 portability claim: "some NICs offer
+// standardized interfaces such as virtio, and FlexDriver can be modified
+// to support them. Thus, an accelerator using FlexDriver for a
+// virtio-compatible NIC will work with any compliant NIC."
+//
+// The Adapter exposes exactly the same accelerator-facing contract as the
+// ConnectX-flavored module (fld.Handler receive stream, Send with
+// credits), but its BAR holds virtqueues instead of WQE rings: the device
+// reads descriptors and buffers from the adapter's on-die memory over
+// peer-to-peer PCIe and writes received frames and used-ring entries
+// back, with no CPU on the data path — the FlexDriver architecture,
+// unchanged, over a different wire contract.
+package fldvirtio
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flexdriver/internal/fld"
+	"flexdriver/internal/pcie"
+	"flexdriver/internal/sim"
+	"flexdriver/internal/virtio"
+)
+
+// Config sizes the adapter.
+type Config struct {
+	QueueSize int // descriptors per virtqueue (power of two)
+	BufBytes  int // per-buffer size, tx and rx
+	// PacketInterval paces the accelerator-facing pipeline (the same
+	// clock-derived ceiling as the ConnectX-flavored module).
+	PacketInterval sim.Duration
+	PipelineDelay  sim.Duration
+}
+
+// DefaultConfig matches the prototype-class sizing.
+func DefaultConfig() Config {
+	return Config{
+		QueueSize:      64,
+		BufBytes:       2048,
+		PacketInterval: 32 * sim.Nanosecond,
+		PipelineDelay:  150 * sim.Nanosecond,
+	}
+}
+
+// Adapter is the FLD-for-virtio module.
+type Adapter struct {
+	cfg Config
+	eng *sim.Engine
+	fab *pcie.Fabric
+	prt *pcie.Port
+
+	dev    *virtio.NetDevice
+	devBar uint64
+
+	// BAR layout offsets.
+	txDescOff, txAvailOff, txUsedOff uint64
+	rxDescOff, rxAvailOff, rxUsedOff uint64
+	txBufOff, rxBufOff               uint64
+	barSize                          uint64
+
+	// Ring and buffer SRAM (the adapter's on-die memory).
+	txDesc, txAvail, txUsed []byte
+	rxDesc, rxAvail, rxUsed []byte
+	txBufs, rxBufs          []byte
+
+	txAvailIdx, txUsedSeen uint16
+	rxAvailIdx, rxUsedSeen uint16
+	txFree                 []uint16
+
+	txPipe, rxPipe *sim.Resource
+	handler        fld.Handler
+	onCredits      func()
+
+	// Stats.
+	TxPackets, RxPackets int64
+	CreditStalls         int64
+}
+
+// New builds an adapter; call AttachPCIe and BindDevice before use.
+func New(eng *sim.Engine, cfg Config) *Adapter {
+	if cfg.QueueSize&(cfg.QueueSize-1) != 0 {
+		panic(fmt.Sprintf("fldvirtio: queue size %d not a power of two", cfg.QueueSize))
+	}
+	a := &Adapter{cfg: cfg, eng: eng,
+		txPipe: sim.NewResource(eng), rxPipe: sim.NewResource(eng)}
+	q := cfg.QueueSize
+	a.txDesc = make([]byte, q*virtio.DescSize)
+	a.txAvail = make([]byte, virtio.AvailBytes(q))
+	a.txUsed = make([]byte, virtio.UsedBytes(q))
+	a.rxDesc = make([]byte, q*virtio.DescSize)
+	a.rxAvail = make([]byte, virtio.AvailBytes(q))
+	a.rxUsed = make([]byte, virtio.UsedBytes(q))
+	a.txBufs = make([]byte, q*cfg.BufBytes)
+	a.rxBufs = make([]byte, q*cfg.BufBytes)
+
+	off := uint64(0)
+	place := func(n int) uint64 {
+		o := off
+		off += uint64(n)
+		// Keep regions 64-byte aligned.
+		off = (off + 63) &^ 63
+		return o
+	}
+	a.txDescOff = place(len(a.txDesc))
+	a.txAvailOff = place(len(a.txAvail))
+	a.txUsedOff = place(len(a.txUsed))
+	a.rxDescOff = place(len(a.rxDesc))
+	a.rxAvailOff = place(len(a.rxAvail))
+	a.rxUsedOff = place(len(a.rxUsed))
+	a.txBufOff = place(len(a.txBufs))
+	a.rxBufOff = place(len(a.rxBufs))
+	a.barSize = off
+
+	for i := 0; i < q; i++ {
+		a.txFree = append(a.txFree, uint16(i))
+	}
+	return a
+}
+
+// AttachPCIe connects the adapter to the fabric.
+func (a *Adapter) AttachPCIe(fab *pcie.Fabric, cfg pcie.LinkConfig) *pcie.Port {
+	a.fab = fab
+	a.prt = fab.Attach(a, cfg)
+	return a.prt
+}
+
+// BindDevice programs the virtio device's queues to live in the adapter's
+// BAR and posts every receive buffer.
+func (a *Adapter) BindDevice(dev *virtio.NetDevice) {
+	a.dev = dev
+	a.devBar = a.fab.PortOf(dev).Base()
+	base := a.prt.Base()
+	dev.ConfigureQueue(virtio.RxQueue, a.cfg.QueueSize,
+		base+a.rxDescOff, base+a.rxAvailOff, base+a.rxUsedOff)
+	dev.ConfigureQueue(virtio.TxQueue, a.cfg.QueueSize,
+		base+a.txDescOff, base+a.txAvailOff, base+a.txUsedOff)
+
+	// Post all rx buffers: writable single-descriptor chains.
+	for i := 0; i < a.cfg.QueueSize; i++ {
+		d := virtio.Desc{
+			Addr:  base + a.rxBufOff + uint64(i*a.cfg.BufBytes),
+			Len:   uint32(a.cfg.BufBytes),
+			Flags: virtio.DescFlagWrite,
+		}
+		copy(a.rxDesc[i*virtio.DescSize:], d.Marshal())
+		a.pushAvail(a.rxAvail, &a.rxAvailIdx, uint16(i))
+	}
+	a.notify(virtio.RxQueue)
+}
+
+// SetHandler installs the accelerator's receive handler (the same
+// fld.Handler contract as the ConnectX-flavored module).
+func (a *Adapter) SetHandler(h fld.Handler) { a.handler = h }
+
+// SetOnCredits installs the credit-release notification.
+func (a *Adapter) SetOnCredits(fn func()) { a.onCredits = fn }
+
+// Credits reports free transmit descriptors.
+func (a *Adapter) Credits() int { return len(a.txFree) }
+
+// pushAvail appends a head to an avail ring held in adapter SRAM.
+func (a *Adapter) pushAvail(ring []byte, idx *uint16, head uint16) {
+	slot := int(*idx % uint16(a.cfg.QueueSize))
+	binary.LittleEndian.PutUint16(ring[4+slot*2:], head)
+	*idx++
+	binary.LittleEndian.PutUint16(ring[2:], *idx)
+}
+
+// notify rings the device doorbell over PCIe (timed).
+func (a *Adapter) notify(q int) {
+	a.prt.Write(a.devBar+virtio.NotifyOffset(q), []byte{1, 0, 0, 0}, nil)
+}
+
+// Send transmits one frame; fld.ErrNoCredits when descriptors are out.
+func (a *Adapter) Send(data []byte, md fld.Metadata) error {
+	if len(data) > a.cfg.BufBytes {
+		return fmt.Errorf("fldvirtio: frame %d exceeds buffer %d", len(data), a.cfg.BufBytes)
+	}
+	if len(a.txFree) == 0 {
+		a.CreditStalls++
+		return fld.ErrNoCredits
+	}
+	head := a.txFree[0]
+	a.txFree = a.txFree[1:]
+	copy(a.txBufs[int(head)*a.cfg.BufBytes:], data)
+	d := virtio.Desc{
+		Addr: a.prt.Base() + a.txBufOff + uint64(int(head)*a.cfg.BufBytes),
+		Len:  uint32(len(data)),
+	}
+	copy(a.txDesc[int(head)*virtio.DescSize:], d.Marshal())
+	a.TxPackets++
+	a.txPipe.Acquire(a.cfg.PacketInterval, func() {
+		a.eng.After(a.cfg.PipelineDelay, func() {
+			a.pushAvail(a.txAvail, &a.txAvailIdx, head)
+			a.notify(virtio.TxQueue)
+		})
+	})
+	return nil
+}
+
+// --- pcie.Device -----------------------------------------------------------
+
+// PCIeName implements pcie.Device.
+func (a *Adapter) PCIeName() string { return "fld-virtio" }
+
+// BARSize implements pcie.Device.
+func (a *Adapter) BARSize() uint64 { return a.barSize }
+
+// region locates the SRAM slice an offset falls into.
+func (a *Adapter) region(offset uint64) ([]byte, uint64) {
+	switch {
+	case offset >= a.rxBufOff:
+		return a.rxBufs, offset - a.rxBufOff
+	case offset >= a.txBufOff:
+		return a.txBufs, offset - a.txBufOff
+	case offset >= a.rxUsedOff:
+		return a.rxUsed, offset - a.rxUsedOff
+	case offset >= a.rxAvailOff:
+		return a.rxAvail, offset - a.rxAvailOff
+	case offset >= a.rxDescOff:
+		return a.rxDesc, offset - a.rxDescOff
+	case offset >= a.txUsedOff:
+		return a.txUsed, offset - a.txUsedOff
+	case offset >= a.txAvailOff:
+		return a.txAvail, offset - a.txAvailOff
+	default:
+		return a.txDesc, offset - a.txDescOff
+	}
+}
+
+// MMIORead implements pcie.Device: the device fetching rings and buffers.
+func (a *Adapter) MMIORead(offset uint64, size int) []byte {
+	reg, o := a.region(offset)
+	out := make([]byte, size)
+	if int(o) < len(reg) {
+		copy(out, reg[o:])
+	}
+	return out
+}
+
+// MMIOWrite implements pcie.Device: the device writing rx data and used
+// rings.
+func (a *Adapter) MMIOWrite(offset uint64, data []byte) {
+	reg, o := a.region(offset)
+	if int(o)+len(data) <= len(reg) {
+		copy(reg[o:], data)
+	}
+	// Used-index updates trigger completion processing.
+	switch {
+	case offset >= a.txUsedOff && offset < a.txUsedOff+4:
+		a.drainTxUsed()
+	case offset >= a.rxUsedOff && offset < a.rxUsedOff+4:
+		a.drainRxUsed()
+	}
+}
+
+// drainTxUsed releases retired transmit descriptors.
+func (a *Adapter) drainTxUsed() {
+	idx := binary.LittleEndian.Uint16(a.txUsed[2:])
+	released := false
+	for a.txUsedSeen != idx {
+		slot := int(a.txUsedSeen % uint16(a.cfg.QueueSize))
+		e, _ := virtio.ParseUsedElem(a.txUsed[4+slot*8:])
+		a.txUsedSeen++
+		a.txFree = append(a.txFree, uint16(e.ID))
+		released = true
+	}
+	if released && a.onCredits != nil {
+		a.onCredits()
+	}
+}
+
+// drainRxUsed streams received frames to the accelerator and recycles the
+// buffers.
+func (a *Adapter) drainRxUsed() {
+	idx := binary.LittleEndian.Uint16(a.rxUsed[2:])
+	for a.rxUsedSeen != idx {
+		slot := int(a.rxUsedSeen % uint16(a.cfg.QueueSize))
+		e, _ := virtio.ParseUsedElem(a.rxUsed[4+slot*8:])
+		a.rxUsedSeen++
+		head := uint16(e.ID)
+		frame := make([]byte, e.Len)
+		copy(frame, a.rxBufs[int(head)*a.cfg.BufBytes:])
+		a.RxPackets++
+		a.rxPipe.Acquire(a.cfg.PacketInterval, func() {
+			a.eng.After(a.cfg.PipelineDelay, func() {
+				if a.handler != nil {
+					a.handler.Receive(frame, fld.Metadata{Last: true, ChecksumOK: true})
+				}
+			})
+		})
+		// In-order recycling, like the ConnectX-flavored module.
+		a.pushAvail(a.rxAvail, &a.rxAvailIdx, head)
+	}
+	a.notify(virtio.RxQueue)
+}

@@ -1,0 +1,120 @@
+package hostmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New("host", 1<<24)
+	data := []byte("hello flexdriver")
+	m.WriteAt(0x1234, data)
+	if got := m.ReadAt(0x1234, len(data)); !bytes.Equal(got, data) {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	m := New("host", 1<<20)
+	got := m.ReadAt(0x500, 16)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("unwritten memory not zero: %v", got)
+		}
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New("host", 1<<20)
+	data := make([]byte, 3*pageSize/2)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	off := uint64(pageSize - 100)
+	m.WriteAt(off, data)
+	if got := m.ReadAt(off, len(data)); !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip failed")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	m := New("host", 4096)
+	for _, f := range []func(){
+		func() { m.WriteAt(4090, make([]byte, 8)) },
+		func() { m.ReadAt(4096, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-bounds access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := New("host", 1<<20)
+	a := m.Alloc(10, 64)
+	if a%64 != 0 {
+		t.Fatalf("alloc not aligned: %#x", a)
+	}
+	b := m.Alloc(100, 4096)
+	if b%4096 != 0 {
+		t.Fatalf("alloc not aligned: %#x", b)
+	}
+	if b < a+10 {
+		t.Fatal("allocations overlap")
+	}
+	if m.Used() < b+100 {
+		t.Fatal("Used under-reports")
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	m := New("host", 1<<16)
+	defer func() {
+		if recover() == nil {
+			t.Error("OOM did not panic")
+		}
+	}()
+	m.Alloc(1<<16, 1)
+}
+
+func TestAllocBadAlignPanics(t *testing.T) {
+	m := New("host", 1<<16)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two align did not panic")
+		}
+	}()
+	m.Alloc(8, 3)
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	m := New("host", 1<<22)
+	f := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := uint64(off) % (1<<22 - uint64(len(data)))
+		m.WriteAt(o, data)
+		return bytes.Equal(m.ReadAt(o, len(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMIOInterface(t *testing.T) {
+	m := New("host", 1<<16)
+	m.MMIOWrite(0x10, []byte{1, 2, 3})
+	if got := m.MMIORead(0x10, 3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("MMIO round trip: %v", got)
+	}
+	if m.PCIeName() != "host" || m.BARSize() != 1<<16 {
+		t.Fatal("identity accessors wrong")
+	}
+}

@@ -1,0 +1,195 @@
+// Package memmodel implements the paper's driver-memory analysis (§4.3,
+// Tables 2 and 3) and its scalability sweep (Figure 4): how many bytes of
+// NIC control structures a conventional software driver needs versus
+// FlexDriver with its compression, address-translation, MPRQ and
+// ring-in-host-memory optimizations.
+package memmodel
+
+import (
+	"math"
+
+	"flexdriver/internal/cuckoo"
+)
+
+// Params are the analysis inputs (Table 2a).
+type Params struct {
+	BandwidthGbps float64 // B
+	MinPacket     int     // M_min, bytes
+	MaxPacket     int     // M_max, bytes
+	RxLifetimeUs  float64 // L_rx
+	TxLifetimeUs  float64 // L_tx
+	TxQueues      int     // N_q
+}
+
+// PaperParams returns the configuration of Table 2a: 100 Gbps, 256 B min
+// packets, 16 KiB max messages, 5/25 us lifetimes, 512 transmit queues.
+func PaperParams() Params {
+	return Params{
+		BandwidthGbps: 100,
+		MinPacket:     256,
+		MaxPacket:     16 << 10,
+		RxLifetimeUs:  5,
+		TxLifetimeUs:  25,
+		TxQueues:      512,
+	}
+}
+
+// Record sizes (Table 2b).
+const (
+	SwTxDesc  = 64
+	SwRxDesc  = 16
+	SwCQE     = 64
+	FldTxDesc = 8
+	FldCQE    = 15
+	PIBytes   = 4
+
+	ethOverhead = 20 // wire overhead per packet used in the rate model
+	xltEntry    = 4  // bytes per translation-table entry
+)
+
+// Derived holds the intermediate quantities of Table 2a.
+type Derived struct {
+	PacketRateMpps float64 // R
+	TxDescriptors  int     // N_txdesc
+	RxDescriptors  int     // N_rxdesc
+	TxBDPBytes     int     // S_txbdp
+	RxBDPBytes     int     // S_rxbdp
+}
+
+// Derive computes Table 2a's derived rows.
+func (p Params) Derive() Derived {
+	bps := p.BandwidthGbps * 1e9
+	r := bps / (float64(p.MinPacket+ethOverhead) * 8)
+	return Derived{
+		PacketRateMpps: r / 1e6,
+		TxDescriptors:  int(math.Ceil(r * p.TxLifetimeUs / 1e6)),
+		RxDescriptors:  int(math.Ceil(r * p.RxLifetimeUs / 1e6)),
+		TxBDPBytes:     int(bps / 8 * p.TxLifetimeUs / 1e6),
+		RxBDPBytes:     int(bps / 8 * p.RxLifetimeUs / 1e6),
+	}
+}
+
+// F rounds n up to a power of two (the paper's f(n) allocation rounding).
+func F(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits(uint(n-1))
+}
+
+func bits(v uint) uint {
+	n := uint(0)
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Breakdown itemizes driver memory (Table 3 rows), in bytes.
+type Breakdown struct {
+	TxRings   int // S_txq
+	TxBuffers int // S_txdata
+	RxBuffers int // S_rxdata
+	CQ        int // S_cq
+	RxRing    int // S_srq (0 for FLD: lives in host memory)
+	PI        int // S_pitot
+}
+
+// Total sums the breakdown.
+func (b Breakdown) Total() int {
+	return b.TxRings + b.TxBuffers + b.RxBuffers + b.CQ + b.RxRing + b.PI
+}
+
+// Software computes the conventional-driver column of Table 3.
+func (p Params) Software() Breakdown {
+	d := p.Derive()
+	return Breakdown{
+		TxRings:   p.TxQueues * F(d.TxDescriptors) * SwTxDesc,
+		TxBuffers: p.MaxPacket * d.TxDescriptors,
+		RxBuffers: p.MaxPacket * d.RxDescriptors,
+		CQ:        (F(d.TxDescriptors) + F(d.RxDescriptors)) * SwCQE,
+		RxRing:    F(d.RxDescriptors) * SwRxDesc,
+		PI:        (p.TxQueues + 1) * PIBytes,
+	}
+}
+
+// xltBytes sizes a 4-bank cuckoo translation table for n live entries.
+func xltBytes(n int) int {
+	return cuckoo.New(n).Slots() * xltEntry
+}
+
+// FLD computes the FlexDriver column of Table 3: a shared compressed
+// descriptor pool behind address translation, buffer pools sized at twice
+// the bandwidth-delay product with page-granular translation, compressed
+// completions, and no on-die receive ring.
+func (p Params) FLD() Breakdown {
+	d := p.Derive()
+	const pageBytes = 512
+	dataPages := 2 * d.TxBDPBytes / pageBytes
+	return Breakdown{
+		TxRings:   F(d.TxDescriptors)*FldTxDesc + xltBytes(d.TxDescriptors),
+		TxBuffers: 2*d.TxBDPBytes + xltBytes(dataPages),
+		RxBuffers: 2 * d.RxBDPBytes,
+		CQ:        (F(d.TxDescriptors) + F(d.RxDescriptors)) * FldCQE,
+		RxRing:    0, // recycled in-order in host memory (§5.2)
+		PI:        (p.TxQueues + 1) * PIBytes,
+	}
+}
+
+// Shrink reports the software/FLD ratio for each row and the total
+// (Table 3's rightmost column).
+type Shrink struct {
+	TxRings, TxBuffers, RxBuffers, CQ, Total float64
+}
+
+// ShrinkRatios computes Table 3's shrink column.
+func (p Params) ShrinkRatios() Shrink {
+	sw, fl := p.Software(), p.FLD()
+	div := func(a, b int) float64 {
+		if b == 0 {
+			return math.Inf(1)
+		}
+		return float64(a) / float64(b)
+	}
+	return Shrink{
+		TxRings:   div(sw.TxRings, fl.TxRings),
+		TxBuffers: div(sw.TxBuffers, fl.TxBuffers),
+		RxBuffers: div(sw.RxBuffers, fl.RxBuffers),
+		CQ:        div(sw.CQ, fl.CQ),
+		Total:     div(sw.Total(), fl.Total()),
+	}
+}
+
+// ScalePoint is one Figure 4 sample.
+type ScalePoint struct {
+	BandwidthGbps float64
+	TxQueues      int
+	SoftwareBytes int
+	FLDBytes      int
+}
+
+// XCKU15PBytes is the prototype FPGA's total on-chip memory (10.05 MiB),
+// the budget line in Figure 4.
+const XCKU15PBytes = 10539581 // 10.05 MiB
+
+// ScalabilitySweep evaluates both designs over line rates and queue
+// counts (Figure 4).
+func ScalabilitySweep(rates []float64, queues []int) []ScalePoint {
+	var out []ScalePoint
+	base := PaperParams()
+	for _, r := range rates {
+		for _, q := range queues {
+			p := base
+			p.BandwidthGbps = r
+			p.TxQueues = q
+			out = append(out, ScalePoint{
+				BandwidthGbps: r,
+				TxQueues:      q,
+				SoftwareBytes: p.Software().Total(),
+				FLDBytes:      p.FLD().Total(),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package memmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDerivedMatchesTable2a(t *testing.T) {
+	d := PaperParams().Derive()
+	if math.Abs(d.PacketRateMpps-45.3) > 0.1 {
+		t.Fatalf("R = %.2f Mpps, want ~45.3", d.PacketRateMpps)
+	}
+	if d.TxDescriptors != 1133 {
+		t.Fatalf("N_txdesc = %d, want 1133", d.TxDescriptors)
+	}
+	if d.RxDescriptors != 227 {
+		t.Fatalf("N_rxdesc = %d, want 227", d.RxDescriptors)
+	}
+	// S_txbdp = 305 KiB, S_rxbdp = 61 KiB.
+	if math.Abs(float64(d.TxBDPBytes)/1024-305.2) > 1 {
+		t.Fatalf("S_txbdp = %.1f KiB, want ~305", float64(d.TxBDPBytes)/1024)
+	}
+	if math.Abs(float64(d.RxBDPBytes)/1024-61) > 1 {
+		t.Fatalf("S_rxbdp = %.1f KiB, want ~61", float64(d.RxBDPBytes)/1024)
+	}
+}
+
+func TestSoftwareMatchesTable3(t *testing.T) {
+	sw := PaperParams().Software()
+	mib := func(b int) float64 { return float64(b) / (1 << 20) }
+	if got := mib(sw.TxRings); math.Abs(got-64) > 0.5 {
+		t.Fatalf("S_txq = %.1f MiB, want 64", got)
+	}
+	if got := mib(sw.TxBuffers); math.Abs(got-17.7) > 0.2 {
+		t.Fatalf("S_txdata = %.1f MiB, want 17.7", got)
+	}
+	if got := mib(sw.RxBuffers); math.Abs(got-3.5) > 0.1 {
+		t.Fatalf("S_rxdata = %.1f MiB, want 3.5", got)
+	}
+	if got := float64(sw.CQ) / 1024; math.Abs(got-144) > 1 {
+		t.Fatalf("S_cq = %.1f KiB, want 144", got)
+	}
+	if got := float64(sw.RxRing) / 1024; math.Abs(got-4) > 0.1 {
+		t.Fatalf("S_srq = %.1f KiB, want 4", got)
+	}
+	if sw.PI != 2052 {
+		t.Fatalf("S_pitot = %d, want 2052", sw.PI)
+	}
+	if got := mib(sw.Total()); math.Abs(got-85.3) > 0.5 {
+		t.Fatalf("software total = %.1f MiB, want 85.3", got)
+	}
+}
+
+func TestFLDMatchesTable3(t *testing.T) {
+	fl := PaperParams().FLD()
+	kib := func(b int) float64 { return float64(b) / 1024 }
+	// Paper: 32 KiB tx rings (8 KiB pool via f()=2048 entries x 8 B, plus
+	// ~15.5 KiB translation); our cuckoo rounds banks to powers of two so
+	// allow some slack.
+	if got := kib(fl.TxRings); got < 24 || got > 40 {
+		t.Fatalf("S_txq = %.1f KiB, want ~32", got)
+	}
+	if got := kib(fl.TxBuffers); math.Abs(got-643) > 30 {
+		t.Fatalf("S_txdata = %.1f KiB, want ~643", got)
+	}
+	if got := kib(fl.RxBuffers); math.Abs(got-122) > 2 {
+		t.Fatalf("S_rxdata = %.1f KiB, want 122", got)
+	}
+	if got := kib(fl.CQ); math.Abs(got-33.75) > 0.5 {
+		t.Fatalf("S_cq = %.2f KiB, want 33.75", got)
+	}
+	if fl.RxRing != 0 {
+		t.Fatal("FLD must not keep the receive ring on die")
+	}
+	if got := kib(fl.Total()); math.Abs(got-832.7) > 40 {
+		t.Fatalf("FLD total = %.1f KiB, want ~832.7", got)
+	}
+}
+
+func TestShrinkRatiosMatchTable3(t *testing.T) {
+	s := PaperParams().ShrinkRatios()
+	within := func(got, want, tolFrac float64) bool {
+		return math.Abs(got-want) <= tolFrac*want
+	}
+	if !within(s.TxRings, 2080, 0.30) {
+		t.Fatalf("tx ring shrink = %.0fx, want ~2080x", s.TxRings)
+	}
+	if !within(s.TxBuffers, 28.2, 0.10) {
+		t.Fatalf("tx buffer shrink = %.1fx, want ~28.2x", s.TxBuffers)
+	}
+	if !within(s.RxBuffers, 29.8, 0.05) {
+		t.Fatalf("rx buffer shrink = %.1fx, want ~29.8x", s.RxBuffers)
+	}
+	if !within(s.CQ, 4.27, 0.05) {
+		t.Fatalf("CQ shrink = %.2fx, want ~4.27x", s.CQ)
+	}
+	if !within(s.Total, 105, 0.10) {
+		t.Fatalf("total shrink = %.0fx, want ~105x", s.Total)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 227: 256, 1024: 1024, 1133: 2048}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestFigure4Shape checks the paper's scalability claims: FLD fits the
+// XCKU15P at 400 Gbps and 2048 queues, while software explodes by orders
+// of magnitude.
+func TestFigure4Shape(t *testing.T) {
+	pts := ScalabilitySweep([]float64{25, 50, 100, 200, 400}, []int{64, 512, 2048})
+	for _, pt := range pts {
+		if pt.FLDBytes >= pt.SoftwareBytes {
+			t.Fatalf("FLD (%d) not smaller than software (%d) at %v Gbps/%d queues",
+				pt.FLDBytes, pt.SoftwareBytes, pt.BandwidthGbps, pt.TxQueues)
+		}
+	}
+	// The extreme point: 400 Gbps, 2048 queues.
+	last := pts[len(pts)-1]
+	if last.FLDBytes > XCKU15PBytes {
+		t.Fatalf("FLD at 400G/2048q = %.1f MiB, exceeds the XCKU15P budget",
+			float64(last.FLDBytes)/(1<<20))
+	}
+	if last.SoftwareBytes < 100*XCKU15PBytes {
+		t.Fatalf("software at 400G/2048q only %.1f MiB; expected orders of magnitude above budget",
+			float64(last.SoftwareBytes)/(1<<20))
+	}
+}
+
+// Property: FLD never exceeds software, and both grow monotonically with
+// bandwidth and queue count.
+func TestModelMonotoneProperty(t *testing.T) {
+	f := func(rSel, qSel uint8) bool {
+		p := PaperParams()
+		p.BandwidthGbps = 25 + float64(rSel%255)*1.5
+		p.TxQueues = 16 + int(qSel)%2033
+		sw, fl := p.Software(), p.FLD()
+		if fl.Total() > sw.Total() {
+			return false
+		}
+		p2 := p
+		p2.BandwidthGbps *= 2
+		p2.TxQueues *= 2
+		return p2.Software().Total() >= sw.Total() && p2.FLD().Total() >= fl.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

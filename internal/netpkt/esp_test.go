@@ -1,0 +1,111 @@
+package netpkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testSA() *ESPSA {
+	return &ESPSA{SPI: 0x1001, Key: [16]byte{1, 2, 3, 4, 5}, Salt: [4]byte{9, 9, 9, 9}}
+}
+
+func innerPacket(n int) []byte {
+	udp := UDP{SrcPort: 10, DstPort: 20, Length: uint16(UDPHeaderLen + n)}
+	l4 := append(udp.Marshal(nil), make([]byte, n)...)
+	ip := IPv4{TotalLen: uint16(IPv4HeaderLen + len(l4)), Proto: ProtoUDP,
+		Src: IPFrom(1), Dst: IPFrom(2)}
+	return append(ip.Marshal(nil), l4...)
+}
+
+func TestESPRoundTrip(t *testing.T) {
+	sa := testSA()
+	inner := innerPacket(300)
+	enc, err := EncryptESP(sa, 7, IPFrom(10), IPFrom(20), inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outer header is valid IPv4 proto 50.
+	h, _, err := ParseIPv4(enc)
+	if err != nil || h.Proto != ProtoESP {
+		t.Fatalf("outer header: %+v, %v", h, err)
+	}
+	got, err := DecryptESP(sa, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, inner) {
+		t.Fatal("inner packet corrupted")
+	}
+}
+
+func TestESPCiphertextHidesPlaintext(t *testing.T) {
+	sa := testSA()
+	inner := innerPacket(100)
+	enc, _ := EncryptESP(sa, 1, IPFrom(10), IPFrom(20), inner)
+	if bytes.Contains(enc, inner[IPv4HeaderLen:]) {
+		t.Fatal("plaintext visible in ESP packet")
+	}
+}
+
+func TestESPTamperDetected(t *testing.T) {
+	sa := testSA()
+	enc, _ := EncryptESP(sa, 2, IPFrom(10), IPFrom(20), innerPacket(64))
+	enc[len(enc)-5] ^= 0x80
+	if _, err := DecryptESP(sa, enc); err == nil {
+		t.Fatal("tampered ESP packet accepted")
+	}
+}
+
+func TestESPWrongKeyRejected(t *testing.T) {
+	sa := testSA()
+	enc, _ := EncryptESP(sa, 3, IPFrom(10), IPFrom(20), innerPacket(64))
+	bad := *sa
+	bad.Key[0] ^= 1
+	if _, err := DecryptESP(&bad, enc); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestESPWrongSPIRejected(t *testing.T) {
+	sa := testSA()
+	enc, _ := EncryptESP(sa, 4, IPFrom(10), IPFrom(20), innerPacket(64))
+	other := *sa
+	other.SPI = 0x2002
+	if _, err := DecryptESP(&other, enc); err == nil {
+		t.Fatal("wrong SPI accepted")
+	}
+}
+
+func TestESPRejectsNonESP(t *testing.T) {
+	if _, err := DecryptESP(testSA(), innerPacket(64)); err == nil {
+		t.Fatal("plain packet decrypted")
+	}
+}
+
+func TestESPRoundTripProperty(t *testing.T) {
+	sa := testSA()
+	f := func(seq uint32, n uint16) bool {
+		inner := innerPacket(int(n) % 1400)
+		enc, err := EncryptESP(sa, seq, IPFrom(3), IPFrom(4), inner)
+		if err != nil {
+			return false
+		}
+		got, err := DecryptESP(sa, enc)
+		return err == nil && bytes.Equal(got, inner)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkESPDecrypt1024(b *testing.B) {
+	sa := testSA()
+	enc, _ := EncryptESP(sa, 1, IPFrom(1), IPFrom(2), innerPacket(1024))
+	b.SetBytes(int64(len(enc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecryptESP(sa, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package netpkt
+
+import "encoding/binary"
+
+// ToeplitzKey is the RSS hash key. Microsoft's canonical verification key
+// is the default, so the implementation can be checked against published
+// test vectors.
+type ToeplitzKey [40]byte
+
+// DefaultToeplitzKey is the key from the Microsoft RSS verification suite,
+// used by essentially every NIC vendor's documentation.
+var DefaultToeplitzKey = ToeplitzKey{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// Toeplitz computes the Toeplitz hash of input under key, as used for RSS
+// queue selection (paper §2.1).
+func Toeplitz(key ToeplitzKey, input []byte) uint32 {
+	var hash uint32
+	// kw holds the next 64 key bits; the high 32 bits are the window
+	// XORed into the hash whenever the current input bit is set. The
+	// window slides one bit per input bit, refilled a byte at a time.
+	kw := binary.BigEndian.Uint64(key[0:8])
+	next := 8 // next key byte to shift in
+	for _, b := range input {
+		for bit := 0; bit < 8; bit++ {
+			if b&0x80 != 0 {
+				hash ^= uint32(kw >> 32)
+			}
+			b <<= 1
+			kw <<= 1
+		}
+		if next < len(key) {
+			kw |= uint64(key[next])
+			next++
+		}
+	}
+	return hash
+}
+
+// FlowKey builds the 12-byte RSS input for an IPv4 + L4-port tuple
+// (src addr, dst addr, src port, dst port).
+func FlowKey(src, dst IP, srcPort, dstPort uint16) []byte {
+	b := make([]byte, 0, 12)
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	b = binary.BigEndian.AppendUint16(b, srcPort)
+	b = binary.BigEndian.AppendUint16(b, dstPort)
+	return b
+}
+
+// RSSHash computes the RSS hash of an IPv4 frame's 4-tuple (falling back to
+// the 2-tuple for non-TCP/UDP packets, and to zero for unparsable ones).
+// Fragmented packets hash only the 2-tuple because the L4 header is absent
+// from non-first fragments — this is precisely why IP fragmentation breaks
+// RSS in the paper's defragmentation experiment (§8.2.2).
+func RSSHash(frame []byte) uint32 {
+	eh, ip, err := ParseEth(frame)
+	if err != nil || eh.EtherType != EtherTypeIPv4 {
+		return 0
+	}
+	h, payload, err := ParseIPv4(ip)
+	if err != nil {
+		return 0
+	}
+	if !h.IsFragment() {
+		switch h.Proto {
+		case ProtoTCP:
+			if t, _, err := ParseTCP(payload); err == nil {
+				return Toeplitz(DefaultToeplitzKey, FlowKey(h.Src, h.Dst, t.SrcPort, t.DstPort))
+			}
+		case ProtoUDP:
+			if u, _, err := ParseUDP(payload); err == nil {
+				return Toeplitz(DefaultToeplitzKey, FlowKey(h.Src, h.Dst, u.SrcPort, u.DstPort))
+			}
+		}
+	}
+	b := make([]byte, 0, 8)
+	b = append(b, h.Src[:]...)
+	b = append(b, h.Dst[:]...)
+	return Toeplitz(DefaultToeplitzKey, b)
+}

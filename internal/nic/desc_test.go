@@ -1,0 +1,137 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSendWQERoundTrip(t *testing.T) {
+	w := SendWQE{Opcode: OpSend, Index: 77, QPN: 5, Signal: true,
+		FlowTag: 0xBEEF, Addr: 0x1234_5678_9abc, Len: 2048}
+	got, err := ParseSendWQE(w.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Opcode != w.Opcode || got.Index != w.Index || got.QPN != w.QPN ||
+		got.Signal != w.Signal || got.FlowTag != w.FlowTag ||
+		got.Addr != w.Addr || got.Len != w.Len || got.Inline != nil {
+		t.Fatalf("round trip: %+v != %+v", got, w)
+	}
+}
+
+func TestSendWQEInline(t *testing.T) {
+	w := SendWQE{Opcode: OpSendInl, Inline: []byte("tiny payload")}
+	got, err := ParseSendWQE(w.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Inline) != "tiny payload" {
+		t.Fatalf("inline: %q", got.Inline)
+	}
+}
+
+func TestSendWQEInlineMMIODoubleBlock(t *testing.T) {
+	// 33-96 B inline payloads use the 128 B BlueFlame-style block.
+	w := SendWQE{Opcode: OpSendInl, Inline: make([]byte, 64)}
+	b := w.Marshal()
+	if len(b) != SendWQEMMIOSize {
+		t.Fatalf("marshal size = %d, want %d", len(b), SendWQEMMIOSize)
+	}
+	got, err := ParseSendWQE(b)
+	if err != nil || len(got.Inline) != 64 {
+		t.Fatalf("double-block parse: %v, %d inline bytes", err, len(got.Inline))
+	}
+}
+
+func TestSendWQEInlineTooBigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized inline did not panic")
+		}
+	}()
+	SendWQE{Inline: make([]byte, 97)}.Marshal()
+}
+
+func TestRecvWQERoundTrip(t *testing.T) {
+	w := RecvWQE{Addr: 0xdead_0000, Len: 256 << 10, StrideLog2: 11}
+	got, err := ParseRecvWQE(w.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != w {
+		t.Fatalf("round trip: %+v != %+v", got, w)
+	}
+}
+
+func TestCQERoundTrip(t *testing.T) {
+	c := CQE{Opcode: CQERecv, ChecksumOK: true, Last: true, Index: 3,
+		Queue: 9, ByteCount: 1500, FlowTag: 7, RSSHash: 0xffff0000,
+		RemoteQPN: 44, Addr: 0x1000, Counter: 123, Syndrome: 0}
+	got, err := ParseCQE(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip: %+v != %+v", got, c)
+	}
+}
+
+func TestCQEOwnerBit(t *testing.T) {
+	if _, err := ParseCQE(make([]byte, CQESize)); err == nil {
+		t.Fatal("stale CQE accepted")
+	}
+}
+
+func TestShortBuffersRejected(t *testing.T) {
+	if _, err := ParseSendWQE(make([]byte, 10)); err == nil {
+		t.Fatal("short send WQE accepted")
+	}
+	if _, err := ParseRecvWQE(make([]byte, 10)); err == nil {
+		t.Fatal("short recv WQE accepted")
+	}
+	if _, err := ParseCQE(make([]byte, 10)); err == nil {
+		t.Fatal("short CQE accepted")
+	}
+}
+
+func TestWQECodecProperty(t *testing.T) {
+	f := func(idx uint16, qpn uint32, tag uint32, addr uint64, length uint32, signal bool) bool {
+		w := SendWQE{Opcode: OpSend, Index: idx, QPN: qpn, Signal: signal,
+			FlowTag: tag, Addr: addr, Len: length}
+		got, err := ParseSendWQE(w.Marshal())
+		return err == nil && got.Index == idx && got.QPN == qpn &&
+			got.FlowTag == tag && got.Addr == addr && got.Len == length && got.Signal == signal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCQECodecProperty(t *testing.T) {
+	f := func(c CQE) bool {
+		c.Opcode = CQERecv
+		got, err := ParseCQE(c.Marshal())
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSendWQEMarshalParse(b *testing.B) {
+	w := SendWQE{Opcode: OpSend, QPN: 3, Addr: 0x1000, Len: 1500}
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSendWQE(w.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCQEMarshalParse(b *testing.B) {
+	c := CQE{Opcode: CQERecv, Queue: 9, ByteCount: 1500, Addr: 0x2000}
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseCQE(c.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

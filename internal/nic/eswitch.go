@@ -1,0 +1,458 @@
+package nic
+
+import (
+	"fmt"
+
+	"flexdriver/internal/netpkt"
+	"flexdriver/internal/sim"
+)
+
+// VPort is a virtual port of the embedded switch. The uplink (wire) is
+// port 0; consumers (host driver vNICs, FlexDriver) own further ports.
+type VPort struct {
+	ID  int
+	nic *NIC
+	// IngressTable is the match-action table packets arriving *at* this
+	// vport are processed by (guest steering: RSS, queue selection).
+	IngressTable int
+	// EgressTable is the table packets transmitted *by* this vport
+	// enter (eSwitch rules: encap, loopback, forwarding).
+	EgressTable int
+}
+
+// UplinkID is the vport number of the physical port.
+const UplinkID = 0
+
+// Match selects packets by header fields; nil fields are wildcards.
+// Matching happens on the packet's current (possibly decapsulated) view.
+type Match struct {
+	EtherType  *uint16
+	Proto      *uint8
+	SrcIP      *netpkt.IP
+	DstIP      *netpkt.IP
+	SrcPort    *uint16
+	DstPort    *uint16
+	IsFragment *bool
+	VNI        *uint32
+	FlowTag    *uint32
+}
+
+// pktView caches the parsed headers of the packet's current form.
+type pktView struct {
+	frame   []byte
+	flowTag uint32
+
+	ethOK  bool
+	eth    netpkt.Eth
+	ipOK   bool
+	ip     netpkt.IPv4
+	l4OK   bool
+	sport  uint16
+	dport  uint16
+	vxlan  bool
+	vni    uint32
+	csumOK bool
+}
+
+func parseView(frame []byte, flowTag uint32) *pktView {
+	v := &pktView{frame: frame, flowTag: flowTag, csumOK: true}
+	eth, p, err := netpkt.ParseEth(frame)
+	if err != nil {
+		return v
+	}
+	v.ethOK = true
+	v.eth = eth
+	if eth.EtherType != netpkt.EtherTypeIPv4 {
+		return v
+	}
+	ip, l4, err := netpkt.ParseIPv4(p)
+	if err != nil {
+		v.csumOK = false
+		return v
+	}
+	v.ipOK = true
+	v.ip = ip
+	if ip.IsFragment() && ip.FragOffset != 0 {
+		return v // no L4 header in non-first fragments
+	}
+	switch ip.Proto {
+	case netpkt.ProtoUDP:
+		if u, inner, err := netpkt.ParseUDP(l4); err == nil {
+			v.l4OK = true
+			v.sport, v.dport = u.SrcPort, u.DstPort
+			if u.DstPort == netpkt.VXLANPort && !ip.IsFragment() {
+				if vx, _, err := netpkt.ParseVXLAN(inner); err == nil {
+					v.vxlan = true
+					v.vni = vx.VNI
+				}
+			}
+		}
+	case netpkt.ProtoTCP:
+		if t, _, err := netpkt.ParseTCP(l4); err == nil {
+			v.l4OK = true
+			v.sport, v.dport = t.SrcPort, t.DstPort
+		}
+	}
+	return v
+}
+
+// Matches reports whether the view satisfies every set field.
+func (m Match) Matches(v *pktView) bool {
+	if m.EtherType != nil && (!v.ethOK || v.eth.EtherType != *m.EtherType) {
+		return false
+	}
+	if m.Proto != nil && (!v.ipOK || v.ip.Proto != *m.Proto) {
+		return false
+	}
+	if m.SrcIP != nil && (!v.ipOK || v.ip.Src != *m.SrcIP) {
+		return false
+	}
+	if m.DstIP != nil && (!v.ipOK || v.ip.Dst != *m.DstIP) {
+		return false
+	}
+	if m.SrcPort != nil && (!v.l4OK || v.sport != *m.SrcPort) {
+		return false
+	}
+	if m.DstPort != nil && (!v.l4OK || v.dport != *m.DstPort) {
+		return false
+	}
+	if m.IsFragment != nil && (!v.ipOK || v.ip.IsFragment() != *m.IsFragment) {
+		return false
+	}
+	if m.VNI != nil && (!v.vxlan || v.vni != *m.VNI) {
+		return false
+	}
+	if m.FlowTag != nil && v.flowTag != *m.FlowTag {
+		return false
+	}
+	return true
+}
+
+// Action is what a matching rule does to a packet: zero or more header and
+// metadata manipulations followed by exactly one terminal disposition
+// (ToVPort / ToWire / ToRQ / ToTIR / ToTable / Drop).
+type Action struct {
+	// Decap strips the outer Ethernet+IPv4+UDP+VXLAN encapsulation,
+	// exposing the inner frame (the NIC's tunnel offload).
+	Decap bool
+	// ESPDecrypt authenticates and decrypts an IPSec ESP packet with the
+	// given security association, exposing the inner IPv4 packet — the
+	// paper's example of an area-demanding offload FLD accelerators use
+	// transparently instead of reimplementing (§7).
+	ESPDecrypt *netpkt.ESPSA
+	// Encap prepends a pre-built outer header blob to the frame.
+	Encap []byte
+	// SetFlowTag stamps the packet's metadata tag (the context ID used
+	// for FLD-E tenant identification, §5.4).
+	SetFlowTag *uint32
+	// Policer drops non-conforming packets (ingress rate limiting).
+	Policer *sim.TokenBucket
+	// Shaper delays non-conforming packets (egress rate limiting).
+	Shaper *sim.TokenBucket
+	// Count increments the named eSwitch counter.
+	Count string
+
+	// Terminal dispositions; exactly one should be set.
+	ToVPort *int // deliver to a vport's ingress table
+	ToWire  bool // emit on the physical port
+	ToRQ    *RQ  // deliver to a specific receive queue
+	ToTIR   *TIR // RSS-spread across the TIR's receive queues
+	ToTable *int // continue matching at another table
+	Drop    bool
+}
+
+// Rule pairs a match with an action; rules in a table are evaluated in
+// insertion order (priority order).
+type Rule struct {
+	Match  Match
+	Action Action
+}
+
+// TIR spreads packets across receive queues by RSS hash (receive-side
+// scaling).
+type TIR struct {
+	RQs []*RQ
+}
+
+func (t *TIR) pick(hash uint32) *RQ {
+	return t.RQs[int(hash)%len(t.RQs)]
+}
+
+// ESwitch is the NIC's embedded switch: numbered match-action tables plus
+// the vport registry. Table 0 is the wire-ingress root.
+type ESwitch struct {
+	nic    *NIC
+	tables map[int][]Rule
+	vports map[int]*VPort
+	nextVP int
+
+	// Counters holds per-rule Count action totals.
+	Counters map[string]int64
+
+	// loopback models the switch-internal bandwidth used when traffic
+	// hairpins between two vports without touching the wire.
+	loopback *sim.Resource
+	// LoopbackRate is the hairpin bandwidth (defaults to 2x100G-class).
+	LoopbackRate sim.BitRate
+}
+
+func newESwitch(n *NIC) *ESwitch {
+	e := &ESwitch{
+		nic:          n,
+		tables:       make(map[int][]Rule),
+		vports:       make(map[int]*VPort),
+		Counters:     make(map[string]int64),
+		loopback:     sim.NewResource(n.eng),
+		LoopbackRate: 200 * sim.Gbps,
+	}
+	e.vports[UplinkID] = &VPort{ID: UplinkID, nic: n, IngressTable: 0, EgressTable: 0}
+	e.nextVP = 1
+	return e
+}
+
+// AddVPort allocates a vport with fresh ingress/egress tables.
+func (e *ESwitch) AddVPort() *VPort {
+	id := e.nextVP
+	e.nextVP++
+	vp := &VPort{ID: id, nic: e.nic, IngressTable: 100 + id*10, EgressTable: 200 + id*10}
+	e.vports[id] = vp
+	return vp
+}
+
+// VPort returns the vport with the given ID, or nil.
+func (e *ESwitch) VPort(id int) *VPort { return e.vports[id] }
+
+// AddRule appends a rule to a table.
+func (e *ESwitch) AddRule(table int, r Rule) {
+	e.tables[table] = append(e.tables[table], r)
+}
+
+// ClearTable removes all rules from a table.
+func (e *ESwitch) ClearTable(table int) { delete(e.tables, table) }
+
+// maxTableHops bounds GotoTable chains, like hardware loop protection.
+const maxTableHops = 8
+
+// process runs a packet view through the match-action pipeline starting at
+// the given table and applies the terminal disposition. onWire (the
+// sender's completion hook) fires exactly once on every terminal path —
+// including drops, as a real NIC completes the send WQE regardless of the
+// packet's fate.
+func (e *ESwitch) process(table int, v *pktView, onWire func()) {
+	sent := func() {
+		if onWire != nil {
+			f := onWire
+			onWire = nil
+			f()
+		}
+	}
+	for hop := 0; hop < maxTableHops; hop++ {
+		rule := e.match(table, v)
+		if rule == nil {
+			e.nic.Stats.drop(fmt.Sprintf("eswitch-miss-table-%d", table))
+			sent()
+			return
+		}
+		a := rule.Action
+		if a.Count != "" {
+			e.Counters[a.Count]++
+		}
+		if a.Policer != nil && !a.Policer.Admit(len(v.frame)) {
+			e.nic.Stats.drop("policer")
+			sent()
+			return
+		}
+		if a.Decap {
+			if !e.decap(v) {
+				e.nic.Stats.drop("decap-failed")
+				sent()
+				return
+			}
+		}
+		if a.ESPDecrypt != nil {
+			if !e.espDecrypt(v, a.ESPDecrypt) {
+				e.nic.Stats.drop("esp-auth-failed")
+				sent()
+				return
+			}
+		}
+		if a.Encap != nil {
+			nf := make([]byte, 0, len(a.Encap)+len(v.frame))
+			nf = append(nf, a.Encap...)
+			nf = append(nf, v.frame...)
+			*v = *parseView(nf, v.flowTag)
+		}
+		if a.SetFlowTag != nil {
+			v.flowTag = *a.SetFlowTag
+		}
+		run := func(disposition func()) {
+			if a.Shaper != nil {
+				if d := a.Shaper.Reserve(len(v.frame)); d > 0 {
+					e.nic.eng.After(d, disposition)
+					return
+				}
+			}
+			disposition()
+		}
+		switch {
+		case a.Drop:
+			e.nic.Stats.drop("rule-drop")
+			sent()
+			return
+		case a.ToTable != nil:
+			table = *a.ToTable
+			continue
+		case a.ToWire:
+			run(func() { e.nic.transmitWire(v.frame, onWire) })
+			return
+		case a.ToVPort != nil:
+			vp := e.vports[*a.ToVPort]
+			if vp == nil {
+				e.nic.Stats.drop("no-such-vport")
+				sent()
+				return
+			}
+			// Hairpin through the switch fabric.
+			run(func() {
+				e.loopback.Acquire(e.LoopbackRate.Serialize(len(v.frame)), func() {
+					sent()
+					e.process(vp.IngressTable, v, nil)
+				})
+			})
+			return
+		case a.ToRQ != nil:
+			run(func() {
+				sent()
+				e.deliverRQ(a.ToRQ, v)
+			})
+			return
+		case a.ToTIR != nil:
+			rq := a.ToTIR.pick(netpkt.RSSHash(v.frame))
+			run(func() {
+				sent()
+				e.deliverRQ(rq, v)
+			})
+			return
+		default:
+			e.nic.Stats.drop("rule-no-disposition")
+			sent()
+			return
+		}
+	}
+	e.nic.Stats.drop("table-loop")
+	sent()
+}
+
+func (e *ESwitch) match(table int, v *pktView) *Rule {
+	for i := range e.tables[table] {
+		if e.tables[table][i].Match.Matches(v) {
+			return &e.tables[table][i]
+		}
+	}
+	return nil
+}
+
+// decap strips outer Eth+IPv4+UDP+VXLAN and re-parses the inner frame.
+func (e *ESwitch) decap(v *pktView) bool {
+	if !v.vxlan {
+		return false
+	}
+	_, p, err := netpkt.ParseEth(v.frame)
+	if err != nil {
+		return false
+	}
+	_, l4, err := netpkt.ParseIPv4(p)
+	if err != nil {
+		return false
+	}
+	_, inner, err := netpkt.ParseUDP(l4)
+	if err != nil {
+		return false
+	}
+	_, payload, err := netpkt.ParseVXLAN(inner)
+	if err != nil {
+		return false
+	}
+	*v = *parseView(payload, v.flowTag)
+	return true
+}
+
+// espDecrypt runs the NIC's inline IPSec offload: authenticate, decrypt,
+// and swap the frame for the inner packet.
+func (e *ESwitch) espDecrypt(v *pktView, sa *netpkt.ESPSA) bool {
+	eth, ipb, err := netpkt.ParseEth(v.frame)
+	if err != nil || eth.EtherType != netpkt.EtherTypeIPv4 {
+		return false
+	}
+	inner, err := netpkt.DecryptESP(sa, ipb)
+	if err != nil {
+		return false
+	}
+	nf := eth.Marshal(make([]byte, 0, netpkt.EthHeaderLen+len(inner)))
+	nf = append(nf, inner...)
+	*v = *parseView(nf, v.flowTag)
+	return true
+}
+
+// deliverRQ finalizes receive-side metadata and hands the packet to a
+// receive queue.
+func (e *ESwitch) deliverRQ(rq *RQ, v *pktView) {
+	cqe := CQE{
+		Opcode:     CQERecv,
+		Last:       true,
+		ChecksumOK: v.csumOK && v.ipOK,
+		FlowTag:    v.flowTag,
+		RSSHash:    netpkt.RSSHash(v.frame),
+	}
+	rq.deliver(v.frame, cqe)
+}
+
+// --- NIC egress/ingress glue ---------------------------------------------
+
+// egress runs a frame transmitted by a vport through its egress table.
+// onSent fires when the frame leaves (wire serialization started or
+// hairpin delivered) — the NIC's transmit completion semantics.
+func (n *NIC) egress(vp *VPort, frame []byte, flowTag uint32, onSent func()) {
+	if vp == nil {
+		vp = n.esw.vports[UplinkID]
+	}
+	n.Stats.TxPackets++
+	n.Stats.TxBytes += int64(len(frame))
+	v := parseView(frame, flowTag)
+	n.eng.After(n.Prm.PipelineDelay, func() {
+		n.esw.process(vp.EgressTable, v, onSent)
+	})
+}
+
+// transmitWire puts a frame on the physical port. Callers account
+// TxPackets/TxBytes themselves (egress and the QP transport both reach
+// here).
+func (n *NIC) transmitWire(frame []byte, onSent func()) {
+	if n.wire == nil {
+		n.Stats.drop("no-wire")
+		if onSent != nil {
+			onSent()
+		}
+		return
+	}
+	n.wire.send(n.wireEnd, frame, onSent)
+}
+
+// handleWireIngress accepts a frame from the physical port.
+func (n *NIC) handleWireIngress(frame []byte) {
+	n.rxEngine.Acquire(n.Prm.RxPerPkt, func() {
+		n.eng.After(n.Prm.PipelineDelay, func() {
+			// RoCE transport packets bypass the match-action pipeline:
+			// the NIC's hardware transport consumes them directly.
+			if bth, payload, ok := parseRoCE(frame); ok {
+				n.rdmaIngress(bth, payload)
+				return
+			}
+			v := parseView(frame, 0)
+			n.esw.process(0, v, nil)
+		})
+	})
+}
+
+// LoopbackUtil reports the hairpin fabric's utilization (diagnostics).
+func (e *ESwitch) LoopbackUtil() float64 { return e.loopback.Utilization() }

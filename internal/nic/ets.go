@@ -1,0 +1,101 @@
+package nic
+
+// Enhanced Transmission Selection (ETS): weighted arbitration among send
+// queues sharing the egress port. The paper's §5.5 names NIC
+// prioritization (e.g. ETS) as one reason transmit queues progress at
+// different rates — which is exactly why FLD exposes per-queue credits to
+// the accelerator instead of a single shared count.
+//
+// The scheduler is deficit-round-robin: each active queue accumulates
+// quantum x weight bytes of credit per round and transmits frames while
+// its deficit covers them. It is work-conserving: a queue alone on the
+// port gets full line rate regardless of weight.
+
+type etsFrame struct {
+	frame   []byte
+	flowTag uint32
+	vport   *VPort
+	onSent  func()
+}
+
+type etsQueue struct {
+	weight  int
+	deficit int
+	fifo    []etsFrame
+	inRound bool // membership in the scheduler's round-robin order
+}
+
+type etsScheduler struct {
+	n       *NIC
+	queues  map[uint32]*etsQueue
+	order   []uint32 // round-robin order of active queue IDs
+	quantum int
+	busy    bool
+}
+
+func newETSScheduler(n *NIC) *etsScheduler {
+	return &etsScheduler{n: n, queues: make(map[uint32]*etsQueue), quantum: 1500}
+}
+
+// dispatch enqueues one frame from the given SQ and starts the pump.
+func (s *etsScheduler) dispatch(sq *SQ, frame []byte, flowTag uint32, onSent func()) {
+	q := s.queues[sq.ID]
+	if q == nil {
+		w := sq.Weight
+		if w < 1 {
+			w = 1
+		}
+		q = &etsQueue{weight: w}
+		s.queues[sq.ID] = q
+	}
+	if !q.inRound {
+		q.inRound = true
+		s.order = append(s.order, sq.ID)
+	}
+	q.fifo = append(q.fifo, etsFrame{frame: frame, flowTag: flowTag, vport: sq.VPort, onSent: onSent})
+	if !s.busy {
+		s.pump()
+	}
+}
+
+// pump grants the next frame by deficit round robin and recurses when its
+// transmission completes.
+func (s *etsScheduler) pump() {
+	if len(s.order) == 0 {
+		s.busy = false
+		return
+	}
+	s.busy = true
+	for {
+		id := s.order[0]
+		q := s.queues[id]
+		if len(q.fifo) == 0 {
+			// Idle queues leave the round and forfeit their deficit
+			// (DRR's work-conserving rule).
+			q.deficit = 0
+			q.inRound = false
+			s.order = s.order[1:]
+			if len(s.order) == 0 {
+				s.busy = false
+				return
+			}
+			continue
+		}
+		head := q.fifo[0]
+		if q.deficit < len(head.frame) {
+			q.deficit += s.quantum * q.weight
+			// Move to the back of the round.
+			s.order = append(s.order[1:], id)
+			continue
+		}
+		q.deficit -= len(head.frame)
+		q.fifo = q.fifo[1:]
+		s.n.egress(head.vport, head.frame, head.flowTag, func() {
+			if head.onSent != nil {
+				head.onSent()
+			}
+			s.pump()
+		})
+		return
+	}
+}

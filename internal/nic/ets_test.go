@@ -1,0 +1,110 @@
+package nic
+
+import (
+	"testing"
+
+	"flexdriver/internal/sim"
+)
+
+// etsBed builds two weighted SQs on one sender feeding a receiver RQ, and
+// returns per-queue delivered byte counters.
+func etsBed(t *testing.T, w1, w2 int) (*sim.Engine, *driverSQ, *driverSQ, *[2]int64) {
+	t.Helper()
+	eng := sim.NewEngine()
+	a := newNode(t, eng)
+	b := newNode(t, eng)
+	// A slow wire makes the egress port the contended resource.
+	ConnectWire(a.nic, b.nic, 1*sim.Gbps, 500*sim.Nanosecond)
+
+	var delivered [2]int64
+	rcqRing := b.mem.Alloc(4096*CQESize, 64)
+	rcq := b.nic.CreateCQ(CQConfig{Ring: b.fab.AddrOf(b.mem, rcqRing), Size: 4096,
+		OnCQE: func(c CQE) { delivered[c.FlowTag] += int64(c.ByteCount) }})
+	rqRing := b.mem.Alloc(512*RecvWQESize, 64)
+	rq := b.nic.CreateRQ(RQConfig{Ring: b.fab.AddrOf(b.mem, rqRing), Size: 512, CQ: rcq, StrideSize: 256})
+	d := &driverRQ{nd: b, rq: rq, ring: rqRing}
+	bufs := b.mem.Alloc(64*32768, 4096)
+	for i := 0; i < 64; i++ {
+		d.post(b.fab.AddrOf(b.mem, bufs+uint64(i)*32768), 32768, 8)
+	}
+	// Classify the two senders by source port (flow tags are NIC-local
+	// metadata and do not cross the wire).
+	p0, p1 := uint16(100), uint16(101)
+	b.nic.ESwitch().AddRule(0, Rule{Match: Match{SrcPort: &p0},
+		Action: Action{SetFlowTag: u32(0), ToRQ: rq}})
+	b.nic.ESwitch().AddRule(0, Rule{Match: Match{SrcPort: &p1},
+		Action: Action{SetFlowTag: u32(1), ToRQ: rq}})
+
+	vp := a.nic.ESwitch().AddVPort()
+	a.nic.ESwitch().AddRule(vp.EgressTable, Rule{Action: Action{ToWire: true}})
+	mk := func(w int) *driverSQ {
+		scqRing := a.mem.Alloc(1024*CQESize, 64)
+		scq := a.nic.CreateCQ(CQConfig{Ring: a.fab.AddrOf(a.mem, scqRing), Size: 1024})
+		ring := a.mem.Alloc(1024*SendWQESize, 64)
+		sq := a.nic.CreateSQ(SQConfig{Ring: a.fab.AddrOf(a.mem, ring), Size: 1024,
+			CQ: scq, VPort: vp, Weight: w})
+		return &driverSQ{nd: a, sq: sq, ring: ring}
+	}
+	return eng, mk(w1), mk(w2), &delivered
+}
+
+// flood posts n frames whose source port identifies the queue (100+tag).
+// It returns the wire frame length.
+func flood(t *testing.T, d *driverSQ, tag uint32, n, size int) int {
+	t.Helper()
+	frame := buildFrame(1, 2, uint16(100+tag), 200, size)
+	buf := d.nd.mem.Alloc(2048, 64)
+	d.nd.mem.WriteAt(buf, frame)
+	for i := 0; i < n; i++ {
+		d.post(SendWQE{Opcode: OpSend, FlowTag: tag,
+			Addr: d.nd.fab.AddrOf(d.nd.mem, buf), Len: uint32(len(frame))})
+	}
+	d.doorbell()
+	return len(frame)
+}
+
+// TestETSWeightedSharing: two saturating queues at weights 3:1 share the
+// port roughly 3:1.
+func TestETSWeightedSharing(t *testing.T) {
+	eng, q1, q2, delivered := etsBed(t, 3, 1)
+	flood(t, q1, 0, 200, 800)
+	flood(t, q2, 1, 200, 800)
+	eng.RunUntil(800 * sim.Microsecond)
+	d0, d1 := float64(delivered[0]), float64(delivered[1])
+	if d0 == 0 || d1 == 0 {
+		t.Fatalf("starved queue: %v", *delivered)
+	}
+	ratio := d0 / d1
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Fatalf("sharing ratio = %.2f, want ~3", ratio)
+	}
+}
+
+// TestETSWorkConserving: a lone queue gets the full port regardless of a
+// low weight.
+func TestETSWorkConserving(t *testing.T) {
+	eng, q1, _, delivered := etsBed(t, 1, 7)
+	fl := flood(t, q1, 0, 100, 800)
+	eng.Run()
+	if delivered[0] != int64(100*fl) {
+		t.Fatalf("lone queue delivered %d bytes, want %d", delivered[0], 100*fl)
+	}
+}
+
+// TestETSIdleQueueRejoins: a queue that goes idle and returns is not
+// penalized or double-credited.
+func TestETSIdleQueueRejoins(t *testing.T) {
+	eng, q1, q2, delivered := etsBed(t, 1, 1)
+	fl := flood(t, q1, 0, 50, 800)
+	eng.Run() // q1 drains alone
+	flood(t, q1, 0, 100, 800)
+	flood(t, q2, 1, 100, 800)
+	eng.Run()
+	// Equal weights, equal backlogs: second phase splits evenly.
+	phase2q1 := float64(delivered[0] - int64(50*fl))
+	phase2q2 := float64(delivered[1])
+	ratio := phase2q1 / phase2q2
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("equal-weight ratio = %.2f", ratio)
+	}
+}

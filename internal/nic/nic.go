@@ -1,0 +1,678 @@
+package nic
+
+import (
+	"fmt"
+
+	"flexdriver/internal/netpkt"
+	"flexdriver/internal/pcie"
+	"flexdriver/internal/sim"
+)
+
+// Params collects the NIC's timing and transport constants. Defaults are
+// calibrated to ConnectX-5-class behaviour on the Innova-2 testbed.
+type Params struct {
+	// TxPerWQE is the send-engine service time per descriptor; its
+	// inverse is the NIC's transmit packet-rate ceiling.
+	TxPerWQE sim.Duration
+	// RxPerPkt is the receive-engine service time per packet.
+	RxPerPkt sim.Duration
+	// PipelineDelay is the fixed latency a packet spends crossing the
+	// NIC's internal pipeline in each direction.
+	PipelineDelay sim.Duration
+	// RoCEMTU is the RDMA path MTU (1024 B in the paper's experiments).
+	RoCEMTU int
+	// RetransmitTimeout triggers go-back-N recovery for RC QPs.
+	RetransmitTimeout sim.Duration
+	// AckCoalesce acknowledges once per this many completed messages;
+	// AckDelay bounds how long an ACK may be withheld.
+	AckCoalesce int
+	AckDelay    sim.Duration
+	// SQWindow bounds per-SQ outstanding descriptor fetches, modeling
+	// the NIC's pipelining of PCIe reads.
+	SQWindow int
+}
+
+// DefaultParams returns the calibrated constants.
+func DefaultParams() Params {
+	return Params{
+		TxPerWQE:          10 * sim.Nanosecond, // ~100 Mpps engine
+		RxPerPkt:          10 * sim.Nanosecond,
+		PipelineDelay:     150 * sim.Nanosecond,
+		RoCEMTU:           1024,
+		RetransmitTimeout: 100 * sim.Microsecond,
+		AckCoalesce:       4,
+		AckDelay:          2 * sim.Microsecond,
+		SQWindow:          32,
+	}
+}
+
+// BAR layout: per-SQ doorbell/WQE pages then per-RQ doorbells.
+const (
+	barSize        = 1 << 20
+	sqDoorbellBase = 0x00000
+	sqDoorbellStep = 256
+	rqDoorbellBase = 0x80000
+	rqDoorbellStep = 8
+)
+
+// Counters aggregates NIC-level statistics.
+type Counters struct {
+	TxPackets, TxBytes int64
+	RxPackets, RxBytes int64
+	Drops              map[string]int64
+}
+
+func (c *Counters) drop(reason string) {
+	if c.Drops == nil {
+		c.Drops = make(map[string]int64)
+	}
+	c.Drops[reason]++
+}
+
+// NIC is one simulated adapter. Create with New, attach to a PCIe fabric
+// with AttachPCIe, and connect to a peer with ConnectWire (or use the
+// eSwitch loopback rules for single-node experiments).
+type NIC struct {
+	Name string
+	Prm  Params
+
+	// MAC and IP identify the NIC's physical port for RoCE framing.
+	MAC netpkt.MAC
+	IP  netpkt.IP
+
+	eng    *sim.Engine
+	fabric *pcie.Fabric
+	port   *pcie.Port
+
+	wire    *Wire
+	wireEnd int
+
+	esw *ESwitch
+
+	sqs map[uint32]*SQ
+	rqs map[uint32]*RQ
+	cqs map[uint32]*CQ
+	qps map[uint32]*QP
+
+	txEngine *sim.Resource
+	rxEngine *sim.Resource
+	ets      *etsScheduler // lazily created when a weighted SQ sends
+
+	nextQN uint32
+
+	Stats Counters
+}
+
+var nicSeq int
+
+// New returns a NIC bound to the engine, with a unique MAC/IP identity.
+func New(name string, eng *sim.Engine, prm Params) *NIC {
+	nicSeq++
+	n := &NIC{
+		Name: name,
+		Prm:  prm,
+		MAC:  netpkt.MACFrom(nicSeq),
+		IP:   netpkt.IPFrom(nicSeq),
+		eng:  eng,
+		sqs:  make(map[uint32]*SQ),
+		rqs:  make(map[uint32]*RQ),
+		cqs:  make(map[uint32]*CQ),
+		qps:  make(map[uint32]*QP),
+	}
+	n.esw = newESwitch(n)
+	n.txEngine = sim.NewResource(eng)
+	n.rxEngine = sim.NewResource(eng)
+	return n
+}
+
+// AttachPCIe connects the NIC to a fabric; the NIC uses the returned port
+// as its DMA initiator for all ring and buffer accesses.
+func (n *NIC) AttachPCIe(fab *pcie.Fabric, cfg pcie.LinkConfig) *pcie.Port {
+	n.fabric = fab
+	n.port = fab.Attach(n, cfg)
+	return n.port
+}
+
+// Engine returns the simulation engine.
+func (n *NIC) Engine() *sim.Engine { return n.eng }
+
+// ESwitch returns the NIC's embedded switch for rule programming.
+func (n *NIC) ESwitch() *ESwitch { return n.esw }
+
+// PCIeName implements pcie.Device.
+func (n *NIC) PCIeName() string { return n.Name }
+
+// BARSize implements pcie.Device.
+func (n *NIC) BARSize() uint64 { return barSize }
+
+// MMIORead implements pcie.Device. The NIC BAR is write-only in this model
+// (doorbells); reads return zeros like reserved registers.
+func (n *NIC) MMIORead(offset uint64, size int) []byte { return make([]byte, size) }
+
+// MMIOWrite implements pcie.Device: doorbell decoding.
+func (n *NIC) MMIOWrite(offset uint64, data []byte) {
+	switch {
+	case offset >= sqDoorbellBase && offset < rqDoorbellBase:
+		id := uint32((offset - sqDoorbellBase) / sqDoorbellStep)
+		sq := n.sqs[id]
+		if sq == nil {
+			n.Stats.drop("doorbell-unknown-sq")
+			return
+		}
+		switch len(data) {
+		case 4:
+			sq.ringDoorbell(beUint32(data))
+		case SendWQESize, SendWQEMMIOSize:
+			sq.pushWQE(data)
+		default:
+			n.Stats.drop("doorbell-bad-size")
+		}
+	case offset >= rqDoorbellBase:
+		id := uint32((offset - rqDoorbellBase) / rqDoorbellStep)
+		rq := n.rqs[id]
+		if rq == nil {
+			n.Stats.drop("doorbell-unknown-rq")
+			return
+		}
+		if len(data) == 4 {
+			rq.ringDoorbell(beUint32(data))
+		}
+	}
+}
+
+func beUint32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// SQDoorbellOffset returns the BAR offset of a send queue's doorbell.
+func SQDoorbellOffset(sqn uint32) uint64 {
+	return sqDoorbellBase + uint64(sqn)*sqDoorbellStep
+}
+
+// RQDoorbellOffset returns the BAR offset of a receive queue's doorbell.
+func RQDoorbellOffset(rqn uint32) uint64 {
+	return rqDoorbellBase + uint64(rqn)*rqDoorbellStep
+}
+
+func (n *NIC) allocQN() uint32 {
+	n.nextQN++
+	return n.nextQN
+}
+
+// --- Queue creation (control plane; invoked by driver software) ---------
+
+// CQConfig configures a completion queue.
+type CQConfig struct {
+	Ring uint64 // PCIe address of the CQE ring
+	Size int    // entries
+	// OnCQE is invoked (in virtual time) after a CQE lands in the ring,
+	// standing in for MSI-X/polling observation by the consumer.
+	OnCQE func(CQE)
+}
+
+// CreateCQ allocates a completion queue.
+func (n *NIC) CreateCQ(cfg CQConfig) *CQ {
+	cq := &CQ{n: n, ID: n.allocQN(), Ring: cfg.Ring, Size: cfg.Size, onCQE: cfg.OnCQE}
+	n.cqs[cq.ID] = cq
+	return cq
+}
+
+// SQConfig configures a send queue.
+type SQConfig struct {
+	Ring  uint64 // PCIe address of the 64 B-descriptor ring
+	Size  int    // entries (power of two)
+	CQ    *CQ
+	VPort *VPort // egress port for raw Ethernet SQs
+	// Shaper, when set, rate-limits this queue's egress.
+	Shaper *sim.TokenBucket
+	// Weight, when set (>0), enrolls the queue in ETS weighted
+	// arbitration of the egress port.
+	Weight int
+}
+
+// CreateSQ allocates a send queue.
+func (n *NIC) CreateSQ(cfg SQConfig) *SQ {
+	if cfg.Size&(cfg.Size-1) != 0 {
+		panic(fmt.Sprintf("nic: SQ size %d not a power of two", cfg.Size))
+	}
+	sq := &SQ{n: n, ID: n.allocQN(), Ring: cfg.Ring, Size: cfg.Size,
+		CQ: cfg.CQ, VPort: cfg.VPort, Shaper: cfg.Shaper, Weight: cfg.Weight,
+		mmio: make(map[uint32][]byte)}
+	n.sqs[sq.ID] = sq
+	return sq
+}
+
+// RQConfig configures a receive queue (or shared MPRQ).
+type RQConfig struct {
+	Ring uint64 // PCIe address of the 16 B-descriptor ring (host memory)
+	Size int    // entries (power of two)
+	CQ   *CQ
+	// StrideSize enables multi-packet receive buffers: each posted
+	// buffer is carved into strides and consumed packet by packet.
+	// Zero means one packet per buffer.
+	StrideSize int
+}
+
+// CreateRQ allocates a receive queue.
+func (n *NIC) CreateRQ(cfg RQConfig) *RQ {
+	if cfg.Size&(cfg.Size-1) != 0 {
+		panic(fmt.Sprintf("nic: RQ size %d not a power of two", cfg.Size))
+	}
+	rq := &RQ{n: n, ID: n.allocQN(), Ring: cfg.Ring, Size: cfg.Size,
+		CQ: cfg.CQ, StrideSize: cfg.StrideSize}
+	n.rqs[rq.ID] = rq
+	return rq
+}
+
+// --- Send queue ----------------------------------------------------------
+
+// SQ is a send queue: the NIC consumes 64 B descriptors from its ring (or
+// pushed by MMIO) between the consumer index and the doorbell'd producer
+// index.
+type SQ struct {
+	n     *NIC
+	ID    uint32
+	Ring  uint64
+	Size  int
+	CQ    *CQ
+	VPort *VPort
+	QP    *QP // non-nil when this SQ feeds an RDMA queue pair
+
+	Shaper *sim.TokenBucket
+	Weight int // >0: ETS-arbitrated egress
+
+	pi, ci   uint32
+	inflight int
+	mmio     map[uint32][]byte // WQEs pushed via WQE-by-MMIO, by index
+}
+
+// ringDoorbell advances the producer index (from a 4 B doorbell write).
+func (sq *SQ) ringDoorbell(pi uint32) {
+	if int32(pi-sq.pi) < 0 {
+		return // stale doorbell
+	}
+	sq.pi = pi
+	sq.kick()
+}
+
+// pushWQE accepts a 64 B descriptor written directly over MMIO
+// (WQE-by-MMIO): the descriptor needs no ring read, and the write itself
+// acts as a doorbell for one entry.
+func (sq *SQ) pushWQE(b []byte) {
+	sq.mmio[sq.pi] = append([]byte(nil), b...)
+	sq.pi++
+	sq.kick()
+}
+
+// sqFetchBatch is how many ring descriptors one PCIe read covers (the
+// hardware fetches WQEs in cache-line bursts).
+const sqFetchBatch = 4
+
+// kick starts descriptor processing for any posted-but-unfetched entries,
+// keeping at most SQWindow descriptors in flight. Ring-resident
+// descriptors are fetched in batched reads; MMIO-pushed ones skip the
+// fetch entirely.
+func (sq *SQ) kick() {
+	for sq.ci+uint32(sq.inflight) != sq.pi && sq.inflight < sq.n.Prm.SQWindow {
+		idx := sq.ci + uint32(sq.inflight)
+		if b, ok := sq.mmio[idx]; ok {
+			delete(sq.mmio, idx)
+			sq.inflight++
+			sq.n.txEngine.Acquire(sq.n.Prm.TxPerWQE, func() { sq.execute(idx, b) })
+			continue
+		}
+		// Batch consecutive ring descriptors into one read, stopping at
+		// an MMIO-pushed entry, the window, the ring end, or PI.
+		n := 0
+		slot := idx % uint32(sq.Size)
+		for n < sqFetchBatch &&
+			sq.inflight+n < sq.n.Prm.SQWindow &&
+			idx+uint32(n) != sq.pi &&
+			int(slot)+n < sq.Size {
+			if _, pushed := sq.mmio[idx+uint32(n)]; pushed {
+				break
+			}
+			n++
+		}
+		sq.inflight += n
+		addr := sq.Ring + uint64(slot)*SendWQESize
+		first := idx
+		count := n
+		sq.n.port.Read(addr, count*SendWQESize, func(b []byte) {
+			for i := 0; i < count; i++ {
+				wqe := b[i*SendWQESize : (i+1)*SendWQESize]
+				w := first + uint32(i)
+				sq.n.txEngine.Acquire(sq.n.Prm.TxPerWQE, func() { sq.execute(w, wqe) })
+			}
+		})
+	}
+}
+
+// execute runs one fetched descriptor through the transmit path.
+func (sq *SQ) execute(idx uint32, raw []byte) {
+	wqe, err := ParseSendWQE(raw)
+	if err != nil || wqe.Opcode == opInvalid {
+		sq.retire(idx, CQE{Opcode: CQEError, Syndrome: 1, Index: uint16(idx), Queue: sq.ID}, true)
+		return
+	}
+	wqe.Index = uint16(idx)
+	if wqe.Opcode == OpNop {
+		sq.retire(idx, CQE{Opcode: CQESend, Index: uint16(idx), Queue: sq.ID}, wqe.Signal)
+		return
+	}
+	if wqe.Inline != nil {
+		sq.dispatch(idx, wqe, wqe.Inline)
+		return
+	}
+	sq.n.port.Read(wqe.Addr, int(wqe.Len), func(data []byte) {
+		sq.dispatch(idx, wqe, data)
+	})
+}
+
+// dispatch hands the gathered payload to the QP transport or the Ethernet
+// egress path.
+func (sq *SQ) dispatch(idx uint32, wqe SendWQE, data []byte) {
+	if sq.QP != nil {
+		sq.QP.send(idx, wqe, data)
+		// RDMA completions are written on ACK by the QP; the SQ slot
+		// itself retires once the transport owns the message.
+		sq.complete(idx)
+		return
+	}
+	// Raw Ethernet: the payload is a complete frame.
+	frame := data
+	send := func() {
+		onSent := func() {
+			sq.retire(idx, CQE{
+				Opcode: CQESend, Index: uint16(idx), Queue: sq.ID,
+				ByteCount: uint32(len(frame)), FlowTag: wqe.FlowTag, Last: true,
+			}, wqe.Signal)
+		}
+		if sq.Weight > 0 {
+			if sq.n.ets == nil {
+				sq.n.ets = newETSScheduler(sq.n)
+			}
+			sq.n.ets.dispatch(sq, frame, wqe.FlowTag, onSent)
+			return
+		}
+		sq.n.egress(sq.VPort, frame, wqe.FlowTag, onSent)
+	}
+	if sq.Shaper != nil {
+		if d := sq.Shaper.Reserve(len(frame)); d > 0 {
+			sq.n.eng.After(d, send)
+			return
+		}
+	}
+	send()
+}
+
+// complete frees the descriptor slot and pulls in more work.
+func (sq *SQ) complete(idx uint32) {
+	sq.ci++
+	sq.inflight--
+	sq.kick()
+}
+
+// retire completes the slot and optionally writes a CQE.
+func (sq *SQ) retire(idx uint32, cqe CQE, signal bool) {
+	sq.complete(idx)
+	if signal && sq.CQ != nil {
+		sq.CQ.Push(cqe)
+	}
+}
+
+// CI exposes the consumer index for tests.
+func (sq *SQ) CI() uint32 { return sq.ci }
+
+// --- Receive queue -------------------------------------------------------
+
+type pendingRx struct {
+	data []byte
+	cqe  CQE
+}
+
+// RQ is a receive queue. Descriptors live in a ring (host memory in the
+// FlexDriver design); the NIC fetches one when it needs a fresh buffer and
+// — for MPRQ — packs multiple packets into it, one stride-aligned packet
+// at a time.
+type RQ struct {
+	n          *NIC
+	ID         uint32
+	Ring       uint64
+	Size       int
+	CQ         *CQ
+	StrideSize int
+
+	pi, ci uint32 // ci: next descriptor index to hand to placement
+
+	cur       *RecvWQE
+	curIdx    uint32
+	curOffset int
+	backlog   []pendingRx
+
+	// Descriptor prefetch pipeline: the NIC reads descriptors ahead in
+	// cache-line batches with several reads in flight, like real
+	// hardware — without this, per-packet descriptor fetch latency
+	// would cap the receive rate at ~1/RTT.
+	fetchIdx uint32 // next descriptor index to request
+	inflight int
+	fetchSeq uint64
+	drainSeq uint64
+	fetched  map[uint64][]RecvWQE
+	ready    []RecvWQE
+
+	// WastedBytes counts stride fragmentation (packet skipped to the
+	// next buffer because the current one lacked room).
+	WastedBytes int64
+}
+
+const (
+	rqFetchBatch    = 8 // descriptors per read (two cache lines)
+	rqFetchWindow   = 4 // outstanding descriptor reads
+	rqReadyLowWater = 16
+)
+
+// ringDoorbell advances the producer index: the consumer posted buffers.
+func (rq *RQ) ringDoorbell(pi uint32) {
+	if int32(pi-rq.pi) < 0 {
+		return
+	}
+	rq.pi = pi
+	rq.prefetch()
+	rq.progress()
+}
+
+// prefetch keeps the descriptor pipeline full: batched ring reads, a few
+// in flight, completions drained in order.
+func (rq *RQ) prefetch() {
+	for rq.inflight < rqFetchWindow &&
+		int32(rq.pi-rq.fetchIdx) > 0 &&
+		len(rq.ready) < rqReadyLowWater {
+		n := int(rq.pi - rq.fetchIdx)
+		if n > rqFetchBatch {
+			n = rqFetchBatch
+		}
+		// Don't wrap within one read.
+		slot := rq.fetchIdx % uint32(rq.Size)
+		if int(slot)+n > rq.Size {
+			n = rq.Size - int(slot)
+		}
+		seq := rq.fetchSeq
+		rq.fetchSeq++
+		rq.fetchIdx += uint32(n)
+		rq.inflight++
+		addr := rq.Ring + uint64(slot)*RecvWQESize
+		rq.n.port.Read(addr, n*RecvWQESize, func(b []byte) {
+			rq.inflight--
+			batch := make([]RecvWQE, 0, n)
+			for i := 0; i < n; i++ {
+				w, err := ParseRecvWQE(b[i*RecvWQESize:])
+				if err != nil {
+					rq.n.Stats.drop("rq-bad-desc")
+					continue
+				}
+				batch = append(batch, w)
+			}
+			if rq.fetched == nil {
+				rq.fetched = make(map[uint64][]RecvWQE)
+			}
+			rq.fetched[seq] = batch
+			// Drain in order so the consumer sees ring order even if
+			// reads completed out of order.
+			for {
+				next, ok := rq.fetched[rq.drainSeq]
+				if !ok {
+					break
+				}
+				delete(rq.fetched, rq.drainSeq)
+				rq.drainSeq++
+				rq.ready = append(rq.ready, next...)
+			}
+			rq.prefetch()
+			rq.progress()
+		})
+	}
+}
+
+// deliver enqueues a received packet for buffer placement. cqe carries the
+// metadata the NIC already derived (flow tag, RSS hash, checksum).
+func (rq *RQ) deliver(data []byte, cqe CQE) {
+	// Bound the NIC-internal rx FIFO: a real NIC has shallow buffering
+	// and drops when the host does not post buffers fast enough.
+	if len(rq.backlog) >= 256 {
+		rq.n.Stats.drop("rq-overflow")
+		return
+	}
+	rq.backlog = append(rq.backlog, pendingRx{data: data, cqe: cqe})
+	rq.progress()
+}
+
+// progress places backlog packets into buffers from the prefetched
+// descriptor queue.
+func (rq *RQ) progress() {
+	for len(rq.backlog) > 0 {
+		if rq.cur == nil {
+			if len(rq.ready) == 0 {
+				if rq.ci == rq.pi {
+					// No posted buffers: drop from the tail like
+					// hardware.
+					rq.n.Stats.drop("rq-no-buffers")
+					rq.backlog = rq.backlog[1:]
+					continue
+				}
+				// Buffers posted but descriptors still in flight.
+				rq.prefetch()
+				return
+			}
+			w := rq.ready[0]
+			rq.ready = rq.ready[1:]
+			rq.cur = &w
+			rq.curIdx = rq.ci
+			rq.curOffset = 0
+			rq.ci++
+			rq.prefetch()
+		}
+		p := rq.backlog[0]
+		rq.backlog = rq.backlog[1:]
+		rq.place(p)
+	}
+}
+
+// place writes one packet into the current buffer, advancing stride
+// accounting and emitting the receive CQE.
+func (rq *RQ) place(p pendingRx) {
+	n := len(p.data)
+	stride := rq.StrideSize
+	if stride == 0 {
+		stride = int(rq.cur.Len)
+	}
+	need := (n + stride - 1) / stride * stride
+	if n > int(rq.cur.Len) {
+		rq.n.Stats.drop("rx-too-big")
+		return
+	}
+	if rq.curOffset+need > int(rq.cur.Len) {
+		// Doesn't fit in the remaining strides: MPRQ fragmentation —
+		// waste the tail and move to the next buffer.
+		rq.WastedBytes += int64(int(rq.cur.Len) - rq.curOffset)
+		rq.cur = nil
+		rq.backlog = append([]pendingRx{p}, rq.backlog...)
+		rq.progress()
+		return
+	}
+	addr := rq.cur.Addr + uint64(rq.curOffset)
+	strideIdx := rq.curOffset / stride
+	bufIdx := rq.curIdx
+	rq.curOffset += need
+	last := rq.curOffset+stride > int(rq.cur.Len)
+	if last {
+		rq.cur = nil // buffer exhausted; descriptor consumed
+	}
+	cqe := p.cqe
+	cqe.Opcode = orDefault(cqe.Opcode, CQERecv)
+	cqe.Queue = rq.ID
+	cqe.ByteCount = uint32(n)
+	cqe.Index = uint16(bufIdx%uint32(rq.Size))<<8 | uint16(strideIdx&0xff)
+	cqe.Addr = addr
+	rq.n.Stats.RxPackets++
+	rq.n.Stats.RxBytes += int64(n)
+	rq.n.port.Write(addr, p.data, func() {
+		if rq.CQ != nil {
+			rq.CQ.Push(cqe)
+		}
+	})
+}
+
+func orDefault(v, d uint8) uint8 {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+// Posted reports how many buffers are currently posted and unconsumed.
+func (rq *RQ) Posted() int { return int(rq.pi - rq.ci) }
+
+// --- Completion queue ----------------------------------------------------
+
+// CQ is a completion queue: the NIC DMA-writes 64 B CQEs into its ring and
+// notifies the consumer.
+type CQ struct {
+	n     *NIC
+	ID    uint32
+	Ring  uint64
+	Size  int
+	pi    uint32
+	onCQE func(CQE)
+}
+
+// Push DMA-writes one completion into the ring.
+func (cq *CQ) Push(c CQE) {
+	c.Counter = cq.pi
+	slot := uint64(cq.pi) % uint64(cq.Size)
+	cq.pi++
+	addr := cq.Ring + slot*CQESize
+	b := c.Marshal()
+	cq.n.port.Write(addr, b, func() {
+		if cq.onCQE != nil {
+			cq.onCQE(c)
+		}
+	})
+}
+
+// PI returns the number of completions ever pushed.
+func (cq *CQ) PI() uint32 { return cq.pi }
+
+// ConnectX6DxParams returns the timing profile of the newer-generation
+// adapter the paper reports porting FlexDriver to with minimal changes
+// (§6: "we have successfully tested our ConnectX-5-based design against
+// ConnectX-6 Dx"): faster engines and a shorter pipeline, same
+// driver-facing contract.
+func ConnectX6DxParams() Params {
+	p := DefaultParams()
+	p.TxPerWQE = 5 * sim.Nanosecond // ~200 Mpps engine
+	p.RxPerPkt = 5 * sim.Nanosecond
+	p.PipelineDelay = 120 * sim.Nanosecond
+	p.SQWindow = 64
+	return p
+}

@@ -1,0 +1,412 @@
+package nic
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flexdriver/internal/netpkt"
+	"flexdriver/internal/sim"
+)
+
+// RoCE v2 framing: Eth + IPv4 + UDP(4791) + BTH, trailed by a 4-byte ICRC.
+const (
+	BTHLen          = 12
+	ICRCLen         = 4
+	RoCEOverhead    = netpkt.EthHeaderLen + netpkt.IPv4HeaderLen + netpkt.UDPHeaderLen + BTHLen + ICRCLen // 58 B
+	defaultQPWindow = 128                                                                                 // outstanding packets per QP
+)
+
+// BTH opcodes (RC subset).
+const (
+	btSendFirst  = 0x00
+	btSendMiddle = 0x01
+	btSendLast   = 0x02
+	btSendOnly   = 0x04
+	btAck        = 0x11
+	btNak        = 0x12
+)
+
+// BTH is the base transport header of a RoCE packet.
+type BTH struct {
+	Opcode  uint8
+	DestQPN uint32
+	PSN     uint32
+}
+
+func (h BTH) marshal(b []byte) []byte {
+	b = append(b, h.Opcode, 0, 0, 0)
+	b = binary.BigEndian.AppendUint32(b, h.DestQPN)
+	return binary.BigEndian.AppendUint32(b, h.PSN)
+}
+
+func parseBTH(b []byte) (BTH, []byte, error) {
+	if len(b) < BTHLen {
+		return BTH{}, nil, fmt.Errorf("nic: BTH too short (%d bytes)", len(b))
+	}
+	return BTH{
+		Opcode:  b[0],
+		DestQPN: binary.BigEndian.Uint32(b[4:]),
+		PSN:     binary.BigEndian.Uint32(b[8:]),
+	}, b[BTHLen:], nil
+}
+
+// parseRoCE recognizes RoCE v2 frames and returns the BTH and payload
+// (ICRC stripped).
+func parseRoCE(frame []byte) (BTH, []byte, bool) {
+	eth, p, err := netpkt.ParseEth(frame)
+	if err != nil || eth.EtherType != netpkt.EtherTypeIPv4 {
+		return BTH{}, nil, false
+	}
+	ip, l4, err := netpkt.ParseIPv4(p)
+	if err != nil || ip.Proto != netpkt.ProtoUDP {
+		return BTH{}, nil, false
+	}
+	udp, rest, err := netpkt.ParseUDP(l4)
+	if err != nil || udp.DstPort != netpkt.RoCEPort {
+		return BTH{}, nil, false
+	}
+	bth, payload, err := parseBTH(rest)
+	if err != nil || len(payload) < ICRCLen {
+		return BTH{}, nil, false
+	}
+	return bth, payload[:len(payload)-ICRCLen], true
+}
+
+// QP is a reliable-connection queue pair. Its send work queue is a normal
+// SQ whose descriptors carry whole messages; the NIC segments them into
+// MTU-sized RoCE packets, tracks PSNs, and recovers from loss with
+// go-back-N, exactly the transport offload FlexDriver borrows from the NIC
+// (paper §5, FLD-R).
+type QP struct {
+	n   *NIC
+	QPN uint32
+	SQ  *SQ
+	RQ  *RQ // receive queue, possibly shared among QPs (SRQ)
+	MTU int
+
+	remoteNIC *NIC
+	remoteQPN uint32
+
+	// Sender state.
+	sndPSN     uint32 // next PSN to assign
+	una        uint32 // oldest unacknowledged PSN
+	sent       []txPkt
+	timerArmed bool
+	lastAckAt  sim.Time
+	nakPending bool
+
+	// Receiver state.
+	expPSN    uint32
+	rxMsgLen  uint32 // bytes accumulated for the in-progress message
+	nakedOnce bool
+	// ACK coalescing: acknowledge every AckCoalesce completed messages,
+	// with an idle timer bounding the delay.
+	unackedMsgs int
+	ackTimer    bool
+}
+
+type txPkt struct {
+	psn     uint32
+	frame   []byte
+	last    bool // last packet of its message
+	wqeIdx  uint16
+	signal  bool
+	msgLen  uint32
+	started bool // transmitted at least once
+}
+
+// QPConfig configures a queue pair.
+type QPConfig struct {
+	SQ  *SQ
+	RQ  *RQ
+	MTU int // defaults to Params.RoCEMTU
+}
+
+// CreateQP allocates a queue pair bound to the given work queues.
+func (n *NIC) CreateQP(cfg QPConfig) *QP {
+	qp := &QP{n: n, QPN: n.allocQN(), SQ: cfg.SQ, RQ: cfg.RQ, MTU: cfg.MTU}
+	if qp.MTU == 0 {
+		qp.MTU = n.Prm.RoCEMTU
+	}
+	if cfg.SQ != nil {
+		cfg.SQ.QP = qp
+	}
+	n.qps[qp.QPN] = qp
+	return qp
+}
+
+// ConnectQPs wires two queue pairs into an established RC connection.
+func ConnectQPs(a, b *QP) {
+	a.remoteNIC, a.remoteQPN = b.n, b.QPN
+	b.remoteNIC, b.remoteQPN = a.n, a.QPN
+}
+
+// send accepts one message from the SQ and segments it into the
+// retransmission queue.
+func (qp *QP) send(idx uint32, wqe SendWQE, data []byte) {
+	if qp.remoteNIC == nil {
+		qp.n.Stats.drop("qp-not-connected")
+		return
+	}
+	total := uint32(len(data))
+	nseg := (len(data) + qp.MTU - 1) / qp.MTU
+	if nseg == 0 {
+		nseg = 1
+	}
+	for i := 0; i < nseg; i++ {
+		lo := i * qp.MTU
+		hi := lo + qp.MTU
+		if hi > len(data) {
+			hi = len(data)
+		}
+		var op uint8
+		switch {
+		case nseg == 1:
+			op = btSendOnly
+		case i == 0:
+			op = btSendFirst
+		case i == nseg-1:
+			op = btSendLast
+		default:
+			op = btSendMiddle
+		}
+		psn := qp.sndPSN
+		qp.sndPSN++
+		frame := qp.buildPacket(op, psn, data[lo:hi])
+		qp.sent = append(qp.sent, txPkt{
+			psn: psn, frame: frame, last: i == nseg-1,
+			wqeIdx: uint16(idx), signal: wqe.Signal, msgLen: total,
+		})
+	}
+	qp.pump()
+}
+
+// buildPacket wraps a payload segment in RoCE v2 framing.
+func (qp *QP) buildPacket(op uint8, psn uint32, payload []byte) []byte {
+	bth := BTH{Opcode: op, DestQPN: qp.remoteQPN, PSN: psn}
+	l4 := bth.marshal(make([]byte, 0, BTHLen+len(payload)+ICRCLen))
+	l4 = append(l4, payload...)
+	l4 = append(l4, 0, 0, 0, 0) // ICRC placeholder
+	udp := netpkt.UDP{SrcPort: 0xC000 | uint16(qp.QPN&0x3fff), DstPort: netpkt.RoCEPort,
+		Length: uint16(netpkt.UDPHeaderLen + len(l4))}
+	l3p := append(udp.Marshal(make([]byte, 0, netpkt.UDPHeaderLen+len(l4))), l4...)
+	ip := netpkt.IPv4{TotalLen: uint16(netpkt.IPv4HeaderLen + len(l3p)), Proto: netpkt.ProtoUDP,
+		Src: qp.n.IP, Dst: qp.remoteNIC.IP}
+	l2p := append(ip.Marshal(make([]byte, 0, netpkt.IPv4HeaderLen+len(l3p))), l3p...)
+	eth := netpkt.Eth{Dst: qp.remoteNIC.MAC, Src: qp.n.MAC, EtherType: netpkt.EtherTypeIPv4}
+	return append(eth.Marshal(make([]byte, 0, netpkt.EthHeaderLen+len(l2p))), l2p...)
+}
+
+// pump transmits packets allowed by the window.
+func (qp *QP) pump() {
+	for i := range qp.sent {
+		p := &qp.sent[i]
+		if p.started {
+			continue
+		}
+		if p.psn >= qp.una+defaultQPWindow {
+			break
+		}
+		p.started = true
+		qp.transmit(p.frame)
+	}
+	qp.armTimer()
+}
+
+// transmit emits a RoCE frame toward the remote NIC — over the wire, or
+// through the eSwitch hairpin when both QPs share one NIC (the paper's
+// local experiments).
+func (qp *QP) transmit(frame []byte) {
+	qp.n.Stats.TxPackets++
+	qp.n.Stats.TxBytes += int64(len(frame))
+	if qp.remoteNIC == qp.n {
+		n := qp.n
+		n.esw.loopback.Acquire(n.esw.LoopbackRate.Serialize(len(frame)), func() {
+			n.eng.After(n.Prm.PipelineDelay, func() {
+				if bth, payload, ok := parseRoCE(frame); ok {
+					n.rdmaIngress(bth, payload)
+				}
+			})
+		})
+		return
+	}
+	qp.n.transmitWire(frame, nil)
+}
+
+func (qp *QP) armTimer() {
+	if qp.timerArmed || len(qp.sent) == 0 {
+		return
+	}
+	qp.timerArmed = true
+	una := qp.una
+	qp.n.eng.After(qp.n.Prm.RetransmitTimeout, func() {
+		qp.timerArmed = false
+		if len(qp.sent) == 0 {
+			return
+		}
+		if qp.una == una {
+			// No progress: go-back-N from the oldest unacked packet.
+			qp.n.Stats.drop("rdma-timeout-retransmit")
+			qp.retransmit()
+		}
+		qp.armTimer()
+	})
+}
+
+// retransmit resends every unacknowledged packet in order.
+func (qp *QP) retransmit() {
+	for i := range qp.sent {
+		p := &qp.sent[i]
+		if p.psn >= qp.una+defaultQPWindow {
+			break
+		}
+		p.started = true
+		qp.transmit(p.frame)
+	}
+}
+
+// rdmaIngress dispatches a transport packet to its destination QP.
+func (n *NIC) rdmaIngress(bth BTH, payload []byte) {
+	qp := n.qps[bth.DestQPN]
+	if qp == nil {
+		n.Stats.drop("rdma-unknown-qpn")
+		return
+	}
+	qp.receive(bth, payload)
+}
+
+// receive handles one transport packet (data or ACK/NAK).
+func (qp *QP) receive(bth BTH, payload []byte) {
+	switch bth.Opcode {
+	case btAck:
+		qp.handleAck(bth.PSN)
+	case btNak:
+		qp.handleNak(bth.PSN)
+	default:
+		qp.handleData(bth, payload)
+	}
+}
+
+func (qp *QP) handleData(bth BTH, payload []byte) {
+	if bth.PSN != qp.expPSN {
+		if int32(bth.PSN-qp.expPSN) < 0 {
+			// Duplicate from a retransmit burst: re-ack so the sender
+			// advances.
+			qp.sendCtl(btAck, qp.expPSN-1)
+			return
+		}
+		// Gap: NAK once per loss event.
+		if !qp.nakedOnce {
+			qp.nakedOnce = true
+			qp.n.Stats.drop("rdma-out-of-order")
+			qp.sendCtl(btNak, qp.expPSN)
+		}
+		return
+	}
+	qp.nakedOnce = false
+	qp.expPSN++
+	last := bth.Opcode == btSendLast || bth.Opcode == btSendOnly
+	qp.rxMsgLen += uint32(len(payload))
+	msgLen := qp.rxMsgLen
+	if last {
+		qp.rxMsgLen = 0
+	}
+	if qp.RQ != nil {
+		op := uint8(CQERecvFrag)
+		if last {
+			op = CQERecv
+		}
+		// The CQE's QPN field carries the *local* QP the message
+		// arrived on, so a shared receive queue's consumer can demux.
+		cqe := CQE{Opcode: op, Last: last, ChecksumOK: true,
+			RemoteQPN: qp.QPN, FlowTag: msgLen}
+		qp.RQ.deliver(payload, cqe)
+	}
+	if last {
+		qp.unackedMsgs++
+		coalesce := qp.n.Prm.AckCoalesce
+		if coalesce < 1 {
+			coalesce = 1
+		}
+		if qp.unackedMsgs >= coalesce {
+			qp.ackNow()
+		} else if !qp.ackTimer {
+			// Bound the ACK delay so the sender's completions and
+			// retransmission timer stay healthy under light load.
+			qp.ackTimer = true
+			qp.n.eng.After(qp.n.Prm.AckDelay, func() {
+				qp.ackTimer = false
+				if qp.unackedMsgs > 0 {
+					qp.ackNow()
+				}
+			})
+		}
+	}
+}
+
+// ackNow acknowledges everything received so far.
+func (qp *QP) ackNow() {
+	qp.unackedMsgs = 0
+	qp.sendCtl(btAck, qp.expPSN-1)
+}
+
+// sendCtl emits an ACK or NAK for the remote sender.
+func (qp *QP) sendCtl(op uint8, psn uint32) {
+	if qp.remoteNIC == nil {
+		return
+	}
+	bth := BTH{Opcode: op, DestQPN: qp.remoteQPN, PSN: psn}
+	l4 := bth.marshal(make([]byte, 0, BTHLen+ICRCLen))
+	l4 = append(l4, 0, 0, 0, 0)
+	udp := netpkt.UDP{SrcPort: 0xC000, DstPort: netpkt.RoCEPort, Length: uint16(netpkt.UDPHeaderLen + len(l4))}
+	l3p := append(udp.Marshal(nil), l4...)
+	ip := netpkt.IPv4{TotalLen: uint16(netpkt.IPv4HeaderLen + len(l3p)), Proto: netpkt.ProtoUDP,
+		Src: qp.n.IP, Dst: qp.remoteNIC.IP}
+	l2p := append(ip.Marshal(nil), l3p...)
+	eth := netpkt.Eth{Dst: qp.remoteNIC.MAC, Src: qp.n.MAC, EtherType: netpkt.EtherTypeIPv4}
+	frame := append(eth.Marshal(nil), l2p...)
+	qp.transmit(frame)
+}
+
+// handleAck releases acknowledged packets and writes send completions for
+// finished, signaled messages.
+func (qp *QP) handleAck(psn uint32) {
+	if int32(psn-qp.una) < 0 {
+		return
+	}
+	qp.una = psn + 1
+	for len(qp.sent) > 0 && int32(qp.sent[0].psn-psn) <= 0 {
+		p := qp.sent[0]
+		qp.sent = qp.sent[1:]
+		if p.last && p.signal && qp.SQ != nil && qp.SQ.CQ != nil {
+			qp.SQ.CQ.Push(CQE{
+				Opcode: CQESend, Last: true, Index: p.wqeIdx,
+				Queue: qp.SQ.ID, ByteCount: p.msgLen, RemoteQPN: qp.QPN,
+			})
+		}
+	}
+	qp.pump()
+}
+
+// handleNak rewinds to the receiver's expected PSN (go-back-N).
+func (qp *QP) handleNak(psn uint32) {
+	if int32(psn-qp.una) < 0 {
+		return
+	}
+	qp.una = psn
+	// Drop delivery state of acked packets (< psn) and retransmit the rest.
+	for len(qp.sent) > 0 && int32(qp.sent[0].psn-psn) < 0 {
+		p := qp.sent[0]
+		qp.sent = qp.sent[1:]
+		if p.last && p.signal && qp.SQ != nil && qp.SQ.CQ != nil {
+			qp.SQ.CQ.Push(CQE{
+				Opcode: CQESend, Last: true, Index: p.wqeIdx,
+				Queue: qp.SQ.ID, ByteCount: p.msgLen, RemoteQPN: qp.QPN,
+			})
+		}
+	}
+	qp.retransmit()
+}
+
+// Outstanding reports unacknowledged packets (tests).
+func (qp *QP) Outstanding() int { return len(qp.sent) }

@@ -1,0 +1,63 @@
+package nic
+
+import "flexdriver/internal/sim"
+
+// Wire is a full-duplex Ethernet cable between two NIC ports. Each
+// direction serializes frames at the line rate, charging the physical
+// per-frame overhead (preamble, FCS, inter-frame gap) the paper's rate
+// model uses.
+type Wire struct {
+	eng     *sim.Engine
+	rate    sim.BitRate
+	latency sim.Duration
+	ends    [2]*NIC
+	dirs    [2]*sim.Resource
+
+	// Loss, when set, is consulted per frame; returning true drops it.
+	// Used to exercise the RDMA retransmission path.
+	Loss func(frame []byte) bool
+
+	// Sent counts frames offered per direction; Delivered counts frames
+	// that arrived.
+	Sent, Delivered [2]int64
+}
+
+// EthWireOverhead is the per-frame physical-layer overhead in bytes.
+const EthWireOverhead = 20
+
+// ConnectWire cables two NICs back to back.
+func ConnectWire(a, b *NIC, rate sim.BitRate, latency sim.Duration) *Wire {
+	w := &Wire{
+		eng:     a.eng,
+		rate:    rate,
+		latency: latency,
+		ends:    [2]*NIC{a, b},
+	}
+	w.dirs[0] = sim.NewResource(a.eng)
+	w.dirs[1] = sim.NewResource(a.eng)
+	a.wire, a.wireEnd = w, 0
+	b.wire, b.wireEnd = w, 1
+	return w
+}
+
+// Rate returns the line rate.
+func (w *Wire) Rate() sim.BitRate { return w.rate }
+
+// send serializes a frame from the given end; onSent fires when the frame
+// has fully left the sender, done(frame) at the receiver after latency.
+func (w *Wire) send(from int, frame []byte, onSent func()) {
+	w.Sent[from]++
+	d := w.rate.Serialize(len(frame) + EthWireOverhead)
+	w.dirs[from].Acquire(d, func() {
+		if onSent != nil {
+			onSent()
+		}
+		if w.Loss != nil && w.Loss(frame) {
+			return
+		}
+		w.eng.After(w.latency, func() {
+			w.Delivered[from]++
+			w.ends[1-from].handleWireIngress(frame)
+		})
+	})
+}

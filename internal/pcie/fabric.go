@@ -1,0 +1,195 @@
+package pcie
+
+import (
+	"fmt"
+
+	"flexdriver/internal/sim"
+)
+
+// Fabric is a PCIe switch with point-to-point links to each attached
+// device. It routes memory transactions by address: each device receives a
+// BAR window in a flat 64-bit space.
+//
+// The Innova-2 SmartNIC embeds exactly this topology: the ConnectX-5, the
+// FPGA and the host root port all hang off one internal switch (paper §6,
+// Figure 6).
+type Fabric struct {
+	eng   *sim.Engine
+	ports []*Port
+	next  uint64 // next free BAR base
+}
+
+// Port is a device's attachment point. Up is the device-to-switch
+// direction, down is switch-to-device; each is an independent serialization
+// resource so bidirectional traffic does not falsely contend.
+type Port struct {
+	fab  *Fabric
+	dev  Device
+	cfg  LinkConfig
+	base uint64
+	size uint64
+	up   *sim.Resource
+	down *sim.Resource
+
+	// Byte counters for utilization reporting (wire bytes incl. overhead).
+	UpBytes, DownBytes int64
+}
+
+// NewFabric returns an empty fabric on the given engine.
+func NewFabric(eng *sim.Engine) *Fabric {
+	return &Fabric{eng: eng, next: 0x1000_0000}
+}
+
+// Engine returns the simulation engine the fabric schedules on.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Attach connects dev through a link with the given configuration and
+// assigns it a BAR window. The returned Port is the device's initiator
+// handle for DMA.
+func (f *Fabric) Attach(dev Device, cfg LinkConfig) *Port {
+	size := dev.BARSize()
+	// Align the window to its size rounded up to a power of two, as PCIe
+	// BARs are naturally aligned.
+	align := uint64(1)
+	for align < size {
+		align <<= 1
+	}
+	base := (f.next + align - 1) &^ (align - 1)
+	p := &Port{
+		fab:  f,
+		dev:  dev,
+		cfg:  cfg,
+		base: base,
+		size: size,
+		up:   sim.NewResource(f.eng),
+		down: sim.NewResource(f.eng),
+	}
+	f.next = base + align
+	f.ports = append(f.ports, p)
+	return p
+}
+
+// Base returns the BAR base address assigned to the port's device.
+func (p *Port) Base() uint64 { return p.base }
+
+// Config returns the port's link configuration.
+func (p *Port) Config() LinkConfig { return p.cfg }
+
+// Device returns the attached device.
+func (p *Port) Device() Device { return p.dev }
+
+// target resolves addr to the owning port, or panics: a DMA to an unmapped
+// address is always a model bug (real hardware would raise an unsupported
+// request error and wedge the queue).
+func (f *Fabric) target(addr uint64) *Port {
+	for _, p := range f.ports {
+		if addr >= p.base && addr < p.base+p.size {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("pcie: no device at address %#x", addr))
+}
+
+// --- Untimed (control-plane) access ------------------------------------
+
+// Read performs an immediate, untimed read. Control-plane software setup
+// uses this; data-plane engines must use Port.Read for timing fidelity.
+func (f *Fabric) Read(addr uint64, size int) []byte {
+	p := f.target(addr)
+	return p.dev.MMIORead(addr-p.base, size)
+}
+
+// Write performs an immediate, untimed write.
+func (f *Fabric) Write(addr uint64, data []byte) {
+	p := f.target(addr)
+	p.dev.MMIOWrite(addr-p.base, data)
+}
+
+// --- Timed (data-plane) transactions ------------------------------------
+
+// Write posts an n-byte memory write from this port to addr. The write is
+// posted: done (optional) fires when the last byte reaches the target
+// device. Wire time is charged on the initiator's upstream direction and
+// the target's downstream direction.
+func (p *Port) Write(addr uint64, data []byte, done func()) {
+	q := p.fab.target(addr)
+	wire := p.cfg.WriteWireBytes(len(data))
+	p.UpBytes += int64(wire)
+	d1 := p.cfg.EffectiveRate().Serialize(wire)
+	p.up.Acquire(d1, func() {
+		p.fab.eng.After(p.cfg.PropDelay, func() {
+			wire2 := q.cfg.WriteWireBytes(len(data))
+			q.DownBytes += int64(wire2)
+			d2 := q.cfg.EffectiveRate().Serialize(wire2)
+			q.down.Acquire(d2, func() {
+				p.fab.eng.After(q.cfg.PropDelay, func() {
+					q.dev.MMIOWrite(addr-q.base, data)
+					if done != nil {
+						done()
+					}
+				})
+			})
+		})
+	})
+}
+
+// Read fetches size bytes at addr. The request TLPs traverse initiator-up
+// and target-down; the target's MMIORead executes; the completion stream
+// returns over target-up and initiator-down. done receives the data.
+func (p *Port) Read(addr uint64, size int, done func(data []byte)) {
+	q := p.fab.target(addr)
+	reqWire := p.cfg.ReadReqWireBytes(size)
+	p.UpBytes += int64(reqWire)
+	d1 := p.cfg.EffectiveRate().Serialize(reqWire)
+	p.up.Acquire(d1, func() {
+		p.fab.eng.After(p.cfg.PropDelay, func() {
+			reqWire2 := q.cfg.ReadReqWireBytes(size)
+			q.DownBytes += int64(reqWire2)
+			d2 := q.cfg.EffectiveRate().Serialize(reqWire2)
+			q.down.Acquire(d2, func() {
+				p.fab.eng.After(q.cfg.PropDelay, func() {
+					data := q.dev.MMIORead(addr-q.base, size)
+					cplWire := q.cfg.CompletionWireBytes(len(data))
+					q.UpBytes += int64(cplWire)
+					d3 := q.cfg.EffectiveRate().Serialize(cplWire)
+					q.up.Acquire(d3, func() {
+						p.fab.eng.After(q.cfg.PropDelay, func() {
+							cplWire2 := p.cfg.CompletionWireBytes(len(data))
+							p.DownBytes += int64(cplWire2)
+							d4 := p.cfg.EffectiveRate().Serialize(cplWire2)
+							p.down.Acquire(d4, func() {
+								p.fab.eng.After(p.cfg.PropDelay, func() {
+									done(data)
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// AddrOf returns the fabric address corresponding to an offset within the
+// given device's BAR, or panics if the device is not attached.
+func (f *Fabric) AddrOf(dev Device, offset uint64) uint64 {
+	for _, p := range f.ports {
+		if p.dev == dev {
+			if offset >= p.size {
+				panic(fmt.Sprintf("pcie: offset %#x beyond BAR of %s", offset, dev.PCIeName()))
+			}
+			return p.base + offset
+		}
+	}
+	panic(fmt.Sprintf("pcie: device %s not attached", dev.PCIeName()))
+}
+
+// PortOf returns the port of an attached device, or nil.
+func (f *Fabric) PortOf(dev Device) *Port {
+	for _, p := range f.ports {
+		if p.dev == dev {
+			return p
+		}
+	}
+	return nil
+}

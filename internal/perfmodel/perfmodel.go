@@ -1,0 +1,185 @@
+// Package perfmodel implements the paper's analytic performance models
+// (§8.1): the per-packet PCIe-overhead model behind Figure 7a (expected
+// FLD throughput vs a raw Ethernet attachment) and the RoCE/app-header
+// upper bound used in Figure 8a for the disaggregated ZUC accelerator.
+package perfmodel
+
+import (
+	"flexdriver/internal/nic"
+	"flexdriver/internal/pcie"
+	"flexdriver/internal/sim"
+)
+
+// EchoModel captures the FLD-E echo data path's PCIe cost: every packet
+// crosses the NIC-FPGA link twice (in as a buffer write, out as read
+// completions) along with its control traffic (completions, descriptors,
+// doorbells).
+type EchoModel struct {
+	// Link is the NIC-FPGA PCIe configuration.
+	Link pcie.LinkConfig
+	// EthRateGbps is the network-facing line rate.
+	EthRateGbps float64
+	// SignalEvery amortizes transmit completions (selective completion
+	// signalling, §6).
+	SignalEvery int
+	// WQEByMMIO selects pushed descriptors (one 64 B MMIO write per
+	// packet) instead of NIC descriptor reads (request + completion).
+	WQEByMMIO bool
+	// RxRecyclePackets amortizes the receive producer-index doorbell
+	// over the packets a multi-packet buffer holds.
+	RxRecyclePackets int
+	// PpsCap bounds packet rate (the FLD pipeline's clock ceiling);
+	// zero means unbounded.
+	PpsCap float64
+}
+
+// DefaultEchoModel matches the prototype configuration at the given
+// rate. Configurations up to 50 GbE pair with the Innova-2's Gen3 x8
+// internal link; the 100 Gbps configuration pairs with a 100 Gbps-class
+// fabric (Gen4 x8), as the paper's model does ("different network and
+// PCIe rates").
+func DefaultEchoModel(ethGbps float64) EchoModel {
+	link := pcie.Gen3x8()
+	if ethGbps > 50 {
+		link.Gen = 4
+	}
+	return EchoModel{
+		Link:             link,
+		EthRateGbps:      ethGbps,
+		SignalEvery:      16,
+		WQEByMMIO:        true,
+		RxRecyclePackets: 21, // 32 KiB MPRQ buffer / ~1.5 KiB packets
+		PpsCap:           0,
+	}
+}
+
+// EthernetGoodput returns the payload throughput (Gbit/s) of a raw
+// Ethernet port at the given frame size: rate x S/(S+20).
+func EthernetGoodput(rateGbps float64, size int) float64 {
+	return rateGbps * float64(size) / float64(size+nic.EthWireOverhead)
+}
+
+// PerPacketBytes returns the wire bytes one echoed packet of the given
+// size costs on each direction of the NIC-FPGA link.
+func (m EchoModel) PerPacketBytes(size int) (toFPGA, toNIC int) {
+	l := m.Link
+	// NIC -> FPGA: received packet data, its receive CQE, the MRd
+	// requests for the transmit data, and the (amortized) transmit CQE.
+	toFPGA = l.WriteWireBytes(size) // packet into the MPRQ buffer
+	toFPGA += l.WriteWireBytes(nic.CQESize)
+	toFPGA += l.ReadReqWireBytes(size)
+	toFPGA += l.WriteWireBytes(nic.CQESize) / m.SignalEvery
+	// FPGA -> NIC: transmit data as read completions, the pushed WQE
+	// (or a 4 B doorbell when the NIC reads descriptors, in which case
+	// the descriptor read's completion also flows here), and the
+	// amortized receive-ring producer index.
+	toNIC = l.CompletionWireBytes(size)
+	if m.WQEByMMIO {
+		toNIC += l.WriteWireBytes(nic.SendWQESize)
+	} else {
+		toNIC += l.WriteWireBytes(4)
+		toNIC += l.CompletionWireBytes(nic.SendWQESize)
+		toFPGA += l.ReadReqWireBytes(nic.SendWQESize)
+	}
+	toNIC += l.WriteWireBytes(4) / m.RxRecyclePackets
+	return toFPGA, toNIC
+}
+
+// PCIeGoodput returns the payload throughput (Gbit/s) the PCIe link
+// sustains for echoed packets of the given size: the bottleneck direction
+// limits the packet rate.
+func (m EchoModel) PCIeGoodput(size int) float64 {
+	toFPGA, toNIC := m.PerPacketBytes(size)
+	worst := toFPGA
+	if toNIC > worst {
+		worst = toNIC
+	}
+	eff := float64(m.Link.EffectiveRate()) / 1e9
+	return eff * float64(size) / float64(worst)
+}
+
+// Goodput returns the expected FLD echo throughput (Gbit/s of packet
+// bytes): the minimum of the Ethernet line, the PCIe bottleneck, and the
+// pipeline's pps ceiling.
+func (m EchoModel) Goodput(size int) float64 {
+	g := EthernetGoodput(m.EthRateGbps, size)
+	if p := m.PCIeGoodput(size); p < g {
+		g = p
+	}
+	if m.PpsCap > 0 {
+		if c := m.PpsCap * float64(size) * 8 / 1e9; c < g {
+			g = c
+		}
+	}
+	return g
+}
+
+// FractionOfEthernet reports FLD's expected goodput as a fraction of the
+// raw-Ethernet attachment at the same size (the paper's "95 % of Ethernet
+// line rate at 512 B" claim).
+func (m EchoModel) FractionOfEthernet(size int) float64 {
+	return m.Goodput(size) / EthernetGoodput(m.EthRateGbps, size)
+}
+
+// Point is one Figure 7a sample.
+type Point struct {
+	Size             int
+	EthernetGbps     float64
+	FLDGbps          float64
+	FractionOfEthNet float64
+}
+
+// Sweep evaluates the model across packet sizes.
+func (m EchoModel) Sweep(sizes []int) []Point {
+	out := make([]Point, 0, len(sizes))
+	for _, s := range sizes {
+		out = append(out, Point{
+			Size:             s,
+			EthernetGbps:     EthernetGoodput(m.EthRateGbps, s),
+			FLDGbps:          m.Goodput(s),
+			FractionOfEthNet: m.FractionOfEthernet(s),
+		})
+	}
+	return out
+}
+
+// ZucModel is the Figure 8a upper bound: the 25 GbE link carrying RoCE
+// framing plus the 64 B application header per request/response.
+type ZucModel struct {
+	LinkGbps  float64
+	MTU       int
+	AppHeader int
+	// LaneGbps / Lanes bound the accelerator itself (8 x ~4.76 Gbps at
+	// 512 B in the prototype).
+	LanePerMessage sim.Duration
+	LanePerByte    sim.Duration
+	Lanes          int
+}
+
+// DefaultZucModel matches the prototype.
+func DefaultZucModel() ZucModel {
+	return ZucModel{
+		LinkGbps:       25,
+		MTU:            1024,
+		AppHeader:      64,
+		LanePerMessage: 92 * sim.Nanosecond,
+		LanePerByte:    1500 * sim.Picosecond,
+		Lanes:          8,
+	}
+}
+
+// Goodput returns the expected request-payload throughput (Gbit/s) for
+// the given request size.
+func (m ZucModel) Goodput(size int) float64 {
+	msg := size + m.AppHeader
+	pkts := (msg + m.MTU - 1) / m.MTU
+	wire := msg + pkts*(nic.RoCEOverhead+nic.EthWireOverhead)
+	link := m.LinkGbps * float64(size) / float64(wire)
+	// Accelerator bound: lanes x bytes per service time.
+	svc := float64(m.LanePerMessage+sim.Duration(msg)*m.LanePerByte) / float64(sim.Second)
+	accel := float64(m.Lanes) * float64(size) * 8 / svc / 1e9
+	if accel < link {
+		return accel
+	}
+	return link
+}

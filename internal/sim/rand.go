@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps math/rand with distributions the experiments need. All
+// experiments construct it from a fixed seed so runs are reproducible.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{rand.New(rand.NewSource(seed))}
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// used for Poisson (open-loop) arrival processes.
+func (r *Rand) Exp(mean Duration) Duration {
+	d := Time(r.ExpFloat64() * float64(mean))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Pareto returns a bounded Pareto sample in [min, max] with tail index
+// alpha. Used to model OS-jitter tails on the CPU baseline.
+func (r *Rand) Pareto(min, max Duration, alpha float64) Duration {
+	// Inverse-CDF sampling of a bounded Pareto distribution.
+	lo, hi := float64(min), float64(max)
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	if x < lo {
+		x = lo
+	}
+	if x > hi {
+		x = hi
+	}
+	return Time(x)
+}

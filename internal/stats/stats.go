@@ -1,0 +1,149 @@
+// Package stats provides small statistics helpers (mean, percentiles,
+// histograms) for latency and throughput series produced by the simulated
+// experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	s.ensureSorted()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.vals[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	s.ensureSorted()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.vals[len(s.vals)-1]
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks, or 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := p / 100 * float64(len(s.vals)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.vals[lo]
+	}
+	frac := rank - float64(lo)
+	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Summary holds the latency summary shape used by the paper's Table 6.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	P99    float64
+	P999   float64
+}
+
+// Summarize computes a Summary of the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		Median: s.Median(),
+		P99:    s.Percentile(99),
+		P999:   s.Percentile(99.9),
+	}
+}
+
+// String formats a Summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f median=%.2f p99=%.2f p99.9=%.2f",
+		s.N, s.Mean, s.Median, s.P99, s.P999)
+}
+
+// Ratio returns a/b, or +Inf when b is zero and a nonzero, or 1 when both
+// are zero. Used when comparing measured to paper-reported values.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// Within reports whether got is within frac (e.g. 0.1 for ±10%) of want.
+func Within(got, want, frac float64) bool {
+	if want == 0 {
+		return math.Abs(got) <= frac
+	}
+	return math.Abs(got-want) <= frac*math.Abs(want)
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Median() != 0 || s.Percentile(99) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	approx(t, s.Mean(), 3, 1e-12, "mean")
+	approx(t, s.Median(), 3, 1e-12, "median")
+	approx(t, s.Min(), 1, 0, "min")
+	approx(t, s.Max(), 5, 0, "max")
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 4; i++ {
+		s.Add(float64(i)) // 1,2,3,4
+	}
+	approx(t, s.Percentile(0), 1, 0, "p0")
+	approx(t, s.Percentile(100), 4, 0, "p100")
+	approx(t, s.Percentile(50), 2.5, 1e-12, "p50")
+	approx(t, s.Percentile(25), 1.75, 1e-12, "p25")
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s Sample
+		n := 1 + r.Intn(100)
+		for i := 0; i < n; i++ {
+			s.Add(r.NormFloat64() * 100)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 2.5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAfterPercentile(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Median()
+	s.Add(0)
+	approx(t, s.Median(), 5, 1e-12, "median after re-add")
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	approx(t, s.Stddev(), 2, 1e-12, "stddev")
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.N != 1000 {
+		t.Fatalf("N = %d", sum.N)
+	}
+	approx(t, sum.Mean, 500.5, 1e-9, "mean")
+	approx(t, sum.P99, 990.01, 0.2, "p99")
+	approx(t, sum.P999, 999.002, 0.2, "p99.9")
+	if sum.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	approx(t, Ratio(10, 5), 2, 0, "ratio")
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Fatal("ratio x/0 should be +Inf")
+	}
+	approx(t, Ratio(0, 0), 1, 0, "0/0")
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(95, 100, 0.10) {
+		t.Fatal("95 should be within 10% of 100")
+	}
+	if Within(80, 100, 0.10) {
+		t.Fatal("80 should not be within 10% of 100")
+	}
+	if !Within(0.05, 0, 0.10) {
+		t.Fatal("near-zero should be within abs tolerance of 0")
+	}
+}

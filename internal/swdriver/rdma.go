@@ -1,0 +1,158 @@
+package swdriver
+
+import (
+	"flexdriver/internal/nic"
+)
+
+// RDMAEndpoint is a verbs-style software endpoint: a QP with host-memory
+// rings, used as the client side of the paper's FLD-R experiments (the
+// load generator and the ZUC cryptodev client run on one of these).
+type RDMAEndpoint struct {
+	drv *Driver
+	QP  *nic.QP
+
+	sqRing  uint64
+	txBufs  uint64
+	txBufSz int
+	sqSize  int
+	pi, ci  uint32
+	queued  [][]byte
+
+	// reassembly per local QP (SRQ delivers per-packet CQEs).
+	cur     []byte
+	recycle func(nic.CQE)
+
+	// OnMessage delivers fully reassembled incoming messages.
+	OnMessage func(data []byte)
+	// OnSendComplete fires when a sent message is acknowledged.
+	OnSendComplete func()
+}
+
+// RDMAConfig sizes an endpoint.
+type RDMAConfig struct {
+	SendEntries int // power of two
+	RecvEntries int // power of two
+	MaxMsgBytes int
+	MTU         int
+}
+
+// NewRDMAEndpoint builds the endpoint: an SQ for messages and an MPRQ SRQ
+// for receives, all rings in host memory.
+func (d *Driver) NewRDMAEndpoint(cfg RDMAConfig) *RDMAEndpoint {
+	if cfg.MaxMsgBytes == 0 {
+		cfg.MaxMsgBytes = 16 << 10
+	}
+	e := &RDMAEndpoint{drv: d, sqSize: cfg.SendEntries, txBufSz: cfg.MaxMsgBytes}
+
+	scqRing := d.mem.Alloc(uint64(cfg.SendEntries)*nic.CQESize, 64)
+	scq := d.nic.CreateCQ(nic.CQConfig{Ring: d.fab.AddrOf(d.mem, scqRing), Size: cfg.SendEntries,
+		OnCQE: func(c nic.CQE) { e.sendComplete(c) }})
+	e.sqRing = d.mem.Alloc(uint64(cfg.SendEntries)*nic.SendWQESize, 64)
+	e.txBufs = d.mem.Alloc(uint64(cfg.SendEntries)*uint64(cfg.MaxMsgBytes), 4096)
+	sq := d.nic.CreateSQ(nic.SQConfig{Ring: d.fab.AddrOf(d.mem, e.sqRing), Size: cfg.SendEntries, CQ: scq})
+
+	// Receive: MPRQ SRQ with 32 KiB buffers.
+	const bufBytes = 32 << 10
+	rcqRing := d.mem.Alloc(uint64(cfg.RecvEntries)*16*nic.CQESize, 64)
+	rcq := d.nic.CreateCQ(nic.CQConfig{Ring: d.fab.AddrOf(d.mem, rcqRing), Size: cfg.RecvEntries * 16,
+		OnCQE: func(c nic.CQE) { e.recvComplete(c) }})
+	rqRing := d.mem.Alloc(uint64(cfg.RecvEntries)*nic.RecvWQESize, 64)
+	rxBufs := d.mem.Alloc(uint64(cfg.RecvEntries)*bufBytes, 4096)
+	rq := d.nic.CreateRQ(nic.RQConfig{Ring: d.fab.AddrOf(d.mem, rqRing), Size: cfg.RecvEntries,
+		CQ: rcq, StrideSize: 256})
+	for i := 0; i < cfg.RecvEntries; i++ {
+		w := nic.RecvWQE{Addr: d.fab.AddrOf(d.mem, rxBufs+uint64(i)*bufBytes), Len: bufBytes, StrideLog2: 8}
+		d.mem.WriteAt(rqRing+uint64(i)*nic.RecvWQESize, w.Marshal())
+	}
+	var b [4]byte
+	putU32(b[:], uint32(cfg.RecvEntries))
+	d.host.Write(d.bar+nic.RQDoorbellOffset(rq.ID), b[:], nil)
+	// In-order recycling driven from CQEs, same as the Ethernet port.
+	e.armRecycle(rq, cfg.RecvEntries, bufBytes)
+
+	e.QP = d.nic.CreateQP(nic.QPConfig{SQ: sq, RQ: rq, MTU: cfg.MTU})
+	return e
+}
+
+// armRecycle reposts receive buffers as the NIC consumes them, tracking
+// stride consumption like the FLD ring manager does.
+func (e *RDMAEndpoint) armRecycle(rq *nic.RQ, entries, bufBytes int) {
+	pi := uint32(entries)
+	curBuf := int32(-1)
+	strides := 0
+	per := bufBytes / 256
+	e.recycle = func(c nic.CQE) {
+		bufIdx := int32(c.Index >> 8)
+		bump := func() {
+			pi++
+			curBuf = -1
+			strides = 0
+			var b [4]byte
+			putU32(b[:], pi)
+			e.drv.host.Write(e.drv.bar+nic.RQDoorbellOffset(rq.ID), b[:], nil)
+		}
+		if curBuf >= 0 && bufIdx != curBuf {
+			bump()
+		}
+		curBuf = bufIdx
+		strides += (int(c.ByteCount) + 255) / 256
+		if strides >= per {
+			bump()
+		}
+	}
+}
+
+// Send transmits one message over the QP, charging CPU cost.
+func (e *RDMAEndpoint) Send(data []byte) {
+	e.drv.cpuWork(e.drv.Prm.TxCost, func() {
+		if int(e.pi-e.ci) >= e.sqSize {
+			e.queued = append(e.queued, data)
+			return
+		}
+		e.post(data)
+	})
+}
+
+func (e *RDMAEndpoint) post(data []byte) {
+	slot := uint64(e.pi) % uint64(e.sqSize)
+	bufOff := e.txBufs + slot*uint64(e.txBufSz)
+	e.drv.mem.WriteAt(bufOff, data)
+	w := nic.SendWQE{Opcode: nic.OpSend, Index: uint16(e.pi), Signal: true,
+		Addr: e.drv.fab.AddrOf(e.drv.mem, bufOff), Len: uint32(len(data))}
+	e.drv.mem.WriteAt(e.sqRing+slot*nic.SendWQESize, w.Marshal())
+	e.pi++
+	e.drv.TxPackets++
+	var b [4]byte
+	putU32(b[:], e.pi)
+	e.drv.host.Write(e.drv.bar+nic.SQDoorbellOffset(e.QP.SQ.ID), b[:], nil)
+}
+
+func (e *RDMAEndpoint) sendComplete(nic.CQE) {
+	e.ci++
+	if e.OnSendComplete != nil {
+		e.OnSendComplete()
+	}
+	for len(e.queued) > 0 && int(e.pi-e.ci) < e.sqSize {
+		d := e.queued[0]
+		e.queued = e.queued[1:]
+		e.post(d)
+	}
+}
+
+func (e *RDMAEndpoint) recvComplete(c nic.CQE) {
+	if e.recycle != nil {
+		e.recycle(c)
+	}
+	e.drv.cpuWork(e.drv.Prm.RxCost, func() {
+		base := e.drv.fab.PortOf(e.drv.mem).Base()
+		e.cur = append(e.cur, e.drv.mem.ReadAt(c.Addr-base, int(c.ByteCount))...)
+		if c.Last {
+			msg := e.cur
+			e.cur = nil
+			e.drv.RxPackets++
+			if e.OnMessage != nil {
+				e.OnMessage(msg)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"flexdriver/internal/sim"
+)
+
+func TestFixed(t *testing.T) {
+	d := Fixed(512)
+	r := sim.NewRand(1)
+	for i := 0; i < 100; i++ {
+		if d.Sample(r) != 512 {
+			t.Fatal("fixed distribution wandered")
+		}
+	}
+	if d.Mean() != 512 {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+}
+
+func TestIMC2010Shape(t *testing.T) {
+	d := IMC2010()
+	// Small-packet-dominated data-center traffic: mean ~250 B.
+	if m := d.Mean(); m < 180 || m > 350 {
+		t.Fatalf("IMC mean = %.0f B, want ~250", m)
+	}
+	r := sim.NewRand(2)
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	// Sampling must roughly follow the configured weights.
+	if frac := float64(counts[64]) / n; math.Abs(frac-0.70) > 0.02 {
+		t.Fatalf("64 B fraction = %.3f, want ~0.70", frac)
+	}
+	if frac := float64(counts[1500]) / n; math.Abs(frac-0.10) > 0.02 {
+		t.Fatalf("1500 B fraction = %.3f, want ~0.10", frac)
+	}
+	// Empirical mean close to analytic mean.
+	var sum float64
+	for s, c := range counts {
+		sum += float64(s * c)
+	}
+	if got := sum / n; math.Abs(got-d.Mean()) > 10 {
+		t.Fatalf("empirical mean %.1f vs analytic %.1f", got, d.Mean())
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	d := NewSizeDist([]int{10, 20}, []float64{3, 1})
+	r := sim.NewRand(3)
+	small := 0
+	const n = 40000
+	for i := 0; i < n; i++ {
+		if d.Sample(r) == 10 {
+			small++
+		}
+	}
+	if frac := float64(small) / n; math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("unnormalized weights: frac=%.3f", frac)
+	}
+}

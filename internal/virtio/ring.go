@@ -1,0 +1,92 @@
+// Package virtio implements a split-ring virtio-net device model and a
+// software driver for it. The paper's §6 portability discussion argues
+// that FlexDriver can be modified to drive NICs exposing standardized
+// interfaces: "an accelerator using FlexDriver for a virtio-compatible
+// NIC will work with any compliant NIC". This package provides that
+// standardized interface; internal/fldvirtio provides the FLD-side
+// adapter that drives it.
+//
+// The ring layout follows the virtio 1.x split virtqueue: a descriptor
+// table of 16-byte entries, an available ring the driver produces into,
+// and a used ring the device produces into.
+package virtio
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Descriptor flags.
+const (
+	DescFlagNext  = 1 // chain continues at Next
+	DescFlagWrite = 2 // device writes into this buffer (rx)
+)
+
+// DescSize is the byte size of one descriptor-table entry.
+const DescSize = 16
+
+// Desc is one descriptor-table entry.
+type Desc struct {
+	Addr  uint64
+	Len   uint32
+	Flags uint16
+	Next  uint16
+}
+
+// Marshal encodes the descriptor (little endian, per the virtio spec).
+func (d Desc) Marshal() []byte {
+	b := make([]byte, DescSize)
+	binary.LittleEndian.PutUint64(b[0:], d.Addr)
+	binary.LittleEndian.PutUint32(b[8:], d.Len)
+	binary.LittleEndian.PutUint16(b[12:], d.Flags)
+	binary.LittleEndian.PutUint16(b[14:], d.Next)
+	return b
+}
+
+// ParseDesc decodes a descriptor.
+func ParseDesc(b []byte) (Desc, error) {
+	if len(b) < DescSize {
+		return Desc{}, fmt.Errorf("virtio: descriptor too short (%d bytes)", len(b))
+	}
+	return Desc{
+		Addr:  binary.LittleEndian.Uint64(b[0:]),
+		Len:   binary.LittleEndian.Uint32(b[8:]),
+		Flags: binary.LittleEndian.Uint16(b[12:]),
+		Next:  binary.LittleEndian.Uint16(b[14:]),
+	}, nil
+}
+
+// Ring geometry helpers. The available ring is {flags u16, idx u16,
+// ring [size]u16}; the used ring is {flags u16, idx u16,
+// ring [size]{id u32, len u32}}.
+
+// AvailBytes returns the available ring's size in bytes.
+func AvailBytes(size int) int { return 4 + 2*size }
+
+// UsedBytes returns the used ring's size in bytes.
+func UsedBytes(size int) int { return 4 + 8*size }
+
+// UsedElem is one used-ring element.
+type UsedElem struct {
+	ID  uint32 // head descriptor index of the completed chain
+	Len uint32 // bytes written (rx) or 0 (tx)
+}
+
+// MarshalUsedElem encodes a used element.
+func MarshalUsedElem(e UsedElem) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint32(b[0:], e.ID)
+	binary.LittleEndian.PutUint32(b[4:], e.Len)
+	return b
+}
+
+// ParseUsedElem decodes a used element.
+func ParseUsedElem(b []byte) (UsedElem, error) {
+	if len(b) < 8 {
+		return UsedElem{}, fmt.Errorf("virtio: used element too short")
+	}
+	return UsedElem{
+		ID:  binary.LittleEndian.Uint32(b[0:]),
+		Len: binary.LittleEndian.Uint32(b[4:]),
+	}, nil
+}

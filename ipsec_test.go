@@ -1,0 +1,151 @@
+package flexdriver
+
+import (
+	"bytes"
+	"testing"
+
+	"flexdriver/internal/accel/defrag"
+	"flexdriver/internal/netpkt"
+	"flexdriver/internal/swdriver"
+)
+
+// TestIPSecDecryptThenDefrag is the strongest form of the paper's
+// "all-or-nothing offloads" argument (§2.1, §7): an area-demanding NIC
+// offload (inline IPSec ESP decryption) runs BEFORE the accelerator, the
+// FLD-attached defragmenter runs in the middle, and steering resumes
+// afterwards — impossible for a bump-in-the-wire design, where the
+// accelerator sees packets before the NIC ASIC can decrypt them.
+//
+// Traffic pattern: pre-fragmented inner packets, each fragment separately
+// ESP-encrypted (the mobile pre-fragmentation pattern), arriving on a
+// 25 GbE port.
+func TestIPSecDecryptThenDefrag(t *testing.T) {
+	rp := NewRemotePair(Options{})
+	srv := rp.Server
+	esw := srv.NIC.ESwitch()
+
+	sa := &netpkt.ESPSA{SPI: 0xABCD, Key: [16]byte{42, 1, 2}, Salt: [4]byte{7, 7, 7, 7}}
+
+	srv.RT.CreateEthTxQueue(0, nil)
+	afu := defrag.NewAFU(srv.FLD, srv.Eng, 10*Millisecond, 1024)
+	ecp := NewEControlPlane(srv.RT)
+
+	const appTable = 40
+	// Table 0: ESP traffic -> NIC inline decrypt offload -> table 20.
+	esp := uint8(netpkt.ProtoESP)
+	esw.AddRule(0, Rule{
+		Match:  Match{Proto: &esp},
+		Action: Action{ESPDecrypt: sa, Count: "esp-decrypt", ToTable: intptr(20)},
+	})
+	esw.AddRule(0, Rule{Action: Action{ToTable: intptr(20)}})
+	// Table 20: fragments detour through the FLD defragmenter.
+	ecp.InstallAccelerate(AccelerateSpec{
+		Table:     20,
+		Match:     Match{IsFragment: boolptr(true)},
+		Context:   9,
+		NextTable: appTable,
+	})
+	esw.AddRule(20, Rule{Action: Action{ToTable: intptr(appTable)}})
+	srv.RT.Start()
+
+	// Application queue on the server host.
+	app := srv.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 128, RxEntries: 128})
+	esw.AddRule(appTable, Rule{Action: Action{ToRQ: app.RQ()}})
+	var delivered [][]byte
+	app.OnReceive = func(frame []byte, md swdriver.RxMeta) { delivered = append(delivered, frame) }
+
+	// Client: 20 large packets, each fragmented then per-fragment
+	// ESP-encrypted.
+	port := rp.Client.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 256, RxEntries: 256})
+	seq := uint32(0)
+	var wantPayloads [][]byte
+	for i := 0; i < 20; i++ {
+		inner := buildUDPFrame(1, 2, uint16(30000+i), 5201, 1400)
+		_, ipPkt, err := netpkt.ParseEth(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, payload, _ := netpkt.ParseIPv4(ipPkt)
+		wantPayloads = append(wantPayloads, append([]byte(nil), payload...))
+
+		frags, err := netpkt.FragmentIPv4(ipPkt, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frag := range frags {
+			seq++
+			enc, err := netpkt.EncryptESP(sa, seq, netpkt.IPFrom(1), netpkt.IPFrom(2), frag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eth := netpkt.Eth{Dst: netpkt.MACFrom(2), Src: netpkt.MACFrom(1),
+				EtherType: netpkt.EtherTypeIPv4}
+			port.Send(append(eth.Marshal(nil), enc...))
+		}
+	}
+	rp.Eng.Run()
+
+	if got := esw.Counters["esp-decrypt"]; got != int64(seq) {
+		t.Fatalf("NIC decrypted %d/%d ESP packets", got, seq)
+	}
+	if afu.Reassembler().Completed != 20 {
+		t.Fatalf("defragmenter completed %d/20 (drops %v)",
+			afu.Reassembler().Completed, srv.NIC.Stats.Drops)
+	}
+	if len(delivered) != 20 {
+		t.Fatalf("application received %d/20", len(delivered))
+	}
+	for i, frame := range delivered {
+		_, ipb, err := netpkt.ParseEth(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, payload, err := netpkt.ParseIPv4(ipb)
+		if err != nil || h.IsFragment() {
+			t.Fatalf("packet %d not fully reassembled: %v", i, err)
+		}
+		if !bytes.Equal(payload, wantPayloads[i]) {
+			t.Fatalf("packet %d payload corrupted through decrypt+defrag", i)
+		}
+	}
+}
+
+// TestIPSecForgedPacketsDropped: authentication failures never reach the
+// accelerator or the application.
+func TestIPSecForgedPacketsDropped(t *testing.T) {
+	rp := NewRemotePair(Options{})
+	srv := rp.Server
+	esw := srv.NIC.ESwitch()
+	sa := &netpkt.ESPSA{SPI: 0x77, Key: [16]byte{1}, Salt: [4]byte{2}}
+	srv.RT.CreateEthTxQueue(0, nil)
+	defrag.NewAFU(srv.FLD, srv.Eng, Millisecond, 64)
+	esp := uint8(netpkt.ProtoESP)
+	app := srv.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 64, RxEntries: 64})
+	esw.AddRule(0, Rule{Match: Match{Proto: &esp},
+		Action: Action{ESPDecrypt: sa, ToRQ: app.RQ()}})
+	srv.RT.Start()
+	got := 0
+	app.OnReceive = func([]byte, swdriver.RxMeta) { got++ }
+
+	port := rp.Client.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 64, RxEntries: 64})
+	attacker := &netpkt.ESPSA{SPI: 0x77, Key: [16]byte{0xEE}, Salt: [4]byte{2}}
+	inner := buildUDPFrame(1, 2, 1, 2, 100)
+	_, ipPkt, _ := netpkt.ParseEth(inner)
+	forged, err := netpkt.EncryptESP(attacker, 1, netpkt.IPFrom(1), netpkt.IPFrom(2), ipPkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth := netpkt.Eth{Dst: netpkt.MACFrom(2), Src: netpkt.MACFrom(1), EtherType: netpkt.EtherTypeIPv4}
+	port.Send(append(eth.Marshal(nil), forged...))
+	rp.Eng.Run()
+
+	if got != 0 {
+		t.Fatal("forged ESP packet delivered")
+	}
+	if srv.NIC.Stats.Drops["esp-auth-failed"] != 1 {
+		t.Fatalf("drops: %v", srv.NIC.Stats.Drops)
+	}
+}
+
+func intptr(v int) *int    { return &v }
+func boolptr(v bool) *bool { return &v }

@@ -1,0 +1,148 @@
+package flexdriver
+
+import (
+	"flexdriver/internal/fld"
+	"flexdriver/internal/fldsw"
+	"flexdriver/internal/hostmem"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/pcie"
+	"flexdriver/internal/sim"
+	"flexdriver/internal/swdriver"
+)
+
+// Options configure testbed construction. The zero value is replaced by
+// the paper's defaults.
+type Options struct {
+	// FLD sizes the FlexDriver instance on Innova nodes.
+	FLD FLDConfig
+	// NIC tunes the adapter model.
+	NIC NICParams
+	// Driver tunes the CPU software-driver cost model.
+	Driver DriverParams
+	// Link is the PCIe configuration for host and FPGA fabric links.
+	Link LinkConfig
+	// NICLink is the NIC ASIC's attachment to the embedded switch. The
+	// ConnectX-5 *contains* the Innova-2's PCIe switch (paper Figure 6),
+	// so its internal attach matches the aggregate of the two external
+	// x8 links; by default it is the Link with doubled lanes.
+	NICLink LinkConfig
+	// HostMemBytes sizes each host's DRAM (default 1 GiB).
+	HostMemBytes uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FLD.NumTxQueues == 0 {
+		o.FLD = fld.DefaultConfig()
+	}
+	if o.NIC.SQWindow == 0 {
+		o.NIC = nic.DefaultParams()
+	}
+	if o.Driver.DoorbellBatch == 0 {
+		o.Driver = swdriver.DefaultParams()
+	}
+	if o.Link.Lanes == 0 {
+		o.Link = pcie.Gen3x8()
+	}
+	if o.NICLink.Lanes == 0 {
+		o.NICLink = o.Link
+		o.NICLink.Lanes *= 2
+	}
+	if o.HostMemBytes == 0 {
+		o.HostMemBytes = 1 << 30
+	}
+	return o
+}
+
+// Host is a plain server: CPU + DRAM + a ConnectX-class NIC, driven by
+// the software poll-mode driver. It is the client side of the remote
+// experiments and the CPU baseline of the local ones.
+type Host struct {
+	Eng *Engine
+	Fab *pcie.Fabric
+	Mem *hostmem.Memory
+	NIC *NIC
+	Drv *Driver
+}
+
+// NewHost builds a host on the engine.
+func NewHost(eng *Engine, name string, o Options) *Host {
+	o = o.withDefaults()
+	fab := pcie.NewFabric(eng)
+	mem := hostmem.New(name+"-dram", o.HostMemBytes)
+	fab.Attach(mem, o.Link)
+	n := nic.New(name+"-nic", eng, o.NIC)
+	n.AttachPCIe(fab, o.NICLink)
+	drv := swdriver.New(eng, fab, mem, n, o.Driver)
+	return &Host{Eng: eng, Fab: fab, Mem: mem, NIC: n, Drv: drv}
+}
+
+// Innova is an Innova-2-style SmartNIC node: host DRAM, a ConnectX-class
+// NIC and an FPGA carrying FLD, all behind the NIC's embedded PCIe switch
+// (paper Figure 6). The host CPU also has a software driver, used by
+// local experiments as the load generator and CPU baseline.
+type Innova struct {
+	Eng *Engine
+	Fab *pcie.Fabric
+	Mem *hostmem.Memory
+	NIC *NIC
+	FLD *FLD
+	RT  *Runtime
+	Drv *Driver
+}
+
+// NewInnova builds an Innova node on the engine.
+func NewInnova(eng *Engine, name string, o Options) *Innova {
+	o = o.withDefaults()
+	fab := pcie.NewFabric(eng)
+	mem := hostmem.New(name+"-dram", o.HostMemBytes)
+	fab.Attach(mem, o.Link)
+	n := nic.New(name+"-nic", eng, o.NIC)
+	n.AttachPCIe(fab, o.NICLink)
+	f := fld.New(eng, o.FLD)
+	f.AttachPCIe(fab, o.Link)
+	rt := fldsw.NewRuntime(eng, fab, mem, n, f)
+	drv := swdriver.New(eng, fab, mem, n, o.Driver)
+	return &Innova{Eng: eng, Fab: fab, Mem: mem, NIC: n, FLD: f, RT: rt, Drv: drv}
+}
+
+// AddFLD instantiates an additional FlexDriver core on the node's FPGA
+// and wires a runtime for it — the §9 scaling strategy: "instantiating
+// multiple FLD 'cores' within the accelerator, combined with NIC RSS
+// offloads to balance the load on these cores".
+func (inn *Innova) AddFLD(cfg FLDConfig) (*FLD, *Runtime) {
+	f := fld.New(inn.Eng, cfg)
+	f.AttachPCIe(inn.Fab, pcie.Gen3x8())
+	rt := fldsw.NewRuntime(inn.Eng, inn.Fab, inn.Mem, inn.NIC, f)
+	return f, rt
+}
+
+// ConnectWire cables two NICs back to back.
+func ConnectWire(a, b *NIC, rate BitRate, latency Duration) *Wire {
+	return nic.ConnectWire(a, b, rate, latency)
+}
+
+// RemotePair is the paper's remote testbed: a client host with a
+// ConnectX-4-class NIC cabled to an Innova-2 server at 25 GbE.
+type RemotePair struct {
+	Eng    *Engine
+	Client *Host
+	Server *Innova
+	Wire   *Wire
+}
+
+// NewRemotePair builds the two-node remote testbed.
+func NewRemotePair(o Options) *RemotePair {
+	eng := sim.NewEngine()
+	client := NewHost(eng, "client", o)
+	server := NewInnova(eng, "server", o)
+	w := nic.ConnectWire(client.NIC, server.NIC, 25*Gbps, 500*Nanosecond)
+	return &RemotePair{Eng: eng, Client: client, Server: server, Wire: w}
+}
+
+// NewLocalInnova builds the paper's local testbed: one Innova node whose
+// host CPU exchanges traffic with the FPGA through the NIC's embedded
+// switch (maximum throughput bounded by the 50 Gbps PCIe link).
+func NewLocalInnova(o Options) *Innova {
+	eng := sim.NewEngine()
+	return NewInnova(eng, "innova", o)
+}
