@@ -13,7 +13,7 @@ import (
 // configuration.
 func remoteEchoBed(t *testing.T, cfg FLDConfig) (*RemotePair, *swdriver.EthPort, *echo.AFU) {
 	t.Helper()
-	rp := NewRemotePair(Options{FLD: cfg})
+	rp := NewRemotePair(WithFLD(cfg))
 	srv := rp.Server
 	srv.RT.CreateEthTxQueue(0, nil)
 	ecp := NewEControlPlane(srv.RT)
@@ -163,7 +163,7 @@ func TestTinyFLDConfigStillWorks(t *testing.T) {
 
 // TestMultiQueueFLD: traffic spread across both FLD transmit queues.
 func TestMultiQueueFLD(t *testing.T) {
-	rp := NewRemotePair(Options{})
+	rp := NewRemotePair()
 	srv := rp.Server
 	srv.RT.CreateEthTxQueue(0, nil)
 	srv.RT.CreateEthTxQueue(1, nil)
@@ -199,7 +199,7 @@ func TestMultiQueueFLD(t *testing.T) {
 // TestPerQueueShaping: an FLD transmit queue with a NIC egress shaper is
 // rate-limited without dropping (the §5.5 per-queue backpressure story).
 func TestPerQueueShaping(t *testing.T) {
-	rp := NewRemotePair(Options{})
+	rp := NewRemotePair()
 	srv := rp.Server
 	shaper := NewTokenBucket(rp.Eng, 1*Gbps, 3000)
 	srv.RT.CreateEthTxQueue(0, shaper)

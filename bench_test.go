@@ -166,3 +166,24 @@ func BenchmarkPortabilityVirtio(b *testing.B) {
 	}
 	b.ReportMetric(gbps, "Gbps@1024B")
 }
+
+// BenchmarkTelemetryOverhead runs the same remote FLD-E echo window with
+// telemetry disabled (the facade default every other benchmark uses) and
+// fully enabled (all layers instrumented + flight recorder). Comparing
+// the two ns/op shows the instrumentation cost; the disabled variant
+// pays only the nil-receiver branches.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var gbps float64
+		for i := 0; i < b.N; i++ {
+			pts := exps.EchoBandwidth(exps.FLDERemote, []int{1024}, benchWindow)
+			gbps = pts[0].AchievedGbps
+		}
+		b.ReportMetric(gbps, "Gbps@1024B")
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reportChecks(b, exps.Telemetry(benchWindow))
+		}
+	})
+}

@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	fldreport            # run everything
-//	fldreport -exp fig7b # run one experiment
-//	fldreport -quick     # shorter measurement windows
+//	fldreport                  # run everything
+//	fldreport -exp fig7b       # run one experiment
+//	fldreport -quick           # shorter measurement windows
+//	fldreport -trace out.json  # telemetry run: dump the counter snapshot
+//	                           # and write the TLP flight recorder as
+//	                           # Chrome trace_event JSON (load the file in
+//	                           # chrome://tracing or Perfetto)
 package main
 
 import (
@@ -19,8 +23,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio)")
+	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio, telemetry)")
 	quick := flag.Bool("quick", false, "shorter measurement windows")
+	traceOut := flag.String("trace", "", "run the telemetry experiment, print its counter snapshot, and write the TLP flight recorder as Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	window := 800 * flexdriver.Microsecond
@@ -34,6 +39,17 @@ func main() {
 
 	sizes := []int{64, 128, 256, 512, 1024}
 	fractions := []float64{0.1, 0.3, 0.5, 0.7, 0.82, 0.95, 1.03}
+
+	// The telemetry runner keeps its registry and recorder so -trace can
+	// dump the snapshot and export the Chrome trace after the run.
+	var telReg *flexdriver.Registry
+	var telRec *flexdriver.Recorder
+	runTelemetry := func() *exps.Result {
+		r, reg, rec := exps.TelemetryWithRegistry(window)
+		telReg = reg
+		telRec = rec
+		return r
+	}
 
 	runners := []struct {
 		id  string
@@ -57,6 +73,20 @@ func main() {
 		{"iot-isolation", func() *exps.Result { return exps.IotIsolation(window) }},
 		{"iot-security", func() *exps.Result { return exps.IotInvalidTokensDropped(window) }},
 		{"ext-virtio", func() *exps.Result { return exps.Portability(window) }},
+		{"telemetry", runTelemetry},
+	}
+
+	if *exp != "" {
+		known := false
+		for _, rn := range runners {
+			if rn.id == *exp {
+				known = true
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "fldreport: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
 	}
 
 	failed := 0
@@ -72,9 +102,30 @@ func main() {
 			failed++
 		}
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "fldreport: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if *traceOut != "" {
+		if telRec == nil { // the runner loop skipped the telemetry experiment
+			r := runTelemetry()
+			fmt.Println(r.String())
+			if !r.Passed() {
+				failed++
+			}
+		}
+		fmt.Println("== telemetry counter snapshot ==")
+		fmt.Print(telReg.Snapshot().String())
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fldreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := telRec.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fldreport: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d TLP events to %s (open in chrome://tracing or Perfetto)\n",
+			telRec.Len(), *traceOut)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "fldreport: %d experiment(s) had failing checks\n", failed)

@@ -13,7 +13,7 @@ import (
 // behind FlexDriver, and bounces a frame off it — with the server CPU
 // idle after setup. The simulation is deterministic, so so is the output.
 func Example() {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{})
+	rp := flexdriver.NewRemotePair()
 	srv := rp.Server
 
 	// Control plane (runs once): an FLD transmit queue, egress to the
@@ -63,7 +63,7 @@ func ExampleFLDConfig_Memory() {
 // match-action extension: detour fragments through the accelerator and
 // resume steering at table 40.
 func ExampleNewEControlPlane_installAccelerate() {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{})
+	rp := flexdriver.NewRemotePair()
 	rp.Server.RT.CreateEthTxQueue(0, nil)
 	ecp := flexdriver.NewEControlPlane(rp.Server.RT)
 	isFrag := true

@@ -35,7 +35,7 @@ func coapFrame(srcID int, sport uint16, token string) []byte {
 }
 
 func main() {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{})
+	rp := flexdriver.NewRemotePair()
 	srv := rp.Server
 	srv.RT.CreateEthTxQueue(0, nil)
 	afu := iotauth.NewAFU(srv.FLD, rp.Eng, 8)

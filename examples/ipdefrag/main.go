@@ -37,7 +37,7 @@ func vxlanEncap(inner []byte, vni uint32) []byte {
 }
 
 func main() {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{})
+	rp := flexdriver.NewRemotePair()
 	srv := rp.Server
 	esw := srv.NIC.ESwitch()
 

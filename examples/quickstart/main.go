@@ -16,7 +16,7 @@ import (
 func main() {
 	// A client host and an Innova-2-style server (NIC + FPGA carrying
 	// FLD), cabled back to back at 25 GbE.
-	rp := flexdriver.NewRemotePair(flexdriver.Options{})
+	rp := flexdriver.NewRemotePair()
 	srv := rp.Server
 
 	// Control plane (runs once, on the server's CPU): one FLD transmit

@@ -27,7 +27,7 @@ func echoAFU(send func([]byte, fld.Metadata) error, echoed *int) fld.Handler {
 }
 
 func overConnectX(n int) (echoed, received int) {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{})
+	rp := flexdriver.NewRemotePair()
 	srv := rp.Server
 	srv.RT.CreateEthTxQueue(0, nil)
 	ecp := flexdriver.NewEControlPlane(srv.RT)

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{})
+	rp := flexdriver.NewRemotePair()
 
 	// Server: FLD-R service "zuc" backed by the 8-lane ZUC AFU.
 	rsrv := flexdriver.NewRServer(rp.Server.RT)

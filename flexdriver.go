@@ -31,6 +31,7 @@ import (
 	"flexdriver/internal/pcie"
 	"flexdriver/internal/sim"
 	"flexdriver/internal/swdriver"
+	"flexdriver/internal/telemetry"
 )
 
 // Re-exported core types: these give downstream users public names for
@@ -90,6 +91,24 @@ type (
 
 	// LinkConfig describes a PCIe link.
 	LinkConfig = pcie.LinkConfig
+
+	// Registry is the hierarchical telemetry registry (counters,
+	// gauges, histograms, and the TLP flight recorder).
+	Registry = telemetry.Registry
+	// TelemetryScope is a path prefix inside a Registry.
+	TelemetryScope = telemetry.Scope
+	// Snapshot is a point-in-time copy of every registered metric;
+	// Diff/Rate turn two snapshots into interval rates.
+	Snapshot = telemetry.Snapshot
+	// Counter, Gauge and Histogram are the registry's metric handles.
+	Counter   = telemetry.Counter
+	Gauge     = telemetry.Gauge
+	Histogram = telemetry.Histogram
+	// Recorder is the bounded TLP flight recorder; its events export as
+	// Chrome trace_event JSON via WriteChromeTrace.
+	Recorder = telemetry.Recorder
+	// TLPEvent is one recorded PCIe transaction.
+	TLPEvent = telemetry.TLPEvent
 )
 
 // Common rates and durations, re-exported for callers of the facade.
@@ -104,6 +123,10 @@ const (
 
 // NewEngine returns a fresh simulation engine.
 func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewRegistry returns an empty telemetry registry; pass it to testbed
+// constructors with WithTelemetry to instrument every layer.
+func NewRegistry() *Registry { return telemetry.New() }
 
 // DefaultFLDConfig is the Innova-2 prototype configuration (paper §6).
 func DefaultFLDConfig() FLDConfig { return fld.DefaultConfig() }

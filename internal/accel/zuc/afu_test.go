@@ -13,7 +13,7 @@ import (
 // 8-lane ZUC AFU behind FLD-R.
 func newZucTestbed(t *testing.T) (*flexdriver.RemotePair, *zuc.AFU, *zuc.Cryptodev) {
 	t.Helper()
-	rp := flexdriver.NewRemotePair(flexdriver.Options{})
+	rp := flexdriver.NewRemotePair()
 	rsrv := flexdriver.NewRServer(rp.Server.RT)
 	rsrv.Listen("zuc")
 	rp.Server.RT.Start()

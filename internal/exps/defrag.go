@@ -169,7 +169,7 @@ func vxlanEncap(inner []byte, vni uint32) []byte {
 // defragThroughput measures one configuration's delivered application
 // goodput in Gbit/s.
 func defragThroughput(cfg DefragConfig, flows int, window flexdriver.Duration) float64 {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{Driver: defragSenderParams(cfg)})
+	rp := flexdriver.NewRemotePair(flexdriver.WithDriver(defragSenderParams(cfg)))
 	srv := rp.Server
 
 	const kernelCost = 1875 * flexdriver.Nanosecond // per-packet kernel path

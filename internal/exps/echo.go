@@ -90,9 +90,11 @@ func buildFrame(size int, sport, dport uint16) []byte {
 }
 
 // fldeRemoteBed wires the remote FLD-E echo topology and returns the
-// client port plus the server's AFU.
-func fldeRemoteBed() (*flexdriver.RemotePair, *swdriver.EthPort, *echo.AFU) {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{Driver: genDriverParams()})
+// client port plus the server's AFU. Extra options (e.g. WithTelemetry)
+// are applied on top of the load-generator driver model.
+func fldeRemoteBed(extra ...flexdriver.Option) (*flexdriver.RemotePair, *swdriver.EthPort, *echo.AFU) {
+	opts := append([]flexdriver.Option{flexdriver.WithDriver(genDriverParams())}, extra...)
+	rp := flexdriver.NewRemotePair(opts...)
 	srv := rp.Server
 	srv.RT.CreateEthTxQueue(0, nil)
 	ecp := flexdriver.NewEControlPlane(srv.RT)
@@ -108,7 +110,7 @@ func fldeRemoteBed() (*flexdriver.RemotePair, *swdriver.EthPort, *echo.AFU) {
 
 // fldeLocalBed wires the single-node (hairpin) FLD-E topology.
 func fldeLocalBed(drv flexdriver.DriverParams) (*flexdriver.Innova, *swdriver.EthPort, *echo.AFU) {
-	inn := flexdriver.NewLocalInnova(flexdriver.Options{Driver: drv})
+	inn := flexdriver.NewLocalInnova(flexdriver.WithDriver(drv))
 	inn.RT.CreateEthTxQueue(0, nil)
 	afu := echo.New(inn.FLD)
 	port := inn.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
@@ -126,8 +128,7 @@ func fldeLocalBed(drv flexdriver.DriverParams) (*flexdriver.Innova, *swdriver.Et
 // cpuRemoteBed wires a remote echo served by the *CPU* driver on the
 // server (the Fig. 7b / Table 6 baseline).
 func cpuRemoteBed(serverDrv flexdriver.DriverParams) (*flexdriver.RemotePair, *swdriver.EthPort) {
-	o := flexdriver.Options{Driver: genDriverParams()}
-	rp := flexdriver.NewRemotePair(o)
+	rp := flexdriver.NewRemotePair(flexdriver.WithDriver(genDriverParams()))
 	// Replace server driver cost model.
 	rp.Server.Drv.Prm = serverDrv
 	srvPort := rp.Server.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
@@ -307,7 +308,7 @@ func EchoBandwidthWithNIC(mode EchoMode, sizes []int, window flexdriver.Duration
 
 // fldrRemoteBandwidth runs the FLD-R echo at one message size.
 func fldrRemoteBandwidth(size int, offeredGbps float64, window flexdriver.Duration, nicPrm flexdriver.NICParams) float64 {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{Driver: genDriverParams(), NIC: nicPrm})
+	rp := flexdriver.NewRemotePair(flexdriver.WithDriver(genDriverParams()), flexdriver.WithNIC(nicPrm))
 	rsrv := flexdriver.NewRServer(rp.Server.RT)
 	rsrv.Listen("echo")
 	rp.Server.RT.Start()
@@ -577,7 +578,7 @@ func Fig7c(fractions []float64, perPoint int) *Result {
 }
 
 func fldrLatencyAtLoad(size int, offeredGbps float64, samples int) (medianUs, p99Us, achievedGbps float64) {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{Driver: genDriverParams()})
+	rp := flexdriver.NewRemotePair(flexdriver.WithDriver(genDriverParams()))
 	rsrv := flexdriver.NewRServer(rp.Server.RT)
 	rsrv.Listen("echo")
 	rp.Server.RT.Start()
@@ -630,7 +631,7 @@ func engOf(inn *flexdriver.Innova) *flexdriver.Engine { return inn.Eng }
 // client endpoint lives on the Innova host and its QP loops back through
 // the eSwitch to the FLD QP (the paper's local setup, 9.4 us median).
 func fldrLocalLowLoadLatency(size, samples int) float64 {
-	inn := flexdriver.NewLocalInnova(flexdriver.Options{Driver: genDriverParams()})
+	inn := flexdriver.NewLocalInnova(flexdriver.WithDriver(genDriverParams()))
 	rsrv := flexdriver.NewRServer(inn.RT)
 	rsrv.Listen("echo")
 	inn.RT.Start()

@@ -44,7 +44,7 @@ func iotFrame(size int, srcID int, sport uint16, key []byte, dev string) []byte 
 // authentication AFU, and validated traffic resuming toward a host
 // application queue. Returns the client port too.
 func iotBed(tenants int, policerGbps float64) (*flexdriver.RemotePair, *iotauth.AFU, *swdriver.EthPort) {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{Driver: genDriverParams()})
+	rp := flexdriver.NewRemotePair(flexdriver.WithDriver(genDriverParams()))
 	srv := rp.Server
 	srv.RT.CreateEthTxQueue(0, nil)
 	afu := iotauth.NewAFU(srv.FLD, rp.Eng, 8)

@@ -12,7 +12,7 @@ import (
 // zucBed builds the §7 disaggregated-cipher topology: client cryptodev
 // driver over FLD-R to an 8-lane ZUC AFU.
 func zucBed() (*flexdriver.RemotePair, *zuc.AFU, *zuc.Cryptodev) {
-	rp := flexdriver.NewRemotePair(flexdriver.Options{Driver: genDriverParams()})
+	rp := flexdriver.NewRemotePair(flexdriver.WithDriver(genDriverParams()))
 	rsrv := flexdriver.NewRServer(rp.Server.RT)
 	rsrv.Listen("zuc")
 	rp.Server.RT.Start()

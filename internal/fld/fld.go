@@ -98,6 +98,8 @@ type FLD struct {
 	onError   func(queue int, syndrome uint8)
 
 	Stats Stats
+
+	tlm *fldTelemetry // nil unless SetTelemetry was called
 }
 
 type txQueue struct {
@@ -226,6 +228,9 @@ func (f *FLD) Start() {
 }
 
 func (f *FLD) writeRQDoorbell() {
+	if t := f.tlm; t != nil {
+		t.rqDoorbells.Inc()
+	}
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], f.rxPI)
 	f.port.Write(f.nicBAR+nic.RQDoorbellOffset(f.rxRQN), b[:], nil)
@@ -257,12 +262,18 @@ func (f *FLD) Send(q int, data []byte, md Metadata) error {
 	slots, bufBytes := f.Credits(q)
 	if slots < 1 || bufBytes < len(data) {
 		f.Stats.CreditStalls++
+		if t := f.tlm; t != nil {
+			t.creditStalls.Inc()
+		}
 		return ErrNoCredits
 	}
 
 	pages := f.txPool.alloc(data)
 	if pages == nil {
 		f.Stats.CreditStalls++
+		if t := f.tlm; t != nil {
+			t.creditStalls.Inc()
+		}
 		return ErrNoCredits
 	}
 	slot := f.descFree[len(f.descFree)-1]
@@ -312,16 +323,27 @@ func (f *FLD) Send(q int, data []byte, md Metadata) error {
 
 	f.Stats.TxPackets++
 	f.Stats.TxBytes += int64(len(data))
+	if t := f.tlm; t != nil {
+		t.txPackets.Inc()
+		t.txBytes.Add(int64(len(data)))
+		f.noteOccupancy()
+	}
 
 	// Pace the hardware pipeline, then notify the NIC.
 	f.txPipe.Acquire(f.cfg.PacketInterval(), func() {
 		f.eng.After(f.cfg.PipelineDelay, func() {
 			if f.cfg.WQEByMMIO {
 				wqe := f.generateWQE(q, idx)
+				if t := f.tlm; t != nil {
+					t.wqeMMIO.Inc()
+				}
 				f.port.Write(f.nicBAR+nic.SQDoorbellOffset(tq.nicSQN), wqe, nil)
 			} else {
 				var b [4]byte
 				binary.BigEndian.PutUint32(b[:], tq.pi)
+				if t := f.tlm; t != nil {
+					t.sqDoorbells.Inc()
+				}
 				f.port.Write(f.nicBAR+nic.SQDoorbellOffset(tq.nicSQN), b[:], nil)
 			}
 		})
@@ -335,6 +357,13 @@ func (f *FLD) Send(q int, data []byte, md Metadata) error {
 func (f *FLD) generateWQE(q int, idx uint32) []byte {
 	ringKey := uint64(q)<<32 | uint64(idx%uint32(f.cfg.TxRingEntries))
 	slotv, ok := f.descXlt.Lookup(ringKey)
+	if t := f.tlm; t != nil {
+		if ok {
+			t.descHits.Inc()
+		} else {
+			t.descMisses.Inc()
+		}
+	}
 	if !ok {
 		// The NIC read a descriptor FLD never posted: emit an invalid
 		// WQE; the NIC will complete it with an error that flows back
@@ -416,8 +445,14 @@ func (f *FLD) readDataRegion(off uint64, size int) []byte {
 		}
 		key := uint64(q)<<32 | uint64(vp)
 		if phys, ok := f.dataXlt.Lookup(key); ok {
+			if t := f.tlm; t != nil {
+				t.dataHits.Inc()
+			}
 			out = append(out, f.txPool.read(uint16(phys), pageOff, take)...)
 		} else {
+			if t := f.tlm; t != nil {
+				t.dataMisses.Inc()
+			}
 			out = append(out, make([]byte, take)...) // unmapped: zeros
 		}
 		off += uint64(take)
@@ -447,8 +482,14 @@ func (f *FLD) MMIOWrite(offset uint64, data []byte) {
 // covers its unsignaled predecessors).
 func (f *FLD) handleTxCQE(c nic.CQE) {
 	rec := compressCQE(c) // stored compressed on-die (15 B)
+	if t := f.tlm; t != nil {
+		t.txCQEs.Inc()
+	}
 	if rec.Opcode == nic.CQEError {
 		f.Stats.Errors++
+		if t := f.tlm; t != nil {
+			t.errors.Inc()
+		}
 		if f.onError != nil {
 			f.onError(f.queueBySQN(rec.Queue), 1)
 		}
@@ -477,8 +518,11 @@ func (f *FLD) handleTxCQE(c nic.CQE) {
 		f.descFree = append(f.descFree, p.slot)
 		released = true
 	}
-	if released && f.onCredits != nil {
-		f.onCredits()
+	if released {
+		f.noteOccupancy()
+		if f.onCredits != nil {
+			f.onCredits()
+		}
 	}
 }
 
@@ -505,6 +549,11 @@ func (f *FLD) handleRxCQE(c nic.CQE) {
 	rec := compressCQE(c)
 	f.Stats.RxPackets++
 	f.Stats.RxBytes += int64(rec.ByteCount)
+	if t := f.tlm; t != nil {
+		t.rxCQEs.Inc()
+		t.rxPackets.Inc()
+		t.rxBytes.Add(int64(rec.ByteCount))
+	}
 
 	// In-order buffer recycling (§5.2 "Receive Ring in Host Memory"):
 	// a buffer is done either when its strides are fully consumed or

@@ -1,0 +1,75 @@
+package fld
+
+import "flexdriver/internal/telemetry"
+
+// fldTelemetry holds the FLD data-plane counters. All handles are
+// nil-safe, so an uninstrumented FLD pays one branch per event.
+type fldTelemetry struct {
+	txPackets, txBytes *telemetry.Counter
+	rxPackets, rxBytes *telemetry.Counter
+	creditStalls       *telemetry.Counter
+	errors             *telemetry.Counter
+
+	sqDoorbells *telemetry.Counter // 4 B PI doorbells (WQEByMMIO off)
+	wqeMMIO     *telemetry.Counter // full WQEs pushed over MMIO
+	rqDoorbells *telemetry.Counter
+
+	// Descriptor compression (§5.2): generateWQE regenerating a full
+	// 64 B NIC descriptor from the compressed on-die pool is a hit; a
+	// miss means the NIC asked for a descriptor FLD never posted.
+	descHits, descMisses *telemetry.Counter
+	// Data-window translation lookups serving NIC payload reads.
+	dataHits, dataMisses *telemetry.Counter
+
+	txCQEs, rxCQEs *telemetry.Counter
+
+	// Occupancy gauges track high-water marks for sizing analyses.
+	poolPages *telemetry.Gauge // buffer-pool pages in use
+	descSlots *telemetry.Gauge // descriptor-pool slots in use
+}
+
+// SetTelemetry attaches a telemetry scope to the FLD instance:
+// packet/byte counters, doorbell and WQE-by-MMIO counts,
+// descriptor-compression and data-translation hit/miss counters,
+// cuckoo stash-depth funcs, and buffer-pool occupancy high-water
+// gauges.
+func (f *FLD) SetTelemetry(sc *telemetry.Scope) {
+	if sc == nil {
+		return
+	}
+	f.tlm = &fldTelemetry{
+		txPackets:    sc.Counter("tx/packets"),
+		txBytes:      sc.Counter("tx/bytes"),
+		rxPackets:    sc.Counter("rx/packets"),
+		rxBytes:      sc.Counter("rx/bytes"),
+		creditStalls: sc.Counter("credit_stalls"),
+		errors:       sc.Counter("errors"),
+		sqDoorbells:  sc.Counter("doorbells/sq"),
+		wqeMMIO:      sc.Counter("doorbells/wqe_mmio"),
+		rqDoorbells:  sc.Counter("doorbells/rq"),
+		descHits:     sc.Counter("xlt/desc_hits"),
+		descMisses:   sc.Counter("xlt/desc_misses"),
+		dataHits:     sc.Counter("xlt/data_hits"),
+		dataMisses:   sc.Counter("xlt/data_misses"),
+		txCQEs:       sc.Counter("cqe/tx"),
+		rxCQEs:       sc.Counter("cqe/rx"),
+		poolPages:    sc.Gauge("pool/pages_in_use"),
+		descSlots:    sc.Gauge("pool/desc_in_use"),
+	}
+	sc.Func("tx_pipe/util", f.txPipe.Utilization)
+	sc.Func("rx_pipe/util", f.rxPipe.Utilization)
+	sc.Func("xlt/desc_stash", func() float64 { return float64(f.descXlt.StashLen()) })
+	sc.Func("xlt/data_stash", func() float64 { return float64(f.dataXlt.StashLen()) })
+}
+
+// noteOccupancy refreshes the pool gauges after an alloc or release so
+// the high-water marks are exact.
+func (f *FLD) noteOccupancy() {
+	t := f.tlm
+	if t == nil {
+		return
+	}
+	total := f.cfg.TxBufBytes / f.cfg.TxPageBytes
+	t.poolPages.Set(int64(total - f.txPool.freePages()))
+	t.descSlots.Set(int64(f.cfg.TxDescPool - len(f.descFree)))
+}

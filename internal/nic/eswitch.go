@@ -194,6 +194,8 @@ type ESwitch struct {
 	loopback *sim.Resource
 	// LoopbackRate is the hairpin bandwidth (defaults to 2x100G-class).
 	LoopbackRate sim.BitRate
+
+	tlm *eswTelemetry // nil unless the NIC has telemetry attached
 }
 
 func newESwitch(n *NIC) *ESwitch {
@@ -225,6 +227,12 @@ func (e *ESwitch) VPort(id int) *VPort { return e.vports[id] }
 // AddRule appends a rule to a table.
 func (e *ESwitch) AddRule(table int, r Rule) {
 	e.tables[table] = append(e.tables[table], r)
+	if e.tlm != nil {
+		e.tlm.table(table)
+		if r.Action.Count != "" {
+			e.tlm.count(r.Action.Count)
+		}
+	}
 }
 
 // ClearTable removes all rules from a table.
@@ -249,29 +257,35 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 	for hop := 0; hop < maxTableHops; hop++ {
 		rule := e.match(table, v)
 		if rule == nil {
-			e.nic.Stats.drop(fmt.Sprintf("eswitch-miss-table-%d", table))
+			e.nic.drop(fmt.Sprintf("eswitch-miss-table-%d", table))
 			sent()
 			return
+		}
+		if e.tlm != nil {
+			e.tlm.hits[table].Inc()
 		}
 		a := rule.Action
 		if a.Count != "" {
 			e.Counters[a.Count]++
+			if e.tlm != nil {
+				e.tlm.count(a.Count).Inc()
+			}
 		}
 		if a.Policer != nil && !a.Policer.Admit(len(v.frame)) {
-			e.nic.Stats.drop("policer")
+			e.nic.drop("policer")
 			sent()
 			return
 		}
 		if a.Decap {
 			if !e.decap(v) {
-				e.nic.Stats.drop("decap-failed")
+				e.nic.drop("decap-failed")
 				sent()
 				return
 			}
 		}
 		if a.ESPDecrypt != nil {
 			if !e.espDecrypt(v, a.ESPDecrypt) {
-				e.nic.Stats.drop("esp-auth-failed")
+				e.nic.drop("esp-auth-failed")
 				sent()
 				return
 			}
@@ -296,7 +310,7 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 		}
 		switch {
 		case a.Drop:
-			e.nic.Stats.drop("rule-drop")
+			e.nic.drop("rule-drop")
 			sent()
 			return
 		case a.ToTable != nil:
@@ -308,7 +322,7 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 		case a.ToVPort != nil:
 			vp := e.vports[*a.ToVPort]
 			if vp == nil {
-				e.nic.Stats.drop("no-such-vport")
+				e.nic.drop("no-such-vport")
 				sent()
 				return
 			}
@@ -334,12 +348,12 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 			})
 			return
 		default:
-			e.nic.Stats.drop("rule-no-disposition")
+			e.nic.drop("rule-no-disposition")
 			sent()
 			return
 		}
 	}
-	e.nic.Stats.drop("table-loop")
+	e.nic.drop("table-loop")
 	sent()
 }
 
@@ -418,6 +432,10 @@ func (n *NIC) egress(vp *VPort, frame []byte, flowTag uint32, onSent func()) {
 	}
 	n.Stats.TxPackets++
 	n.Stats.TxBytes += int64(len(frame))
+	if t := n.tlm; t != nil {
+		t.txPackets.Inc()
+		t.txBytes.Add(int64(len(frame)))
+	}
 	v := parseView(frame, flowTag)
 	n.eng.After(n.Prm.PipelineDelay, func() {
 		n.esw.process(vp.EgressTable, v, onSent)
@@ -429,7 +447,7 @@ func (n *NIC) egress(vp *VPort, frame []byte, flowTag uint32, onSent func()) {
 // here).
 func (n *NIC) transmitWire(frame []byte, onSent func()) {
 	if n.wire == nil {
-		n.Stats.drop("no-wire")
+		n.drop("no-wire")
 		if onSent != nil {
 			onSent()
 		}

@@ -6,6 +6,7 @@ import (
 	"flexdriver/internal/netpkt"
 	"flexdriver/internal/pcie"
 	"flexdriver/internal/sim"
+	"flexdriver/internal/telemetry"
 )
 
 // Params collects the NIC's timing and transport constants. Defaults are
@@ -101,6 +102,8 @@ type NIC struct {
 	nextQN uint32
 
 	Stats Counters
+
+	tlm *nicTelemetry // nil unless SetTelemetry was called
 }
 
 var nicSeq int
@@ -156,7 +159,7 @@ func (n *NIC) MMIOWrite(offset uint64, data []byte) {
 		id := uint32((offset - sqDoorbellBase) / sqDoorbellStep)
 		sq := n.sqs[id]
 		if sq == nil {
-			n.Stats.drop("doorbell-unknown-sq")
+			n.drop("doorbell-unknown-sq")
 			return
 		}
 		switch len(data) {
@@ -165,13 +168,13 @@ func (n *NIC) MMIOWrite(offset uint64, data []byte) {
 		case SendWQESize, SendWQEMMIOSize:
 			sq.pushWQE(data)
 		default:
-			n.Stats.drop("doorbell-bad-size")
+			n.drop("doorbell-bad-size")
 		}
 	case offset >= rqDoorbellBase:
 		id := uint32((offset - rqDoorbellBase) / rqDoorbellStep)
 		rq := n.rqs[id]
 		if rq == nil {
-			n.Stats.drop("doorbell-unknown-rq")
+			n.drop("doorbell-unknown-rq")
 			return
 		}
 		if len(data) == 4 {
@@ -214,6 +217,9 @@ type CQConfig struct {
 func (n *NIC) CreateCQ(cfg CQConfig) *CQ {
 	cq := &CQ{n: n, ID: n.allocQN(), Ring: cfg.Ring, Size: cfg.Size, onCQE: cfg.OnCQE}
 	n.cqs[cq.ID] = cq
+	if n.tlm != nil {
+		cq.instrument(n.tlm.scope)
+	}
 	return cq
 }
 
@@ -239,6 +245,9 @@ func (n *NIC) CreateSQ(cfg SQConfig) *SQ {
 		CQ: cfg.CQ, VPort: cfg.VPort, Shaper: cfg.Shaper, Weight: cfg.Weight,
 		mmio: make(map[uint32][]byte)}
 	n.sqs[sq.ID] = sq
+	if n.tlm != nil {
+		sq.instrument(n.tlm.scope)
+	}
 	return sq
 }
 
@@ -261,6 +270,9 @@ func (n *NIC) CreateRQ(cfg RQConfig) *RQ {
 	rq := &RQ{n: n, ID: n.allocQN(), Ring: cfg.Ring, Size: cfg.Size,
 		CQ: cfg.CQ, StrideSize: cfg.StrideSize}
 	n.rqs[rq.ID] = rq
+	if n.tlm != nil {
+		rq.instrument(n.tlm.scope)
+	}
 	return rq
 }
 
@@ -284,10 +296,18 @@ type SQ struct {
 	pi, ci   uint32
 	inflight int
 	mmio     map[uint32][]byte // WQEs pushed via WQE-by-MMIO, by index
+
+	// Telemetry handles (nil-safe; see instrument).
+	tDoorbells, tWQEMMIO    *telemetry.Counter
+	tFetchReads             *telemetry.Counter
+	tFetchedWQEs, tExecuted *telemetry.Counter
+	tShaped                 *telemetry.Counter
+	tFetchBatch             *telemetry.Histogram
 }
 
 // ringDoorbell advances the producer index (from a 4 B doorbell write).
 func (sq *SQ) ringDoorbell(pi uint32) {
+	sq.tDoorbells.Inc()
 	if int32(pi-sq.pi) < 0 {
 		return // stale doorbell
 	}
@@ -299,6 +319,7 @@ func (sq *SQ) ringDoorbell(pi uint32) {
 // (WQE-by-MMIO): the descriptor needs no ring read, and the write itself
 // acts as a doorbell for one entry.
 func (sq *SQ) pushWQE(b []byte) {
+	sq.tWQEMMIO.Inc()
 	sq.mmio[sq.pi] = append([]byte(nil), b...)
 	sq.pi++
 	sq.kick()
@@ -338,6 +359,9 @@ func (sq *SQ) kick() {
 		addr := sq.Ring + uint64(slot)*SendWQESize
 		first := idx
 		count := n
+		sq.tFetchReads.Inc()
+		sq.tFetchedWQEs.Add(int64(count))
+		sq.tFetchBatch.Observe(int64(count))
 		sq.n.port.Read(addr, count*SendWQESize, func(b []byte) {
 			for i := 0; i < count; i++ {
 				wqe := b[i*SendWQESize : (i+1)*SendWQESize]
@@ -350,6 +374,7 @@ func (sq *SQ) kick() {
 
 // execute runs one fetched descriptor through the transmit path.
 func (sq *SQ) execute(idx uint32, raw []byte) {
+	sq.tExecuted.Inc()
 	wqe, err := ParseSendWQE(raw)
 	if err != nil || wqe.Opcode == opInvalid {
 		sq.retire(idx, CQE{Opcode: CQEError, Syndrome: 1, Index: uint16(idx), Queue: sq.ID}, true)
@@ -399,6 +424,7 @@ func (sq *SQ) dispatch(idx uint32, wqe SendWQE, data []byte) {
 	}
 	if sq.Shaper != nil {
 		if d := sq.Shaper.Reserve(len(frame)); d > 0 {
+			sq.tShaped.Inc()
 			sq.n.eng.After(d, send)
 			return
 		}
@@ -464,6 +490,12 @@ type RQ struct {
 	// WastedBytes counts stride fragmentation (packet skipped to the
 	// next buffer because the current one lacked room).
 	WastedBytes int64
+
+	// Telemetry handles (nil-safe; see instrument).
+	tDoorbells            *telemetry.Counter
+	tFetchReads           *telemetry.Counter
+	tFetchedDescs         *telemetry.Counter
+	tPlaced, tPlacedBytes *telemetry.Counter
 }
 
 const (
@@ -474,6 +506,7 @@ const (
 
 // ringDoorbell advances the producer index: the consumer posted buffers.
 func (rq *RQ) ringDoorbell(pi uint32) {
+	rq.tDoorbells.Inc()
 	if int32(pi-rq.pi) < 0 {
 		return
 	}
@@ -502,13 +535,15 @@ func (rq *RQ) prefetch() {
 		rq.fetchIdx += uint32(n)
 		rq.inflight++
 		addr := rq.Ring + uint64(slot)*RecvWQESize
+		rq.tFetchReads.Inc()
+		rq.tFetchedDescs.Add(int64(n))
 		rq.n.port.Read(addr, n*RecvWQESize, func(b []byte) {
 			rq.inflight--
 			batch := make([]RecvWQE, 0, n)
 			for i := 0; i < n; i++ {
 				w, err := ParseRecvWQE(b[i*RecvWQESize:])
 				if err != nil {
-					rq.n.Stats.drop("rq-bad-desc")
+					rq.n.drop("rq-bad-desc")
 					continue
 				}
 				batch = append(batch, w)
@@ -540,7 +575,7 @@ func (rq *RQ) deliver(data []byte, cqe CQE) {
 	// Bound the NIC-internal rx FIFO: a real NIC has shallow buffering
 	// and drops when the host does not post buffers fast enough.
 	if len(rq.backlog) >= 256 {
-		rq.n.Stats.drop("rq-overflow")
+		rq.n.drop("rq-overflow")
 		return
 	}
 	rq.backlog = append(rq.backlog, pendingRx{data: data, cqe: cqe})
@@ -556,7 +591,7 @@ func (rq *RQ) progress() {
 				if rq.ci == rq.pi {
 					// No posted buffers: drop from the tail like
 					// hardware.
-					rq.n.Stats.drop("rq-no-buffers")
+					rq.n.drop("rq-no-buffers")
 					rq.backlog = rq.backlog[1:]
 					continue
 				}
@@ -588,7 +623,7 @@ func (rq *RQ) place(p pendingRx) {
 	}
 	need := (n + stride - 1) / stride * stride
 	if n > int(rq.cur.Len) {
-		rq.n.Stats.drop("rx-too-big")
+		rq.n.drop("rx-too-big")
 		return
 	}
 	if rq.curOffset+need > int(rq.cur.Len) {
@@ -616,6 +651,12 @@ func (rq *RQ) place(p pendingRx) {
 	cqe.Addr = addr
 	rq.n.Stats.RxPackets++
 	rq.n.Stats.RxBytes += int64(n)
+	rq.tPlaced.Inc()
+	rq.tPlacedBytes.Add(int64(n))
+	if t := rq.n.tlm; t != nil {
+		t.rxPackets.Inc()
+		t.rxBytes.Add(int64(n))
+	}
 	rq.n.port.Write(addr, p.data, func() {
 		if rq.CQ != nil {
 			rq.CQ.Push(cqe)
@@ -644,10 +685,13 @@ type CQ struct {
 	Size  int
 	pi    uint32
 	onCQE func(CQE)
+
+	tCQEs *telemetry.Counter // nil-safe; see instrument
 }
 
 // Push DMA-writes one completion into the ring.
 func (cq *CQ) Push(c CQE) {
+	cq.tCQEs.Inc()
 	c.Counter = cq.pi
 	slot := uint64(cq.pi) % uint64(cq.Size)
 	cq.pi++

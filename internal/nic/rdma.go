@@ -145,7 +145,7 @@ func ConnectQPs(a, b *QP) {
 // retransmission queue.
 func (qp *QP) send(idx uint32, wqe SendWQE, data []byte) {
 	if qp.remoteNIC == nil {
-		qp.n.Stats.drop("qp-not-connected")
+		qp.n.drop("qp-not-connected")
 		return
 	}
 	total := uint32(len(data))
@@ -246,7 +246,7 @@ func (qp *QP) armTimer() {
 		}
 		if qp.una == una {
 			// No progress: go-back-N from the oldest unacked packet.
-			qp.n.Stats.drop("rdma-timeout-retransmit")
+			qp.n.drop("rdma-timeout-retransmit")
 			qp.retransmit()
 		}
 		qp.armTimer()
@@ -269,7 +269,7 @@ func (qp *QP) retransmit() {
 func (n *NIC) rdmaIngress(bth BTH, payload []byte) {
 	qp := n.qps[bth.DestQPN]
 	if qp == nil {
-		n.Stats.drop("rdma-unknown-qpn")
+		n.drop("rdma-unknown-qpn")
 		return
 	}
 	qp.receive(bth, payload)
@@ -298,7 +298,7 @@ func (qp *QP) handleData(bth BTH, payload []byte) {
 		// Gap: NAK once per loss event.
 		if !qp.nakedOnce {
 			qp.nakedOnce = true
-			qp.n.Stats.drop("rdma-out-of-order")
+			qp.n.drop("rdma-out-of-order")
 			qp.sendCtl(btNak, qp.expPSN)
 		}
 		return

@@ -1,0 +1,134 @@
+package nic
+
+import (
+	"fmt"
+
+	"flexdriver/internal/telemetry"
+)
+
+// nicTelemetry holds the NIC-level counters. Per-queue handles live on
+// the queues themselves (nil-safe: a NIC without telemetry pays one
+// branch per event inside each handle method).
+type nicTelemetry struct {
+	scope *telemetry.Scope
+
+	txPackets, txBytes *telemetry.Counter
+	rxPackets, rxBytes *telemetry.Counter
+	drops              map[string]*telemetry.Counter
+}
+
+// SetTelemetry attaches a telemetry scope to the NIC: NIC-level
+// tx/rx/drop counters, engine-utilization funcs, per-queue
+// doorbell/WQE/CQE counters (for queues that already exist and queues
+// created later), and eSwitch per-table rule-hit counters.
+func (n *NIC) SetTelemetry(sc *telemetry.Scope) {
+	if sc == nil {
+		return
+	}
+	n.tlm = &nicTelemetry{
+		scope:     sc,
+		txPackets: sc.Counter("tx/packets"),
+		txBytes:   sc.Counter("tx/bytes"),
+		rxPackets: sc.Counter("rx/packets"),
+		rxBytes:   sc.Counter("rx/bytes"),
+		drops:     make(map[string]*telemetry.Counter),
+	}
+	sc.Func("tx_engine/util", n.txEngine.Utilization)
+	sc.Func("rx_engine/util", n.rxEngine.Utilization)
+	for _, sq := range n.sqs {
+		sq.instrument(sc)
+	}
+	for _, rq := range n.rqs {
+		rq.instrument(sc)
+	}
+	for _, cq := range n.cqs {
+		cq.instrument(sc)
+	}
+	n.esw.setTelemetry(sc.Scope("eswitch"))
+}
+
+// drop records a packet/doorbell drop in Stats and, when telemetry is
+// attached, in a per-reason counter. Drops are off the hot path, so the
+// lazy per-reason counter creation is acceptable.
+func (n *NIC) drop(reason string) {
+	n.Stats.drop(reason)
+	if t := n.tlm; t != nil {
+		c := t.drops[reason]
+		if c == nil {
+			c = t.scope.Counter("drops/" + reason)
+			t.drops[reason] = c
+		}
+		c.Inc()
+	}
+}
+
+func (sq *SQ) instrument(sc *telemetry.Scope) {
+	s := sc.Scope(fmt.Sprintf("sq%d", sq.ID))
+	sq.tDoorbells = s.Counter("doorbells")
+	sq.tWQEMMIO = s.Counter("wqe_mmio")
+	sq.tFetchReads = s.Counter("wqe_fetch_reads")
+	sq.tFetchedWQEs = s.Counter("wqe_fetched")
+	sq.tExecuted = s.Counter("wqe_executed")
+	sq.tShaped = s.Counter("shaper_delays")
+	sq.tFetchBatch = s.Histogram("fetch_batch")
+}
+
+func (rq *RQ) instrument(sc *telemetry.Scope) {
+	s := sc.Scope(fmt.Sprintf("rq%d", rq.ID))
+	rq.tDoorbells = s.Counter("doorbells")
+	rq.tFetchReads = s.Counter("desc_fetch_reads")
+	rq.tFetchedDescs = s.Counter("desc_fetched")
+	rq.tPlaced = s.Counter("packets")
+	rq.tPlacedBytes = s.Counter("bytes")
+}
+
+func (cq *CQ) instrument(sc *telemetry.Scope) {
+	cq.tCQEs = sc.Scope(fmt.Sprintf("cq%d", cq.ID)).Counter("cqes")
+}
+
+// eswTelemetry counts rule activity: hits per table plus the named
+// Count actions mirrored into the registry.
+type eswTelemetry struct {
+	scope  *telemetry.Scope
+	hits   map[int]*telemetry.Counter
+	counts map[string]*telemetry.Counter
+}
+
+func (e *ESwitch) setTelemetry(sc *telemetry.Scope) {
+	t := &eswTelemetry{
+		scope:  sc,
+		hits:   make(map[int]*telemetry.Counter),
+		counts: make(map[string]*telemetry.Counter),
+	}
+	e.tlm = t
+	sc.Func("loopback_util", e.loopback.Utilization)
+	for table, rules := range e.tables {
+		t.table(table)
+		for i := range rules {
+			if name := rules[i].Action.Count; name != "" {
+				t.count(name)
+			}
+		}
+	}
+}
+
+// table returns (creating on first use) the hit counter for a table.
+func (t *eswTelemetry) table(table int) *telemetry.Counter {
+	c := t.hits[table]
+	if c == nil {
+		c = t.scope.Counter(fmt.Sprintf("table%d/hits", table))
+		t.hits[table] = c
+	}
+	return c
+}
+
+// count returns (creating on first use) the counter backing a Count
+// action name.
+func (t *eswTelemetry) count(name string) *telemetry.Counter {
+	c := t.counts[name]
+	if c == nil {
+		c = t.scope.Counter("count/" + name)
+		t.counts[name] = c
+	}
+	return c
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flexdriver/internal/sim"
+	"flexdriver/internal/telemetry"
 )
 
 // Fabric is a PCIe switch with point-to-point links to each attached
@@ -17,6 +18,11 @@ type Fabric struct {
 	eng   *sim.Engine
 	ports []*Port
 	next  uint64 // next free BAR base
+
+	// Telemetry (optional; see SetTelemetry).
+	tel        *telemetry.Scope
+	ctrlReads  *telemetry.Counter
+	ctrlWrites *telemetry.Counter
 }
 
 // Port is a device's attachment point. Up is the device-to-switch
@@ -33,6 +39,8 @@ type Port struct {
 
 	// Byte counters for utilization reporting (wire bytes incl. overhead).
 	UpBytes, DownBytes int64
+
+	tlm *portTelemetry // nil unless the fabric has telemetry attached
 }
 
 // NewFabric returns an empty fabric on the given engine.
@@ -66,6 +74,9 @@ func (f *Fabric) Attach(dev Device, cfg LinkConfig) *Port {
 	}
 	f.next = base + align
 	f.ports = append(f.ports, p)
+	if f.tel != nil {
+		p.instrument(f.tel)
+	}
 	return p
 }
 
@@ -96,12 +107,14 @@ func (f *Fabric) target(addr uint64) *Port {
 // uses this; data-plane engines must use Port.Read for timing fidelity.
 func (f *Fabric) Read(addr uint64, size int) []byte {
 	p := f.target(addr)
+	f.ctrlReads.Inc()
 	return p.dev.MMIORead(addr-p.base, size)
 }
 
 // Write performs an immediate, untimed write.
 func (f *Fabric) Write(addr uint64, data []byte) {
 	p := f.target(addr)
+	f.ctrlWrites.Inc()
 	p.dev.MMIOWrite(addr-p.base, data)
 }
 
@@ -116,12 +129,12 @@ func (p *Port) Write(addr uint64, data []byte, done func()) {
 	wire := p.cfg.WriteWireBytes(len(data))
 	p.UpBytes += int64(wire)
 	d1 := p.cfg.EffectiveRate().Serialize(wire)
-	p.up.Acquire(d1, func() {
+	end1 := p.up.Acquire(d1, func() {
 		p.fab.eng.After(p.cfg.PropDelay, func() {
 			wire2 := q.cfg.WriteWireBytes(len(data))
 			q.DownBytes += int64(wire2)
 			d2 := q.cfg.EffectiveRate().Serialize(wire2)
-			q.down.Acquire(d2, func() {
+			end2 := q.down.Acquire(d2, func() {
 				p.fab.eng.After(q.cfg.PropDelay, func() {
 					q.dev.MMIOWrite(addr-q.base, data)
 					if done != nil {
@@ -129,8 +142,16 @@ func (p *Port) Write(addr uint64, data []byte, done func()) {
 					}
 				})
 			})
+			if q.tlm != nil {
+				q.observe(telemetry.Down, telemetry.MemWr, addr, len(data),
+					wire2, writeSegs(q.cfg, len(data)), end2, d2)
+			}
 		})
 	})
+	if p.tlm != nil {
+		p.observe(telemetry.Up, telemetry.MemWr, addr, len(data),
+			wire, writeSegs(p.cfg, len(data)), end1, d1)
+	}
 }
 
 // Read fetches size bytes at addr. The request TLPs traverse initiator-up
@@ -141,33 +162,49 @@ func (p *Port) Read(addr uint64, size int, done func(data []byte)) {
 	reqWire := p.cfg.ReadReqWireBytes(size)
 	p.UpBytes += int64(reqWire)
 	d1 := p.cfg.EffectiveRate().Serialize(reqWire)
-	p.up.Acquire(d1, func() {
+	end1 := p.up.Acquire(d1, func() {
 		p.fab.eng.After(p.cfg.PropDelay, func() {
 			reqWire2 := q.cfg.ReadReqWireBytes(size)
 			q.DownBytes += int64(reqWire2)
 			d2 := q.cfg.EffectiveRate().Serialize(reqWire2)
-			q.down.Acquire(d2, func() {
+			end2 := q.down.Acquire(d2, func() {
 				p.fab.eng.After(q.cfg.PropDelay, func() {
 					data := q.dev.MMIORead(addr-q.base, size)
 					cplWire := q.cfg.CompletionWireBytes(len(data))
 					q.UpBytes += int64(cplWire)
 					d3 := q.cfg.EffectiveRate().Serialize(cplWire)
-					q.up.Acquire(d3, func() {
+					end3 := q.up.Acquire(d3, func() {
 						p.fab.eng.After(q.cfg.PropDelay, func() {
 							cplWire2 := p.cfg.CompletionWireBytes(len(data))
 							p.DownBytes += int64(cplWire2)
 							d4 := p.cfg.EffectiveRate().Serialize(cplWire2)
-							p.down.Acquire(d4, func() {
+							end4 := p.down.Acquire(d4, func() {
 								p.fab.eng.After(p.cfg.PropDelay, func() {
 									done(data)
 								})
 							})
+							if p.tlm != nil {
+								p.observe(telemetry.Down, telemetry.CplD, addr, len(data),
+									cplWire2, cplSegs(p.cfg, len(data)), end4, d4)
+							}
 						})
 					})
+					if q.tlm != nil {
+						q.observe(telemetry.Up, telemetry.CplD, addr, len(data),
+							cplWire, cplSegs(q.cfg, len(data)), end3, d3)
+					}
 				})
 			})
+			if q.tlm != nil {
+				q.observe(telemetry.Down, telemetry.MemRd, addr, 0,
+					reqWire2, readReqSegs(q.cfg, size), end2, d2)
+			}
 		})
 	})
+	if p.tlm != nil {
+		p.observe(telemetry.Up, telemetry.MemRd, addr, 0,
+			reqWire, readReqSegs(p.cfg, size), end1, d1)
+	}
 }
 
 // AddrOf returns the fabric address corresponding to an offset within the
@@ -182,6 +219,15 @@ func (f *Fabric) AddrOf(dev Device, offset uint64) uint64 {
 		}
 	}
 	panic(fmt.Sprintf("pcie: device %s not attached", dev.PCIeName()))
+}
+
+// Ports returns every attached port in attach order. Callers use it to
+// reconcile external accounting (e.g. telemetry byte counters) against
+// the ports' UpBytes/DownBytes ground truth.
+func (f *Fabric) Ports() []*Port {
+	out := make([]*Port, len(f.ports))
+	copy(out, f.ports)
+	return out
 }
 
 // PortOf returns the port of an attached device, or nil.

@@ -9,20 +9,28 @@ import (
 	"sort"
 )
 
-// Sample accumulates float64 observations.
+// Sample accumulates float64 observations in insertion order. Order
+// statistics (Min, Max, Percentile) work on a lazily maintained sorted
+// copy, so querying them never reorders the observations themselves —
+// callers may interleave percentile reads with order-sensitive walks of
+// the series.
 type Sample struct {
 	vals   []float64
-	sorted bool
+	sorted []float64 // lazy sorted copy; nil when stale
 }
 
 // Add appends an observation.
 func (s *Sample) Add(v float64) {
 	s.vals = append(s.vals, v)
-	s.sorted = false
+	s.sorted = nil
 }
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.vals) }
+
+// Values returns the observations in insertion order. The slice is the
+// sample's backing store; callers must not modify it.
+func (s *Sample) Values() []float64 { return s.vals }
 
 // Mean returns the arithmetic mean, or 0 for an empty sample.
 func (s *Sample) Mean() float64 {
@@ -53,27 +61,27 @@ func (s *Sample) Stddev() float64 {
 
 // Min returns the smallest observation, or 0 for an empty sample.
 func (s *Sample) Min() float64 {
-	s.ensureSorted()
 	if len(s.vals) == 0 {
 		return 0
 	}
-	return s.vals[0]
+	return s.ensureSorted()[0]
 }
 
 // Max returns the largest observation, or 0 for an empty sample.
 func (s *Sample) Max() float64 {
-	s.ensureSorted()
 	if len(s.vals) == 0 {
 		return 0
 	}
-	return s.vals[len(s.vals)-1]
+	v := s.ensureSorted()
+	return v[len(v)-1]
 }
 
-func (s *Sample) ensureSorted() {
-	if !s.sorted {
-		sort.Float64s(s.vals)
-		s.sorted = true
+func (s *Sample) ensureSorted() []float64 {
+	if s.sorted == nil {
+		s.sorted = append(make([]float64, 0, len(s.vals)), s.vals...)
+		sort.Float64s(s.sorted)
 	}
+	return s.sorted
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
@@ -82,21 +90,21 @@ func (s *Sample) Percentile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	s.ensureSorted()
+	v := s.ensureSorted()
 	if p <= 0 {
-		return s.vals[0]
+		return v[0]
 	}
 	if p >= 100 {
-		return s.vals[len(s.vals)-1]
+		return v[len(v)-1]
 	}
-	rank := p / 100 * float64(len(s.vals)-1)
+	rank := p / 100 * float64(len(v)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.vals[lo]
+		return v[lo]
 	}
 	frac := rank - float64(lo)
-	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
+	return v[lo]*(1-frac) + v[hi]*frac
 }
 
 // Median returns the 50th percentile.

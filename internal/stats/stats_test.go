@@ -74,6 +74,36 @@ func TestAddAfterPercentile(t *testing.T) {
 	approx(t, s.Median(), 5, 1e-12, "median after re-add")
 }
 
+// TestOrderStatisticsPreserveInsertionOrder is the regression test for
+// a bug where Min/Max/Percentile sorted the backing slice in place:
+// callers that walked the series in arrival order (e.g. matching RTT
+// samples to send timestamps) silently got sorted data after the first
+// percentile query.
+func TestOrderStatisticsPreserveInsertionOrder(t *testing.T) {
+	in := []float64{5, 1, 4, 2, 3}
+	var s Sample
+	for _, v := range in {
+		s.Add(v)
+	}
+	_ = s.Min()
+	_ = s.Max()
+	_ = s.Percentile(90)
+	_ = s.Median()
+	got := s.Values()
+	if len(got) != len(in) {
+		t.Fatalf("Values() length = %d, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("insertion order lost: Values() = %v, want %v", got, in)
+		}
+	}
+	// The order statistics themselves must still be right.
+	approx(t, s.Min(), 1, 0, "min")
+	approx(t, s.Max(), 5, 0, "max")
+	approx(t, s.Median(), 3, 1e-12, "median")
+}
+
 func TestStddev(t *testing.T) {
 	var s Sample
 	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {

@@ -12,6 +12,7 @@ import (
 	"flexdriver/internal/nic"
 	"flexdriver/internal/pcie"
 	"flexdriver/internal/sim"
+	"flexdriver/internal/telemetry"
 )
 
 // Params models the CPU driver's per-operation costs.
@@ -67,6 +68,8 @@ type Driver struct {
 
 	// Stats.
 	RxPackets, TxPackets int64
+
+	tlm *drvTelemetry // nil unless SetTelemetry was called
 }
 
 // New builds a driver for the given host memory and NIC (both already
@@ -97,8 +100,15 @@ func (d *Driver) CPU() *sim.Resource { return d.cpu }
 // cpuWork charges one CPU operation, with occasional OS jitter, then runs
 // fn.
 func (d *Driver) cpuWork(cost sim.Duration, fn func()) {
-	if d.Prm.JitterProb > 0 && d.rng.Float64() < d.Prm.JitterProb {
+	jittered := d.Prm.JitterProb > 0 && d.rng.Float64() < d.Prm.JitterProb
+	if jittered {
 		cost += d.rng.Pareto(d.Prm.JitterMin, d.Prm.JitterMax, d.Prm.JitterAlpha)
+	}
+	if t := d.tlm; t != nil {
+		t.cpuOps.Inc()
+		if jittered {
+			t.jitters.Inc()
+		}
 	}
 	d.cpu.Acquire(cost, fn)
 }
@@ -138,6 +148,12 @@ type EthPort struct {
 	OnReceive func(frame []byte, md RxMeta)
 	// OnSendComplete fires per transmit completion batch.
 	OnSendComplete func(n int)
+
+	// Telemetry handles (nil-safe; see instrument).
+	tTxPosts, tTxInline, tTxSwQueued *telemetry.Counter
+	tSQDoorbells, tRQDoorbells       *telemetry.Counter
+	tRxPackets                       *telemetry.Counter
+	tDBBatch, tCplBatch              *telemetry.Histogram
 }
 
 // EthPortConfig sizes an EthPort.
@@ -186,6 +202,9 @@ func (d *Driver) NewEthPort(cfg EthPortConfig) *EthPort {
 		w := nic.RecvWQE{Addr: addr, Len: uint32(cfg.BufBytes)}
 		d.mem.WriteAt(p.rqRing+uint64(i)*nic.RecvWQESize, w.Marshal())
 	}
+	if d.tlm != nil {
+		p.instrument(d.tlm.scope)
+	}
 	p.rqPI = uint32(cfg.RxEntries)
 	p.ringRQDoorbell()
 	return p
@@ -201,6 +220,7 @@ func (p *EthPort) VPort() *nic.VPort { return p.vport }
 func (p *EthPort) SQ() *nic.SQ { return p.sq }
 
 func (p *EthPort) ringRQDoorbell() {
+	p.tRQDoorbells.Inc()
 	var b [4]byte
 	putU32(b[:], p.rqPI)
 	p.drv.host.Write(p.drv.bar+nic.RQDoorbellOffset(p.rq.ID), b[:], nil)
@@ -218,6 +238,7 @@ func (p *EthPort) Send(frame []byte) {
 	}
 	p.drv.cpuWork(p.drv.Prm.TxCost, func() {
 		if int(p.pi-p.ci) >= p.sqSize {
+			p.tTxSwQueued.Inc()
 			p.txQueued = append(p.txQueued, frame)
 			return
 		}
@@ -234,6 +255,8 @@ func (p *EthPort) post(frame []byte) {
 			Inline: frame}
 		p.pi++
 		p.drv.TxPackets++
+		p.tTxPosts.Inc()
+		p.tTxInline.Inc()
 		p.drv.host.Write(p.drv.bar+nic.SQDoorbellOffset(p.sq.ID), w.Marshal(), nil)
 		return
 	}
@@ -247,6 +270,7 @@ func (p *EthPort) post(frame []byte) {
 	p.pi++
 	p.sincedb++
 	p.drv.TxPackets++
+	p.tTxPosts.Inc()
 	if p.sincedb >= p.drv.Prm.DoorbellBatch {
 		p.flushDoorbell()
 	} else {
@@ -262,6 +286,8 @@ func (p *EthPort) post(frame []byte) {
 }
 
 func (p *EthPort) flushDoorbell() {
+	p.tDBBatch.Observe(int64(p.sincedb))
+	p.tSQDoorbells.Inc()
 	p.sincedb = 0
 	var b [4]byte
 	putU32(b[:], p.pi)
@@ -272,6 +298,7 @@ func (p *EthPort) txComplete(c nic.CQE) {
 	// A signaled completion covers its unsignaled predecessors.
 	adv := uint32(uint16(c.Index)-uint16(p.ci)) & 0xffff
 	p.ci += adv + 1
+	p.tCplBatch.Observe(int64(adv) + 1)
 	if p.OnSendComplete != nil {
 		p.OnSendComplete(int(adv) + 1)
 	}
@@ -286,6 +313,7 @@ func (p *EthPort) txComplete(c nic.CQE) {
 func (p *EthPort) rxComplete(c nic.CQE) {
 	p.drv.cpuWork(p.drv.Prm.RxCost, func() {
 		p.drv.RxPackets++
+		p.tRxPackets.Inc()
 		base := p.drv.fab.PortOf(p.drv.mem).Base()
 		frame := p.drv.mem.ReadAt(c.Addr-base, int(c.ByteCount))
 		if p.OnReceive != nil {

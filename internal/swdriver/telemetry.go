@@ -1,0 +1,42 @@
+package swdriver
+
+import (
+	"fmt"
+
+	"flexdriver/internal/telemetry"
+)
+
+// drvTelemetry holds the driver-level CPU counters; per-port handles
+// live on the EthPort. All handles are nil-safe.
+type drvTelemetry struct {
+	scope   *telemetry.Scope
+	cpuOps  *telemetry.Counter
+	jitters *telemetry.Counter
+}
+
+// SetTelemetry attaches a telemetry scope to the driver: CPU
+// operation/jitter counters, a core-utilization func, and per-port
+// doorbell/batch instrumentation for ports created afterwards.
+func (d *Driver) SetTelemetry(sc *telemetry.Scope) {
+	if sc == nil {
+		return
+	}
+	d.tlm = &drvTelemetry{
+		scope:   sc,
+		cpuOps:  sc.Counter("cpu/ops"),
+		jitters: sc.Counter("cpu/jitter_events"),
+	}
+	sc.Func("cpu/util", d.cpu.Utilization)
+}
+
+func (p *EthPort) instrument(sc *telemetry.Scope) {
+	s := sc.Scope(fmt.Sprintf("port%d", p.sq.ID))
+	p.tTxPosts = s.Counter("tx/posts")
+	p.tTxInline = s.Counter("tx/inline")
+	p.tTxSwQueued = s.Counter("tx/sw_queued")
+	p.tSQDoorbells = s.Counter("tx/doorbells")
+	p.tRQDoorbells = s.Counter("rx/doorbells")
+	p.tRxPackets = s.Counter("rx/packets")
+	p.tDBBatch = s.Histogram("tx/doorbell_batch")
+	p.tCplBatch = s.Histogram("tx/completion_batch")
+}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flexdriver/internal/sim"
+)
+
+// TestNilSafety: every handle and registry operation must be a no-op
+// (not a panic) when telemetry is disabled — the instrumented hot paths
+// rely on this.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	var sc *Scope
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var rec *Recorder
+
+	if reg.Counter("x") != nil || reg.Gauge("x") != nil || reg.Histogram("x") != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	if reg.Scope("a") != nil || sc.Scope("b") != nil {
+		t.Fatal("nil scopes must propagate")
+	}
+	if sc.Counter("x") != nil || sc.Gauge("x") != nil || sc.Histogram("x") != nil {
+		t.Fatal("nil scope must return nil handles")
+	}
+	sc.Func("u", func() float64 { return 1 })
+	reg.Func("u", func() float64 { return 1 })
+	reg.Bind(func() sim.Time { return 0 })
+
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(7)
+	rec.Record(TLPEvent{})
+	if c.Value() != 0 || g.Value() != 0 || g.High() != 0 || h.Count() != 0 || rec.Len() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if reg.EnableRecorder(4) != nil || reg.Recorder() != nil || sc.Recorder() != nil {
+		t.Fatal("nil registry has no recorder")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || snap.Get("x") != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestHierarchyAndHandles(t *testing.T) {
+	reg := New()
+	nic := reg.Scope("innova0").Scope("nic")
+	db := nic.Scope("sq3").Counter("doorbells")
+	db.Inc()
+	db.Add(2)
+	if got := reg.Counter("innova0/nic/sq3/doorbells").Value(); got != 3 {
+		t.Fatalf("hierarchical path value = %d, want 3", got)
+	}
+	// Same path returns the same handle.
+	if reg.Counter("innova0/nic/sq3/doorbells") != db {
+		t.Fatal("counter lookup must be idempotent")
+	}
+
+	g := nic.Gauge("occupancy")
+	g.Set(10)
+	g.Set(4)
+	if g.Value() != 4 || g.High() != 10 {
+		t.Fatalf("gauge value=%d high=%d, want 4/10", g.Value(), g.High())
+	}
+
+	h := nic.Histogram("batch")
+	for _, v := range []int64{1, 2, 3, 4, 8} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	if h.Mean() != 18.0/5 {
+		t.Fatalf("hist mean = %v", h.Mean())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != len(counts) || len(bounds) == 0 {
+		t.Fatalf("buckets %v %v", bounds, counts)
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n != 5 {
+		t.Fatalf("bucket counts sum to %d", n)
+	}
+}
+
+func TestSnapshotDiffAndRate(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := New()
+	reg.Bind(eng.Now)
+	c := reg.Counter("a/b")
+	reg.Func("util", func() float64 { return 0.5 })
+
+	c.Add(10)
+	s0 := reg.Snapshot()
+	eng.After(sim.Microsecond, func() { c.Add(30) })
+	eng.Run()
+	s1 := reg.Snapshot()
+
+	if s1.Interval(s0) != sim.Microsecond {
+		t.Fatalf("interval = %v", s1.Interval(s0))
+	}
+	d := s1.Diff(s0)
+	if d.Counters["a/b"] != 30 {
+		t.Fatalf("diff = %d, want 30", d.Counters["a/b"])
+	}
+	// 30 events per microsecond = 3e7 events/s.
+	if r := s1.Rate("a/b", s0); r != 30e6 {
+		t.Fatalf("rate = %v, want 3e7", r)
+	}
+	if s1.Funcs["util"] != 0.5 {
+		t.Fatalf("func sample = %v", s1.Funcs["util"])
+	}
+	dump := s1.String()
+	if !strings.Contains(dump, "a/b") || !strings.Contains(dump, "40") {
+		t.Fatalf("dump missing counter:\n%s", dump)
+	}
+}
+
+func TestRecorderRingAndOrder(t *testing.T) {
+	rec := NewRecorder(4)
+	for i := 0; i < 7; i++ {
+		rec.Record(TLPEvent{Time: sim.Time(i), Type: MemWr, Link: "l", Bytes: i})
+	}
+	if rec.Len() != 4 || rec.Total() != 7 || rec.Cap() != 4 {
+		t.Fatalf("len=%d total=%d cap=%d", rec.Len(), rec.Total(), rec.Cap())
+	}
+	evs := rec.Events()
+	for i, ev := range evs {
+		if want := sim.Time(3 + i); ev.Time != want {
+			t.Fatalf("event %d at %v, want %v (oldest-first)", i, ev.Time, want)
+		}
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Record(TLPEvent{Time: 1000, Dur: 500, Link: "nic", Dir: Up, Type: MemRd, Addr: 0x1000, Wire: 24})
+	rec.Record(TLPEvent{Time: 2000, Dur: 700, Link: "fld", Dir: Down, Type: CplD, Addr: 0x1000, Bytes: 64, Wire: 84})
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var x, m int
+	for _, ev := range out.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			x++
+		case "M":
+			m++
+		}
+	}
+	if x != 2 {
+		t.Fatalf("want 2 complete events, got %d", x)
+	}
+	if m == 0 {
+		t.Fatal("want process/thread metadata events")
+	}
+}
+
+// TestHotPathAllocs guards the zero-allocation claim for the per-event
+// operations.
+func TestHotPathAllocs(t *testing.T) {
+	reg := New()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	rec := NewRecorder(128)
+	ev := TLPEvent{Time: 1, Dur: 2, Link: "l", Type: MemWr, Bytes: 64, Wire: 88}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(5)
+		h.Observe(9)
+		rec.Record(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates %.1f per event, want 0", allocs)
+	}
+}

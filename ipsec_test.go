@@ -20,7 +20,7 @@ import (
 // ESP-encrypted (the mobile pre-fragmentation pattern), arriving on a
 // 25 GbE port.
 func TestIPSecDecryptThenDefrag(t *testing.T) {
-	rp := NewRemotePair(Options{})
+	rp := NewRemotePair()
 	srv := rp.Server
 	esw := srv.NIC.ESwitch()
 
@@ -113,7 +113,7 @@ func TestIPSecDecryptThenDefrag(t *testing.T) {
 // TestIPSecForgedPacketsDropped: authentication failures never reach the
 // accelerator or the application.
 func TestIPSecForgedPacketsDropped(t *testing.T) {
-	rp := NewRemotePair(Options{})
+	rp := NewRemotePair()
 	srv := rp.Server
 	esw := srv.NIC.ESwitch()
 	sa := &netpkt.ESPSA{SPI: 0x77, Key: [16]byte{1}, Salt: [4]byte{2}}

@@ -61,7 +61,7 @@ func TestMultiFLDCoreScaling(t *testing.T) {
 	cfg.PipelineII = 16
 
 	single := func() float64 {
-		rp := NewRemotePair(Options{Driver: genPrm, FLD: cfg})
+		rp := NewRemotePair(WithDriver(genPrm), WithFLD(cfg))
 		srv := rp.Server
 		srv.RT.CreateEthTxQueue(0, nil)
 		ecp := NewEControlPlane(srv.RT)
@@ -75,7 +75,7 @@ func TestMultiFLDCoreScaling(t *testing.T) {
 	}()
 
 	dual := func() float64 {
-		rp := NewRemotePair(Options{Driver: genPrm, FLD: cfg})
+		rp := NewRemotePair(WithDriver(genPrm), WithFLD(cfg))
 		srv := rp.Server
 		// Core 1 is the built-in one; core 2 is added on the same FPGA.
 		_, rt2 := srv.AddFLD(cfg)
@@ -107,7 +107,7 @@ func TestMultiFLDCoreScaling(t *testing.T) {
 // same FLD design drives a newer-generation NIC (faster engines, deeper
 // windows) without modification.
 func TestConnectX6DxPortability(t *testing.T) {
-	rp := NewRemotePair(Options{NIC: nic.ConnectX6DxParams()})
+	rp := NewRemotePair(WithNIC(nic.ConnectX6DxParams()))
 	srv := rp.Server
 	srv.RT.CreateEthTxQueue(0, nil)
 	ecp := NewEControlPlane(srv.RT)

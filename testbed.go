@@ -1,6 +1,8 @@
 package flexdriver
 
 import (
+	"fmt"
+
 	"flexdriver/internal/fld"
 	"flexdriver/internal/fldsw"
 	"flexdriver/internal/hostmem"
@@ -8,10 +10,13 @@ import (
 	"flexdriver/internal/pcie"
 	"flexdriver/internal/sim"
 	"flexdriver/internal/swdriver"
+	"flexdriver/internal/telemetry"
 )
 
-// Options configure testbed construction. The zero value is replaced by
-// the paper's defaults.
+// Options is the internal carrier of testbed configuration. Callers
+// configure it through functional options (WithFLD, WithLink,
+// WithTelemetry, ...); zero-valued fields are replaced by the paper's
+// defaults.
 type Options struct {
 	// FLD sizes the FlexDriver instance on Innova nodes.
 	FLD FLDConfig
@@ -28,6 +33,53 @@ type Options struct {
 	NICLink LinkConfig
 	// HostMemBytes sizes each host's DRAM (default 1 GiB).
 	HostMemBytes uint64
+	// Telemetry, when set, instruments every layer of the node into the
+	// registry under `<node>/{pcie,nic,fld,swdriver}/...`. Nil (the
+	// default) disables telemetry at zero cost to the hot paths.
+	Telemetry *Registry
+}
+
+// Option customizes testbed construction (the functional-options
+// facade over the Options carrier).
+type Option func(*Options)
+
+// WithFLD sizes the FlexDriver instance on Innova nodes.
+func WithFLD(cfg FLDConfig) Option { return func(o *Options) { o.FLD = cfg } }
+
+// WithNIC tunes the adapter model.
+func WithNIC(p NICParams) Option { return func(o *Options) { o.NIC = p } }
+
+// WithDriver tunes the CPU software-driver cost model.
+func WithDriver(p DriverParams) Option { return func(o *Options) { o.Driver = p } }
+
+// WithLink sets the PCIe configuration for host and FPGA fabric links.
+func WithLink(l LinkConfig) Option { return func(o *Options) { o.Link = l } }
+
+// WithNICLink overrides the NIC ASIC's internal switch attachment
+// (default: WithLink's configuration with doubled lanes).
+func WithNICLink(l LinkConfig) Option { return func(o *Options) { o.NICLink = l } }
+
+// WithHostMem sizes each host's DRAM in bytes (default 1 GiB).
+func WithHostMem(bytes uint64) Option { return func(o *Options) { o.HostMemBytes = bytes } }
+
+// WithTelemetry instruments the node(s) into reg: per-link TLP
+// counters, per-queue doorbell/WQE/CQE counters, FLD compression and
+// buffer-pool metrics, and CPU-driver costs, all under
+// `<node>/...` paths. Enable reg's flight recorder to also capture
+// per-TLP events for Chrome-trace export.
+func WithTelemetry(reg *Registry) Option { return func(o *Options) { o.Telemetry = reg } }
+
+// WithOptions replaces the whole carrier at once — an escape hatch for
+// callers that build an Options value programmatically.
+func WithOptions(full Options) Option { return func(o *Options) { *o = full } }
+
+// buildOptions folds functional options into a defaulted carrier.
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o.withDefaults()
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +105,26 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// wireTelemetry binds the registry to the engine clock and attaches
+// per-layer scopes under the node's name. Safe to call with a nil
+// registry (telemetry disabled).
+func wireTelemetry(reg *telemetry.Registry, eng *Engine, name string,
+	fab *pcie.Fabric, n *nic.NIC, f *fld.FLD, drv *swdriver.Driver) {
+	if reg == nil {
+		return
+	}
+	reg.Bind(eng.Now)
+	node := reg.Scope(name)
+	fab.SetTelemetry(node.Scope("pcie"))
+	n.SetTelemetry(node.Scope("nic"))
+	if f != nil {
+		f.SetTelemetry(node.Scope("fld"))
+	}
+	if drv != nil {
+		drv.SetTelemetry(node.Scope("swdriver"))
+	}
+}
+
 // Host is a plain server: CPU + DRAM + a ConnectX-class NIC, driven by
 // the software poll-mode driver. It is the client side of the remote
 // experiments and the CPU baseline of the local ones.
@@ -62,18 +134,25 @@ type Host struct {
 	Mem *hostmem.Memory
 	NIC *NIC
 	Drv *Driver
+
+	tel *telemetry.Registry
 }
 
+// Telemetry returns the registry the host was built with, or nil when
+// telemetry is disabled.
+func (h *Host) Telemetry() *Registry { return h.tel }
+
 // NewHost builds a host on the engine.
-func NewHost(eng *Engine, name string, o Options) *Host {
-	o = o.withDefaults()
+func NewHost(eng *Engine, name string, opts ...Option) *Host {
+	o := buildOptions(opts)
 	fab := pcie.NewFabric(eng)
 	mem := hostmem.New(name+"-dram", o.HostMemBytes)
 	fab.Attach(mem, o.Link)
 	n := nic.New(name+"-nic", eng, o.NIC)
 	n.AttachPCIe(fab, o.NICLink)
 	drv := swdriver.New(eng, fab, mem, n, o.Driver)
-	return &Host{Eng: eng, Fab: fab, Mem: mem, NIC: n, Drv: drv}
+	wireTelemetry(o.Telemetry, eng, name, fab, n, nil, drv)
+	return &Host{Eng: eng, Fab: fab, Mem: mem, NIC: n, Drv: drv, tel: o.Telemetry}
 }
 
 // Innova is an Innova-2-style SmartNIC node: host DRAM, a ConnectX-class
@@ -88,11 +167,19 @@ type Innova struct {
 	FLD *FLD
 	RT  *Runtime
 	Drv *Driver
+
+	name    string
+	tel     *telemetry.Registry
+	numFLDs int
 }
 
+// Telemetry returns the registry the node was built with, or nil when
+// telemetry is disabled.
+func (inn *Innova) Telemetry() *Registry { return inn.tel }
+
 // NewInnova builds an Innova node on the engine.
-func NewInnova(eng *Engine, name string, o Options) *Innova {
-	o = o.withDefaults()
+func NewInnova(eng *Engine, name string, opts ...Option) *Innova {
+	o := buildOptions(opts)
 	fab := pcie.NewFabric(eng)
 	mem := hostmem.New(name+"-dram", o.HostMemBytes)
 	fab.Attach(mem, o.Link)
@@ -102,7 +189,9 @@ func NewInnova(eng *Engine, name string, o Options) *Innova {
 	f.AttachPCIe(fab, o.Link)
 	rt := fldsw.NewRuntime(eng, fab, mem, n, f)
 	drv := swdriver.New(eng, fab, mem, n, o.Driver)
-	return &Innova{Eng: eng, Fab: fab, Mem: mem, NIC: n, FLD: f, RT: rt, Drv: drv}
+	wireTelemetry(o.Telemetry, eng, name, fab, n, f, drv)
+	return &Innova{Eng: eng, Fab: fab, Mem: mem, NIC: n, FLD: f, RT: rt, Drv: drv,
+		name: name, tel: o.Telemetry, numFLDs: 1}
 }
 
 // AddFLD instantiates an additional FlexDriver core on the node's FPGA
@@ -113,6 +202,10 @@ func (inn *Innova) AddFLD(cfg FLDConfig) (*FLD, *Runtime) {
 	f := fld.New(inn.Eng, cfg)
 	f.AttachPCIe(inn.Fab, pcie.Gen3x8())
 	rt := fldsw.NewRuntime(inn.Eng, inn.Fab, inn.Mem, inn.NIC, f)
+	if inn.tel != nil {
+		f.SetTelemetry(inn.tel.Scope(inn.name).Scope(fmt.Sprintf("fld%d", inn.numFLDs)))
+	}
+	inn.numFLDs++
 	return f, rt
 }
 
@@ -130,11 +223,13 @@ type RemotePair struct {
 	Wire   *Wire
 }
 
-// NewRemotePair builds the two-node remote testbed.
-func NewRemotePair(o Options) *RemotePair {
+// NewRemotePair builds the two-node remote testbed. Options apply to
+// both nodes; with WithTelemetry both register under their node names
+// ("client", "server") in the shared registry.
+func NewRemotePair(opts ...Option) *RemotePair {
 	eng := sim.NewEngine()
-	client := NewHost(eng, "client", o)
-	server := NewInnova(eng, "server", o)
+	client := NewHost(eng, "client", opts...)
+	server := NewInnova(eng, "server", opts...)
 	w := nic.ConnectWire(client.NIC, server.NIC, 25*Gbps, 500*Nanosecond)
 	return &RemotePair{Eng: eng, Client: client, Server: server, Wire: w}
 }
@@ -142,7 +237,7 @@ func NewRemotePair(o Options) *RemotePair {
 // NewLocalInnova builds the paper's local testbed: one Innova node whose
 // host CPU exchanges traffic with the FPGA through the NIC's embedded
 // switch (maximum throughput bounded by the 50 Gbps PCIe link).
-func NewLocalInnova(o Options) *Innova {
+func NewLocalInnova(opts ...Option) *Innova {
 	eng := sim.NewEngine()
-	return NewInnova(eng, "innova", o)
+	return NewInnova(eng, "innova", opts...)
 }

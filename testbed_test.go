@@ -30,7 +30,7 @@ func buildUDPFrame(srcID, dstID int, sport, dport uint16, n int) []byte {
 // peer-to-peer PCIe; frames return to the client — with zero server-CPU
 // involvement after setup.
 func TestFLDERemoteEcho(t *testing.T) {
-	rp := NewRemotePair(Options{})
+	rp := NewRemotePair()
 	srv := rp.Server
 
 	// Server control plane: one FLD TX queue, default egress to wire,
@@ -83,7 +83,7 @@ func TestFLDERemoteEcho(t *testing.T) {
 // TestFLDELocalEcho runs the single-node variant: the host CPU exchanges
 // traffic with the FPGA through the eSwitch hairpin.
 func TestFLDELocalEcho(t *testing.T) {
-	inn := NewLocalInnova(Options{})
+	inn := NewLocalInnova()
 	inn.RT.CreateEthTxQueue(0, nil)
 	echoAFU := echo.New(inn.FLD)
 
@@ -122,7 +122,7 @@ func TestFLDELocalEcho(t *testing.T) {
 // to the AFU, echoed per message back over the FLD QP, and reassembled by
 // the client endpoint.
 func TestFLDRRemoteEcho(t *testing.T) {
-	rp := NewRemotePair(Options{})
+	rp := NewRemotePair()
 	srv := rp.Server
 
 	rsrv := NewRServer(srv.RT)
