@@ -1,0 +1,37 @@
+package flexdriver_test
+
+// Chaos regression: the FLD-E echo must survive a heavy deterministic
+// fault storm — and pass every recovery invariant — for several
+// distinct seeds. A failure prints the seed and the full report so the
+// identical storm can be replayed with
+//
+//	go run ./cmd/fldreport -exp chaos -seed <seed> -faults heavy
+//
+// The test lives outside package flexdriver so it exercises the same
+// public facade path the CLI does.
+
+import (
+	"testing"
+
+	"flexdriver"
+	"flexdriver/internal/exps"
+)
+
+func TestChaosAcrossSeeds(t *testing.T) {
+	const window = 300 * flexdriver.Microsecond
+	for _, seed := range []int64{1, 2, 3, 4, 5, 42, 1234} {
+		r := exps.Chaos(seed, "heavy", window)
+		if !r.Passed() {
+			t.Errorf("chaos failed for seed %d:\n%s", seed, r.String())
+		}
+	}
+}
+
+// TestChaosZeroFaultsLossless pins the loss bound's teeth: with an
+// empty fault config the same storm harness must deliver every frame.
+func TestChaosZeroFaultsLossless(t *testing.T) {
+	r := exps.Chaos(1, "wire.loss=0", 300*flexdriver.Microsecond)
+	if !r.Passed() {
+		t.Fatalf("fault-free chaos run not lossless:\n%s", r.String())
+	}
+}

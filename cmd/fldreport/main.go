@@ -11,6 +11,8 @@
 //	                           # and write the TLP flight recorder as
 //	                           # Chrome trace_event JSON (load the file in
 //	                           # chrome://tracing or Perfetto)
+//	fldreport -exp chaos -seed 7 -faults heavy
+//	                           # replay one deterministic fault storm
 package main
 
 import (
@@ -23,8 +25,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio, telemetry)")
+	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio, telemetry, chaos)")
 	quick := flag.Bool("quick", false, "shorter measurement windows")
+	seed := flag.Int64("seed", 1, "random seed for the chaos experiment's fault plan; a failing (seed, faults) pair replays the identical storm")
+	faults := flag.String("faults", "", `fault spec for the chaos experiment: a preset ("light", "heavy") or key=value pairs, e.g. "heavy" or "light,wire.loss=0.1" (default "heavy")`)
 	traceOut := flag.String("trace", "", "run the telemetry experiment, print its counter snapshot, and write the TLP flight recorder as Chrome trace_event JSON to this file")
 	flag.Parse()
 
@@ -74,6 +78,7 @@ func main() {
 		{"iot-security", func() *exps.Result { return exps.IotInvalidTokensDropped(window) }},
 		{"ext-virtio", func() *exps.Result { return exps.Portability(window) }},
 		{"telemetry", runTelemetry},
+		{"chaos", func() *exps.Result { return exps.Chaos(*seed, *faults, window) }},
 	}
 
 	if *exp != "" {

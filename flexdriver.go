@@ -25,6 +25,7 @@
 package flexdriver
 
 import (
+	"flexdriver/internal/faults"
 	"flexdriver/internal/fld"
 	"flexdriver/internal/fldsw"
 	"flexdriver/internal/nic"
@@ -92,6 +93,14 @@ type (
 	// LinkConfig describes a PCIe link.
 	LinkConfig = pcie.LinkConfig
 
+	// FaultPlan is a seeded deterministic fault-injection plan; build
+	// one with NewFaultPlan and pass it to testbeds via WithFaults.
+	FaultPlan = faults.Plan
+	// FaultsConfig selects fault classes and rates for a FaultPlan.
+	FaultsConfig = faults.Config
+	// FaultCounts tallies injected faults per class.
+	FaultCounts = faults.Counts
+
 	// Registry is the hierarchical telemetry registry (counters,
 	// gauges, histograms, and the TLP flight recorder).
 	Registry = telemetry.Registry
@@ -139,6 +148,14 @@ func DefaultDriverParams() DriverParams { return swdriver.DefaultParams() }
 
 // Gen3x8 is the Innova-2's internal PCIe link configuration.
 func Gen3x8() LinkConfig { return pcie.Gen3x8() }
+
+// NewFaultPlan builds a fault-injection plan whose every probabilistic
+// decision derives from seed — identical runs replay identical faults.
+func NewFaultPlan(seed int64, cfg FaultsConfig) *FaultPlan { return faults.NewPlan(seed, cfg) }
+
+// ParseFaultSpec parses a -faults CLI specification (a preset name such
+// as "light"/"heavy" or key=value pairs; see internal/faults.ParseSpec).
+func ParseFaultSpec(spec string) (FaultsConfig, error) { return faults.ParseSpec(spec) }
 
 // NewEControlPlane builds the FLD-E control plane over a runtime.
 func NewEControlPlane(rt *Runtime) *EControlPlane { return fldsw.NewEControlPlane(rt) }

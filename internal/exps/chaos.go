@@ -1,0 +1,184 @@
+package exps
+
+import (
+	"fmt"
+
+	"flexdriver"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/swdriver"
+)
+
+// Chaos runs the FLD-E remote echo under a deterministic fault storm
+// and asserts the recovery invariants:
+//
+//   - no app-level loss beyond what the plan injected (and zero loss
+//     when nothing was injected);
+//   - no app-level duplication beyond injected wire duplicates;
+//   - the PCIe telemetry byte counters still reconcile byte-exactly
+//     against both fabrics' independent accounting — fault injection
+//     never unbalances the wire-byte bookkeeping;
+//   - every queue is back in the Ready state once the storm ends;
+//   - the simulation engine fully quiesces (no wedged retry loops).
+//
+// seed drives the plan's random stream: a failing (seed, spec) pair
+// replays the identical storm. spec is a fault specification for
+// faults.ParseSpec; empty means the "heavy" preset. window is the
+// storm's duration.
+func Chaos(seed int64, spec string, window flexdriver.Duration) *Result {
+	r := &Result{ID: "chaos",
+		Title: fmt.Sprintf("FLD-E echo under fault injection (seed=%d, faults=%q)", seed, orHeavy(spec))}
+	r.Columns = []string{"metric", "value", "", "", "", ""}
+
+	cfg, err := flexdriver.ParseFaultSpec(orHeavy(spec))
+	if err != nil {
+		r.Check("fault spec parses", 1, 0, "", false, err.Error())
+		return r
+	}
+
+	const (
+		warmup = 150 * flexdriver.Microsecond
+		drain  = 250 * flexdriver.Microsecond
+		size   = 256
+	)
+	// Probabilistic faults only fire inside [warmup, warmup+window); the
+	// warmup and drain phases are clean so lost doorbells are superseded
+	// and every recovery completes before the invariants are checked.
+	cfg.Start, cfg.Stop = warmup, warmup+window
+
+	plan := flexdriver.NewFaultPlan(seed, cfg)
+	reg := flexdriver.NewRegistry()
+	rp, port, _ := fldeRemoteBed(flexdriver.WithTelemetry(reg), flexdriver.WithFaults(plan))
+	eng := rp.Eng
+
+	// Sequence-stamped frames: the payload's first 8 bytes carry the send
+	// ordinal, so loss and duplication are measured per frame, not from
+	// aggregate counts.
+	base := buildFrame(size, 4000, 7777)
+	const seqOff = 42 // Eth(14) + IPv4(20) + UDP(8)
+	var sent int64
+	recv := make(map[int64]int64)
+	port.OnReceive = func(fr []byte, _ swdriver.RxMeta) {
+		if len(fr) >= seqOff+8 {
+			var seq int64
+			for i := 0; i < 8; i++ {
+				seq = seq<<8 | int64(fr[seqOff+i])
+			}
+			recv[seq]++
+		}
+	}
+
+	// ~10 Gbps offered: safely below the echo path's capacity, so a
+	// fault-free run is lossless.
+	interval := flexdriver.Duration(float64(len(base)*8) / 10e9 * float64(flexdriver.Second))
+	deadline := warmup + window + drain
+	paceSends(eng, interval, deadline, func() {
+		f := append([]byte(nil), base...)
+		seq := sent
+		for i := 7; i >= 0; i-- {
+			f[seqOff+i] = byte(seq)
+			seq >>= 8
+		}
+		sent++
+		port.Send(f)
+	})
+
+	// Watchdog: a poll-mode driver and the FLD runtime both notice
+	// Error-state queues even when the error CQE announcing the state
+	// was itself lost to a fault.
+	var watchdog func()
+	watchdog = func() {
+		port.Poll()
+		rp.Server.RT.Recover()
+		if eng.Now() < deadline {
+			eng.After(20*flexdriver.Microsecond, watchdog)
+		}
+	}
+	eng.After(warmup, watchdog)
+
+	eng.RunUntil(deadline)
+	// Quiesce: drain in-flight work, then give the watchdog one final
+	// pass in case an error surfaced after its last tick, and drain the
+	// recovery it may have scheduled.
+	eng.Run()
+	port.Poll()
+	rp.Server.RT.Recover()
+	eng.Run()
+
+	inj := plan.Injected
+	var lost, dups int64
+	for seq := int64(0); seq < sent; seq++ {
+		n := recv[seq]
+		if n == 0 {
+			lost++
+		} else if n > 1 {
+			dups += n - 1
+		}
+	}
+
+	r.AddRow("frames sent", d64(sent), "", "", "", "")
+	r.AddRow("frames lost", d64(lost), "", "", "", "")
+	r.AddRow("duplicate receives", d64(dups), "", "", "", "")
+	r.AddRow("faults injected (total)", d64(inj.Total()), "", "", "", "")
+	r.AddRow("  pcie drop/corrupt/flap", fmt.Sprintf("%d/%d/%d",
+		inj.PCIeDrops, inj.PCIeCorrupts, inj.LinkFlapTLPs), "", "", "", "")
+	r.AddRow("  nic db/wqe/cqe", fmt.Sprintf("%d/%d/%d",
+		inj.DoorbellLosses, inj.WQEFetchFails, inj.CQEErrors), "", "", "", "")
+	r.AddRow("  accel stalls", d64(inj.AccelStalls), "", "", "", "")
+	r.AddRow("  wire loss/dup/delay", fmt.Sprintf("%d/%d/%d",
+		inj.WireLosses, inj.WireDups, inj.WireDelays), "", "", "", "")
+
+	// Loss bound: a queue-fatal fault flushes at most one ring (512
+	// entries) of in-flight frames; every other fault class costs at
+	// most a handful. 512 per injected fault is a deliberately generous
+	// ceiling — the teeth are in "zero faults => zero loss".
+	maxLost := 512 * inj.Total()
+	r.Check("loss bounded by injected faults", float64(maxLost), float64(lost), "frames",
+		lost <= maxLost && (inj.Total() > 0 || lost == 0), "<= 512 per injected fault")
+	if inj.Total() > 0 {
+		r.Check("storm actually injected faults", 1, b2f(inj.Total() > 0), "", true, "")
+	}
+	r.Check("no duplication beyond injected", float64(inj.WireDups), float64(dups), "frames",
+		dups <= inj.WireDups, "each wire dup adds at most one copy")
+	r.Check("traffic survived the storm", 1, b2f(sent > 0 && lost < sent), "",
+		sent > 0 && lost < sent, "")
+
+	// Byte-exact PCIe reconciliation on both fabrics: injected drops
+	// charge no bytes anywhere, poisoned TLPs charge bytes on every link
+	// they traverse, so telemetry and port accounting must still agree.
+	snap := reg.Snapshot()
+	cm, _, _ := reconcilePCIe(r, snap, "client", rp.Client.Fab)
+	sm, _, _ := reconcilePCIe(r, snap, "server", rp.Server.Fab)
+	r.Check("PCIe byte counters reconcile under faults", 0, float64(cm+sm), "mismatches",
+		cm+sm == 0, "telemetry vs Port.{Up,Down}Bytes, byte-exact")
+
+	// The plan's telemetry mirror must agree with its own tallies.
+	injTel := sumCounters(snap, "faults/injected/", "")
+	r.Check("injection telemetry mirrors plan tallies", float64(inj.Total()), float64(injTel),
+		"faults", injTel == inj.Total(), "")
+
+	// Recovery: both NICs' queues are Ready again and every queue error
+	// was answered by a driver reset.
+	srvReady := rp.Server.RT.QueuesReady()
+	cliReady := port.SQ().State() == nic.QueueReady && port.RQ().State() == nic.QueueReady
+	r.Check("all queues recovered to Ready", 1, b2f(srvReady && cliReady), "",
+		srvReady && cliReady, "server runtime + client port")
+	cliN, srvN := rp.Client.NIC.Stats, rp.Server.NIC.Stats
+	errsAnswered := cliN.QueueErrors <= cliN.QueueRecoveries && srvN.QueueErrors <= srvN.QueueRecoveries
+	r.Check("every queue error answered by a reset",
+		float64(cliN.QueueErrors+srvN.QueueErrors),
+		float64(cliN.QueueRecoveries+srvN.QueueRecoveries), "resets",
+		errsAnswered, "")
+
+	// The engine must fully quiesce: no wedged retransmit or recovery
+	// loop keeps scheduling events once traffic stops.
+	r.Check("sim engine quiesced", 0, float64(eng.Pending()), "events",
+		eng.Pending() == 0, "no wedged retry loops")
+	return r
+}
+
+func orHeavy(spec string) string {
+	if spec == "" {
+		return "heavy"
+	}
+	return spec
+}

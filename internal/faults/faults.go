@@ -1,0 +1,415 @@
+// Package faults is the testbed's deterministic fault-injection plane.
+// A Plan is built from a seed and a Config, attached to the layers it
+// perturbs (PCIe fabrics, NICs, FLDs, the Ethernet wire) through each
+// layer's FaultHooks, and draws every probabilistic decision from one
+// sim.Rand stream — so a (seed, config, workload) triple replays the
+// exact same fault sequence on every run. The chaos experiment leans on
+// this to assert recovery invariants under randomized-but-reproducible
+// fault storms, printing the seed on failure so any storm can be
+// replayed under a debugger.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"flexdriver/internal/fld"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/pcie"
+	"flexdriver/internal/sim"
+	"flexdriver/internal/telemetry"
+)
+
+// Config selects fault classes and their rates. The zero value injects
+// nothing. Probabilities are per-event (per TLP, per doorbell, per
+// frame, ...) in [0, 1].
+type Config struct {
+	// Start/Stop bound the probabilistic injection window in engine
+	// time; Stop == 0 means "no upper bound". Deterministic injections
+	// (WireDropNth) ignore the window. A Plan only honors the window
+	// once bound to an engine (the facade does this); unbound plans
+	// treat every instant as active.
+	Start, Stop sim.Duration
+
+	// --- PCIe ---
+	PCIeDrop    float64      // drop a TLP before serialization (no bytes on the wire)
+	PCIeCorrupt float64      // poison a TLP: full wire traversal, payload discarded
+	FlapEvery   sim.Duration // link-flap period; 0 disables flapping
+	FlapFor     sim.Duration // the link is down in [k*FlapEvery, k*FlapEvery+FlapFor)
+
+	// --- NIC ---
+	DoorbellLoss float64 // lose a 4-byte doorbell MMIO write (self-healing)
+	WQEFetchFail float64 // fail an SQ descriptor fetch -> queue-fatal SynQueueErr
+	CQEErr       float64 // rewrite a success CQE into SynInjected
+
+	// --- Accelerator ---
+	AccelStall float64 // FLD drops a received frame instead of processing it
+
+	// --- Ethernet wire (RDMA loss/dup/reorder live here) ---
+	WireLoss    float64      // lose a frame after serialization
+	WireDup     float64      // deliver a frame twice
+	WireDelay   float64      // delay a frame (later frames overtake it: reordering)
+	WireDelayBy sim.Duration // extra latency for delayed frames (default 2us)
+	// WireDir restricts wire faults to one direction: 0 = both,
+	// 1 = direction 0 only (end A transmits), 2 = direction 1 only.
+	WireDir int
+	// WireDropNth deterministically drops the Nth frame (1-based,
+	// counted per direction among WireDir-matching frames), independent
+	// of the window and the random stream. Used by tests that need one
+	// exact loss.
+	WireDropNth []int64
+}
+
+// Counts tallies injected faults per class.
+type Counts struct {
+	PCIeDrops, PCIeCorrupts, LinkFlapTLPs         int64
+	DoorbellLosses, WQEFetchFails, CQEErrors      int64
+	AccelStalls                                   int64
+	WireLosses, WireDups, WireDelays, WireDropped int64
+}
+
+// Total returns the total number of injected faults.
+func (c Counts) Total() int64 {
+	return c.PCIeDrops + c.PCIeCorrupts + c.LinkFlapTLPs +
+		c.DoorbellLosses + c.WQEFetchFails + c.CQEErrors +
+		c.AccelStalls +
+		c.WireLosses + c.WireDups + c.WireDelays + c.WireDropped
+}
+
+// Plan is a bound fault-injection plan. One Plan may be attached to any
+// number of fabrics/NICs/FLDs/wires; all of them share the seeded
+// random stream, which keeps the whole testbed's fault sequence a pure
+// function of (seed, config, workload).
+type Plan struct {
+	Cfg Config
+	// Injected tallies what was actually injected, for reconciliation
+	// against observed loss.
+	Injected Counts
+
+	rng     *sim.Rand
+	eng     *sim.Engine
+	wireSeq [2]int64 // frames observed per direction (WireDropNth ordinals)
+
+	tlm *planTelemetry
+}
+
+// NewPlan builds a plan drawing all probabilistic decisions from the
+// given seed.
+func NewPlan(seed int64, cfg Config) *Plan {
+	if cfg.WireDelayBy == 0 {
+		cfg.WireDelayBy = 2 * sim.Microsecond
+	}
+	return &Plan{Cfg: cfg, rng: sim.NewRand(seed)}
+}
+
+// Bind attaches the plan to an engine clock so the Start/Stop window
+// and link-flap schedule are evaluated against simulated time. The
+// facade calls this; unbound plans treat every instant as active.
+func (p *Plan) Bind(eng *sim.Engine) { p.eng = eng }
+
+// active reports whether the probabilistic window is open.
+func (p *Plan) active() bool {
+	if p.eng == nil {
+		return true
+	}
+	now := p.eng.Now()
+	if now < p.Cfg.Start {
+		return false
+	}
+	return p.Cfg.Stop == 0 || now < p.Cfg.Stop
+}
+
+// flapDown reports whether the link-flap schedule has the link down.
+func (p *Plan) flapDown() bool {
+	if p.Cfg.FlapEvery <= 0 || !p.active() {
+		return false
+	}
+	if p.eng == nil {
+		return false
+	}
+	return p.eng.Now()%p.Cfg.FlapEvery < p.Cfg.FlapFor
+}
+
+// hit draws one Bernoulli decision; the draw is skipped entirely when
+// prob is zero so disabled fault classes don't consume random numbers.
+func (p *Plan) hit(prob float64) bool {
+	return prob > 0 && p.active() && p.rng.Float64() < prob
+}
+
+// note records one injection in Counts and telemetry.
+func (p *Plan) note(n *int64, c *telemetry.Counter) {
+	*n++
+	c.Inc()
+}
+
+// --- attachment -----------------------------------------------------------
+
+// AttachFabric installs the PCIe fault hooks (TLP drop, poison,
+// link-flap windows) on a fabric. No-op when no PCIe class is enabled.
+func (p *Plan) AttachFabric(f *pcie.Fabric) {
+	c := &p.Cfg
+	if c.PCIeDrop == 0 && c.PCIeCorrupt == 0 && c.FlapEvery == 0 {
+		return
+	}
+	f.SetFaults(&pcie.FaultHooks{
+		Drop: func(_ *pcie.Port, _ telemetry.TLPType) bool {
+			if p.hit(c.PCIeDrop) {
+				p.note(&p.Injected.PCIeDrops, p.tlm.pcieDrops())
+				return true
+			}
+			return false
+		},
+		Corrupt: func(_ *pcie.Port, _ telemetry.TLPType) bool {
+			if p.hit(c.PCIeCorrupt) {
+				p.note(&p.Injected.PCIeCorrupts, p.tlm.pcieCorrupts())
+				return true
+			}
+			return false
+		},
+		Down: func(_ *pcie.Port) bool {
+			if p.flapDown() {
+				p.note(&p.Injected.LinkFlapTLPs, p.tlm.linkFlapTLPs())
+				return true
+			}
+			return false
+		},
+	})
+}
+
+// AttachNIC installs the NIC fault hooks (doorbell loss, WQE-fetch
+// failure, CQE errors). No-op when no NIC class is enabled.
+func (p *Plan) AttachNIC(n *nic.NIC) {
+	c := &p.Cfg
+	if c.DoorbellLoss == 0 && c.WQEFetchFail == 0 && c.CQEErr == 0 {
+		return
+	}
+	n.SetFaults(&nic.FaultHooks{
+		DropDoorbell: func(_ *nic.NIC) bool {
+			if p.hit(c.DoorbellLoss) {
+				p.note(&p.Injected.DoorbellLosses, p.tlm.doorbellLosses())
+				return true
+			}
+			return false
+		},
+		FailWQEFetch: func(_ *nic.SQ) bool {
+			if p.hit(c.WQEFetchFail) {
+				p.note(&p.Injected.WQEFetchFails, p.tlm.wqeFetchFails())
+				return true
+			}
+			return false
+		},
+		CQEError: func(_ *nic.CQ) bool {
+			if p.hit(c.CQEErr) {
+				p.note(&p.Injected.CQEErrors, p.tlm.cqeErrors())
+				return true
+			}
+			return false
+		},
+	})
+}
+
+// AttachFLD installs the accelerator-stall hook. No-op when disabled.
+func (p *Plan) AttachFLD(f *fld.FLD) {
+	c := &p.Cfg
+	if c.AccelStall == 0 {
+		return
+	}
+	f.SetFaults(&fld.FaultHooks{
+		AccelStall: func(_ *fld.FLD) bool {
+			if p.hit(c.AccelStall) {
+				p.note(&p.Injected.AccelStalls, p.tlm.accelStalls())
+				return true
+			}
+			return false
+		},
+	})
+}
+
+// dirMatch applies the WireDir restriction.
+func (p *Plan) dirMatch(dir int) bool {
+	switch p.Cfg.WireDir {
+	case 1:
+		return dir == 0
+	case 2:
+		return dir == 1
+	default:
+		return true
+	}
+}
+
+// AttachWire installs the wire fault hooks (loss, duplication,
+// delay-induced reordering, deterministic Nth-frame drops). No-op when
+// no wire class is enabled.
+func (p *Plan) AttachWire(w *nic.Wire) {
+	c := &p.Cfg
+	if c.WireLoss == 0 && c.WireDup == 0 && c.WireDelay == 0 && len(c.WireDropNth) == 0 {
+		return
+	}
+	w.Loss = func(dir int, _ []byte) bool {
+		if !p.dirMatch(dir) {
+			return false
+		}
+		p.wireSeq[dir]++
+		for _, k := range c.WireDropNth {
+			if p.wireSeq[dir] == k {
+				p.note(&p.Injected.WireDropped, p.tlm.wireDropped())
+				return true
+			}
+		}
+		if p.hit(c.WireLoss) {
+			p.note(&p.Injected.WireLosses, p.tlm.wireLosses())
+			return true
+		}
+		return false
+	}
+	w.Dup = func(dir int, _ []byte) bool {
+		if !p.dirMatch(dir) {
+			return false
+		}
+		if p.hit(c.WireDup) {
+			p.note(&p.Injected.WireDups, p.tlm.wireDups())
+			return true
+		}
+		return false
+	}
+	w.Delay = func(dir int, _ []byte) sim.Duration {
+		if !p.dirMatch(dir) {
+			return 0
+		}
+		if p.hit(c.WireDelay) {
+			p.note(&p.Injected.WireDelays, p.tlm.wireDelays())
+			return c.WireDelayBy
+		}
+		return 0
+	}
+}
+
+// --- spec parsing ---------------------------------------------------------
+
+// Presets name ready-made configurations for the -faults CLI flag.
+var Presets = map[string]Config{
+	// light exercises every recovery path at rates the echo workload
+	// fully absorbs.
+	"light": {
+		PCIeDrop: 0.002, PCIeCorrupt: 0.001,
+		DoorbellLoss: 0.01, WQEFetchFail: 0.002, CQEErr: 0.002,
+		AccelStall: 0.005,
+		WireLoss:   0.01, WireDup: 0.005, WireDelay: 0.01,
+	},
+	// heavy is a storm: every class at rates that keep multiple
+	// recoveries in flight at once.
+	"heavy": {
+		PCIeDrop: 0.01, PCIeCorrupt: 0.005,
+		FlapEvery: 400 * sim.Microsecond, FlapFor: 3 * sim.Microsecond,
+		DoorbellLoss: 0.05, WQEFetchFail: 0.01, CQEErr: 0.01,
+		AccelStall: 0.02,
+		WireLoss:   0.03, WireDup: 0.02, WireDelay: 0.03,
+	},
+}
+
+// ParseSpec parses a fault specification for the -faults flag: either a
+// preset name ("light", "heavy") or comma-separated key=value pairs,
+// optionally starting from a preset ("light,wire.loss=0.1"). Keys:
+//
+//	pcie.drop pcie.corrupt flap.every flap.for
+//	db.loss wqe.fail cqe.err accel.stall
+//	wire.loss wire.dup wire.delay wire.delayby wire.dir wire.dropn
+//	start stop
+//
+// Probabilities are floats; durations use Go syntax ("200us");
+// wire.dropn is a semicolon-separated 1-based ordinal list ("1;5;9").
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "=") {
+			pre, ok := Presets[part]
+			if !ok || i != 0 {
+				return cfg, fmt.Errorf("faults: unknown preset %q", part)
+			}
+			cfg = pre
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		var err error
+		switch key {
+		case "pcie.drop":
+			cfg.PCIeDrop, err = parseProb(val)
+		case "pcie.corrupt":
+			cfg.PCIeCorrupt, err = parseProb(val)
+		case "flap.every":
+			cfg.FlapEvery, err = parseDur(val)
+		case "flap.for":
+			cfg.FlapFor, err = parseDur(val)
+		case "db.loss":
+			cfg.DoorbellLoss, err = parseProb(val)
+		case "wqe.fail":
+			cfg.WQEFetchFail, err = parseProb(val)
+		case "cqe.err":
+			cfg.CQEErr, err = parseProb(val)
+		case "accel.stall":
+			cfg.AccelStall, err = parseProb(val)
+		case "wire.loss":
+			cfg.WireLoss, err = parseProb(val)
+		case "wire.dup":
+			cfg.WireDup, err = parseProb(val)
+		case "wire.delay":
+			cfg.WireDelay, err = parseProb(val)
+		case "wire.delayby":
+			cfg.WireDelayBy, err = parseDur(val)
+		case "wire.dir":
+			cfg.WireDir, err = strconv.Atoi(val)
+			if err == nil && (cfg.WireDir < 0 || cfg.WireDir > 2) {
+				err = fmt.Errorf("must be 0 (both), 1 or 2")
+			}
+		case "wire.dropn":
+			for _, s := range strings.Split(val, ";") {
+				var n int64
+				n, err = strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+				if err != nil {
+					break
+				}
+				cfg.WireDropNth = append(cfg.WireDropNth, n)
+			}
+		case "start":
+			cfg.Start, err = parseDur(val)
+		case "stop":
+			cfg.Stop, err = parseDur(val)
+		default:
+			return cfg, fmt.Errorf("faults: unknown key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faults: bad value for %s: %v", key, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", v)
+	}
+	return v, nil
+}
+
+func parseDur(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond, nil
+}

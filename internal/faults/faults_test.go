@@ -1,0 +1,165 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"flexdriver/internal/nic"
+	"flexdriver/internal/sim"
+)
+
+// driveWire pushes n frames in each direction through a plan's wire
+// hooks and returns the injection tallies. The wire is a bare struct —
+// only the hook closures are exercised, so the tallies depend on
+// nothing but the plan's own random stream.
+func driveWire(seed int64, cfg Config, n int) Counts {
+	p := NewPlan(seed, cfg)
+	w := &nic.Wire{}
+	p.AttachWire(w)
+	frame := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		for dir := 0; dir < 2; dir++ {
+			if w.Loss(dir, frame) {
+				continue
+			}
+			w.Dup(dir, frame)
+			w.Delay(dir, frame)
+		}
+	}
+	return p.Injected
+}
+
+// TestPlanDeterminism: identical (seed, config) pairs must inject the
+// identical fault sequence — that is the whole point of the plan — and
+// a different seed must diverge (or the "determinism" would be the
+// degenerate kind).
+func TestPlanDeterminism(t *testing.T) {
+	cfg := Config{WireLoss: 0.2, WireDup: 0.1, WireDelay: 0.3}
+	a := driveWire(42, cfg, 500)
+	b := driveWire(42, cfg, 500)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Total() == 0 {
+		t.Fatal("plan injected nothing; the determinism check is vacuous")
+	}
+	c := driveWire(43, cfg, 500)
+	if a == c {
+		t.Fatalf("different seeds produced identical tallies %+v — stream not seeded", a)
+	}
+}
+
+// TestWindowGatesInjection: outside [Start, Stop) the plan is inert;
+// unbound plans (no engine) are always active.
+func TestWindowGatesInjection(t *testing.T) {
+	cfg := Config{WireLoss: 1, Start: 10 * sim.Microsecond, Stop: 20 * sim.Microsecond}
+	eng := sim.NewEngine()
+	p := NewPlan(1, cfg)
+	p.Bind(eng)
+	w := &nic.Wire{}
+	p.AttachWire(w)
+
+	frame := make([]byte, 64)
+	if w.Loss(0, frame) {
+		t.Fatal("injected before the window opened")
+	}
+	eng.At(15*sim.Microsecond, func() {
+		if !w.Loss(0, frame) {
+			t.Error("no injection inside the window despite probability 1")
+		}
+	})
+	eng.At(25*sim.Microsecond, func() {
+		if w.Loss(0, frame) {
+			t.Error("injected after the window closed")
+		}
+	})
+	eng.Run()
+	if p.Injected.WireLosses != 1 {
+		t.Fatalf("WireLosses = %d, want exactly 1 (the in-window frame)", p.Injected.WireLosses)
+	}
+}
+
+// TestDeterministicDropOrdinals: WireDropNth drops exactly the named
+// per-direction ordinals, ignores the window, and counts separately
+// from probabilistic losses.
+func TestDeterministicDropOrdinals(t *testing.T) {
+	p := NewPlan(1, Config{WireDropNth: []int64{2, 5}, WireDir: 1})
+	w := &nic.Wire{}
+	p.AttachWire(w)
+	frame := make([]byte, 64)
+
+	var dropped []int
+	for i := 1; i <= 6; i++ {
+		if w.Loss(0, frame) {
+			dropped = append(dropped, i)
+		}
+	}
+	if len(dropped) != 2 || dropped[0] != 2 || dropped[1] != 5 {
+		t.Fatalf("dir-0 drops at ordinals %v, want [2 5]", dropped)
+	}
+	// Direction 1 is excluded by WireDir and keeps its own ordinal count.
+	for i := 1; i <= 6; i++ {
+		if w.Loss(1, frame) {
+			t.Fatalf("dir-1 frame %d dropped despite WireDir=1", i)
+		}
+	}
+	if p.Injected.WireDropped != 2 || p.Injected.WireLosses != 0 {
+		t.Fatalf("tallies = %+v, want WireDropped=2 WireLosses=0", p.Injected)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	// Preset lookup.
+	got, err := ParseSpec("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, Presets["heavy"]) {
+		t.Fatalf("ParseSpec(heavy) = %+v, want the heavy preset", got)
+	}
+
+	// Preset + overrides: later keys win over the preset's values.
+	got, err = ParseSpec("light, wire.loss=0.5, flap.every=200us, wire.dir=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Presets["light"]
+	want.WireLoss = 0.5
+	want.FlapEvery = 200 * sim.Microsecond
+	want.WireDir = 2
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("preset+override = %+v, want %+v", got, want)
+	}
+
+	// Standalone key=value pairs, including ordinal lists and durations.
+	got, err = ParseSpec("wire.dropn=1;5;9, start=100us, stop=1ms, pcie.drop=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.WireDropNth) != 3 || got.WireDropNth[0] != 1 || got.WireDropNth[2] != 9 {
+		t.Fatalf("WireDropNth = %v, want [1 5 9]", got.WireDropNth)
+	}
+	if got.Start != 100*sim.Microsecond || got.Stop != sim.Millisecond || got.PCIeDrop != 0.25 {
+		t.Fatalf("parsed = %+v", got)
+	}
+
+	// Empty spec is the zero config (no faults).
+	if got, err = ParseSpec(""); err != nil || !reflect.DeepEqual(got, Config{}) {
+		t.Fatalf("ParseSpec(\"\") = %+v, %v", got, err)
+	}
+
+	// Errors: unknown preset/key, out-of-range probability, preset not
+	// first, bad direction.
+	for _, bad := range []string{
+		"medium",
+		"wire.loss=1.5",
+		"nonsense.key=1",
+		"wire.loss=0.1,heavy",
+		"wire.dir=3",
+		"flap.every=fast",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package faults
+
+import "flexdriver/internal/telemetry"
+
+// planTelemetry mirrors the Injected tallies into a registry under
+// injected/<class>. All accessors are nil-receiver safe (returning a
+// nil Counter, whose Inc is itself a no-op), so an un-instrumented plan
+// pays one nil check per injection.
+type planTelemetry struct {
+	cPCIeDrops, cPCIeCorrupts, cLinkFlapTLPs          *telemetry.Counter
+	cDoorbellLosses, cWQEFetchFails, cCQEErrors       *telemetry.Counter
+	cAccelStalls                                      *telemetry.Counter
+	cWireLosses, cWireDups, cWireDelays, cWireDropped *telemetry.Counter
+}
+
+// SetTelemetry mirrors injection tallies into sc as injected/<class>
+// counters. The first registry wins: a plan shared by several nodes of
+// one testbed is instrumented once, not once per node.
+func (p *Plan) SetTelemetry(sc *telemetry.Scope) {
+	if sc == nil || p.tlm != nil {
+		return
+	}
+	p.tlm = &planTelemetry{
+		cPCIeDrops:      sc.Counter("injected/pcie_drops"),
+		cPCIeCorrupts:   sc.Counter("injected/pcie_corrupts"),
+		cLinkFlapTLPs:   sc.Counter("injected/link_flap_tlps"),
+		cDoorbellLosses: sc.Counter("injected/doorbell_losses"),
+		cWQEFetchFails:  sc.Counter("injected/wqe_fetch_fails"),
+		cCQEErrors:      sc.Counter("injected/cqe_errors"),
+		cAccelStalls:    sc.Counter("injected/accel_stalls"),
+		cWireLosses:     sc.Counter("injected/wire_losses"),
+		cWireDups:       sc.Counter("injected/wire_dups"),
+		cWireDelays:     sc.Counter("injected/wire_delays"),
+		cWireDropped:    sc.Counter("injected/wire_dropped"),
+	}
+}
+
+func (t *planTelemetry) pcieDrops() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cPCIeDrops
+}
+
+func (t *planTelemetry) pcieCorrupts() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cPCIeCorrupts
+}
+
+func (t *planTelemetry) linkFlapTLPs() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cLinkFlapTLPs
+}
+
+func (t *planTelemetry) doorbellLosses() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cDoorbellLosses
+}
+
+func (t *planTelemetry) wqeFetchFails() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cWQEFetchFails
+}
+
+func (t *planTelemetry) cqeErrors() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cCQEErrors
+}
+
+func (t *planTelemetry) accelStalls() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cAccelStalls
+}
+
+func (t *planTelemetry) wireLosses() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cWireLosses
+}
+
+func (t *planTelemetry) wireDups() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cWireDups
+}
+
+func (t *planTelemetry) wireDelays() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cWireDelays
+}
+
+func (t *planTelemetry) wireDropped() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cWireDropped
+}

@@ -47,6 +47,13 @@ type Stats struct {
 	RxPackets, RxBytes int64
 	CreditStalls       int64
 	Errors             int64
+	// AccelStalls counts packets dropped because the accelerator kernel
+	// stalled (fault-injected); buffers are still recycled, so a stall
+	// never leaks credits or wedges the receive path.
+	AccelStalls int64
+	// Recoveries counts driver-initiated recoveries the FLD completed
+	// (queue replays and receive re-arms).
+	Recoveries int64
 }
 
 // ErrNoCredits is returned by Send when the queue lacks descriptor or
@@ -100,6 +107,16 @@ type FLD struct {
 	Stats Stats
 
 	tlm *fldTelemetry // nil unless SetTelemetry was called
+	flt *FaultHooks   // nil unless SetFaults was called
+}
+
+// FaultHooks lets a fault-injection plane perturb the FLD. Hooks are
+// optional (nil means "never").
+type FaultHooks struct {
+	// AccelStall reports whether the accelerator kernel is stalled for
+	// the arriving packet: the FLD counts and drops it (the wire and
+	// NIC already delivered it), keeping the data plane moving.
+	AccelStall func(f *FLD) bool
 }
 
 type txQueue struct {
@@ -184,6 +201,9 @@ func (f *FLD) SetOnCredits(fn func()) { f.onCredits = fn }
 // SetOnError installs the data-plane error callback reported to the
 // control plane through the kernel driver (paper §5.3 error handling).
 func (f *FLD) SetOnError(fn func(queue int, syndrome uint8)) { f.onError = fn }
+
+// SetFaults installs (or, with nil, removes) fault-injection hooks.
+func (f *FLD) SetFaults(h *FaultHooks) { f.flt = h }
 
 // --- Addresses the control plane wires into the NIC ---------------------
 
@@ -491,8 +511,18 @@ func (f *FLD) handleTxCQE(c nic.CQE) {
 			t.errors.Inc()
 		}
 		if f.onError != nil {
-			f.onError(f.queueBySQN(rec.Queue), 1)
+			f.onError(f.queueBySQN(rec.Queue), c.Syndrome)
 		}
+		if c.Syndrome == nic.SynQueueErr {
+			// Queue-fatal: the SQ is in the Error state and nothing
+			// was completed — release no resources. The runtime resets
+			// the SQ and replays from ReplayWindow; the FLD's pending
+			// descriptors (and their pool pages) stay live for that.
+			return
+		}
+		// Per-WQE error (bad WQE, gather failure, injected, retry
+		// exceeded): the slot was consumed, so fall through and
+		// release up to and including the failed index.
 	}
 	qi := f.queueBySQN(rec.Queue)
 	if qi < 0 {
@@ -534,6 +564,40 @@ func (f *FLD) recycleRxBuf() {
 	f.writeRQDoorbell()
 }
 
+// ReplayWindow returns the NIC ring consumer/producer indices from
+// which to replay queue q after a queue-fatal error: ci is the oldest
+// descriptor the FLD has not seen complete, pi the next free slot. The
+// FLD still serves every descriptor and payload page in that window
+// from its pools (SynQueueErr released nothing), so SQ.ResetTo(ci, pi)
+// makes the NIC re-fetch and re-execute exactly the outstanding work.
+func (f *FLD) ReplayWindow(q int) (ci, pi uint32) {
+	tq := f.queues[q]
+	f.Stats.Recoveries++
+	if t := f.tlm; t != nil {
+		t.recoveries.Inc()
+	}
+	if len(tq.pending) > 0 {
+		return tq.pending[0].idx, tq.pi
+	}
+	return tq.pi, tq.pi
+}
+
+// ReArmRx restores receive delivery after a receive-queue error and
+// reset: the FLD abandons its in-progress buffer tracking (reposting a
+// buffer the NIC left mid-fill) and re-doorbells the producer index so
+// the recovered RQ resumes filling buffers.
+func (f *FLD) ReArmRx() {
+	f.Stats.Recoveries++
+	if t := f.tlm; t != nil {
+		t.recoveries.Inc()
+	}
+	if f.rxCurBuf >= 0 {
+		f.recycleRxBuf() // re-doorbells as a side effect
+		return
+	}
+	f.writeRQDoorbell()
+}
+
 func (f *FLD) queueBySQN(sqn uint32) int {
 	for i, q := range f.queues {
 		if q.nicSQN == sqn {
@@ -546,6 +610,19 @@ func (f *FLD) queueBySQN(sqn uint32) int {
 // handleRxCQE streams the received packet to the accelerator and recycles
 // exhausted receive buffers in order.
 func (f *FLD) handleRxCQE(c nic.CQE) {
+	if c.Opcode == nic.CQEError {
+		// Receive-queue error: no packet arrived. Surface it to the
+		// runtime (queue -1 marks the receive path) which resets the
+		// RQ and calls ReArmRx; nothing to release here.
+		f.Stats.Errors++
+		if t := f.tlm; t != nil {
+			t.errors.Inc()
+		}
+		if f.onError != nil {
+			f.onError(-1, c.Syndrome)
+		}
+		return
+	}
 	rec := compressCQE(c)
 	f.Stats.RxPackets++
 	f.Stats.RxBytes += int64(rec.ByteCount)
@@ -569,6 +646,16 @@ func (f *FLD) handleRxCQE(c nic.CQE) {
 	f.rxCurStrides += (int(rec.ByteCount) + f.cfg.RxStrideBytes - 1) / f.cfg.RxStrideBytes
 	if f.rxCurStrides >= stridesPerBuf {
 		f.recycleRxBuf()
+	}
+
+	if h := f.flt; h != nil && h.AccelStall != nil && h.AccelStall(f) {
+		// Accelerator stall: the buffer was already recycled above, so
+		// dropping here frees every resource — count and move on.
+		f.Stats.AccelStalls++
+		if t := f.tlm; t != nil {
+			t.accelStalls.Inc()
+		}
+		return
 	}
 
 	// Copy the packet out of receive SRAM and stream it to the AFU

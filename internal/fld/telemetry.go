@@ -9,6 +9,8 @@ type fldTelemetry struct {
 	rxPackets, rxBytes *telemetry.Counter
 	creditStalls       *telemetry.Counter
 	errors             *telemetry.Counter
+	accelStalls        *telemetry.Counter
+	recoveries         *telemetry.Counter
 
 	sqDoorbells *telemetry.Counter // 4 B PI doorbells (WQEByMMIO off)
 	wqeMMIO     *telemetry.Counter // full WQEs pushed over MMIO
@@ -44,6 +46,8 @@ func (f *FLD) SetTelemetry(sc *telemetry.Scope) {
 		rxBytes:      sc.Counter("rx/bytes"),
 		creditStalls: sc.Counter("credit_stalls"),
 		errors:       sc.Counter("errors"),
+		accelStalls:  sc.Counter("errors/accel_stalls"),
+		recoveries:   sc.Counter("errors/recoveries"),
 		sqDoorbells:  sc.Counter("doorbells/sq"),
 		wqeMMIO:      sc.Counter("doorbells/wqe_mmio"),
 		rqDoorbells:  sc.Counter("doorbells/rq"),

@@ -36,15 +36,35 @@ type Runtime struct {
 	// Errors receives asynchronous data-plane error reports, mirroring
 	// the kernel driver's error channel (§5.3).
 	Errors []error
+	// Recoveries counts completed automatic queue recoveries.
+	Recoveries int64
+
+	sqByQ        map[int]*nic.SQ // FLD tx queue index -> NIC SQ
+	txRecovering map[int]bool
+	rxRecovering bool
 }
+
+// recoverDelay models the host's interrupt-and-reset latency between a
+// queue-fatal error CQE and the driver's modify-queue reset.
+const recoverDelay = 2 * sim.Microsecond
 
 // NewRuntime wires an FLD module to a NIC. Both must already be attached
 // to the fabric; mem is the host's memory (holds the receive ring).
 func NewRuntime(eng *sim.Engine, fab *pcie.Fabric, mem *hostmem.Memory, n *nic.NIC, f *fld.FLD) *Runtime {
-	r := &Runtime{eng: eng, fab: fab, mem: mem, nic: n, fld: f}
+	r := &Runtime{eng: eng, fab: fab, mem: mem, nic: n, fld: f,
+		sqByQ: make(map[int]*nic.SQ), txRecovering: make(map[int]bool)}
 	f.BindNIC(n)
 	f.SetOnError(func(queue int, syndrome uint8) {
 		r.Errors = append(r.Errors, fmt.Errorf("fldsw: data-plane error on queue %d (syndrome %d)", queue, syndrome))
+		if syndrome != nic.SynQueueErr {
+			// Per-WQE errors consumed their slot; nothing to reset.
+			return
+		}
+		if queue < 0 {
+			r.recoverRx()
+		} else {
+			r.recoverTx(queue)
+		}
 	})
 
 	cfg := f.Config()
@@ -108,6 +128,7 @@ func (r *Runtime) CreateWeightedEthTxQueue(q int, shaper *sim.TokenBucket, weigh
 	})
 	r.fld.ConfigureTxQueue(q, sq.ID)
 	r.sqs = append(r.sqs, sq)
+	r.sqByQ[q] = sq
 	return sq
 }
 
@@ -125,8 +146,71 @@ func (r *Runtime) CreateQP(q int) *nic.QP {
 	qp := r.nic.CreateQP(nic.QPConfig{SQ: sq, RQ: r.rq})
 	r.fld.ConfigureTxQueue(q, sq.ID)
 	r.sqs = append(r.sqs, sq)
+	r.sqByQ[q] = sq
 	r.qps = append(r.qps, qp)
 	return qp
+}
+
+// recoverTx resets a queue-fatal NIC SQ after the driver latency and
+// replays the FLD's outstanding descriptor window (§5.3's error channel
+// closed into an automatic recovery loop).
+func (r *Runtime) recoverTx(q int) {
+	sq := r.sqByQ[q]
+	if sq == nil || r.txRecovering[q] {
+		return
+	}
+	r.txRecovering[q] = true
+	r.eng.After(recoverDelay, func() {
+		r.txRecovering[q] = false
+		if sq.State() != nic.QueueError {
+			return
+		}
+		ci, pi := r.fld.ReplayWindow(q)
+		sq.ResetTo(ci, pi)
+		r.Recoveries++
+	})
+}
+
+// recoverRx resets the shared receive queue and re-arms FLD delivery.
+func (r *Runtime) recoverRx() {
+	if r.rxRecovering {
+		return
+	}
+	r.rxRecovering = true
+	r.eng.After(recoverDelay, func() {
+		r.rxRecovering = false
+		if r.rq.State() != nic.QueueError {
+			return
+		}
+		r.rq.Reset()
+		r.fld.ReArmRx()
+		r.Recoveries++
+	})
+}
+
+// Recover scans the runtime's queues and schedules recovery for any in
+// the Error state — the watchdog path for the case where the error CQE
+// itself was lost to a fault and the SetOnError channel never fired.
+func (r *Runtime) Recover() {
+	for q, sq := range r.sqByQ {
+		if sq.State() == nic.QueueError {
+			r.recoverTx(q)
+		}
+	}
+	if r.rq != nil && r.rq.State() == nic.QueueError {
+		r.recoverRx()
+	}
+}
+
+// QueuesReady reports whether every queue the runtime owns is in the
+// Ready state (no recovery outstanding).
+func (r *Runtime) QueuesReady() bool {
+	for _, sq := range r.sqs {
+		if sq.State() != nic.QueueReady {
+			return false
+		}
+	}
+	return r.rq == nil || r.rq.State() == nic.QueueReady
 }
 
 // Start arms the receive path.

@@ -1,8 +1,6 @@
 package nic
 
 import (
-	"fmt"
-
 	"flexdriver/internal/netpkt"
 	"flexdriver/internal/sim"
 )
@@ -257,7 +255,7 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 	for hop := 0; hop < maxTableHops; hop++ {
 		rule := e.match(table, v)
 		if rule == nil {
-			e.nic.drop(fmt.Sprintf("eswitch-miss-table-%d", table))
+			e.nic.drop(DropESwitchMiss)
 			sent()
 			return
 		}
@@ -272,20 +270,20 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 			}
 		}
 		if a.Policer != nil && !a.Policer.Admit(len(v.frame)) {
-			e.nic.drop("policer")
+			e.nic.drop(DropPolicer)
 			sent()
 			return
 		}
 		if a.Decap {
 			if !e.decap(v) {
-				e.nic.drop("decap-failed")
+				e.nic.drop(DropDecapFailed)
 				sent()
 				return
 			}
 		}
 		if a.ESPDecrypt != nil {
 			if !e.espDecrypt(v, a.ESPDecrypt) {
-				e.nic.drop("esp-auth-failed")
+				e.nic.drop(DropESPAuthFailed)
 				sent()
 				return
 			}
@@ -310,7 +308,7 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 		}
 		switch {
 		case a.Drop:
-			e.nic.drop("rule-drop")
+			e.nic.drop(DropRuleDrop)
 			sent()
 			return
 		case a.ToTable != nil:
@@ -322,7 +320,7 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 		case a.ToVPort != nil:
 			vp := e.vports[*a.ToVPort]
 			if vp == nil {
-				e.nic.drop("no-such-vport")
+				e.nic.drop(DropNoSuchVPort)
 				sent()
 				return
 			}
@@ -348,12 +346,12 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 			})
 			return
 		default:
-			e.nic.drop("rule-no-disposition")
+			e.nic.drop(DropNoDisposition)
 			sent()
 			return
 		}
 	}
-	e.nic.drop("table-loop")
+	e.nic.drop(DropTableLoop)
 	sent()
 }
 
@@ -447,7 +445,7 @@ func (n *NIC) egress(vp *VPort, frame []byte, flowTag uint32, onSent func()) {
 // here).
 func (n *NIC) transmitWire(frame []byte, onSent func()) {
 	if n.wire == nil {
-		n.drop("no-wire")
+		n.drop(DropNoWire)
 		if onSent != nil {
 			onSent()
 		}

@@ -374,7 +374,7 @@ func TestWireLossCounters(t *testing.T) {
 		drq.post(b.fab.AddrOf(b.mem, bufBase+uint64(i)*2048), 2048, 0)
 	}
 	n := 0
-	w.Loss = func([]byte) bool { n++; return n%2 == 0 } // drop every 2nd
+	w.Loss = func(int, []byte) bool { n++; return n%2 == 0 } // drop every 2nd
 	frame := buildFrame(1, 2, 3, 4, 100)
 	fbuf := a.mem.Alloc(2048, 64)
 	a.mem.WriteAt(fbuf, frame)

@@ -24,6 +24,10 @@ type Params struct {
 	RoCEMTU int
 	// RetransmitTimeout triggers go-back-N recovery for RC QPs.
 	RetransmitTimeout sim.Duration
+	// MaxRetransmits bounds consecutive no-progress retransmissions
+	// before the QP transitions to the Error state (IB retry_cnt
+	// analogue). Zero selects the default.
+	MaxRetransmits int
 	// AckCoalesce acknowledges once per this many completed messages;
 	// AckDelay bounds how long an ACK may be withheld.
 	AckCoalesce int
@@ -41,6 +45,7 @@ func DefaultParams() Params {
 		PipelineDelay:     150 * sim.Nanosecond,
 		RoCEMTU:           1024,
 		RetransmitTimeout: 100 * sim.Microsecond,
+		MaxRetransmits:    8,
 		AckCoalesce:       4,
 		AckDelay:          2 * sim.Microsecond,
 		SQWindow:          32,
@@ -60,12 +65,17 @@ const (
 type Counters struct {
 	TxPackets, TxBytes int64
 	RxPackets, RxBytes int64
-	Drops              map[string]int64
+	Drops              map[DropReason]int64
+
+	// QueueErrors counts SQ/RQ/QP transitions into the Error state;
+	// QueueRecoveries counts driver-initiated resets back to Ready.
+	QueueErrors     int64
+	QueueRecoveries int64
 }
 
-func (c *Counters) drop(reason string) {
+func (c *Counters) drop(reason DropReason) {
 	if c.Drops == nil {
-		c.Drops = make(map[string]int64)
+		c.Drops = make(map[DropReason]int64)
 	}
 	c.Drops[reason]++
 }
@@ -104,6 +114,7 @@ type NIC struct {
 	Stats Counters
 
 	tlm *nicTelemetry // nil unless SetTelemetry was called
+	flt *FaultHooks   // nil unless SetFaults was called
 }
 
 var nicSeq int
@@ -159,25 +170,33 @@ func (n *NIC) MMIOWrite(offset uint64, data []byte) {
 		id := uint32((offset - sqDoorbellBase) / sqDoorbellStep)
 		sq := n.sqs[id]
 		if sq == nil {
-			n.drop("doorbell-unknown-sq")
+			n.drop(DropDoorbellUnknownSQ)
 			return
 		}
 		switch len(data) {
 		case 4:
+			if f := n.flt; f != nil && f.DropDoorbell != nil && f.DropDoorbell(n) {
+				n.drop(DropDoorbellInjected)
+				return
+			}
 			sq.ringDoorbell(beUint32(data))
 		case SendWQESize, SendWQEMMIOSize:
 			sq.pushWQE(data)
 		default:
-			n.drop("doorbell-bad-size")
+			n.drop(DropDoorbellBadSize)
 		}
 	case offset >= rqDoorbellBase:
 		id := uint32((offset - rqDoorbellBase) / rqDoorbellStep)
 		rq := n.rqs[id]
 		if rq == nil {
-			n.drop("doorbell-unknown-rq")
+			n.drop(DropDoorbellUnknownRQ)
 			return
 		}
 		if len(data) == 4 {
+			if f := n.flt; f != nil && f.DropDoorbell != nil && f.DropDoorbell(n) {
+				n.drop(DropDoorbellInjected)
+				return
+			}
 			rq.ringDoorbell(beUint32(data))
 		}
 	}
@@ -297,6 +316,12 @@ type SQ struct {
 	inflight int
 	mmio     map[uint32][]byte // WQEs pushed via WQE-by-MMIO, by index
 
+	// state gates all processing; epoch invalidates in-flight fetch and
+	// execute callbacks across an error/reset cycle so a stale DMA
+	// completion cannot corrupt a recovered queue.
+	state QueueState
+	epoch uint32
+
 	// Telemetry handles (nil-safe; see instrument).
 	tDoorbells, tWQEMMIO    *telemetry.Counter
 	tFetchReads             *telemetry.Counter
@@ -334,12 +359,20 @@ const sqFetchBatch = 4
 // descriptors are fetched in batched reads; MMIO-pushed ones skip the
 // fetch entirely.
 func (sq *SQ) kick() {
+	if sq.state != QueueReady {
+		return
+	}
+	ep := sq.epoch
 	for sq.ci+uint32(sq.inflight) != sq.pi && sq.inflight < sq.n.Prm.SQWindow {
 		idx := sq.ci + uint32(sq.inflight)
 		if b, ok := sq.mmio[idx]; ok {
 			delete(sq.mmio, idx)
 			sq.inflight++
-			sq.n.txEngine.Acquire(sq.n.Prm.TxPerWQE, func() { sq.execute(idx, b) })
+			sq.n.txEngine.Acquire(sq.n.Prm.TxPerWQE, func() {
+				if sq.epoch == ep {
+					sq.execute(idx, b)
+				}
+			})
 			continue
 		}
 		// Batch consecutive ring descriptors into one read, stopping at
@@ -359,14 +392,29 @@ func (sq *SQ) kick() {
 		addr := sq.Ring + uint64(slot)*SendWQESize
 		first := idx
 		count := n
+		if f := sq.n.flt; f != nil && f.FailWQEFetch != nil && f.FailWQEFetch(sq) {
+			sq.enterError(SynQueueErr)
+			return
+		}
 		sq.tFetchReads.Inc()
 		sq.tFetchedWQEs.Add(int64(count))
 		sq.tFetchBatch.Observe(int64(count))
-		sq.n.port.Read(addr, count*SendWQESize, func(b []byte) {
+		sq.n.port.Read(addr, count*SendWQESize, func(c pcie.Completion) {
+			if sq.epoch != ep {
+				return // queue was reset while the fetch was in flight
+			}
+			if !c.OK() {
+				sq.enterError(SynQueueErr)
+				return
+			}
 			for i := 0; i < count; i++ {
-				wqe := b[i*SendWQESize : (i+1)*SendWQESize]
+				wqe := c.Data[i*SendWQESize : (i+1)*SendWQESize]
 				w := first + uint32(i)
-				sq.n.txEngine.Acquire(sq.n.Prm.TxPerWQE, func() { sq.execute(w, wqe) })
+				sq.n.txEngine.Acquire(sq.n.Prm.TxPerWQE, func() {
+					if sq.epoch == ep {
+						sq.execute(w, wqe)
+					}
+				})
 			}
 		})
 	}
@@ -374,29 +422,39 @@ func (sq *SQ) kick() {
 
 // execute runs one fetched descriptor through the transmit path.
 func (sq *SQ) execute(idx uint32, raw []byte) {
+	ep := sq.epoch
 	sq.tExecuted.Inc()
 	wqe, err := ParseSendWQE(raw)
 	if err != nil || wqe.Opcode == opInvalid {
-		sq.retire(idx, CQE{Opcode: CQEError, Syndrome: 1, Index: uint16(idx), Queue: sq.ID}, true)
+		sq.retire(ep, idx, CQE{Opcode: CQEError, Syndrome: SynBadWQE, Index: uint16(idx), Queue: sq.ID}, true)
 		return
 	}
 	wqe.Index = uint16(idx)
 	if wqe.Opcode == OpNop {
-		sq.retire(idx, CQE{Opcode: CQESend, Index: uint16(idx), Queue: sq.ID}, wqe.Signal)
+		sq.retire(ep, idx, CQE{Opcode: CQESend, Index: uint16(idx), Queue: sq.ID}, wqe.Signal)
 		return
 	}
 	if wqe.Inline != nil {
-		sq.dispatch(idx, wqe, wqe.Inline)
+		sq.dispatch(ep, idx, wqe, wqe.Inline)
 		return
 	}
-	sq.n.port.Read(wqe.Addr, int(wqe.Len), func(data []byte) {
-		sq.dispatch(idx, wqe, data)
+	sq.n.port.Read(wqe.Addr, int(wqe.Len), func(c pcie.Completion) {
+		if sq.epoch != ep {
+			return
+		}
+		if !c.OK() {
+			// Per-WQE gather failure: the slot is consumed with an
+			// error completion; the queue itself stays Ready.
+			sq.retire(ep, idx, CQE{Opcode: CQEError, Syndrome: SynGather, Index: uint16(idx), Queue: sq.ID}, true)
+			return
+		}
+		sq.dispatch(ep, idx, wqe, c.Data)
 	})
 }
 
 // dispatch hands the gathered payload to the QP transport or the Ethernet
 // egress path.
-func (sq *SQ) dispatch(idx uint32, wqe SendWQE, data []byte) {
+func (sq *SQ) dispatch(ep uint32, idx uint32, wqe SendWQE, data []byte) {
 	if sq.QP != nil {
 		sq.QP.send(idx, wqe, data)
 		// RDMA completions are written on ACK by the QP; the SQ slot
@@ -408,7 +466,7 @@ func (sq *SQ) dispatch(idx uint32, wqe SendWQE, data []byte) {
 	frame := data
 	send := func() {
 		onSent := func() {
-			sq.retire(idx, CQE{
+			sq.retire(ep, idx, CQE{
 				Opcode: CQESend, Index: uint16(idx), Queue: sq.ID,
 				ByteCount: uint32(len(frame)), FlowTag: wqe.FlowTag, Last: true,
 			}, wqe.Signal)
@@ -439,8 +497,13 @@ func (sq *SQ) complete(idx uint32) {
 	sq.kick()
 }
 
-// retire completes the slot and optionally writes a CQE.
-func (sq *SQ) retire(idx uint32, cqe CQE, signal bool) {
+// retire completes the slot and optionally writes a CQE. ep guards
+// against retiring into a queue that was reset while the work was in
+// flight (e.g. an egress completion racing a queue flush).
+func (sq *SQ) retire(ep uint32, idx uint32, cqe CQE, signal bool) {
+	if sq.epoch != ep {
+		return
+	}
 	sq.complete(idx)
 	if signal && sq.CQ != nil {
 		sq.CQ.Push(cqe)
@@ -470,6 +533,11 @@ type RQ struct {
 	StrideSize int
 
 	pi, ci uint32 // ci: next descriptor index to hand to placement
+
+	// state gates packet placement; epoch invalidates in-flight
+	// descriptor fetches across an error/reset cycle.
+	state QueueState
+	epoch uint32
 
 	cur       *RecvWQE
 	curIdx    uint32
@@ -518,6 +586,10 @@ func (rq *RQ) ringDoorbell(pi uint32) {
 // prefetch keeps the descriptor pipeline full: batched ring reads, a few
 // in flight, completions drained in order.
 func (rq *RQ) prefetch() {
+	if rq.state != QueueReady {
+		return
+	}
+	ep := rq.epoch
 	for rq.inflight < rqFetchWindow &&
 		int32(rq.pi-rq.fetchIdx) > 0 &&
 		len(rq.ready) < rqReadyLowWater {
@@ -537,13 +609,20 @@ func (rq *RQ) prefetch() {
 		addr := rq.Ring + uint64(slot)*RecvWQESize
 		rq.tFetchReads.Inc()
 		rq.tFetchedDescs.Add(int64(n))
-		rq.n.port.Read(addr, n*RecvWQESize, func(b []byte) {
+		rq.n.port.Read(addr, n*RecvWQESize, func(c pcie.Completion) {
+			if rq.epoch != ep {
+				return // queue was reset while the fetch was in flight
+			}
 			rq.inflight--
+			if !c.OK() {
+				rq.enterError(SynQueueErr)
+				return
+			}
 			batch := make([]RecvWQE, 0, n)
 			for i := 0; i < n; i++ {
-				w, err := ParseRecvWQE(b[i*RecvWQESize:])
+				w, err := ParseRecvWQE(c.Data[i*RecvWQESize:])
 				if err != nil {
-					rq.n.drop("rq-bad-desc")
+					rq.n.drop(DropRQBadDesc)
 					continue
 				}
 				batch = append(batch, w)
@@ -572,10 +651,16 @@ func (rq *RQ) prefetch() {
 // deliver enqueues a received packet for buffer placement. cqe carries the
 // metadata the NIC already derived (flow tag, RSS hash, checksum).
 func (rq *RQ) deliver(data []byte, cqe CQE) {
+	if rq.state != QueueReady {
+		// Error state: the queue counts and drops until the driver
+		// resets it — it never wedges.
+		rq.n.drop(DropRQError)
+		return
+	}
 	// Bound the NIC-internal rx FIFO: a real NIC has shallow buffering
 	// and drops when the host does not post buffers fast enough.
 	if len(rq.backlog) >= 256 {
-		rq.n.drop("rq-overflow")
+		rq.n.drop(DropRQOverflow)
 		return
 	}
 	rq.backlog = append(rq.backlog, pendingRx{data: data, cqe: cqe})
@@ -591,7 +676,7 @@ func (rq *RQ) progress() {
 				if rq.ci == rq.pi {
 					// No posted buffers: drop from the tail like
 					// hardware.
-					rq.n.drop("rq-no-buffers")
+					rq.n.drop(DropRQNoBuffers)
 					rq.backlog = rq.backlog[1:]
 					continue
 				}
@@ -623,7 +708,7 @@ func (rq *RQ) place(p pendingRx) {
 	}
 	need := (n + stride - 1) / stride * stride
 	if n > int(rq.cur.Len) {
-		rq.n.drop("rx-too-big")
+		rq.n.drop(DropRxTooBig)
 		return
 	}
 	if rq.curOffset+need > int(rq.cur.Len) {
@@ -657,8 +742,9 @@ func (rq *RQ) place(p pendingRx) {
 		t.rxPackets.Inc()
 		t.rxBytes.Add(int64(n))
 	}
+	ep := rq.epoch
 	rq.n.port.Write(addr, p.data, func() {
-		if rq.CQ != nil {
+		if rq.epoch == ep && rq.CQ != nil {
 			rq.CQ.Push(cqe)
 		}
 	})
@@ -691,6 +777,13 @@ type CQ struct {
 
 // Push DMA-writes one completion into the ring.
 func (cq *CQ) Push(c CQE) {
+	if f := cq.n.flt; f != nil && f.CQEError != nil && c.Opcode != CQEError && f.CQEError(cq) {
+		// Fault plane: report this completion as failed. The work
+		// actually executed; consumers see a per-WQE error and must
+		// still release the slot (SynInjected is not queue-fatal).
+		c.Opcode = CQEError
+		c.Syndrome = SynInjected
+	}
 	cq.tCQEs.Inc()
 	c.Counter = cq.pi
 	slot := uint64(cq.pi) % uint64(cq.Size)

@@ -87,10 +87,17 @@ type QP struct {
 	remoteNIC *NIC
 	remoteQPN uint32
 
+	// state gates the transport: an Error-state QP drops sends and
+	// arriving packets until ReconnectQPs re-establishes it. gen
+	// invalidates pending timer events across a reconnect.
+	state QueueState
+	gen   uint32
+
 	// Sender state.
 	sndPSN     uint32 // next PSN to assign
 	una        uint32 // oldest unacknowledged PSN
 	sent       []txPkt
+	retries    int // consecutive no-progress retransmissions
 	timerArmed bool
 	lastAckAt  sim.Time
 	nakPending bool
@@ -145,7 +152,11 @@ func ConnectQPs(a, b *QP) {
 // retransmission queue.
 func (qp *QP) send(idx uint32, wqe SendWQE, data []byte) {
 	if qp.remoteNIC == nil {
-		qp.n.drop("qp-not-connected")
+		qp.n.drop(DropQPNotConnected)
+		return
+	}
+	if qp.state != QueueReady {
+		qp.n.drop(DropQPError)
 		return
 	}
 	total := uint32(len(data))
@@ -234,23 +245,95 @@ func (qp *QP) transmit(frame []byte) {
 }
 
 func (qp *QP) armTimer() {
-	if qp.timerArmed || len(qp.sent) == 0 {
+	if qp.timerArmed || len(qp.sent) == 0 || qp.state != QueueReady {
 		return
 	}
 	qp.timerArmed = true
 	una := qp.una
+	gen := qp.gen
 	qp.n.eng.After(qp.n.Prm.RetransmitTimeout, func() {
+		if qp.gen != gen {
+			return // QP was reconnected while the timer was pending
+		}
 		qp.timerArmed = false
-		if len(qp.sent) == 0 {
+		if len(qp.sent) == 0 || qp.state != QueueReady {
 			return
 		}
 		if qp.una == una {
-			// No progress: go-back-N from the oldest unacked packet.
-			qp.n.drop("rdma-timeout-retransmit")
+			// No progress: go-back-N from the oldest unacked packet,
+			// bounded by the retry budget (IB retry_cnt analogue).
+			qp.n.drop(DropRDMATimeout)
+			qp.retries++
+			if qp.retries > qp.maxRetransmits() {
+				qp.enterError(SynRetryExceeded)
+				return
+			}
 			qp.retransmit()
 		}
 		qp.armTimer()
 	})
+}
+
+// maxRetransmits returns the bounded retry budget (Params.MaxRetransmits,
+// defaulted when the NIC was built with a zero value).
+func (qp *QP) maxRetransmits() int {
+	if qp.n.Prm.MaxRetransmits > 0 {
+		return qp.n.Prm.MaxRetransmits
+	}
+	return 8
+}
+
+// State reports the QP's operational state.
+func (qp *QP) State() QueueState { return qp.state }
+
+// enterError moves the QP to the Error state: the retransmission queue
+// is flushed with one error CQE per in-flight message, and all further
+// traffic is dropped until ReconnectQPs.
+func (qp *QP) enterError(syndrome uint8) {
+	if qp.state == QueueError {
+		return
+	}
+	qp.state = QueueError
+	qp.gen++
+	qp.n.noteQueueError()
+	for _, p := range qp.sent {
+		if p.last && qp.SQ != nil && qp.SQ.CQ != nil {
+			qp.SQ.CQ.Push(CQE{
+				Opcode: CQEError, Syndrome: syndrome, Last: true,
+				Index: p.wqeIdx, Queue: qp.SQ.ID, ByteCount: p.msgLen,
+				RemoteQPN: qp.QPN,
+			})
+		}
+	}
+	qp.sent = nil
+}
+
+// reset returns the QP to a freshly-established state.
+func (qp *QP) reset() {
+	if qp.state == QueueError {
+		qp.n.noteRecovery()
+	}
+	qp.state = QueueReady
+	qp.gen++
+	qp.sndPSN, qp.una = 0, 0
+	qp.sent = nil
+	qp.retries = 0
+	qp.timerArmed = false
+	qp.nakPending = false
+	qp.expPSN = 0
+	qp.rxMsgLen = 0
+	qp.nakedOnce = false
+	qp.unackedMsgs = 0
+}
+
+// ReconnectQPs is the driver-initiated recovery for an RC connection
+// whose end(s) entered the Error state: both QPs are torn down to a
+// freshly-established connection with the same QPNs (the modify-QP
+// RESET->INIT->RTR->RTS cycle real drivers perform).
+func ReconnectQPs(a, b *QP) {
+	a.reset()
+	b.reset()
+	ConnectQPs(a, b)
 }
 
 // retransmit resends every unacknowledged packet in order.
@@ -269,7 +352,7 @@ func (qp *QP) retransmit() {
 func (n *NIC) rdmaIngress(bth BTH, payload []byte) {
 	qp := n.qps[bth.DestQPN]
 	if qp == nil {
-		n.drop("rdma-unknown-qpn")
+		n.drop(DropRDMAUnknownQPN)
 		return
 	}
 	qp.receive(bth, payload)
@@ -277,6 +360,10 @@ func (n *NIC) rdmaIngress(bth BTH, payload []byte) {
 
 // receive handles one transport packet (data or ACK/NAK).
 func (qp *QP) receive(bth BTH, payload []byte) {
+	if qp.state != QueueReady {
+		qp.n.drop(DropQPError)
+		return
+	}
 	switch bth.Opcode {
 	case btAck:
 		qp.handleAck(bth.PSN)
@@ -298,7 +385,7 @@ func (qp *QP) handleData(bth BTH, payload []byte) {
 		// Gap: NAK once per loss event.
 		if !qp.nakedOnce {
 			qp.nakedOnce = true
-			qp.n.drop("rdma-out-of-order")
+			qp.n.drop(DropRDMAOutOfOrder)
 			qp.sendCtl(btNak, qp.expPSN)
 		}
 		return
@@ -375,6 +462,7 @@ func (qp *QP) handleAck(psn uint32) {
 		return
 	}
 	qp.una = psn + 1
+	qp.retries = 0 // forward progress refills the retry budget
 	for len(qp.sent) > 0 && int32(qp.sent[0].psn-psn) <= 0 {
 		p := qp.sent[0]
 		qp.sent = qp.sent[1:]
@@ -392,6 +480,9 @@ func (qp *QP) handleAck(psn uint32) {
 func (qp *QP) handleNak(psn uint32) {
 	if int32(psn-qp.una) < 0 {
 		return
+	}
+	if int32(psn-qp.una) > 0 {
+		qp.retries = 0 // the NAK cumulatively acknowledged progress
 	}
 	qp.una = psn
 	// Drop delivery state of acked packets (< psn) and retransmit the rest.

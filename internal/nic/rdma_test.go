@@ -142,7 +142,10 @@ func TestRDMARecoversFromLoss(t *testing.T) {
 	// Drop the 3rd data packet once.
 	dropped := false
 	count := 0
-	h.a.nic.wire.Loss = func(frame []byte) bool {
+	h.a.nic.wire.Loss = func(dir int, frame []byte) bool {
+		if dir != 0 {
+			return false
+		}
 		count++
 		if count == 3 && !dropped {
 			dropped = true
@@ -172,7 +175,10 @@ func TestRDMARecoversFromAckLoss(t *testing.T) {
 	// Drop the first ACK (wire direction B->A), forcing timeout retransmit
 	// and duplicate suppression at the receiver.
 	droppedAcks := 0
-	h.b.nic.wire.Loss = func(frame []byte) bool {
+	h.b.nic.wire.Loss = func(dir int, frame []byte) bool {
+		if dir != 1 {
+			return false
+		}
 		if bth, _, ok := parseRoCE(frame); ok && bth.Opcode == btAck && droppedAcks == 0 {
 			droppedAcks++
 			return true
@@ -200,8 +206,7 @@ func TestRDMAExactlyOnceUnderRandomLoss(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 7, 11} {
 		h := newRDMAHarness(t, 512)
 		r := rand.New(rand.NewSource(seed))
-		h.a.nic.wire.Loss = func([]byte) bool { return r.Intn(100) < 7 }
-		h.b.nic.wire.Loss = func([]byte) bool { return r.Intn(100) < 7 }
+		h.a.nic.wire.Loss = func(int, []byte) bool { return r.Intn(100) < 7 }
 		const n = 30
 		var want [][]byte
 		for i := 0; i < n; i++ {

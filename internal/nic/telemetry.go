@@ -14,7 +14,10 @@ type nicTelemetry struct {
 
 	txPackets, txBytes *telemetry.Counter
 	rxPackets, rxBytes *telemetry.Counter
-	drops              map[string]*telemetry.Counter
+	drops              map[DropReason]*telemetry.Counter
+
+	errQueue     *telemetry.Counter // queue transitions into Error
+	errRecovered *telemetry.Counter // driver-initiated resets to Ready
 }
 
 // SetTelemetry attaches a telemetry scope to the NIC: NIC-level
@@ -31,7 +34,10 @@ func (n *NIC) SetTelemetry(sc *telemetry.Scope) {
 		txBytes:   sc.Counter("tx/bytes"),
 		rxPackets: sc.Counter("rx/packets"),
 		rxBytes:   sc.Counter("rx/bytes"),
-		drops:     make(map[string]*telemetry.Counter),
+		drops:     make(map[DropReason]*telemetry.Counter),
+
+		errQueue:     sc.Counter("errors/queue"),
+		errRecovered: sc.Counter("errors/recovered"),
 	}
 	sc.Func("tx_engine/util", n.txEngine.Utilization)
 	sc.Func("rx_engine/util", n.rxEngine.Utilization)
@@ -50,12 +56,12 @@ func (n *NIC) SetTelemetry(sc *telemetry.Scope) {
 // drop records a packet/doorbell drop in Stats and, when telemetry is
 // attached, in a per-reason counter. Drops are off the hot path, so the
 // lazy per-reason counter creation is acceptable.
-func (n *NIC) drop(reason string) {
+func (n *NIC) drop(reason DropReason) {
 	n.Stats.drop(reason)
 	if t := n.tlm; t != nil {
 		c := t.drops[reason]
 		if c == nil {
-			c = t.scope.Counter("drops/" + reason)
+			c = t.scope.Counter("drops/" + string(reason))
 			t.drops[reason] = c
 		}
 		c.Inc()

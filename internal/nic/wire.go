@@ -14,8 +14,15 @@ type Wire struct {
 	dirs    [2]*sim.Resource
 
 	// Loss, when set, is consulted per frame; returning true drops it.
-	// Used to exercise the RDMA retransmission path.
-	Loss func(frame []byte) bool
+	// dir is the sending end (0 or 1). Used to exercise the RDMA
+	// retransmission path and by the fault plane.
+	Loss func(dir int, frame []byte) bool
+	// Dup, when set, delivers the frame twice when it returns true —
+	// modeling a duplicating middlebox or a spurious link-level retry.
+	Dup func(dir int, frame []byte) bool
+	// Delay, when set, adds per-frame extra latency; frames given a
+	// larger delay than their successors arrive reordered.
+	Delay func(dir int, frame []byte) sim.Duration
 
 	// Sent counts frames offered per direction; Delivered counts frames
 	// that arrived.
@@ -52,12 +59,23 @@ func (w *Wire) send(from int, frame []byte, onSent func()) {
 		if onSent != nil {
 			onSent()
 		}
-		if w.Loss != nil && w.Loss(frame) {
+		if w.Loss != nil && w.Loss(from, frame) {
+			w.ends[from].drop(DropWireInjectedLoss)
 			return
 		}
-		w.eng.After(w.latency, func() {
-			w.Delivered[from]++
-			w.ends[1-from].handleWireIngress(frame)
-		})
+		lat := w.latency
+		if w.Delay != nil {
+			lat += w.Delay(from, frame)
+		}
+		copies := 1
+		if w.Dup != nil && w.Dup(from, frame) {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			w.eng.After(lat, func() {
+				w.Delivered[from]++
+				w.ends[1-from].handleWireIngress(frame)
+			})
+		}
 	})
 }

@@ -1,0 +1,174 @@
+package pcie
+
+import (
+	"testing"
+
+	"flexdriver/internal/hostmem"
+	"flexdriver/internal/sim"
+	"flexdriver/internal/telemetry"
+)
+
+// deadDevice models a wedged completer: it accepts writes but never
+// returns read data, so a timed read against it can only resolve through
+// the requester's completion timeout.
+type deadDevice struct{}
+
+func (deadDevice) PCIeName() string                  { return "dead" }
+func (deadDevice) BARSize() uint64                   { return 1 << 12 }
+func (deadDevice) MMIORead(uint64, int) []byte       { return nil }
+func (deadDevice) MMIOWrite(offset uint64, d []byte) {}
+
+// TestReadFromDeadDeviceTimesOut is the regression test for the latent
+// data-plane deadlock: before completion timeouts, a device that never
+// completed a timed read hung the simulation forever. Now the read must
+// settle with a CplTimedOut error completion at exactly the configured
+// budget: the base timeout plus the transaction's own round-trip wire
+// time (segmented completions reset the timer in real hardware, so the
+// budget scales with the transfer size).
+func TestReadFromDeadDeviceTimesOut(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng)
+	src := hostmem.New("src", 1<<20)
+	ps := fab.Attach(src, Gen3x8())
+	dead := fab.Attach(deadDevice{}, Gen3x8())
+
+	var got *Completion
+	var at sim.Time
+	ps.Read(dead.Base(), 64, func(c Completion) { got, at = &c, eng.Now() })
+	eng.Run() // must terminate — this hung before the timeout existed
+	if got == nil {
+		t.Fatal("read never completed")
+	}
+	if got.Status != CplTimedOut || got.Data != nil {
+		t.Fatalf("completion = %+v, want CplTimedOut with no data", *got)
+	}
+	cfg := ps.Config()
+	want := cfg.CplTimeout +
+		2*cfg.EffectiveRate().Serialize(cfg.ReadReqWireBytes(64)+cfg.CompletionWireBytes(64)) +
+		4*cfg.PropDelay
+	if at != sim.Time(want) {
+		t.Fatalf("timed out at %v, want %v", at, want)
+	}
+	if fab.Errs.CplTimeouts != 1 {
+		t.Fatalf("CplTimeouts = %d, want 1", fab.Errs.CplTimeouts)
+	}
+}
+
+// TestReadUnmappedAddressUR checks the data plane answers a DMA read to
+// an unmapped address with an Unsupported-Request completion instead of
+// panicking (the control plane keeps the panic — see TestFabricAddressing).
+func TestReadUnmappedAddressUR(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng)
+	src := hostmem.New("src", 1<<20)
+	ps := fab.Attach(src, Gen3x8())
+
+	var got *Completion
+	var at sim.Time
+	ps.Read(0x10, 64, func(c Completion) { got, at = &c, eng.Now() })
+	eng.Run()
+	if got == nil {
+		t.Fatal("read never completed")
+	}
+	if got.Status != CplUR {
+		t.Fatalf("status = %v, want CplUR", got.Status)
+	}
+	if fab.Errs.UR != 1 {
+		t.Fatalf("UR count = %d, want 1", fab.Errs.UR)
+	}
+	// The UR resolved well before the completion timeout.
+	if at >= sim.Time(ps.Config().CplTimeout) {
+		t.Fatalf("UR took %v, should beat the %v timeout", at, ps.Config().CplTimeout)
+	}
+}
+
+// TestWriteUnmappedAddressCounted: posted writes have no completion, so
+// an unmapped write is silently dropped but must be counted.
+func TestWriteUnmappedAddressCounted(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng)
+	src := hostmem.New("src", 1<<20)
+	ps := fab.Attach(src, Gen3x8())
+
+	called := false
+	ps.Write(0x10, []byte{1, 2, 3, 4}, func() { called = true })
+	eng.Run()
+	if called {
+		t.Fatal("done fired for an unmapped posted write")
+	}
+	if fab.Errs.UR != 1 {
+		t.Fatalf("UR count = %d, want 1", fab.Errs.UR)
+	}
+}
+
+// TestFaultHooksDropAndPoison exercises the injection hooks directly:
+// dropped TLPs charge no wire bytes (keeping telemetry reconciliation
+// exact), poisoned writes charge bytes but never reach the device, and
+// poisoned completions surface as CplPoisoned.
+func TestFaultHooksDropAndPoison(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := NewFabric(eng)
+	a := hostmem.New("a", 1<<20)
+	b := hostmem.New("b", 1<<20)
+	pa := fab.Attach(a, Gen3x8())
+	pb := fab.Attach(b, Gen3x8())
+	addr := fab.AddrOf(b, 0x100)
+
+	drop := false
+	fab.SetFaults(&FaultHooks{
+		Drop: func(p *Port, typ telemetry.TLPType) bool { return drop && typ == telemetry.MemWr },
+	})
+	drop = true
+	done := false
+	pa.Write(addr, []byte{1, 2, 3}, func() { done = true })
+	eng.Run()
+	if done || pa.UpBytes != 0 || pb.DownBytes != 0 {
+		t.Fatalf("dropped write leaked: done=%v up=%d down=%d", done, pa.UpBytes, pb.DownBytes)
+	}
+	if fab.Errs.DroppedTLPs != 1 {
+		t.Fatalf("DroppedTLPs = %d", fab.Errs.DroppedTLPs)
+	}
+	drop = false
+
+	fab.SetFaults(&FaultHooks{
+		Corrupt: func(p *Port, typ telemetry.TLPType) bool { return typ == telemetry.MemWr },
+	})
+	pa.Write(addr, []byte{9, 9, 9}, func() { t.Error("poisoned write completed") })
+	eng.Run()
+	if pa.UpBytes == 0 || pb.DownBytes == 0 {
+		t.Fatal("poisoned write should still charge wire bytes")
+	}
+	if got := b.ReadAt(0x100, 3); got[0] == 9 {
+		t.Fatal("poisoned payload reached the device")
+	}
+	if fab.Errs.Poisoned != 1 {
+		t.Fatalf("Poisoned = %d", fab.Errs.Poisoned)
+	}
+
+	b.WriteAt(0x100, []byte{5, 6, 7, 8})
+	fab.SetFaults(&FaultHooks{
+		Corrupt: func(p *Port, typ telemetry.TLPType) bool { return typ == telemetry.CplD },
+	})
+	var got *Completion
+	pa.Read(addr, 4, func(c Completion) { got = &c })
+	eng.Run()
+	if got == nil || got.Status != CplPoisoned || got.Data != nil {
+		t.Fatalf("poisoned read completion = %+v", got)
+	}
+
+	// Link down: reads time out, writes vanish.
+	fab.SetFaults(&FaultHooks{Down: func(p *Port) bool { return p == pb }})
+	var down *Completion
+	pa.Read(addr, 4, func(c Completion) { down = &c })
+	eng.Run()
+	if down == nil || down.Status != CplTimedOut {
+		t.Fatalf("read through downed link = %+v", down)
+	}
+	fab.SetFaults(nil)
+	var ok *Completion
+	pa.Read(addr, 4, func(c Completion) { ok = &c })
+	eng.Run()
+	if ok == nil || !ok.OK() {
+		t.Fatalf("recovered read = %+v", ok)
+	}
+}

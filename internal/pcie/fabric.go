@@ -23,7 +23,76 @@ type Fabric struct {
 	tel        *telemetry.Scope
 	ctrlReads  *telemetry.Counter
 	ctrlWrites *telemetry.Counter
+
+	// Fault injection (optional; see SetFaults).
+	flt *FaultHooks
+
+	// Errs accumulates fabric-level error events independently of
+	// telemetry, mirroring how Port.UpBytes/DownBytes back the byte
+	// counters.
+	Errs FabricErrors
+
+	errUR       *telemetry.Counter
+	errTimeout  *telemetry.Counter
+	errDropped  *telemetry.Counter
+	errPoisoned *telemetry.Counter
 }
+
+// FabricErrors counts error events on the fabric: unsupported-request
+// completions, completion timeouts, fault-injected TLP drops (including
+// link-flap windows) and poisoned TLPs.
+type FabricErrors struct {
+	UR          int64
+	CplTimeouts int64
+	DroppedTLPs int64
+	Poisoned    int64
+}
+
+// Total returns the sum of all error classes.
+func (e FabricErrors) Total() int64 {
+	return e.UR + e.CplTimeouts + e.DroppedTLPs + e.Poisoned
+}
+
+// FaultHooks lets a fault-injection plane intercept data-plane
+// transactions. Every hook is optional (nil means "never"). Hooks are
+// consulted once per logical transaction leg, before that leg charges
+// any wire bytes, so byte accounting and telemetry stay exact whether
+// or not faults fire.
+type FaultHooks struct {
+	// Drop reports whether to silently lose the transaction of the
+	// given TLP type initiated by the port. A dropped write never
+	// reaches the target; a dropped read request or completion leaves
+	// the requester to its completion timeout.
+	Drop func(p *Port, typ telemetry.TLPType) bool
+	// Corrupt reports whether to poison the transaction's payload
+	// (EP bit). A poisoned write traverses the wire but is discarded by
+	// the completer; a poisoned completion surfaces as CplPoisoned.
+	// Only consulted for payload-bearing TLPs (MemWr, CplD).
+	Corrupt func(p *Port, typ telemetry.TLPType) bool
+	// Down reports whether the port's link is inside a flap window;
+	// while down every transaction touching the link is dropped.
+	Down func(p *Port) bool
+}
+
+// SetFaults installs (or, with nil, removes) fault-injection hooks.
+func (f *Fabric) SetFaults(h *FaultHooks) { f.flt = h }
+
+func (f *Fabric) linkDown(p *Port) bool {
+	return f.flt != nil && f.flt.Down != nil && f.flt.Down(p)
+}
+
+func (f *Fabric) dropTLP(p *Port, typ telemetry.TLPType) bool {
+	return f.flt != nil && f.flt.Drop != nil && f.flt.Drop(p, typ)
+}
+
+func (f *Fabric) corruptTLP(p *Port, typ telemetry.TLPType) bool {
+	return f.flt != nil && f.flt.Corrupt != nil && f.flt.Corrupt(p, typ)
+}
+
+func (f *Fabric) noteUR()      { f.Errs.UR++; f.errUR.Inc() }
+func (f *Fabric) noteTimeout() { f.Errs.CplTimeouts++; f.errTimeout.Inc() }
+func (f *Fabric) noteDrop()    { f.Errs.DroppedTLPs++; f.errDropped.Inc() }
+func (f *Fabric) notePoison()  { f.Errs.Poisoned++; f.errPoisoned.Inc() }
 
 // Port is a device's attachment point. Up is the device-to-switch
 // direction, down is switch-to-device; each is an independent serialization
@@ -55,6 +124,9 @@ func (f *Fabric) Engine() *sim.Engine { return f.eng }
 // assigns it a BAR window. The returned Port is the device's initiator
 // handle for DMA.
 func (f *Fabric) Attach(dev Device, cfg LinkConfig) *Port {
+	if cfg.CplTimeout == 0 {
+		cfg.CplTimeout = DefaultCplTimeout
+	}
 	size := dev.BARSize()
 	// Align the window to its size rounded up to a power of two, as PCIe
 	// BARs are naturally aligned.
@@ -89,16 +161,27 @@ func (p *Port) Config() LinkConfig { return p.cfg }
 // Device returns the attached device.
 func (p *Port) Device() Device { return p.dev }
 
-// target resolves addr to the owning port, or panics: a DMA to an unmapped
-// address is always a model bug (real hardware would raise an unsupported
-// request error and wedge the queue).
-func (f *Fabric) target(addr uint64) *Port {
+// target resolves addr to the owning port. ok is false when no device
+// claims the address — on the data plane that is an Unsupported Request,
+// answered with an error completion rather than a crash.
+func (f *Fabric) target(addr uint64) (p *Port, ok bool) {
 	for _, p := range f.ports {
 		if addr >= p.base && addr < p.base+p.size {
-			return p
+			return p, true
 		}
 	}
-	panic(fmt.Sprintf("pcie: no device at address %#x", addr))
+	return nil, false
+}
+
+// mustTarget resolves addr or panics. Control-plane accesses use it: an
+// unmapped address during software setup is always a model bug and must
+// fail loudly.
+func (f *Fabric) mustTarget(addr uint64) *Port {
+	p, ok := f.target(addr)
+	if !ok {
+		panic(fmt.Sprintf("pcie: no device at address %#x", addr))
+	}
+	return p
 }
 
 // --- Untimed (control-plane) access ------------------------------------
@@ -106,14 +189,14 @@ func (f *Fabric) target(addr uint64) *Port {
 // Read performs an immediate, untimed read. Control-plane software setup
 // uses this; data-plane engines must use Port.Read for timing fidelity.
 func (f *Fabric) Read(addr uint64, size int) []byte {
-	p := f.target(addr)
+	p := f.mustTarget(addr)
 	f.ctrlReads.Inc()
 	return p.dev.MMIORead(addr-p.base, size)
 }
 
 // Write performs an immediate, untimed write.
 func (f *Fabric) Write(addr uint64, data []byte) {
-	p := f.target(addr)
+	p := f.mustTarget(addr)
 	f.ctrlWrites.Inc()
 	p.dev.MMIOWrite(addr-p.base, data)
 }
@@ -124,8 +207,24 @@ func (f *Fabric) Write(addr uint64, data []byte) {
 // posted: done (optional) fires when the last byte reaches the target
 // device. Wire time is charged on the initiator's upstream direction and
 // the target's downstream direction.
+//
+// Error semantics: a write to an unmapped address is an Unsupported
+// Request — posted writes carry no completion, so the TLP is dropped and
+// only the fabric's error counters record it. The same holds for
+// fault-injected drops and link-flap windows (no bytes charged: the TLP
+// never serialized), and for poisoned writes (bytes charged on both
+// links, but the completer discards the payload and done never fires).
 func (p *Port) Write(addr uint64, data []byte, done func()) {
-	q := p.fab.target(addr)
+	q, ok := p.fab.target(addr)
+	if !ok {
+		p.fab.noteUR()
+		return
+	}
+	if p.fab.linkDown(p) || p.fab.linkDown(q) || p.fab.dropTLP(p, telemetry.MemWr) {
+		p.fab.noteDrop()
+		return
+	}
+	poisoned := p.fab.corruptTLP(p, telemetry.MemWr)
 	wire := p.cfg.WriteWireBytes(len(data))
 	p.UpBytes += int64(wire)
 	d1 := p.cfg.EffectiveRate().Serialize(wire)
@@ -136,6 +235,10 @@ func (p *Port) Write(addr uint64, data []byte, done func()) {
 			d2 := q.cfg.EffectiveRate().Serialize(wire2)
 			end2 := q.down.Acquire(d2, func() {
 				p.fab.eng.After(q.cfg.PropDelay, func() {
+					if poisoned {
+						p.fab.notePoison()
+						return
+					}
 					q.dev.MMIOWrite(addr-q.base, data)
 					if done != nil {
 						done()
@@ -156,37 +259,99 @@ func (p *Port) Write(addr uint64, data []byte, done func()) {
 
 // Read fetches size bytes at addr. The request TLPs traverse initiator-up
 // and target-down; the target's MMIORead executes; the completion stream
-// returns over target-up and initiator-down. done receives the data.
-func (p *Port) Read(addr uint64, size int, done func(data []byte)) {
-	q := p.fab.target(addr)
+// returns over target-up and initiator-down. done receives a Completion:
+// data on success, or an error status.
+//
+// Error semantics (all surfaced through done, never by hanging):
+//
+//   - unmapped address → the switch answers with an Unsupported-Request
+//     completion (CplUR) after the request serializes;
+//   - non-responding device (MMIORead returns nil), a dropped request or
+//     completion, or a link-flap window → the requester's completion
+//     timeout (LinkConfig.CplTimeout) fires and done gets CplTimedOut;
+//   - corrupted completion payload → full wire traversal, then
+//     CplPoisoned with no data.
+//
+// Every Read arms the timeout, so a wedged completer can never deadlock
+// the simulation; the timer event is a no-op if the completion already
+// arrived.
+func (p *Port) Read(addr uint64, size int, done func(c Completion)) {
+	settled := false
+	finish := func(c Completion) {
+		if settled {
+			return
+		}
+		settled = true
+		done(c)
+	}
+	// The timeout budget scales with the transfer: real completers
+	// return large reads as a stream of CplD segments, each of which
+	// resets the requester's completion timer. The budget is the base
+	// timeout plus one full round trip — request and completion each
+	// serialize on two links and cross two propagation hops.
+	budget := p.cfg.CplTimeout +
+		2*p.cfg.EffectiveRate().Serialize(p.cfg.ReadReqWireBytes(size)+p.cfg.CompletionWireBytes(size)) +
+		4*p.cfg.PropDelay
+	p.fab.eng.After(budget, func() {
+		if !settled {
+			p.fab.noteTimeout()
+		}
+		finish(Completion{Status: CplTimedOut})
+	})
+
+	q, hasTarget := p.fab.target(addr)
+	if p.fab.linkDown(p) || p.fab.dropTLP(p, telemetry.MemRd) {
+		// The request vanished before serializing; the timeout armed
+		// above is now the only way this transaction resolves.
+		p.fab.noteDrop()
+		return
+	}
 	reqWire := p.cfg.ReadReqWireBytes(size)
 	p.UpBytes += int64(reqWire)
 	d1 := p.cfg.EffectiveRate().Serialize(reqWire)
 	end1 := p.up.Acquire(d1, func() {
 		p.fab.eng.After(p.cfg.PropDelay, func() {
+			if !hasTarget {
+				// Unsupported Request: the switch returns a dataless
+				// error completion over the requester's down link.
+				p.fab.noteUR()
+				p.completeRead(addr, nil, CplUR, finish)
+				return
+			}
+			if p.fab.linkDown(q) {
+				p.fab.noteDrop()
+				return
+			}
 			reqWire2 := q.cfg.ReadReqWireBytes(size)
 			q.DownBytes += int64(reqWire2)
 			d2 := q.cfg.EffectiveRate().Serialize(reqWire2)
 			end2 := q.down.Acquire(d2, func() {
 				p.fab.eng.After(q.cfg.PropDelay, func() {
 					data := q.dev.MMIORead(addr-q.base, size)
+					if data == nil {
+						// Non-responding completer: no completion is
+						// ever generated; the requester's timeout
+						// resolves the transaction.
+						return
+					}
+					if p.fab.linkDown(q) || p.fab.dropTLP(q, telemetry.CplD) {
+						p.fab.noteDrop()
+						return
+					}
+					status := CplSuccess
+					if p.fab.corruptTLP(q, telemetry.CplD) {
+						p.fab.notePoison()
+						status = CplPoisoned
+					}
 					cplWire := q.cfg.CompletionWireBytes(len(data))
 					q.UpBytes += int64(cplWire)
 					d3 := q.cfg.EffectiveRate().Serialize(cplWire)
 					end3 := q.up.Acquire(d3, func() {
 						p.fab.eng.After(q.cfg.PropDelay, func() {
-							cplWire2 := p.cfg.CompletionWireBytes(len(data))
-							p.DownBytes += int64(cplWire2)
-							d4 := p.cfg.EffectiveRate().Serialize(cplWire2)
-							end4 := p.down.Acquire(d4, func() {
-								p.fab.eng.After(p.cfg.PropDelay, func() {
-									done(data)
-								})
-							})
-							if p.tlm != nil {
-								p.observe(telemetry.Down, telemetry.CplD, addr, len(data),
-									cplWire2, cplSegs(p.cfg, len(data)), end4, d4)
+							if status == CplPoisoned {
+								data = nil
 							}
+							p.completeRead(addr, data, status, finish)
 						})
 					})
 					if q.tlm != nil {
@@ -204,6 +369,23 @@ func (p *Port) Read(addr uint64, size int, done func(data []byte)) {
 	if p.tlm != nil {
 		p.observe(telemetry.Up, telemetry.MemRd, addr, 0,
 			reqWire, readReqSegs(p.cfg, size), end1, d1)
+	}
+}
+
+// completeRead serializes the completion stream (or a dataless error
+// completion) over the requester's down link and settles the read.
+func (p *Port) completeRead(addr uint64, data []byte, status CplStatus, finish func(Completion)) {
+	cplWire := p.cfg.CompletionWireBytes(len(data))
+	p.DownBytes += int64(cplWire)
+	d := p.cfg.EffectiveRate().Serialize(cplWire)
+	end := p.down.Acquire(d, func() {
+		p.fab.eng.After(p.cfg.PropDelay, func() {
+			finish(Completion{Data: data, Status: status})
+		})
+	})
+	if p.tlm != nil {
+		p.observe(telemetry.Down, telemetry.CplD, addr, len(data),
+			cplWire, cplSegs(p.cfg, len(data)), end, d)
 	}
 }
 

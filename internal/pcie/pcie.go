@@ -53,7 +53,63 @@ type LinkConfig struct {
 	// PropDelay is the one-way propagation plus forwarding latency of the
 	// link (serialization is charged separately).
 	PropDelay sim.Duration
+
+	// CplTimeout is the completion timeout armed on every non-posted
+	// request issued through this port. If the completion has not
+	// arrived when it expires, the requester receives a CplTimeout
+	// error completion. Zero selects a default at Attach time (real
+	// devices default to the 50µs-50ms range; the model uses a much
+	// tighter value so recovery is exercised within simulation windows).
+	CplTimeout sim.Duration
 }
+
+// DefaultCplTimeout is applied at Attach when LinkConfig.CplTimeout is
+// zero. It is deliberately shorter than the NIC's RDMA retransmission
+// timeout (100µs) so a PCIe-level fault resolves before transport-level
+// recovery piles on top of it.
+const DefaultCplTimeout = 20 * sim.Microsecond
+
+// CplStatus is the completion status of a non-posted transaction,
+// mirroring the TLP completion-status field.
+type CplStatus uint8
+
+const (
+	// CplSuccess is a successful completion carrying data.
+	CplSuccess CplStatus = iota
+	// CplUR reports an Unsupported Request: no device claimed the
+	// address, or the completer refused the transaction.
+	CplUR
+	// CplTimedOut reports that the requester's completion timeout fired
+	// before any completion arrived (completer wedged or link down).
+	CplTimedOut
+	// CplPoisoned reports a completion whose payload was corrupted in
+	// flight (EP bit); the data must not be consumed.
+	CplPoisoned
+)
+
+func (s CplStatus) String() string {
+	switch s {
+	case CplSuccess:
+		return "success"
+	case CplUR:
+		return "unsupported-request"
+	case CplTimedOut:
+		return "timeout"
+	case CplPoisoned:
+		return "poisoned"
+	}
+	return fmt.Sprintf("cpl-status-%d", uint8(s))
+}
+
+// Completion is the result of a timed Port.Read. Data is valid only
+// when OK() reports true.
+type Completion struct {
+	Data   []byte
+	Status CplStatus
+}
+
+// OK reports whether the completion carries usable data.
+func (c Completion) OK() bool { return c.Status == CplSuccess }
 
 // Gen3x8 returns the link configuration of the Innova-2's internal PCIe
 // Gen3 x8 connections (NIC-FPGA and NIC-host).

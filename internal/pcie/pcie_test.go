@@ -131,7 +131,12 @@ func TestTimedReadRoundTrip(t *testing.T) {
 	addr := fab.AddrOf(b, 0x300)
 	var got []byte
 	var doneAt sim.Time
-	pa.Read(addr, 4, func(data []byte) { got, doneAt = data, eng.Now() })
+	pa.Read(addr, 4, func(c Completion) {
+		if !c.OK() {
+			t.Errorf("read completion status = %v", c.Status)
+		}
+		got, doneAt = c.Data, eng.Now()
+	})
 	eng.Run()
 	if !bytes.Equal(got, []byte{9, 8, 7, 6}) {
 		t.Fatalf("read returned %v", got)

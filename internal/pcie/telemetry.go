@@ -31,6 +31,10 @@ func (f *Fabric) SetTelemetry(sc *telemetry.Scope) {
 	f.tel = sc
 	f.ctrlReads = sc.Counter("ctrl/reads")
 	f.ctrlWrites = sc.Counter("ctrl/writes")
+	f.errUR = sc.Counter("errors/ur")
+	f.errTimeout = sc.Counter("errors/cpl_timeout")
+	f.errDropped = sc.Counter("errors/dropped")
+	f.errPoisoned = sc.Counter("errors/poisoned")
 	for _, p := range f.ports {
 		p.instrument(sc)
 	}

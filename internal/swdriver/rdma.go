@@ -127,7 +127,16 @@ func (e *RDMAEndpoint) post(data []byte) {
 	e.drv.host.Write(e.drv.bar+nic.SQDoorbellOffset(e.QP.SQ.ID), b[:], nil)
 }
 
-func (e *RDMAEndpoint) sendComplete(nic.CQE) {
+func (e *RDMAEndpoint) sendComplete(c nic.CQE) {
+	if c.Opcode == nic.CQEError {
+		// SynRetryExceeded flushes the QP with one error CQE per
+		// unacknowledged message; each consumed its SQ slot. Recovery
+		// (ReconnectQPs) needs both ends and is left to the application.
+		e.drv.CQEErrors++
+		e.drv.TxErrors++
+		e.ci++
+		return
+	}
 	e.ci++
 	if e.OnSendComplete != nil {
 		e.OnSendComplete()
@@ -140,6 +149,11 @@ func (e *RDMAEndpoint) sendComplete(nic.CQE) {
 }
 
 func (e *RDMAEndpoint) recvComplete(c nic.CQE) {
+	if c.Opcode == nic.CQEError {
+		e.drv.CQEErrors++
+		e.cur = nil
+		return
+	}
 	if e.recycle != nil {
 		e.recycle(c)
 	}

@@ -68,6 +68,10 @@ type Driver struct {
 
 	// Stats.
 	RxPackets, TxPackets int64
+	// CQEErrors counts error completions observed; TxErrors counts
+	// transmit descriptors lost to them; Recoveries counts
+	// driver-initiated queue resets.
+	CQEErrors, TxErrors, Recoveries int64
 
 	tlm *drvTelemetry // nil unless SetTelemetry was called
 }
@@ -294,9 +298,63 @@ func (p *EthPort) flushDoorbell() {
 	p.drv.host.Write(p.drv.bar+nic.SQDoorbellOffset(p.sq.ID), b[:], nil)
 }
 
+// Poll is the poll-mode driver's queue-health check: a PMD core notices
+// an Error-state queue on its next poll even when the error CQE that
+// announced it was itself lost to a fault. It applies the same recovery
+// the CQE path would (flush the SQ, reset and re-arm the RQ) and
+// reports whether anything needed recovering.
+func (p *EthPort) Poll() bool {
+	recovered := false
+	if p.sq.State() == nic.QueueError {
+		p.flushTx()
+		recovered = true
+	}
+	if p.rq.State() == nic.QueueError {
+		p.rq.Reset()
+		p.drv.Recoveries++
+		p.ringRQDoorbell()
+		recovered = true
+	}
+	return recovered
+}
+
+// flushTx is the host flush recovery: in-flight frames are counted lost
+// and the ring restarts empty. The NIC is reset to the driver's own
+// producer count (not the last-doorbell value) so it never re-fetches
+// discarded slots — stale completions from those would wrap the ci
+// advance in txComplete.
+func (p *EthPort) flushTx() {
+	p.drv.TxErrors += int64(p.pi - p.ci)
+	p.ci = p.pi
+	p.sincedb = 0
+	p.sq.ResetTo(p.pi, p.pi)
+	p.drv.Recoveries++
+	for len(p.txQueued) > 0 && int(p.pi-p.ci) < p.sqSize {
+		f := p.txQueued[0]
+		p.txQueued = p.txQueued[1:]
+		p.post(f)
+	}
+}
+
 func (p *EthPort) txComplete(c nic.CQE) {
+	if c.Opcode == nic.CQEError {
+		p.drv.CQEErrors++
+		if c.Syndrome == nic.SynQueueErr {
+			// Queue-fatal: nothing between ci and pi completed.
+			p.flushTx()
+			return
+		}
+		// Per-WQE error: the slot was consumed; fall through and advance
+		// ci exactly like a successful completion.
+		p.drv.TxErrors++
+	}
 	// A signaled completion covers its unsignaled predecessors.
 	adv := uint32(uint16(c.Index)-uint16(p.ci)) & 0xffff
+	if adv+1 > p.pi-p.ci {
+		// Stale completion from work discarded by a flush reset; the
+		// flush already accounted for those frames.
+		return
+	}
 	p.ci += adv + 1
 	p.tCplBatch.Observe(int64(adv) + 1)
 	if p.OnSendComplete != nil {
@@ -311,6 +369,27 @@ func (p *EthPort) txComplete(c nic.CQE) {
 }
 
 func (p *EthPort) rxComplete(c nic.CQE) {
+	if c.Opcode == nic.CQEError {
+		p.drv.CQEErrors++
+		if c.Syndrome == nic.SynQueueErr {
+			// RQ.Reset preserves the posted descriptors between ci and
+			// pi, so re-ringing the current producer index fully re-arms
+			// the receive pipeline.
+			p.rq.Reset()
+			p.drv.Recoveries++
+			p.ringRQDoorbell()
+			return
+		}
+		// Per-packet error: the payload is garbage but the buffer was
+		// consumed — recycle it so receive capacity doesn't leak.
+		p.rqPI++
+		p.rqSinceDB++
+		if p.rqSinceDB >= p.drv.Prm.DoorbellBatch {
+			p.rqSinceDB = 0
+			p.ringRQDoorbell()
+		}
+		return
+	}
 	p.drv.cpuWork(p.drv.Prm.RxCost, func() {
 		p.drv.RxPackets++
 		p.tRxPackets.Inc()

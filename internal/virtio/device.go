@@ -129,8 +129,13 @@ func (d *NetDevice) pump(q int) {
 	}
 	st.pumping = true
 	// Read the avail header to learn the driver's producer index.
-	d.port.Read(st.availBase, 4, func(hdr []byte) {
-		idx := binary.LittleEndian.Uint16(hdr[2:])
+	d.port.Read(st.availBase, 4, func(c pcie.Completion) {
+		if !c.OK() {
+			d.Drops["dma-error"]++
+			st.pumping = false
+			return
+		}
+		idx := binary.LittleEndian.Uint16(c.Data[2:])
 		d.consumeAvail(q, idx)
 	})
 }
@@ -160,9 +165,14 @@ func (d *NetDevice) consumeAvail(q int, idx uint16) {
 		n = st.size - slot // don't wrap within one read
 	}
 	st.lastAvail += uint16(n)
-	d.port.Read(st.availBase+4+uint64(slot)*2, n*2, func(b []byte) {
+	d.port.Read(st.availBase+4+uint64(slot)*2, n*2, func(c pcie.Completion) {
+		if !c.OK() {
+			d.Drops["dma-error"]++
+			st.pumping = false
+			return
+		}
 		for i := 0; i < n; i++ {
-			head := binary.LittleEndian.Uint16(b[i*2:])
+			head := binary.LittleEndian.Uint16(c.Data[i*2:])
 			if q == TxQueue {
 				h := head
 				d.readChain(st, h, nil, 0, func(frame []byte) {
@@ -183,14 +193,24 @@ func (d *NetDevice) readChain(st *queueState, idx uint16, acc []byte, hops int, 
 		done(acc)
 		return
 	}
-	d.port.Read(st.descBase+uint64(idx)*DescSize, DescSize, func(b []byte) {
-		desc, err := ParseDesc(b)
+	d.port.Read(st.descBase+uint64(idx)*DescSize, DescSize, func(c pcie.Completion) {
+		if !c.OK() {
+			d.Drops["dma-error"]++
+			done(acc)
+			return
+		}
+		desc, err := ParseDesc(c.Data)
 		if err != nil {
 			done(acc)
 			return
 		}
-		d.port.Read(desc.Addr, int(desc.Len), func(data []byte) {
-			acc = append(acc, data...)
+		d.port.Read(desc.Addr, int(desc.Len), func(c pcie.Completion) {
+			if !c.OK() {
+				d.Drops["dma-error"]++
+				done(acc)
+				return
+			}
+			acc = append(acc, c.Data...)
 			if desc.Flags&DescFlagNext != 0 {
 				d.readChain(st, desc.Next, acc, hops+1, done)
 				return
@@ -259,8 +279,12 @@ func (d *NetDevice) fillChain(st *queueState, head uint16, frame []byte) {
 			d.Drops["chain-too-long"]++
 			return
 		}
-		d.port.Read(st.descBase+uint64(idx)*DescSize, DescSize, func(b []byte) {
-			desc, err := ParseDesc(b)
+		d.port.Read(st.descBase+uint64(idx)*DescSize, DescSize, func(c pcie.Completion) {
+			if !c.OK() {
+				d.Drops["dma-error"]++
+				return
+			}
+			desc, err := ParseDesc(c.Data)
 			if err != nil || desc.Flags&DescFlagWrite == 0 {
 				d.Drops["rx-bad-chain"]++
 				return

@@ -3,6 +3,7 @@ package flexdriver
 import (
 	"fmt"
 
+	"flexdriver/internal/faults"
 	"flexdriver/internal/fld"
 	"flexdriver/internal/fldsw"
 	"flexdriver/internal/hostmem"
@@ -37,6 +38,11 @@ type Options struct {
 	// registry under `<node>/{pcie,nic,fld,swdriver}/...`. Nil (the
 	// default) disables telemetry at zero cost to the hot paths.
 	Telemetry *Registry
+	// Faults, when set, attaches the deterministic fault-injection plan
+	// to every layer the node builds (PCIe fabric, NIC, FLD, and — via
+	// ConnectWire on the option-built pairs — the Ethernet wire). Nil
+	// (the default) injects nothing.
+	Faults *FaultPlan
 }
 
 // Option customizes testbed construction (the functional-options
@@ -68,6 +74,13 @@ func WithHostMem(bytes uint64) Option { return func(o *Options) { o.HostMemBytes
 // `<node>/...` paths. Enable reg's flight recorder to also capture
 // per-TLP events for Chrome-trace export.
 func WithTelemetry(reg *Registry) Option { return func(o *Options) { o.Telemetry = reg } }
+
+// WithFaults attaches a fault-injection plan: the plan's hooks are
+// installed on every fabric/NIC/FLD the testbed builds (and on the wire
+// for NewRemotePair), and the plan is bound to the engine clock so its
+// Start/Stop window and link-flap schedule run on simulated time. One
+// plan may serve several nodes; they share its seeded random stream.
+func WithFaults(p *FaultPlan) Option { return func(o *Options) { o.Faults = p } }
 
 // WithOptions replaces the whole carrier at once — an escape hatch for
 // callers that build an Options value programmatically.
@@ -125,6 +138,24 @@ func wireTelemetry(reg *telemetry.Registry, eng *Engine, name string,
 	}
 }
 
+// wireFaults binds the fault plan (if any) to the engine clock and
+// attaches its hooks to the node's layers.
+func wireFaults(o Options, eng *Engine, fab *pcie.Fabric, n *nic.NIC, f *fld.FLD) {
+	p := o.Faults
+	if p == nil {
+		return
+	}
+	p.Bind(eng)
+	if o.Telemetry != nil {
+		p.SetTelemetry(o.Telemetry.Scope("faults"))
+	}
+	p.AttachFabric(fab)
+	p.AttachNIC(n)
+	if f != nil {
+		p.AttachFLD(f)
+	}
+}
+
 // Host is a plain server: CPU + DRAM + a ConnectX-class NIC, driven by
 // the software poll-mode driver. It is the client side of the remote
 // experiments and the CPU baseline of the local ones.
@@ -152,6 +183,7 @@ func NewHost(eng *Engine, name string, opts ...Option) *Host {
 	n.AttachPCIe(fab, o.NICLink)
 	drv := swdriver.New(eng, fab, mem, n, o.Driver)
 	wireTelemetry(o.Telemetry, eng, name, fab, n, nil, drv)
+	wireFaults(o, eng, fab, n, nil)
 	return &Host{Eng: eng, Fab: fab, Mem: mem, NIC: n, Drv: drv, tel: o.Telemetry}
 }
 
@@ -170,6 +202,7 @@ type Innova struct {
 
 	name    string
 	tel     *telemetry.Registry
+	faults  *faults.Plan
 	numFLDs int
 }
 
@@ -190,8 +223,9 @@ func NewInnova(eng *Engine, name string, opts ...Option) *Innova {
 	rt := fldsw.NewRuntime(eng, fab, mem, n, f)
 	drv := swdriver.New(eng, fab, mem, n, o.Driver)
 	wireTelemetry(o.Telemetry, eng, name, fab, n, f, drv)
+	wireFaults(o, eng, fab, n, f)
 	return &Innova{Eng: eng, Fab: fab, Mem: mem, NIC: n, FLD: f, RT: rt, Drv: drv,
-		name: name, tel: o.Telemetry, numFLDs: 1}
+		name: name, tel: o.Telemetry, faults: o.Faults, numFLDs: 1}
 }
 
 // AddFLD instantiates an additional FlexDriver core on the node's FPGA
@@ -206,6 +240,9 @@ func (inn *Innova) AddFLD(cfg FLDConfig) (*FLD, *Runtime) {
 		f.SetTelemetry(inn.tel.Scope(inn.name).Scope(fmt.Sprintf("fld%d", inn.numFLDs)))
 	}
 	inn.numFLDs++
+	if inn.faults != nil {
+		inn.faults.AttachFLD(f)
+	}
 	return f, rt
 }
 
@@ -231,6 +268,9 @@ func NewRemotePair(opts ...Option) *RemotePair {
 	client := NewHost(eng, "client", opts...)
 	server := NewInnova(eng, "server", opts...)
 	w := nic.ConnectWire(client.NIC, server.NIC, 25*Gbps, 500*Nanosecond)
+	if o := buildOptions(opts); o.Faults != nil {
+		o.Faults.AttachWire(w)
+	}
 	return &RemotePair{Eng: eng, Client: client, Server: server, Wire: w}
 }
 
