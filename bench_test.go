@@ -167,6 +167,16 @@ func BenchmarkPortabilityVirtio(b *testing.B) {
 	b.ReportMetric(gbps, "Gbps@1024B")
 }
 
+// BenchmarkClusterScaling runs a reduced §9 scale-out sweep: 1 and 4
+// clients against the four-FLD-core server behind the ToR switch.
+func BenchmarkClusterScaling(b *testing.B) {
+	p := exps.DefaultClusterParams(benchWindow)
+	p.Clients = []int{1, 4}
+	for i := 0; i < b.N; i++ {
+		reportChecks(b, exps.Cluster(p))
+	}
+}
+
 // BenchmarkTelemetryOverhead runs the same remote FLD-E echo window with
 // telemetry disabled (the facade default every other benchmark uses) and
 // fully enabled (all layers instrumented + flight recorder). Comparing

@@ -1,0 +1,126 @@
+package flexdriver
+
+import (
+	"flexdriver/internal/ethswitch"
+	"flexdriver/internal/sim"
+)
+
+// Facade re-exports for the switched fabric.
+type (
+	// EthSwitch is the ToR switch model (internal/ethswitch).
+	EthSwitch = ethswitch.Switch
+	// SwitchPort is one switch port plus its cable segment.
+	SwitchPort = ethswitch.Port
+	// SwitchConfig sets the switch's uniform port parameters.
+	SwitchConfig = ethswitch.Config
+)
+
+// Cluster is the N-node switched testbed: any number of plain hosts and
+// Innova nodes racked behind one ToR switch — the topology the paper's
+// §9 scaling regime (many clients, multiple FLD cores behind RSS)
+// needs. Options fold once at NewCluster and apply to every node;
+// telemetry registers each node under its name plus the switch under
+// "switch", and a fault plan attaches to every layer of every node and
+// to every switch-port link.
+type Cluster struct {
+	Eng     *Engine
+	Hosts   []*Host
+	Innovas []*Innova
+
+	o     Options
+	swCfg ethswitch.Config
+	sw    *ethswitch.Switch
+	ports map[*NIC]*ethswitch.Port
+}
+
+// NewCluster starts an empty topology; add nodes with AddHost/AddInnova.
+func NewCluster(opts ...Option) *Cluster {
+	return &Cluster{
+		Eng:   sim.NewEngine(),
+		o:     buildOptions(opts),
+		ports: make(map[*NIC]*ethswitch.Port),
+	}
+}
+
+// SwitchRate sets the switch's per-port line rate (default 25 Gbps).
+func (c *Cluster) SwitchRate(r BitRate) *Cluster {
+	c.swCfg.Rate = r
+	if c.sw != nil {
+		c.sw.SetRate(r)
+	}
+	return c
+}
+
+// SwitchLatency sets the per-segment propagation delay (default 500 ns).
+func (c *Cluster) SwitchLatency(d Duration) *Cluster {
+	c.swCfg.Latency = d
+	if c.sw != nil {
+		c.sw.SetLatency(d)
+	}
+	return c
+}
+
+// SwitchQueueFrames bounds each output queue in frames (default 64).
+func (c *Cluster) SwitchQueueFrames(n int) *Cluster {
+	c.swCfg.QueueFrames = n
+	if c.sw != nil {
+		c.sw.SetQueueFrames(n)
+	}
+	return c
+}
+
+// Switch returns the ToR switch, creating it on first use.
+func (c *Cluster) Switch() *EthSwitch {
+	if c.sw == nil {
+		c.sw = ethswitch.New(c.Eng, c.swCfg)
+		if c.o.Telemetry != nil {
+			c.o.Telemetry.Bind(c.Eng.Now)
+			c.sw.SetTelemetry(c.o.Telemetry.Scope("switch"))
+		}
+	}
+	return c.sw
+}
+
+// PortOf returns the switch port a node's NIC hangs off.
+func (c *Cluster) PortOf(n *NIC) *SwitchPort { return c.ports[n] }
+
+// Telemetry returns the registry the cluster was built with, or nil.
+func (c *Cluster) Telemetry() *Registry { return c.o.Telemetry }
+
+// AddHost builds a plain host and racks it behind the switch.
+func (c *Cluster) AddHost(name string) *Host {
+	h := c.buildHost(name)
+	c.join(h.NIC)
+	return h
+}
+
+// AddInnova builds an Innova node and racks it behind the switch.
+func (c *Cluster) AddInnova(name string) *Innova {
+	inn := c.buildInnova(name)
+	c.join(inn.NIC)
+	return inn
+}
+
+// buildHost constructs a node from the folded carrier without cabling
+// it; NewRemotePair uses it to wire its two nodes back to back instead.
+func (c *Cluster) buildHost(name string) *Host {
+	h := newHost(c.Eng, name, c.o)
+	c.Hosts = append(c.Hosts, h)
+	return h
+}
+
+func (c *Cluster) buildInnova(name string) *Innova {
+	inn := newInnova(c.Eng, name, c.o)
+	c.Innovas = append(c.Innovas, inn)
+	return inn
+}
+
+// join cables a NIC to the next switch port and extends the fault plan
+// to the new link.
+func (c *Cluster) join(n *NIC) {
+	port := c.Switch().Connect(n)
+	c.ports[n] = port
+	if c.o.Faults != nil {
+		c.o.Faults.AttachLink(port.Link())
+	}
+}

@@ -19,16 +19,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"flexdriver"
 	"flexdriver/internal/exps"
 )
 
+// parseClients turns "1,2,4,8" into client counts for -exp cluster.
+func parseClients(spec string) ([]int, error) {
+	var ns []int
+	for _, s := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad client count %q", s)
+		}
+		ns = append(ns, n)
+	}
+	return ns, nil
+}
+
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio, telemetry, chaos)")
+	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio, telemetry, chaos, cluster)")
 	quick := flag.Bool("quick", false, "shorter measurement windows")
 	seed := flag.Int64("seed", 1, "random seed for the chaos experiment's fault plan; a failing (seed, faults) pair replays the identical storm")
 	faults := flag.String("faults", "", `fault spec for the chaos experiment: a preset ("light", "heavy") or key=value pairs, e.g. "heavy" or "light,wire.loss=0.1" (default "heavy")`)
+	clients := flag.String("clients", "1,2,4,8", "client counts the cluster experiment sweeps, comma-separated")
 	traceOut := flag.String("trace", "", "run the telemetry experiment, print its counter snapshot, and write the TLP flight recorder as Chrome trace_event JSON to this file")
 	flag.Parse()
 
@@ -79,6 +95,16 @@ func main() {
 		{"ext-virtio", func() *exps.Result { return exps.Portability(window) }},
 		{"telemetry", runTelemetry},
 		{"chaos", func() *exps.Result { return exps.Chaos(*seed, *faults, window) }},
+		{"cluster", func() *exps.Result {
+			p := exps.DefaultClusterParams(window)
+			ns, err := parseClients(*clients)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fldreport: -clients: %v\n", err)
+				os.Exit(2)
+			}
+			p.Clients = ns
+			return exps.Cluster(p)
+		}},
 	}
 
 	if *exp != "" {

@@ -1,0 +1,292 @@
+// Package ethswitch models a top-of-rack Ethernet switch for the
+// cluster testbed: MAC learning with flooding, store-and-forward with
+// per-port line-rate serialization, and bounded output queues with
+// tail-drop — the congestion point the paper's many-client scaling
+// regime (§9) runs into before the server's 25 GbE port saturates.
+//
+// Every attached NIC hangs off a Port, whose segment carries the same
+// nic.Link fault surface as a point-to-point cable, so
+// faults.Plan.AttachLink generalizes loss/duplication/delay injection
+// to every link of the fabric.
+package ethswitch
+
+import (
+	"flexdriver/internal/netpkt"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/sim"
+)
+
+// Config sets the fabric's uniform port parameters.
+type Config struct {
+	// Rate is the per-port line rate (default 25 Gbps).
+	Rate sim.BitRate
+	// Latency is the per-segment propagation delay, charged once
+	// NIC-to-switch and once switch-to-NIC (default 500 ns).
+	Latency sim.Duration
+	// QueueFrames bounds each port's output queue, counting the frame
+	// in service; an arrival beyond it is tail-dropped (default 64).
+	QueueFrames int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate == 0 {
+		c.Rate = 25 * sim.Gbps
+	}
+	if c.Latency == 0 {
+		c.Latency = 500 * sim.Nanosecond
+	}
+	if c.QueueFrames == 0 {
+		c.QueueFrames = 64
+	}
+	return c
+}
+
+// Endpoint is what a switch port faces: a NIC (or a test stub) that can
+// accept the port as its physical attachment and receive frames.
+// *nic.NIC satisfies it.
+type Endpoint interface {
+	AttachPort(nic.Port)
+	Ingress(frame []byte)
+}
+
+// Stats tallies switch-level forwarding decisions.
+type Stats struct {
+	// Forwarded counts frames unicast to a learned port.
+	Forwarded int64
+	// Floods counts frames replicated to all other ports (unknown
+	// unicast, broadcast, multicast).
+	Floods int64
+	// Filtered counts frames whose learned destination was their own
+	// ingress port (hairpin), silently discarded as real switches do.
+	Filtered int64
+	// Malformed counts frames too short for an Ethernet header.
+	Malformed int64
+}
+
+// Switch is one ToR switch instance. Attach endpoints with Connect.
+type Switch struct {
+	Stats Stats
+
+	eng   *sim.Engine
+	cfg   Config
+	ports []*Port
+	fdb   map[netpkt.MAC]*Port
+
+	tlm *swTelemetry
+}
+
+// New builds a switch; zero Config fields take defaults.
+func New(eng *sim.Engine, cfg Config) *Switch {
+	return &Switch{eng: eng, cfg: cfg.withDefaults(), fdb: make(map[netpkt.MAC]*Port)}
+}
+
+// SetRate, SetLatency and SetQueueFrames adjust the fabric parameters;
+// they apply to frames offered after the call.
+func (s *Switch) SetRate(r sim.BitRate)     { s.cfg.Rate = r }
+func (s *Switch) SetLatency(d sim.Duration) { s.cfg.Latency = d }
+func (s *Switch) SetQueueFrames(n int)      { s.cfg.QueueFrames = n }
+
+// Rate returns the per-port line rate.
+func (s *Switch) Rate() sim.BitRate { return s.cfg.Rate }
+
+// Ports returns the attached ports in connection order.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// FDBSize returns the number of learned MAC entries.
+func (s *Switch) FDBSize() int { return len(s.fdb) }
+
+// Connect attaches an endpoint to the next free port and makes the port
+// the endpoint's physical attachment.
+func (s *Switch) Connect(ep Endpoint) *Port {
+	p := &Port{
+		sw: s, ID: len(s.ports), ep: ep,
+		in:  sim.NewResource(s.eng),
+		out: sim.NewResource(s.eng),
+	}
+	s.ports = append(s.ports, p)
+	ep.AttachPort(p)
+	if s.tlm != nil {
+		p.instrument(s.tlm.scope)
+	}
+	return p
+}
+
+// Program installs a static FDB entry, pinning mac to p without
+// learning.
+func (s *Switch) Program(mac netpkt.MAC, p *Port) { s.fdb[mac] = p }
+
+// unicastMAC reports whether m is a unicast address (group bit clear,
+// not all-zero).
+func unicastMAC(m netpkt.MAC) bool { return m[0]&1 == 0 && m != (netpkt.MAC{}) }
+
+// ingress is the forwarding pipeline: a fully received frame is learned
+// against the source MAC, then unicast to the learned output port or
+// flooded.
+func (s *Switch) ingress(src *Port, frame []byte) {
+	src.count(&src.Counters.RxFrames, &src.Counters.RxBytes, len(frame))
+	if t := src.tlm; t != nil {
+		t.rxFrames.Inc()
+		t.rxBytes.Add(int64(len(frame)))
+	}
+	eh, _, err := netpkt.ParseEth(frame)
+	if err != nil {
+		s.Stats.Malformed++
+		return
+	}
+	if unicastMAC(eh.Src) {
+		s.fdb[eh.Src] = src
+	}
+	if dst, ok := s.fdb[eh.Dst]; ok && unicastMAC(eh.Dst) {
+		if dst == src {
+			s.Stats.Filtered++
+			if t := s.tlm; t != nil {
+				t.filtered.Inc()
+			}
+			return
+		}
+		s.Stats.Forwarded++
+		if t := s.tlm; t != nil {
+			t.forwarded.Inc()
+		}
+		dst.deliver(frame)
+		return
+	}
+	s.Stats.Floods++
+	if t := s.tlm; t != nil {
+		t.floods.Inc()
+	}
+	for _, p := range s.ports {
+		if p != src {
+			p.deliver(frame)
+		}
+	}
+}
+
+// PortCounters is per-port delivery accounting.
+type PortCounters struct {
+	// RxFrames/RxBytes count frames the switch accepted from the NIC.
+	RxFrames, RxBytes int64
+	// TxFrames/TxBytes count frames fully delivered to the NIC.
+	TxFrames, TxBytes int64
+	// TailDrops counts frames discarded because the output queue was
+	// full.
+	TailDrops int64
+}
+
+// Port is one switch port plus the segment cabling it to its endpoint.
+// It implements nic.Port for the NIC-to-switch direction. On its Link,
+// dir 0 is NIC-to-switch and dir 1 is switch-to-NIC.
+type Port struct {
+	ID       int
+	Counters PortCounters
+
+	sw   *Switch
+	ep   Endpoint
+	link nic.Link
+
+	in, out *sim.Resource
+	queued  int // frames waiting or in service on out
+
+	tlm *portTelemetry
+}
+
+// Link exposes the segment's fault hooks and delivery counters for
+// faults.Plan.AttachLink.
+func (p *Port) Link() *nic.Link { return &p.link }
+
+// QueueDepth returns the instantaneous output-queue occupancy,
+// including the frame in service.
+func (p *Port) QueueDepth() int { return p.queued }
+
+func (p *Port) count(frames, bytes *int64, n int) {
+	*frames++
+	*bytes += int64(n)
+}
+
+// Send serializes a frame from the NIC into the switch (dir 0). It is
+// the nic.Port implementation; onSent fires when the frame has fully
+// left the NIC.
+func (p *Port) Send(frame []byte, onSent func()) {
+	l := &p.link
+	l.Sent[0]++
+	d := p.sw.cfg.Rate.Serialize(len(frame) + nic.EthWireOverhead)
+	p.in.Acquire(d, func() {
+		if onSent != nil {
+			onSent()
+		}
+		if l.Loss != nil && l.Loss(0, frame) {
+			l.Lost[0]++
+			if t := p.tlm; t != nil {
+				t.injected.Inc()
+			}
+			return
+		}
+		lat := p.sw.cfg.Latency
+		if l.Delay != nil {
+			lat += l.Delay(0, frame)
+		}
+		copies := 1
+		if l.Dup != nil && l.Dup(0, frame) {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			// A duplicate trails the original by one serialization
+			// time, matching the Wire model.
+			p.sw.eng.After(lat+sim.Duration(i)*d, func() {
+				l.Delivered[0]++
+				p.sw.ingress(p, frame)
+			})
+		}
+	})
+}
+
+// deliver queues a frame on the output port toward the NIC (dir 1),
+// tail-dropping when the bounded queue is full.
+func (p *Port) deliver(frame []byte) {
+	if p.queued >= p.sw.cfg.QueueFrames {
+		p.Counters.TailDrops++
+		if t := p.tlm; t != nil {
+			t.tailDrops.Inc()
+		}
+		return
+	}
+	p.queued++
+	if t := p.tlm; t != nil {
+		t.depth.Set(int64(p.queued))
+	}
+	l := &p.link
+	l.Sent[1]++
+	d := p.sw.cfg.Rate.Serialize(len(frame) + nic.EthWireOverhead)
+	p.out.Acquire(d, func() {
+		p.queued--
+		if t := p.tlm; t != nil {
+			t.depth.Set(int64(p.queued))
+		}
+		if l.Loss != nil && l.Loss(1, frame) {
+			l.Lost[1]++
+			if t := p.tlm; t != nil {
+				t.injected.Inc()
+			}
+			return
+		}
+		lat := p.sw.cfg.Latency
+		if l.Delay != nil {
+			lat += l.Delay(1, frame)
+		}
+		copies := 1
+		if l.Dup != nil && l.Dup(1, frame) {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			p.sw.eng.After(lat+sim.Duration(i)*d, func() {
+				l.Delivered[1]++
+				p.count(&p.Counters.TxFrames, &p.Counters.TxBytes, len(frame))
+				if t := p.tlm; t != nil {
+					t.txFrames.Inc()
+					t.txBytes.Add(int64(len(frame)))
+				}
+				p.ep.Ingress(frame)
+			})
+		}
+	})
+}

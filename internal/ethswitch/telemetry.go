@@ -1,0 +1,58 @@
+package ethswitch
+
+import (
+	"fmt"
+
+	"flexdriver/internal/telemetry"
+)
+
+// swTelemetry holds the switch-level counters; per-port handles live on
+// the ports (nil-safe, same convention as the NIC).
+type swTelemetry struct {
+	scope *telemetry.Scope
+
+	forwarded, floods, filtered *telemetry.Counter
+}
+
+type portTelemetry struct {
+	rxFrames, rxBytes *telemetry.Counter
+	txFrames, txBytes *telemetry.Counter
+	tailDrops         *telemetry.Counter
+	injected          *telemetry.Counter // fault-plane losses on this segment
+	depth             *telemetry.Gauge   // output-queue occupancy (high-water tracked)
+}
+
+// SetTelemetry attaches a telemetry scope: switch-level forwarding
+// counters, FDB size, and per-port rx/tx/tail-drop counters plus
+// output-queue depth and utilization — for ports that already exist and
+// ports connected later.
+func (s *Switch) SetTelemetry(sc *telemetry.Scope) {
+	if sc == nil {
+		return
+	}
+	s.tlm = &swTelemetry{
+		scope:     sc,
+		forwarded: sc.Counter("forwarded"),
+		floods:    sc.Counter("floods"),
+		filtered:  sc.Counter("filtered"),
+	}
+	sc.Func("fdb/size", func() float64 { return float64(len(s.fdb)) })
+	for _, p := range s.ports {
+		p.instrument(sc)
+	}
+}
+
+func (p *Port) instrument(sc *telemetry.Scope) {
+	ps := sc.Scope(fmt.Sprintf("port%d", p.ID))
+	p.tlm = &portTelemetry{
+		rxFrames:  ps.Counter("rx/frames"),
+		rxBytes:   ps.Counter("rx/bytes"),
+		txFrames:  ps.Counter("tx/frames"),
+		txBytes:   ps.Counter("tx/bytes"),
+		tailDrops: ps.Counter("tail_drops"),
+		injected:  ps.Counter("injected_loss"),
+		depth:     ps.Gauge("queue/depth"),
+	}
+	ps.Func("out/util", p.out.Utilization)
+	ps.Func("in/util", p.in.Utilization)
+}

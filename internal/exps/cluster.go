@@ -1,0 +1,360 @@
+package exps
+
+import (
+	"fmt"
+
+	"flexdriver"
+	"flexdriver/internal/netpkt"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/pcie"
+	"flexdriver/internal/perfmodel"
+	"flexdriver/internal/sim"
+	"flexdriver/internal/stats"
+	"flexdriver/internal/swdriver"
+)
+
+// ClusterParams configures the cluster scaling experiment.
+type ClusterParams struct {
+	// Clients lists the client counts to sweep (default {1,2,4,8}).
+	Clients []int
+	// FLDCores is the number of FLD cores on the server's FPGA, load-
+	// balanced by NIC RSS (§9).
+	FLDCores int
+	// FlowsPerClient is the number of UDP flows each client spreads its
+	// load over; rounded up to a multiple of FLDCores.
+	FlowsPerClient int
+	// PerClientGbps is each client's offered goodput (Poisson arrivals).
+	PerClientGbps float64
+	// FrameSize is the UDP frame size in bytes.
+	FrameSize int
+	// QueueFrames bounds the switch's per-port output queues.
+	QueueFrames int
+	// Warmup, Window, Drain phase the measurement like the other
+	// experiments: only the window counts.
+	Warmup, Window, Drain flexdriver.Duration
+	// Seed drives the per-client Poisson arrival streams.
+	Seed int64
+}
+
+// DefaultClusterParams returns the standard sweep: N ∈ {1,2,4,8}
+// clients at 5 Gbit/s each against a 4-core server, so the last point
+// offers 40 Gbit/s into the 25 GbE server port and must tail-drop.
+func DefaultClusterParams(window flexdriver.Duration) ClusterParams {
+	return ClusterParams{
+		Clients:        []int{1, 2, 4, 8},
+		FLDCores:       4,
+		FlowsPerClient: 32,
+		PerClientGbps:  5,
+		FrameSize:      512,
+		QueueFrames:    64,
+		Warmup:         150 * flexdriver.Microsecond,
+		Window:         window,
+		Drain:          250 * flexdriver.Microsecond,
+		Seed:           1,
+	}
+}
+
+// clusterPoint is one sweep point's measurements.
+type clusterPoint struct {
+	clients        int
+	offeredGbps    float64
+	achievedGbps   float64
+	p50us, p99us   float64
+	fldRx          []int64
+	imbalance      float64 // max relative deviation from the per-core mean
+	tailDrops      int64
+	pcieMismatches int
+	pending        int // engine events left after quiesce
+}
+
+// swapEcho reverses a UDP frame in place — Ethernet addresses, IPv4
+// addresses, UDP ports — so the reply routes back through the switch to
+// the sender. Pure swaps keep the IPv4 header checksum valid.
+func swapEcho(f []byte) {
+	if len(f) < netpkt.EthHeaderLen+netpkt.IPv4HeaderLen+netpkt.UDPHeaderLen {
+		return
+	}
+	for i := 0; i < 6; i++ {
+		f[i], f[6+i] = f[6+i], f[i]
+	}
+	for i := 0; i < 4; i++ {
+		f[26+i], f[30+i] = f[30+i], f[26+i]
+	}
+	f[34], f[36] = f[36], f[34]
+	f[35], f[37] = f[37], f[35]
+}
+
+// installSwapEcho installs a cluster-aware echo AFU: unlike the verbatim
+// echo (whose replies would hairpin into the switch's source filter), it
+// swaps the headers so each reply is addressed to its client.
+func installSwapEcho(f *flexdriver.FLD) {
+	f.SetHandler(flexdriver.HandlerFunc(func(data []byte, md flexdriver.Metadata) {
+		out := append([]byte(nil), data...)
+		swapEcho(out)
+		f.Send(0, out, md) //nolint:errcheck // credit-stall drops are open-loop loss
+	}))
+}
+
+// clusterFrame builds a UDP frame between two concrete NICs.
+func clusterFrame(src, dst *flexdriver.NIC, sport, dport uint16, size int) []byte {
+	n := size - netpkt.EthHeaderLen - netpkt.IPv4HeaderLen - netpkt.UDPHeaderLen
+	payload := make([]byte, n)
+	udp := netpkt.UDP{SrcPort: sport, DstPort: dport, Length: uint16(netpkt.UDPHeaderLen + n)}
+	l4 := append(udp.Marshal(nil), payload...)
+	ip := netpkt.IPv4{TotalLen: uint16(netpkt.IPv4HeaderLen + len(l4)), Proto: netpkt.ProtoUDP,
+		Src: src.IP, Dst: dst.IP}
+	l3 := append(ip.Marshal(nil), l4...)
+	eth := netpkt.Eth{Dst: dst.MAC, Src: src.MAC, EtherType: netpkt.EtherTypeIPv4}
+	return append(eth.Marshal(nil), l3...)
+}
+
+// balancedFlows picks source ports whose RSS hash spreads the client's
+// flows exactly evenly over the server's cores — modeling a generator
+// with enough flow entropy for RSS to balance (§9).
+func balancedFlows(cli *flexdriver.Host, srv *flexdriver.Innova, flows, cores, size int) [][]byte {
+	per := (flows + cores - 1) / cores
+	count := make([]int, cores)
+	var out [][]byte
+	for sport := uint16(4000); len(out) < per*cores && sport < 60000; sport++ {
+		f := clusterFrame(cli.NIC, srv.NIC, sport, 7777, size)
+		if b := int(netpkt.RSSHash(f)) % cores; count[b] < per {
+			count[b]++
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// pcieMismatches is the quiet form of reconcilePCIe: it compares every
+// port's telemetry byte counters against the fabric's independent
+// accounting and returns only the mismatch count (the cluster sweep has
+// too many nodes for per-port rows).
+func pcieMismatches(snap flexdriver.Snapshot, node string, fab *pcie.Fabric) int {
+	m := 0
+	for _, p := range fab.Ports() {
+		dev := p.Device().PCIeName()
+		if snap.Get(node+"/pcie/"+dev+"/up/bytes") != p.UpBytes ||
+			snap.Get(node+"/pcie/"+dev+"/down/bytes") != p.DownBytes {
+			m++
+		}
+	}
+	return m
+}
+
+// runClusterPoint runs one sweep point: n clients, each an open-loop
+// Poisson source over many flows, against the multi-FLD server behind
+// the ToR switch.
+func runClusterPoint(n int, p ClusterParams) clusterPoint {
+	reg := flexdriver.NewRegistry()
+	cl := flexdriver.NewCluster(
+		flexdriver.WithDriver(genDriverParams()),
+		flexdriver.WithTelemetry(reg),
+	).SwitchQueueFrames(p.QueueFrames)
+	eng := cl.Eng
+
+	// Server: one Innova, FLDCores cores behind an RSS TIR, each running
+	// the header-swapping echo.
+	srv := cl.AddInnova("server")
+	rts := []*flexdriver.Runtime{srv.RT}
+	for i := 1; i < p.FLDCores; i++ {
+		_, rt := srv.AddFLD(srv.FLD.Config())
+		rts = append(rts, rt)
+	}
+	var rqs []*nic.RQ
+	for _, rt := range rts {
+		rt.CreateEthTxQueue(0, nil)
+		ecp := flexdriver.NewEControlPlane(rt)
+		ecp.InstallDefaultEgressToWire()
+		rt.Start()
+		installSwapEcho(rt.FLD())
+		rqs = append(rqs, rt.RQ())
+	}
+	srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+		Action: flexdriver.Action{ToTIR: &nic.TIR{RQs: rqs}}})
+
+	// Clients: RSS-balanced flow sets, per-client sequence stamping for
+	// RTT, steering on own IP (flooded frames for other nodes miss).
+	const seqOff = 42 // Eth(14) + IPv4(20) + UDP(8)
+	lat := &stats.Sample{}
+	measuring := false
+	var rxBytes int64
+	type client struct {
+		port   *swdriver.EthPort
+		frames [][]byte
+		sent   int64
+		sendAt []flexdriver.Time
+	}
+	clients := make([]*client, 0, n)
+	for ci := 0; ci < n; ci++ {
+		h := cl.AddHost(fmt.Sprintf("client%d", ci))
+		port := h.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
+		ip := h.NIC.IP
+		h.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+			Match:  flexdriver.Match{DstIP: &ip},
+			Action: flexdriver.Action{ToRQ: port.RQ()}})
+		c := &client{port: port, frames: balancedFlows(h, srv, p.FlowsPerClient, p.FLDCores, p.FrameSize)}
+		port.OnReceive = func(fr []byte, _ swdriver.RxMeta) {
+			if len(fr) < seqOff+8 || !measuring {
+				return
+			}
+			var seq int64
+			for i := 0; i < 8; i++ {
+				seq = seq<<8 | int64(fr[seqOff+i])
+			}
+			if seq < int64(len(c.sendAt)) {
+				lat.Add((eng.Now() - c.sendAt[seq]).Seconds() * 1e6)
+			}
+			rxBytes += int64(len(fr))
+		}
+		clients = append(clients, c)
+	}
+
+	// Open-loop load: each client draws i.i.d. exponential gaps (Poisson
+	// arrivals) and round-robins its flow set, sending until the window
+	// closes.
+	stopSending := p.Warmup + p.Window
+	for ci, c := range clients {
+		rng := sim.NewRand(p.Seed*1000 + int64(ci))
+		mean := flexdriver.Duration(float64(p.FrameSize*8) /
+			(p.PerClientGbps * 1e9) * float64(flexdriver.Second))
+		c := c
+		var tick func()
+		tick = func() {
+			if eng.Now() >= stopSending {
+				return
+			}
+			f := append([]byte(nil), c.frames[int(c.sent)%len(c.frames)]...)
+			seq := c.sent
+			for i := 7; i >= 0; i-- {
+				f[seqOff+i] = byte(seq)
+				seq >>= 8
+			}
+			c.sendAt = append(c.sendAt, eng.Now())
+			c.sent++
+			c.port.Send(f)
+			eng.After(rng.Exp(mean), tick)
+		}
+		eng.After(rng.Exp(mean), tick)
+	}
+
+	eng.RunUntil(p.Warmup)
+	measuring = true
+	eng.RunUntil(stopSending)
+	measuring = false
+	eng.RunUntil(stopSending + p.Drain)
+	eng.Run()
+
+	pt := clusterPoint{
+		clients:      n,
+		offeredGbps:  float64(n) * p.PerClientGbps,
+		achievedGbps: float64(rxBytes) * 8 / p.Window.Seconds() / 1e9,
+		p50us:        lat.Median(),
+		p99us:        lat.Percentile(99),
+		pending:      eng.Pending(),
+	}
+	var total int64
+	for _, rt := range rts {
+		rx := rt.FLD().Stats.RxPackets
+		pt.fldRx = append(pt.fldRx, rx)
+		total += rx
+	}
+	mean := float64(total) / float64(len(rts))
+	for _, rx := range pt.fldRx {
+		if dev := abs(float64(rx)-mean) / mean; dev > pt.imbalance {
+			pt.imbalance = dev
+		}
+	}
+	for _, port := range cl.Switch().Ports() {
+		pt.tailDrops += port.Counters.TailDrops
+	}
+	snap := reg.Snapshot()
+	pt.pcieMismatches = pcieMismatches(snap, "server", srv.Fab)
+	for ci, h := range cl.Hosts {
+		pt.pcieMismatches += pcieMismatches(snap, fmt.Sprintf("client%d", ci), h.Fab)
+	}
+	return pt
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Cluster sweeps N clients against one multi-FLD server behind a ToR
+// switch (the §9 scaling topology) and checks:
+//
+//   - aggregate goodput tracks the offered load while it fits the
+//     server's 25 GbE port, and saturates at the Ethernet bound beyond;
+//   - RSS keeps per-FLD load imbalance under 20%;
+//   - the switch's bounded queues tail-drop only under overload;
+//   - p99 latency inflates at saturation;
+//   - PCIe telemetry reconciles byte-exactly on every node;
+//   - the engine quiesces at every point.
+func Cluster(p ClusterParams) *Result {
+	r := &Result{ID: "cluster",
+		Title: fmt.Sprintf("Cluster scale-out: N clients vs %d FLD cores behind RSS (§9)", p.FLDCores)}
+	r.Columns = []string{"clients", "offered Gb/s", "achieved Gb/s", "p50 us", "p99 us", "per-FLD rx / drops"}
+
+	bound := perfmodel.EthernetGoodput(25, p.FrameSize)
+	points := make([]clusterPoint, 0, len(p.Clients))
+	for _, n := range p.Clients {
+		pt := runClusterPoint(n, p)
+		points = append(points, pt)
+		r.AddRow(d0(pt.clients), f1(pt.offeredGbps), f2(pt.achievedGbps),
+			f1(pt.p50us), f1(pt.p99us),
+			fmt.Sprintf("%v / %d", pt.fldRx, pt.tailDrops))
+	}
+
+	var mismatches, pending int
+	maxImb := 0.0
+	underOK, monotone := true, true
+	var drops0, dropsOver int64
+	anyOver := false
+	prev := 0.0
+	for i, pt := range points {
+		mismatches += pt.pcieMismatches
+		pending += pt.pending
+		if pt.imbalance > maxImb {
+			maxImb = pt.imbalance
+		}
+		if pt.offeredGbps <= 0.9*bound {
+			if pt.achievedGbps < 0.9*pt.offeredGbps {
+				underOK = false
+			}
+			drops0 += pt.tailDrops
+		}
+		if pt.offeredGbps >= 1.2*bound {
+			anyOver = true
+			dropsOver += pt.tailDrops
+		}
+		if i > 0 && pt.achievedGbps < 0.98*prev {
+			monotone = false
+		}
+		prev = pt.achievedGbps
+	}
+	last := points[len(points)-1]
+
+	r.Check("goodput tracks offered load below the wire bound", 1, b2f(underOK), "",
+		underOK, ">= 90% of offered while it fits 25 GbE")
+	r.Check("goodput scales monotonically with clients", 1, b2f(monotone), "", monotone, "")
+	if anyOver {
+		satOK := within(last.achievedGbps, bound, 0.15) && last.achievedGbps <= 1.02*bound
+		r.Check("overload saturates at the 25 GbE bound", bound, last.achievedGbps, "Gbit/s",
+			satOK, "switch fan-in caps the server port")
+		r.Check("switch tail-drops only under overload", 0, float64(drops0), "frames",
+			drops0 == 0 && dropsOver > 0,
+			fmt.Sprintf("%d drops at the overloaded points", dropsOver))
+		p99OK := last.p99us > points[0].p99us
+		r.Check("p99 latency inflates at saturation", points[0].p99us, last.p99us, "us",
+			p99OK, "queueing delay at the congested port")
+	}
+	r.Check("per-FLD imbalance under RSS", 0.20, maxImb, "rel",
+		maxImb < 0.20, "max relative deviation from the per-core mean")
+	r.Check("PCIe byte counters reconcile on every node", 0, float64(mismatches),
+		"mismatches", mismatches == 0, "telemetry vs Port.{Up,Down}Bytes, all nodes")
+	r.Check("sim engine quiesced at every point", 0, float64(pending), "events",
+		pending == 0, "")
+	return r
+}

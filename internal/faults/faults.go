@@ -90,7 +90,8 @@ type Plan struct {
 
 	rng     *sim.Rand
 	eng     *sim.Engine
-	wireSeq [2]int64 // frames observed per direction (WireDropNth ordinals)
+	wireSeq [2]int64 // first link's frames per direction (WireDropNth ordinals)
+	wired   bool     // whether a link already claimed wireSeq
 
 	tlm *planTelemetry
 }
@@ -242,18 +243,33 @@ func (p *Plan) dirMatch(dir int) bool {
 // AttachWire installs the wire fault hooks (loss, duplication,
 // delay-induced reordering, deterministic Nth-frame drops). No-op when
 // no wire class is enabled.
-func (p *Plan) AttachWire(w *nic.Wire) {
+func (p *Plan) AttachWire(w *nic.Wire) { p.AttachLink(&w.Link) }
+
+// AttachLink installs the wire fault hooks on any Ethernet link — a
+// point-to-point cable or one switch port's segment. WireDropNth
+// ordinals count per link, per direction, so attaching the plan to
+// every link of a cluster drops the Nth frame of each, independently.
+// No-op when no wire class is enabled.
+func (p *Plan) AttachLink(l *nic.Link) {
 	c := &p.Cfg
 	if c.WireLoss == 0 && c.WireDup == 0 && c.WireDelay == 0 && len(c.WireDropNth) == 0 {
 		return
 	}
-	w.Loss = func(dir int, _ []byte) bool {
+	seq := &p.wireSeq
+	if p.wired {
+		// Second and later links get their own ordinal counters; the
+		// first keeps the plan-level pair so single-wire testbeds keep
+		// their exact historical fault sequence.
+		seq = new([2]int64)
+	}
+	p.wired = true
+	l.Loss = func(dir int, _ []byte) bool {
 		if !p.dirMatch(dir) {
 			return false
 		}
-		p.wireSeq[dir]++
+		seq[dir]++
 		for _, k := range c.WireDropNth {
-			if p.wireSeq[dir] == k {
+			if seq[dir] == k {
 				p.note(&p.Injected.WireDropped, p.tlm.wireDropped())
 				return true
 			}
@@ -264,7 +280,7 @@ func (p *Plan) AttachWire(w *nic.Wire) {
 		}
 		return false
 	}
-	w.Dup = func(dir int, _ []byte) bool {
+	l.Dup = func(dir int, _ []byte) bool {
 		if !p.dirMatch(dir) {
 			return false
 		}
@@ -274,7 +290,7 @@ func (p *Plan) AttachWire(w *nic.Wire) {
 		}
 		return false
 	}
-	w.Delay = func(dir int, _ []byte) sim.Duration {
+	l.Delay = func(dir int, _ []byte) sim.Duration {
 		if !p.dirMatch(dir) {
 			return 0
 		}

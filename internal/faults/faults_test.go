@@ -108,6 +108,34 @@ func TestDeterministicDropOrdinals(t *testing.T) {
 	}
 }
 
+// TestAttachLinkPerLinkOrdinals: when one plan serves several links —
+// the switched-cluster case — WireDropNth counts per link, so every
+// cable drops its own Nth frame rather than sharing one global ordinal
+// stream. The first attached link keeps the plan-level counters for
+// compatibility with single-wire fault sequences.
+func TestAttachLinkPerLinkOrdinals(t *testing.T) {
+	p := NewPlan(1, Config{WireDropNth: []int64{2}})
+	var l1, l2 nic.Link
+	p.AttachLink(&l1)
+	p.AttachLink(&l2)
+	frame := make([]byte, 64)
+
+	for name, l := range map[string]*nic.Link{"first": &l1, "second": &l2} {
+		var dropped []int
+		for i := 1; i <= 4; i++ {
+			if l.Loss(0, frame) {
+				dropped = append(dropped, i)
+			}
+		}
+		if len(dropped) != 1 || dropped[0] != 2 {
+			t.Errorf("%s link dropped ordinals %v, want [2]", name, dropped)
+		}
+	}
+	if p.Injected.WireDropped != 2 {
+		t.Fatalf("WireDropped = %d, want 2 (one per link)", p.Injected.WireDropped)
+	}
+}
+
 func TestParseSpec(t *testing.T) {
 	// Preset lookup.
 	got, err := ParseSpec("heavy")

@@ -106,6 +106,8 @@ type FLD struct {
 
 	Stats Stats
 
+	pcieName string // device name override for multi-core FPGAs
+
 	tlm *fldTelemetry // nil unless SetTelemetry was called
 	flt *FaultHooks   // nil unless SetFaults was called
 }
@@ -410,8 +412,18 @@ func (f *FLD) generateWQE(q int, idx uint32) []byte {
 
 // --- pcie.Device ----------------------------------------------------------
 
-// PCIeName implements pcie.Device.
-func (f *FLD) PCIeName() string { return "fld" }
+// PCIeName implements pcie.Device. Multi-core FPGAs rename the extra
+// cores (SetPCIeName) so each core's PCIe link keeps its own telemetry.
+func (f *FLD) PCIeName() string {
+	if f.pcieName == "" {
+		return "fld"
+	}
+	return f.pcieName
+}
+
+// SetPCIeName overrides the device name; call before AttachPCIe so the
+// port's telemetry scope picks it up.
+func (f *FLD) SetPCIeName(name string) { f.pcieName = name }
 
 // BARSize implements pcie.Device.
 func (f *FLD) BARSize() uint64 { return f.barSize }

@@ -444,18 +444,18 @@ func (n *NIC) egress(vp *VPort, frame []byte, flowTag uint32, onSent func()) {
 // TxPackets/TxBytes themselves (egress and the QP transport both reach
 // here).
 func (n *NIC) transmitWire(frame []byte, onSent func()) {
-	if n.wire == nil {
+	if n.phy == nil {
 		n.drop(DropNoWire)
 		if onSent != nil {
 			onSent()
 		}
 		return
 	}
-	n.wire.send(n.wireEnd, frame, onSent)
+	n.phy.Send(frame, onSent)
 }
 
-// handleWireIngress accepts a frame from the physical port.
-func (n *NIC) handleWireIngress(frame []byte) {
+// Ingress accepts a frame from the physical port (cable or switch).
+func (n *NIC) Ingress(frame []byte) {
 	n.rxEngine.Acquire(n.Prm.RxPerPkt, func() {
 		n.eng.After(n.Prm.PipelineDelay, func() {
 			// RoCE transport packets bypass the match-action pipeline:

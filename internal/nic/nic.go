@@ -95,8 +95,7 @@ type NIC struct {
 	fabric *pcie.Fabric
 	port   *pcie.Port
 
-	wire    *Wire
-	wireEnd int
+	phy Port // physical attachment: cable end or switch port
 
 	esw *ESwitch
 

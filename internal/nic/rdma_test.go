@@ -14,6 +14,7 @@ import (
 type rdmaHarness struct {
 	eng      *sim.Engine
 	a, b     *node
+	wire     *Wire
 	qpA, qpB *QP
 	sqA      *driverSQ
 	// msgs accumulates fully received messages on B, in order.
@@ -27,7 +28,7 @@ func newRDMAHarness(t *testing.T, mtu int) *rdmaHarness {
 	eng := sim.NewEngine()
 	a := newNode(t, eng)
 	b := newNode(t, eng)
-	ConnectWire(a.nic, b.nic, 25*sim.Gbps, 500*sim.Nanosecond)
+	w := ConnectWire(a.nic, b.nic, 25*sim.Gbps, 500*sim.Nanosecond)
 
 	// --- sender side ---
 	sendCQEs := 0
@@ -64,7 +65,7 @@ func newRDMAHarness(t *testing.T, mtu int) *rdmaHarness {
 	qpB := b.nic.CreateQP(QPConfig{RQ: srq, MTU: mtu})
 	ConnectQPs(qpA, qpB)
 
-	return &rdmaHarness{eng: eng, a: a, b: b, qpA: qpA, qpB: qpB,
+	return &rdmaHarness{eng: eng, a: a, b: b, wire: w, qpA: qpA, qpB: qpB,
 		sqA: &driverSQ{nd: a, sq: sqA, ring: sqRing}, msgs: &msgs, sendCQEs: &sendCQEs}
 }
 
@@ -142,7 +143,7 @@ func TestRDMARecoversFromLoss(t *testing.T) {
 	// Drop the 3rd data packet once.
 	dropped := false
 	count := 0
-	h.a.nic.wire.Loss = func(dir int, frame []byte) bool {
+	h.wire.Loss = func(dir int, frame []byte) bool {
 		if dir != 0 {
 			return false
 		}
@@ -175,7 +176,7 @@ func TestRDMARecoversFromAckLoss(t *testing.T) {
 	// Drop the first ACK (wire direction B->A), forcing timeout retransmit
 	// and duplicate suppression at the receiver.
 	droppedAcks := 0
-	h.b.nic.wire.Loss = func(dir int, frame []byte) bool {
+	h.wire.Loss = func(dir int, frame []byte) bool {
 		if dir != 1 {
 			return false
 		}
@@ -206,7 +207,7 @@ func TestRDMAExactlyOnceUnderRandomLoss(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 7, 11} {
 		h := newRDMAHarness(t, 512)
 		r := rand.New(rand.NewSource(seed))
-		h.a.nic.wire.Loss = func(int, []byte) bool { return r.Intn(100) < 7 }
+		h.wire.Loss = func(int, []byte) bool { return r.Intn(100) < 7 }
 		const n = 30
 		var want [][]byte
 		for i := 0; i < n; i++ {

@@ -5,32 +5,29 @@ import "flexdriver/internal/sim"
 // Wire is a full-duplex Ethernet cable between two NIC ports. Each
 // direction serializes frames at the line rate, charging the physical
 // per-frame overhead (preamble, FCS, inter-frame gap) the paper's rate
-// model uses.
+// model uses. The embedded Link carries the fault hooks and delivery
+// counters shared with switch ports.
 type Wire struct {
+	Link
+
 	eng     *sim.Engine
 	rate    sim.BitRate
 	latency sim.Duration
 	ends    [2]*NIC
 	dirs    [2]*sim.Resource
-
-	// Loss, when set, is consulted per frame; returning true drops it.
-	// dir is the sending end (0 or 1). Used to exercise the RDMA
-	// retransmission path and by the fault plane.
-	Loss func(dir int, frame []byte) bool
-	// Dup, when set, delivers the frame twice when it returns true —
-	// modeling a duplicating middlebox or a spurious link-level retry.
-	Dup func(dir int, frame []byte) bool
-	// Delay, when set, adds per-frame extra latency; frames given a
-	// larger delay than their successors arrive reordered.
-	Delay func(dir int, frame []byte) sim.Duration
-
-	// Sent counts frames offered per direction; Delivered counts frames
-	// that arrived.
-	Sent, Delivered [2]int64
 }
 
 // EthWireOverhead is the per-frame physical-layer overhead in bytes.
 const EthWireOverhead = 20
+
+// wireEnd adapts one cable end to the Port interface a NIC transmits
+// into.
+type wireEnd struct {
+	w   *Wire
+	end int
+}
+
+func (we *wireEnd) Send(frame []byte, onSent func()) { we.w.send(we.end, frame, onSent) }
 
 // ConnectWire cables two NICs back to back.
 func ConnectWire(a, b *NIC, rate sim.BitRate, latency sim.Duration) *Wire {
@@ -42,8 +39,8 @@ func ConnectWire(a, b *NIC, rate sim.BitRate, latency sim.Duration) *Wire {
 	}
 	w.dirs[0] = sim.NewResource(a.eng)
 	w.dirs[1] = sim.NewResource(a.eng)
-	a.wire, a.wireEnd = w, 0
-	b.wire, b.wireEnd = w, 1
+	a.AttachPort(&wireEnd{w, 0})
+	b.AttachPort(&wireEnd{w, 1})
 	return w
 }
 
@@ -51,7 +48,7 @@ func ConnectWire(a, b *NIC, rate sim.BitRate, latency sim.Duration) *Wire {
 func (w *Wire) Rate() sim.BitRate { return w.rate }
 
 // send serializes a frame from the given end; onSent fires when the frame
-// has fully left the sender, done(frame) at the receiver after latency.
+// has fully left the sender, delivery at the far NIC after latency.
 func (w *Wire) send(from int, frame []byte, onSent func()) {
 	w.Sent[from]++
 	d := w.rate.Serialize(len(frame) + EthWireOverhead)
@@ -60,6 +57,7 @@ func (w *Wire) send(from int, frame []byte, onSent func()) {
 			onSent()
 		}
 		if w.Loss != nil && w.Loss(from, frame) {
+			w.Lost[from]++
 			w.ends[from].drop(DropWireInjectedLoss)
 			return
 		}
@@ -72,9 +70,11 @@ func (w *Wire) send(from int, frame []byte, onSent func()) {
 			copies = 2
 		}
 		for i := 0; i < copies; i++ {
-			w.eng.After(lat, func() {
+			// A duplicate trails the original by one serialization time,
+			// as a back-to-back link-level retransmission would.
+			w.eng.After(lat+sim.Duration(i)*d, func() {
 				w.Delivered[from]++
-				w.ends[1-from].handleWireIngress(frame)
+				w.ends[1-from].Ingress(frame)
 			})
 		}
 	})

@@ -175,7 +175,13 @@ func (h *Host) Telemetry() *Registry { return h.tel }
 
 // NewHost builds a host on the engine.
 func NewHost(eng *Engine, name string, opts ...Option) *Host {
-	o := buildOptions(opts)
+	return newHost(eng, name, buildOptions(opts))
+}
+
+// newHost builds a host from an already-folded carrier; the Cluster
+// builder and NewRemotePair reach it directly so options fold exactly
+// once per topology.
+func newHost(eng *Engine, name string, o Options) *Host {
 	fab := pcie.NewFabric(eng)
 	mem := hostmem.New(name+"-dram", o.HostMemBytes)
 	fab.Attach(mem, o.Link)
@@ -203,6 +209,7 @@ type Innova struct {
 	name    string
 	tel     *telemetry.Registry
 	faults  *faults.Plan
+	link    LinkConfig // the node's configured PCIe link, reused by AddFLD
 	numFLDs int
 }
 
@@ -212,7 +219,11 @@ func (inn *Innova) Telemetry() *Registry { return inn.tel }
 
 // NewInnova builds an Innova node on the engine.
 func NewInnova(eng *Engine, name string, opts ...Option) *Innova {
-	o := buildOptions(opts)
+	return newInnova(eng, name, buildOptions(opts))
+}
+
+// newInnova builds an Innova node from an already-folded carrier.
+func newInnova(eng *Engine, name string, o Options) *Innova {
 	fab := pcie.NewFabric(eng)
 	mem := hostmem.New(name+"-dram", o.HostMemBytes)
 	fab.Attach(mem, o.Link)
@@ -225,7 +236,7 @@ func NewInnova(eng *Engine, name string, opts ...Option) *Innova {
 	wireTelemetry(o.Telemetry, eng, name, fab, n, f, drv)
 	wireFaults(o, eng, fab, n, f)
 	return &Innova{Eng: eng, Fab: fab, Mem: mem, NIC: n, FLD: f, RT: rt, Drv: drv,
-		name: name, tel: o.Telemetry, faults: o.Faults, numFLDs: 1}
+		name: name, tel: o.Telemetry, faults: o.Faults, link: o.Link, numFLDs: 1}
 }
 
 // AddFLD instantiates an additional FlexDriver core on the node's FPGA
@@ -234,7 +245,11 @@ func NewInnova(eng *Engine, name string, opts ...Option) *Innova {
 // offloads to balance the load on these cores".
 func (inn *Innova) AddFLD(cfg FLDConfig) (*FLD, *Runtime) {
 	f := fld.New(inn.Eng, cfg)
-	f.AttachPCIe(inn.Fab, pcie.Gen3x8())
+	// A distinct device name keeps the extra core's PCIe-link telemetry
+	// separate (matching its fld<N> scope) so per-port byte accounting
+	// still reconciles.
+	f.SetPCIeName(fmt.Sprintf("fld%d", inn.numFLDs))
+	f.AttachPCIe(inn.Fab, inn.link)
 	rt := fldsw.NewRuntime(inn.Eng, inn.Fab, inn.Mem, inn.NIC, f)
 	if inn.tel != nil {
 		f.SetTelemetry(inn.tel.Scope(inn.name).Scope(fmt.Sprintf("fld%d", inn.numFLDs)))
@@ -260,18 +275,20 @@ type RemotePair struct {
 	Wire   *Wire
 }
 
-// NewRemotePair builds the two-node remote testbed. Options apply to
-// both nodes; with WithTelemetry both register under their node names
-// ("client", "server") in the shared registry.
+// NewRemotePair builds the two-node remote testbed — the trivial
+// Cluster: options fold once, both nodes build from the shared carrier,
+// and the NICs are cabled back to back (no switch in the path). With
+// WithTelemetry both register under their node names ("client",
+// "server") in the shared registry.
 func NewRemotePair(opts ...Option) *RemotePair {
-	eng := sim.NewEngine()
-	client := NewHost(eng, "client", opts...)
-	server := NewInnova(eng, "server", opts...)
+	c := NewCluster(opts...)
+	client := c.buildHost("client")
+	server := c.buildInnova("server")
 	w := nic.ConnectWire(client.NIC, server.NIC, 25*Gbps, 500*Nanosecond)
-	if o := buildOptions(opts); o.Faults != nil {
-		o.Faults.AttachWire(w)
+	if c.o.Faults != nil {
+		c.o.Faults.AttachWire(w)
 	}
-	return &RemotePair{Eng: eng, Client: client, Server: server, Wire: w}
+	return &RemotePair{Eng: c.Eng, Client: client, Server: server, Wire: w}
 }
 
 // NewLocalInnova builds the paper's local testbed: one Innova node whose
