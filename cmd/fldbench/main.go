@@ -1,0 +1,207 @@
+// Command fldbench runs the simulator's steady-state performance
+// benchmarks and records the results in BENCH_PR4.json, so CI can catch
+// event-throughput or allocation regressions without parsing `go test
+// -bench` output.
+//
+// Modes:
+//
+//	fldbench            run the suite and rewrite the baseline file
+//	fldbench -check     run the suite and compare against the baseline,
+//	                    exiting nonzero on >25% throughput regression or
+//	                    an allocs/op increase
+//
+// The suite covers the engine's event loop (typed 4-ary heap), the
+// reusable-timer path, a BufPool round trip, and the reduced cluster
+// sweep that dominates `go test -bench` wall clock. DESIGN.md's
+// "Simulator performance" section explains how to read the numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"flexdriver"
+	"flexdriver/internal/exps"
+	"flexdriver/internal/sim"
+)
+
+// Result is one benchmark's measurement. EventsPerSec is derived from
+// NsPerOp (one op = one event for the micro benchmarks, one full sweep
+// for cluster_scaling), so the regression check has a single rate metric
+// to compare.
+type Result struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// File is the BENCH_PR4.json schema.
+type File struct {
+	GeneratedBy string            `json:"generated_by"`
+	GoVersion   string            `json:"go_version"`
+	Benchmarks  map[string]Result `json:"benchmarks"`
+}
+
+// tick is the preallocated self-rescheduling event used by the engine
+// benchmark — the same shape the NIC/wire schedulers use after PR 4.
+type tick struct {
+	e        *sim.Engine
+	n, limit int
+}
+
+func tickRun(a any) {
+	s := a.(*tick)
+	s.n++
+	if s.n < s.limit {
+		s.e.AfterArg(sim.Nanosecond, tickRun, s)
+	}
+}
+
+type timerTick struct {
+	t        *sim.Timer
+	n, limit int
+}
+
+func timerTickRun(a any) {
+	s := a.(*timerTick)
+	s.n++
+	if s.n < s.limit {
+		s.t.Reset(sim.Nanosecond)
+	}
+}
+
+// benches lists the suite in output order. Each entry's op definition is
+// documented in DESIGN.md.
+var benches = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"engine_events", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		s := &tick{e: e, limit: b.N}
+		e.AfterArg(0, tickRun, s)
+		e.Run()
+	}},
+	{"timer_reset", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		s := &timerTick{limit: b.N}
+		s.t = e.NewTimer(timerTickRun, s)
+		s.t.Reset(sim.Nanosecond)
+		e.Run()
+	}},
+	{"bufpool_roundtrip", func(b *testing.B) {
+		b.ReportAllocs()
+		p := sim.NewBufPool()
+		p.Put(p.Get(512))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Put(p.Get(512))
+		}
+	}},
+	{"cluster_scaling", func(b *testing.B) {
+		b.ReportAllocs()
+		p := exps.DefaultClusterParams(400 * flexdriver.Microsecond)
+		p.Clients = []int{1, 4}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			exps.Cluster(p)
+		}
+	}},
+}
+
+func run() File {
+	out := File{
+		GeneratedBy: "cmd/fldbench",
+		GoVersion:   runtime.Version(),
+		Benchmarks:  make(map[string]Result, len(benches)),
+	}
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := Result{
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if ns > 0 {
+			res.EventsPerSec = 1e9 / ns
+		}
+		out.Benchmarks[bm.name] = res
+		fmt.Printf("%-18s %12.1f ns/op %10d allocs/op %14.0f events/sec\n",
+			bm.name, res.NsPerOp, res.AllocsPerOp, res.EventsPerSec)
+	}
+	return out
+}
+
+// check compares got against the committed baseline. Throughput may
+// regress up to 25% before failing (machine-to-machine noise); allocs/op
+// is exact for the zero-alloc micro benchmarks, with 2% slack for the
+// macro sweep whose residual counts can wobble with map iteration order.
+func check(baseline, got File) error {
+	var firstErr error
+	for name, base := range baseline.Benchmarks {
+		now, ok := got.Benchmarks[name]
+		if !ok {
+			firstErr = fmt.Errorf("benchmark %q missing from this run", name)
+			fmt.Fprintln(os.Stderr, "FAIL:", firstErr)
+			continue
+		}
+		if base.EventsPerSec > 0 && now.EventsPerSec < 0.75*base.EventsPerSec {
+			firstErr = fmt.Errorf("%s: events/sec regressed >25%%: %.0f -> %.0f",
+				name, base.EventsPerSec, now.EventsPerSec)
+			fmt.Fprintln(os.Stderr, "FAIL:", firstErr)
+		}
+		allocLimit := base.AllocsPerOp
+		if allocLimit > 1000 {
+			allocLimit += allocLimit / 50
+		}
+		if now.AllocsPerOp > allocLimit {
+			firstErr = fmt.Errorf("%s: allocs/op increased: %d -> %d (limit %d)",
+				name, base.AllocsPerOp, now.AllocsPerOp, allocLimit)
+			fmt.Fprintln(os.Stderr, "FAIL:", firstErr)
+		}
+	}
+	return firstErr
+}
+
+func main() {
+	checkMode := flag.Bool("check", false, "compare against the baseline file instead of rewriting it")
+	path := flag.String("baseline", "BENCH_PR4.json", "baseline file to write or check against")
+	flag.Parse()
+
+	got := run()
+
+	if *checkMode {
+		raw, err := os.ReadFile(*path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fldbench: reading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var baseline File
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "fldbench: parsing baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := check(baseline, got); err != nil {
+			os.Exit(1)
+		}
+		fmt.Println("fldbench: within baseline")
+		return
+	}
+
+	raw, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fldbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*path, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "fldbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("fldbench: wrote", *path)
+}

@@ -43,9 +43,30 @@ type Reassembler struct {
 	// oldest entry (hardware has a fixed-size table).
 	MaxEntries int
 	order      []*datagram
+	bufs       *sim.BufPool // optional; recycles payload scratch buffers
 
 	// Stats.
 	Completed, Expired, Evicted, Malformed int64
+}
+
+// SetBufPool makes the reassembler draw its per-datagram payload scratch
+// buffers from p instead of the garbage collector, returning each buffer
+// when its datagram completes, expires, or is evicted. The scratch is
+// strictly internal — emitted frames are always freshly built — so the
+// pool's single-owner discipline holds by construction.
+func (r *Reassembler) SetBufPool(p *sim.BufPool) { r.bufs = p }
+
+func (r *Reassembler) getBuf(n int) []byte {
+	if r.bufs != nil {
+		return r.bufs.Get(n)
+	}
+	return make([]byte, n)
+}
+
+func (r *Reassembler) putBuf(b []byte) {
+	if r.bufs != nil && b != nil {
+		r.bufs.Put(b)
+	}
 }
 
 // NewReassembler returns a table with the given timeout and capacity.
@@ -88,8 +109,9 @@ func (r *Reassembler) Add(frame []byte, now sim.Time) ([]byte, bool) {
 	off := int(ip.FragOffset)
 	end := off + len(payload)
 	if end > len(dg.payload) {
-		grown := make([]byte, end)
+		grown := r.getBuf(end)
 		copy(grown, dg.payload)
+		r.putBuf(dg.payload)
 		dg.payload = grown
 	}
 	copy(dg.payload[off:], payload)
@@ -103,16 +125,18 @@ func (r *Reassembler) Add(frame []byte, now sim.Time) ([]byte, bool) {
 
 	if dg.totalLen >= 0 && len(dg.spans) == 1 &&
 		dg.spans[0].lo == 0 && dg.spans[0].hi >= dg.totalLen && dg.haveHead {
+		out := dg.rebuild()
 		r.remove(dg)
 		r.Completed++
-		return dg.rebuild(), true
+		return out, true
 	}
 	return nil, false
 }
 
-// insertSpan merges the new range into the sorted span list.
+// insertSpan merges the new range into the sorted span list, reusing the
+// list's backing array (normalize compacts in place).
 func (d *datagram) insertSpan(s span) {
-	d.spans = normalize(append(append([]span(nil), d.spans...), s))
+	d.spans = normalize(append(d.spans, s))
 }
 
 func normalize(in []span) []span {
@@ -147,6 +171,8 @@ func (d *datagram) rebuild() []byte {
 }
 
 func (r *Reassembler) remove(dg *datagram) {
+	r.putBuf(dg.payload)
+	dg.payload = nil
 	delete(r.table, dg.key)
 	for i, e := range r.order {
 		if e == dg {
@@ -188,9 +214,11 @@ type AFU struct {
 	Forwarded, Dropped int64
 }
 
-// NewAFU installs the defragmentation AFU.
+// NewAFU installs the defragmentation AFU. Its reassembly scratch buffers
+// come from the engine's shared BufPool.
 func NewAFU(f *fld.FLD, eng *sim.Engine, timeout sim.Duration, maxEntries int) *AFU {
 	a := &AFU{f: f, eng: eng, r: NewReassembler(timeout, maxEntries)}
+	a.r.SetBufPool(eng.Bufs())
 	f.SetHandler(a)
 	return a
 }

@@ -71,8 +71,39 @@ type Switch struct {
 	cfg   Config
 	ports []*Port
 	fdb   map[netpkt.MAC]*Port
+	freeX *portXfer // freelist of transit records, shared by all ports
 
 	tlm *swTelemetry
+}
+
+// portXfer is one frame's transit record through a port segment (either
+// direction). Records are recycled through the switch's freelist and
+// scheduled with the engine's arg-form callbacks, so the steady-state
+// forwarding path allocates nothing per frame.
+type portXfer struct {
+	p      *Port
+	frame  []byte
+	onSent func()
+	d      sim.Duration // serialization time (dup spacing)
+	next   *portXfer
+}
+
+func (s *Switch) getXfer(p *Port) *portXfer {
+	x := s.freeX
+	if x != nil {
+		s.freeX = x.next
+		x.next = nil
+	} else {
+		x = &portXfer{}
+	}
+	x.p = p
+	return x
+}
+
+func (s *Switch) putXfer(x *portXfer) {
+	x.p, x.frame, x.onSent = nil, nil, nil
+	x.next = s.freeX
+	s.freeX = x
 }
 
 // New builds a switch; zero Config fields take defaults.
@@ -207,37 +238,51 @@ func (p *Port) count(frames, bytes *int64, n int) {
 // the nic.Port implementation; onSent fires when the frame has fully
 // left the NIC.
 func (p *Port) Send(frame []byte, onSent func()) {
-	l := &p.link
-	l.Sent[0]++
-	d := p.sw.cfg.Rate.Serialize(len(frame) + nic.EthWireOverhead)
-	p.in.Acquire(d, func() {
-		if onSent != nil {
-			onSent()
+	p.link.Sent[0]++
+	x := p.sw.getXfer(p)
+	x.frame, x.onSent = frame, onSent
+	x.d = p.sw.cfg.Rate.Serialize(len(frame) + nic.EthWireOverhead)
+	p.in.AcquireArg(x.d, portInSent, x)
+}
+
+// portInSent runs when the frame has fully left the NIC (dir 0).
+func portInSent(a any) {
+	x := a.(*portXfer)
+	p, l, frame := x.p, &x.p.link, x.frame
+	if x.onSent != nil {
+		x.onSent()
+		x.onSent = nil
+	}
+	if l.Loss != nil && l.Loss(0, frame) {
+		l.Lost[0]++
+		if t := p.tlm; t != nil {
+			t.injected.Inc()
 		}
-		if l.Loss != nil && l.Loss(0, frame) {
-			l.Lost[0]++
-			if t := p.tlm; t != nil {
-				t.injected.Inc()
-			}
-			return
-		}
-		lat := p.sw.cfg.Latency
-		if l.Delay != nil {
-			lat += l.Delay(0, frame)
-		}
-		copies := 1
-		if l.Dup != nil && l.Dup(0, frame) {
-			copies = 2
-		}
-		for i := 0; i < copies; i++ {
-			// A duplicate trails the original by one serialization
-			// time, matching the Wire model.
-			p.sw.eng.After(lat+sim.Duration(i)*d, func() {
-				l.Delivered[0]++
-				p.sw.ingress(p, frame)
-			})
-		}
-	})
+		p.sw.putXfer(x)
+		return
+	}
+	lat := p.sw.cfg.Latency
+	if l.Delay != nil {
+		lat += l.Delay(0, frame)
+	}
+	dup := l.Dup != nil && l.Dup(0, frame)
+	p.sw.eng.AfterArg(lat, portInDeliver, x)
+	if dup {
+		// A duplicate trails the original by one serialization time,
+		// matching the Wire model.
+		x2 := p.sw.getXfer(p)
+		x2.frame = frame
+		p.sw.eng.AfterArg(lat+x.d, portInDeliver, x2)
+	}
+}
+
+// portInDeliver hands the received frame to the forwarding pipeline.
+func portInDeliver(a any) {
+	x := a.(*portXfer)
+	p, frame := x.p, x.frame
+	p.sw.putXfer(x)
+	p.link.Delivered[0]++
+	p.sw.ingress(p, frame)
 }
 
 // deliver queues a frame on the output port toward the NIC (dir 1),
@@ -254,39 +299,52 @@ func (p *Port) deliver(frame []byte) {
 	if t := p.tlm; t != nil {
 		t.depth.Set(int64(p.queued))
 	}
-	l := &p.link
-	l.Sent[1]++
-	d := p.sw.cfg.Rate.Serialize(len(frame) + nic.EthWireOverhead)
-	p.out.Acquire(d, func() {
-		p.queued--
+	p.link.Sent[1]++
+	x := p.sw.getXfer(p)
+	x.frame = frame
+	x.d = p.sw.cfg.Rate.Serialize(len(frame) + nic.EthWireOverhead)
+	p.out.AcquireArg(x.d, portOutSent, x)
+}
+
+// portOutSent runs when the frame has fully left the switch port (dir 1).
+func portOutSent(a any) {
+	x := a.(*portXfer)
+	p, l, frame := x.p, &x.p.link, x.frame
+	p.queued--
+	if t := p.tlm; t != nil {
+		t.depth.Set(int64(p.queued))
+	}
+	if l.Loss != nil && l.Loss(1, frame) {
+		l.Lost[1]++
 		if t := p.tlm; t != nil {
-			t.depth.Set(int64(p.queued))
+			t.injected.Inc()
 		}
-		if l.Loss != nil && l.Loss(1, frame) {
-			l.Lost[1]++
-			if t := p.tlm; t != nil {
-				t.injected.Inc()
-			}
-			return
-		}
-		lat := p.sw.cfg.Latency
-		if l.Delay != nil {
-			lat += l.Delay(1, frame)
-		}
-		copies := 1
-		if l.Dup != nil && l.Dup(1, frame) {
-			copies = 2
-		}
-		for i := 0; i < copies; i++ {
-			p.sw.eng.After(lat+sim.Duration(i)*d, func() {
-				l.Delivered[1]++
-				p.count(&p.Counters.TxFrames, &p.Counters.TxBytes, len(frame))
-				if t := p.tlm; t != nil {
-					t.txFrames.Inc()
-					t.txBytes.Add(int64(len(frame)))
-				}
-				p.ep.Ingress(frame)
-			})
-		}
-	})
+		p.sw.putXfer(x)
+		return
+	}
+	lat := p.sw.cfg.Latency
+	if l.Delay != nil {
+		lat += l.Delay(1, frame)
+	}
+	dup := l.Dup != nil && l.Dup(1, frame)
+	p.sw.eng.AfterArg(lat, portOutDeliver, x)
+	if dup {
+		x2 := p.sw.getXfer(p)
+		x2.frame = frame
+		p.sw.eng.AfterArg(lat+x.d, portOutDeliver, x2)
+	}
+}
+
+// portOutDeliver hands the frame to the endpoint NIC's ingress pipeline.
+func portOutDeliver(a any) {
+	x := a.(*portXfer)
+	p, frame := x.p, x.frame
+	p.sw.putXfer(x)
+	p.link.Delivered[1]++
+	p.count(&p.Counters.TxFrames, &p.Counters.TxBytes, len(frame))
+	if t := p.tlm; t != nil {
+		t.txFrames.Inc()
+		t.txBytes.Add(int64(len(frame)))
+	}
+	p.ep.Ingress(frame)
 }

@@ -1,6 +1,8 @@
 package exps
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"flexdriver"
@@ -64,7 +66,8 @@ type clusterPoint struct {
 	imbalance      float64 // max relative deviation from the per-core mean
 	tailDrops      int64
 	pcieMismatches int
-	pending        int // engine events left after quiesce
+	pending        int    // engine events left after quiesce
+	telemHash      string // SHA-256 of the final telemetry snapshot
 }
 
 // swapEcho reverses a UDP frame in place — Ethernet addresses, IPv4
@@ -175,7 +178,10 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 	// Clients: RSS-balanced flow sets, per-client sequence stamping for
 	// RTT, steering on own IP (flooded frames for other nodes miss).
 	const seqOff = 42 // Eth(14) + IPv4(20) + UDP(8)
-	lat := &stats.Sample{}
+	// Size hint: every measured-window packet can contribute one RTT
+	// observation, so preallocate generously to keep Add off the slice
+	// growth path at cluster scale.
+	lat := stats.NewSample(1 << 16)
 	measuring := false
 	var rxBytes int64
 	type client struct {
@@ -268,6 +274,8 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 		pt.tailDrops += port.Counters.TailDrops
 	}
 	snap := reg.Snapshot()
+	sum := sha256.Sum256([]byte(snap.String()))
+	pt.telemHash = hex.EncodeToString(sum[:])
 	pt.pcieMismatches = pcieMismatches(snap, "server", srv.Fab)
 	for ci, h := range cl.Hosts {
 		pt.pcieMismatches += pcieMismatches(snap, fmt.Sprintf("client%d", ci), h.Fab)

@@ -1,0 +1,14 @@
+package exps
+
+// ClusterTelemetryHash runs one fixed-seed cluster sweep point (n clients
+// against the multi-FLD server) and returns the SHA-256 of the final
+// telemetry snapshot dump. Because the engine is deterministic, the hash
+// is a compact fingerprint of the entire run: every counter, byte total
+// and histogram bucket on every node must match for two runs to agree.
+//
+// The determinism regression test pins this hash to a golden value so
+// event-queue or scheduling refactors that reorder same-time events are
+// caught immediately.
+func ClusterTelemetryHash(n int, p ClusterParams) string {
+	return runClusterPoint(n, p).telemHash
+}

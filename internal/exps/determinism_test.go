@@ -1,0 +1,36 @@
+package exps
+
+import (
+	"testing"
+
+	"flexdriver/internal/sim"
+)
+
+// goldenClusterHash is the SHA-256 of the full telemetry snapshot of a
+// fixed-seed 2-client cluster run, captured on the closure-based event
+// queue before the typed-heap/pooled-record rewrite. The rewrite must be
+// behavior-preserving down to the byte: same seeds, same event order,
+// same counters. If a change legitimately alters simulation behavior,
+// recapture the constant and say why in the commit message.
+const goldenClusterHash = "1394ae68c8da541a1b74211935e4ca0dd2021c61c5d2e13f0ac5e03d34650a52"
+
+func TestClusterTelemetryGolden(t *testing.T) {
+	p := DefaultClusterParams(100 * sim.Microsecond)
+	got := ClusterTelemetryHash(2, p)
+	if got != goldenClusterHash {
+		t.Fatalf("fixed-seed cluster telemetry diverged from golden snapshot:\n got  %s\n want %s",
+			got, goldenClusterHash)
+	}
+}
+
+// TestClusterTelemetryStable runs the same experiment twice in one process
+// and demands byte-identical telemetry: freelists, pools and the heap's
+// shrink policy may never leak state across runs into results.
+func TestClusterTelemetryStable(t *testing.T) {
+	p := DefaultClusterParams(100 * sim.Microsecond)
+	a := ClusterTelemetryHash(2, p)
+	b := ClusterTelemetryHash(2, p)
+	if a != b {
+		t.Fatalf("back-to-back fixed-seed runs diverged: %s vs %s", a, b)
+	}
+}

@@ -69,14 +69,31 @@ type SendWQE struct {
 // descriptors (inline up to 32 B), or a BlueFlame-style 128-byte double
 // block when the inline payload needs it (valid only for MMIO pushes).
 func (w SendWQE) Marshal() []byte {
-	size := SendWQESize
+	b := make([]byte, w.WireSize())
+	w.MarshalInto(b)
+	return b
+}
+
+// WireSize returns the encoded size: 64 bytes, or the 128-byte MMIO double
+// block when the inline payload needs it.
+func (w SendWQE) WireSize() int {
 	if len(w.Inline) > maxInlineB {
 		if len(w.Inline) > maxInlineMMIO {
 			panic(fmt.Sprintf("nic: inline payload %d exceeds %d bytes", len(w.Inline), maxInlineMMIO))
 		}
-		size = SendWQEMMIOSize
+		return SendWQEMMIOSize
 	}
-	b := make([]byte, size)
+	return SendWQESize
+}
+
+// MarshalInto encodes the WQE into b, which must be at least WireSize()
+// bytes; every byte of the descriptor is (re)written, so b may be a dirty
+// recycled buffer (e.g. from a sim.BufPool or a per-ring scratch array).
+func (w SendWQE) MarshalInto(b []byte) {
+	b = b[:w.WireSize()]
+	for i := range b {
+		b[i] = 0
+	}
 	b[0] = w.Opcode
 	binary.BigEndian.PutUint16(b[2:], w.Index)
 	binary.BigEndian.PutUint32(b[4:], w.QPN)
@@ -92,7 +109,6 @@ func (w SendWQE) Marshal() []byte {
 		binary.BigEndian.PutUint32(b[24:], w.Len)
 	}
 	binary.BigEndian.PutUint32(b[12:], w.FlowTag)
-	return b
 }
 
 // ParseSendWQE decodes a 64-byte send descriptor.
@@ -135,10 +151,20 @@ type RecvWQE struct {
 // Marshal encodes the receive descriptor.
 func (w RecvWQE) Marshal() []byte {
 	b := make([]byte, RecvWQESize)
+	w.MarshalInto(b)
+	return b
+}
+
+// MarshalInto encodes the descriptor into b (at least RecvWQESize bytes),
+// rewriting every byte so recycled buffers are safe.
+func (w RecvWQE) MarshalInto(b []byte) {
+	b = b[:RecvWQESize]
 	binary.BigEndian.PutUint64(b[0:], w.Addr)
 	binary.BigEndian.PutUint32(b[8:], w.Len)
 	b[12] = w.StrideLog2
-	return b
+	for i := 13; i < RecvWQESize; i++ {
+		b[i] = 0
+	}
 }
 
 // ParseRecvWQE decodes a 16-byte receive descriptor.
@@ -194,6 +220,17 @@ type CQE struct {
 // Marshal encodes the CQE into its 64-byte format with the owner bit set.
 func (c CQE) Marshal() []byte {
 	b := make([]byte, CQESize)
+	c.MarshalInto(b)
+	return b
+}
+
+// MarshalInto encodes the CQE into b (at least CQESize bytes), rewriting
+// every byte so recycled buffers are safe.
+func (c CQE) MarshalInto(b []byte) {
+	b = b[:CQESize]
+	for i := range b {
+		b[i] = 0
+	}
 	b[0] = c.Opcode
 	if c.ChecksumOK {
 		b[1] |= 1
@@ -211,7 +248,6 @@ func (c CQE) Marshal() []byte {
 	binary.BigEndian.PutUint32(b[32:], c.Counter)
 	b[36] = c.Syndrome
 	b[63] = 1
-	return b
 }
 
 // ParseCQE decodes a 64-byte completion. It returns an error when the

@@ -108,6 +108,12 @@ type NIC struct {
 	rxEngine *sim.Resource
 	ets      *etsScheduler // lazily created when a weighted SQ sends
 
+	// Freelists of pooled steady-state records (see pool.go).
+	freeExec *sqExec
+	freeTx   *txSend
+	freeCQW  *cqWrite
+	freeRx   *rxDone
+
 	nextQN uint32
 
 	Stats Counters
@@ -367,11 +373,9 @@ func (sq *SQ) kick() {
 		if b, ok := sq.mmio[idx]; ok {
 			delete(sq.mmio, idx)
 			sq.inflight++
-			sq.n.txEngine.Acquire(sq.n.Prm.TxPerWQE, func() {
-				if sq.epoch == ep {
-					sq.execute(idx, b)
-				}
-			})
+			x := sq.n.getSQExec()
+			x.sq, x.ep, x.idx, x.raw = sq, ep, idx, b
+			sq.n.txEngine.AcquireArg(sq.n.Prm.TxPerWQE, sqExecRun, x)
 			continue
 		}
 		// Batch consecutive ring descriptors into one read, stopping at
@@ -407,13 +411,11 @@ func (sq *SQ) kick() {
 				return
 			}
 			for i := 0; i < count; i++ {
-				wqe := c.Data[i*SendWQESize : (i+1)*SendWQESize]
-				w := first + uint32(i)
-				sq.n.txEngine.Acquire(sq.n.Prm.TxPerWQE, func() {
-					if sq.epoch == ep {
-						sq.execute(w, wqe)
-					}
-				})
+				x := sq.n.getSQExec()
+				x.sq, x.ep = sq, ep
+				x.idx = first + uint32(i)
+				x.raw = c.Data[i*SendWQESize : (i+1)*SendWQESize]
+				sq.n.txEngine.AcquireArg(sq.n.Prm.TxPerWQE, sqExecRun, x)
 			}
 		})
 	}
@@ -461,32 +463,20 @@ func (sq *SQ) dispatch(ep uint32, idx uint32, wqe SendWQE, data []byte) {
 		sq.complete(idx)
 		return
 	}
-	// Raw Ethernet: the payload is a complete frame.
-	frame := data
-	send := func() {
-		onSent := func() {
-			sq.retire(ep, idx, CQE{
-				Opcode: CQESend, Index: uint16(idx), Queue: sq.ID,
-				ByteCount: uint32(len(frame)), FlowTag: wqe.FlowTag, Last: true,
-			}, wqe.Signal)
-		}
-		if sq.Weight > 0 {
-			if sq.n.ets == nil {
-				sq.n.ets = newETSScheduler(sq.n)
-			}
-			sq.n.ets.dispatch(sq, frame, wqe.FlowTag, onSent)
-			return
-		}
-		sq.n.egress(sq.VPort, frame, wqe.FlowTag, onSent)
-	}
+	// Raw Ethernet: the payload is a complete frame. The transmit state
+	// rides in a pooled record from dispatch through the shaper delay to
+	// the egress-complete retire (see pool.go).
+	x := sq.n.getTxSend()
+	x.sq, x.ep, x.idx = sq, ep, idx
+	x.frame, x.flowTag, x.signal = data, wqe.FlowTag, wqe.Signal
 	if sq.Shaper != nil {
-		if d := sq.Shaper.Reserve(len(frame)); d > 0 {
+		if d := sq.Shaper.Reserve(len(data)); d > 0 {
 			sq.tShaped.Inc()
-			sq.n.eng.After(d, send)
+			sq.n.eng.AfterArg(d, txSendFire, x)
 			return
 		}
 	}
-	send()
+	txSendFire(x)
 }
 
 // complete frees the descriptor slot and pulls in more work.
@@ -741,12 +731,9 @@ func (rq *RQ) place(p pendingRx) {
 		t.rxPackets.Inc()
 		t.rxBytes.Add(int64(n))
 	}
-	ep := rq.epoch
-	rq.n.port.Write(addr, p.data, func() {
-		if rq.epoch == ep && rq.CQ != nil {
-			rq.CQ.Push(cqe)
-		}
-	})
+	r := rq.n.getRxDone()
+	r.rq, r.ep, r.cqe = rq, rq.epoch, cqe
+	rq.n.port.WriteArg(addr, p.data, rqPlaceDone, r)
 }
 
 func orDefault(v, d uint8) uint8 {
@@ -788,12 +775,11 @@ func (cq *CQ) Push(c CQE) {
 	slot := uint64(cq.pi) % uint64(cq.Size)
 	cq.pi++
 	addr := cq.Ring + slot*CQESize
-	b := c.Marshal()
-	cq.n.port.Write(addr, b, func() {
-		if cq.onCQE != nil {
-			cq.onCQE(c)
-		}
-	})
+	b := cq.n.eng.Bufs().Get(CQESize)
+	c.MarshalInto(b)
+	w := cq.n.getCQWrite()
+	w.cq, w.c = cq, c
+	cq.n.port.WriteOwnedArg(addr, b, cqPushDone, w)
 }
 
 // PI returns the number of completions ever pushed.

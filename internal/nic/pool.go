@@ -1,0 +1,175 @@
+package nic
+
+// Pooled steady-state records. The NIC's per-packet paths (WQE execution,
+// transmit dispatch, CQE writes, receive placement) used to allocate a
+// closure per event; each path now carries its state in one of these
+// records, recycled through per-NIC freelists and dispatched by the static
+// trampolines below via the engine's arg-form scheduling. The NIC is
+// single-threaded on its engine, so the freelists need no locking.
+//
+// A record whose completion never fires (a fault-injected drop of the
+// underlying PCIe write, a queue reset) is simply abandoned to the garbage
+// collector — correctness never depends on a record returning to its
+// freelist.
+
+// sqExec carries one descriptor through the txEngine service delay.
+type sqExec struct {
+	sq   *SQ
+	ep   uint32
+	idx  uint32
+	raw  []byte
+	next *sqExec
+}
+
+func (n *NIC) getSQExec() *sqExec {
+	x := n.freeExec
+	if x != nil {
+		n.freeExec = x.next
+		x.next = nil
+		return x
+	}
+	return &sqExec{}
+}
+
+func (n *NIC) putSQExec(x *sqExec) {
+	*x = sqExec{next: n.freeExec}
+	n.freeExec = x
+}
+
+// sqExecRun is the txEngine completion: run the descriptor unless the
+// queue was reset while it waited.
+func sqExecRun(a any) {
+	x := a.(*sqExec)
+	sq, ep, idx, raw := x.sq, x.ep, x.idx, x.raw
+	sq.n.putSQExec(x)
+	if sq.epoch == ep {
+		sq.execute(idx, raw)
+	}
+}
+
+// txSend carries a raw-Ethernet transmit from dispatch (optionally through
+// a shaper delay) to the egress-complete retire. onSent is bound to the
+// record once, when the record is first allocated, so re-arming it costs
+// nothing; the eSwitch fires it exactly once on every terminal path.
+type txSend struct {
+	sq      *SQ
+	ep      uint32
+	idx     uint32
+	frame   []byte
+	flowTag uint32
+	signal  bool
+	onSent  func()
+	next    *txSend
+}
+
+func (n *NIC) getTxSend() *txSend {
+	x := n.freeTx
+	if x != nil {
+		n.freeTx = x.next
+		x.next = nil
+		return x
+	}
+	x = &txSend{}
+	x.onSent = func() { txSendSent(x) }
+	return x
+}
+
+func (n *NIC) putTxSend(x *txSend) {
+	x.sq, x.frame = nil, nil
+	x.next = n.freeTx
+	n.freeTx = x
+}
+
+// txSendFire runs after any shaper delay: hand the frame to ETS or the
+// egress pipeline.
+func txSendFire(a any) {
+	x := a.(*txSend)
+	sq := x.sq
+	if sq.Weight > 0 {
+		if sq.n.ets == nil {
+			sq.n.ets = newETSScheduler(sq.n)
+		}
+		sq.n.ets.dispatch(sq, x.frame, x.flowTag, x.onSent)
+		return
+	}
+	sq.n.egress(sq.VPort, x.frame, x.flowTag, x.onSent)
+}
+
+// txSendSent is the egress completion: retire the WQE.
+func txSendSent(x *txSend) {
+	sq, ep, idx, frame, flowTag, signal := x.sq, x.ep, x.idx, x.frame, x.flowTag, x.signal
+	sq.n.putTxSend(x)
+	sq.retire(ep, idx, CQE{
+		Opcode: CQESend, Index: uint16(idx), Queue: sq.ID,
+		ByteCount: uint32(len(frame)), FlowTag: flowTag, Last: true,
+	}, signal)
+}
+
+// cqWrite carries one completion through its DMA write; the CQE payload
+// buffer itself comes from the engine's BufPool and is owned (and
+// recycled) by the fabric.
+type cqWrite struct {
+	cq   *CQ
+	c    CQE
+	next *cqWrite
+}
+
+func (n *NIC) getCQWrite() *cqWrite {
+	x := n.freeCQW
+	if x != nil {
+		n.freeCQW = x.next
+		x.next = nil
+		return x
+	}
+	return &cqWrite{}
+}
+
+func (n *NIC) putCQWrite(x *cqWrite) {
+	*x = cqWrite{next: n.freeCQW}
+	n.freeCQW = x
+}
+
+// cqPushDone fires when the CQE landed in the ring: notify the consumer.
+func cqPushDone(a any) {
+	x := a.(*cqWrite)
+	cq, c := x.cq, x.c
+	cq.n.putCQWrite(x)
+	if cq.onCQE != nil {
+		cq.onCQE(c)
+	}
+}
+
+// rxDone carries a placed packet's metadata through its payload DMA write
+// to the receive-CQE push.
+type rxDone struct {
+	rq   *RQ
+	ep   uint32
+	cqe  CQE
+	next *rxDone
+}
+
+func (n *NIC) getRxDone() *rxDone {
+	x := n.freeRx
+	if x != nil {
+		n.freeRx = x.next
+		x.next = nil
+		return x
+	}
+	return &rxDone{}
+}
+
+func (n *NIC) putRxDone(x *rxDone) {
+	*x = rxDone{next: n.freeRx}
+	n.freeRx = x
+}
+
+// rqPlaceDone fires when the packet payload landed in the host buffer:
+// push the receive completion unless the queue was reset meanwhile.
+func rqPlaceDone(a any) {
+	x := a.(*rxDone)
+	rq, ep, cqe := x.rq, x.ep, x.cqe
+	rq.n.putRxDone(x)
+	if rq.epoch == ep && rq.CQ != nil {
+		rq.CQ.Push(cqe)
+	}
+}

@@ -15,6 +15,34 @@ type Wire struct {
 	latency sim.Duration
 	ends    [2]*NIC
 	dirs    [2]*sim.Resource
+	freeX   *wireXfer // freelist of transit records
+}
+
+// wireXfer is one frame's transit record. Records are recycled through a
+// per-wire freelist and scheduled with the engine's arg-form callbacks, so
+// the steady-state forwarding path allocates nothing per frame.
+type wireXfer struct {
+	w      *Wire
+	from   int
+	frame  []byte
+	onSent func()
+	d      sim.Duration // serialization time (dup spacing)
+	next   *wireXfer
+}
+
+func (w *Wire) getXfer() *wireXfer {
+	if x := w.freeX; x != nil {
+		w.freeX = x.next
+		x.next = nil
+		return x
+	}
+	return &wireXfer{w: w}
+}
+
+func (w *Wire) putXfer(x *wireXfer) {
+	x.frame, x.onSent = nil, nil
+	x.next = w.freeX
+	w.freeX = x
 }
 
 // EthWireOverhead is the per-frame physical-layer overhead in bytes.
@@ -51,31 +79,46 @@ func (w *Wire) Rate() sim.BitRate { return w.rate }
 // has fully left the sender, delivery at the far NIC after latency.
 func (w *Wire) send(from int, frame []byte, onSent func()) {
 	w.Sent[from]++
-	d := w.rate.Serialize(len(frame) + EthWireOverhead)
-	w.dirs[from].Acquire(d, func() {
-		if onSent != nil {
-			onSent()
-		}
-		if w.Loss != nil && w.Loss(from, frame) {
-			w.Lost[from]++
-			w.ends[from].drop(DropWireInjectedLoss)
-			return
-		}
-		lat := w.latency
-		if w.Delay != nil {
-			lat += w.Delay(from, frame)
-		}
-		copies := 1
-		if w.Dup != nil && w.Dup(from, frame) {
-			copies = 2
-		}
-		for i := 0; i < copies; i++ {
-			// A duplicate trails the original by one serialization time,
-			// as a back-to-back link-level retransmission would.
-			w.eng.After(lat+sim.Duration(i)*d, func() {
-				w.Delivered[from]++
-				w.ends[1-from].Ingress(frame)
-			})
-		}
-	})
+	x := w.getXfer()
+	x.from, x.frame, x.onSent = from, frame, onSent
+	x.d = w.rate.Serialize(len(frame) + EthWireOverhead)
+	w.dirs[from].AcquireArg(x.d, wireSent, x)
+}
+
+// wireSent runs when the frame has fully left the sender.
+func wireSent(a any) {
+	x := a.(*wireXfer)
+	w, from, frame := x.w, x.from, x.frame
+	if x.onSent != nil {
+		x.onSent()
+		x.onSent = nil
+	}
+	if w.Loss != nil && w.Loss(from, frame) {
+		w.Lost[from]++
+		w.ends[from].drop(DropWireInjectedLoss)
+		w.putXfer(x)
+		return
+	}
+	lat := w.latency
+	if w.Delay != nil {
+		lat += w.Delay(from, frame)
+	}
+	dup := w.Dup != nil && w.Dup(from, frame)
+	w.eng.AfterArg(lat, wireDeliver, x)
+	if dup {
+		// A duplicate trails the original by one serialization time, as a
+		// back-to-back link-level retransmission would.
+		x2 := w.getXfer()
+		x2.from, x2.frame = from, frame
+		w.eng.AfterArg(lat+x.d, wireDeliver, x2)
+	}
+}
+
+// wireDeliver hands the frame to the far end's ingress pipeline.
+func wireDeliver(a any) {
+	x := a.(*wireXfer)
+	w, from, frame := x.w, x.from, x.frame
+	w.putXfer(x)
+	w.Delivered[from]++
+	w.ends[1-from].Ingress(frame)
 }

@@ -17,7 +17,8 @@ import (
 type Fabric struct {
 	eng   *sim.Engine
 	ports []*Port
-	next  uint64 // next free BAR base
+	next  uint64   // next free BAR base
+	freeW *writeOp // freelist of posted-write state records
 
 	// Telemetry (optional; see SetTelemetry).
 	tel        *telemetry.Scope
@@ -215,45 +216,146 @@ func (f *Fabric) Write(addr uint64, data []byte) {
 // never serialized), and for poisoned writes (bytes charged on both
 // links, but the completer discards the payload and done never fires).
 func (p *Port) Write(addr uint64, data []byte, done func()) {
+	p.write(addr, data, done, false)
+}
+
+// WriteOwned is Write with payload-buffer ownership transfer: data must
+// come from the engine's BufPool (sim.Engine.Bufs), and the fabric returns
+// it to the pool once the transaction resolves — after the completer
+// consumed it, or immediately on UR/drop/poison. The caller must not touch
+// data after the call.
+func (p *Port) WriteOwned(addr uint64, data []byte, done func()) {
+	p.write(addr, data, done, true)
+}
+
+// WriteArg is Write with an arg-form completion callback, for callers that
+// keep their post-write state in a preallocated record instead of a
+// closure. done may be nil.
+func (p *Port) WriteArg(addr uint64, data []byte, done func(any), arg any) {
+	p.writeArg(addr, data, done, arg, false)
+}
+
+// WriteOwnedArg combines WriteOwned's payload ownership transfer with
+// WriteArg's closure-free completion.
+func (p *Port) WriteOwnedArg(addr uint64, data []byte, done func(any), arg any) {
+	p.writeArg(addr, data, done, arg, true)
+}
+
+// writeOp is the state of one posted write in flight. Records are recycled
+// through the fabric's freelist and stepped through the static trampolines
+// below, so the steady-state DMA-write path allocates nothing per TLP.
+type writeOp struct {
+	p, q     *Port
+	addr     uint64
+	data     []byte
+	done     func()
+	adone    func(any) // arg-form completion (WriteArg); at most one of done/adone set
+	aarg     any
+	poisoned bool
+	owned    bool // return data to the engine's BufPool on resolution
+	next     *writeOp
+}
+
+func (f *Fabric) getWriteOp() *writeOp {
+	if o := f.freeW; o != nil {
+		f.freeW = o.next
+		o.next = nil
+		return o
+	}
+	return &writeOp{}
+}
+
+func (f *Fabric) putWriteOp(o *writeOp) {
+	if o.owned {
+		f.eng.Bufs().Put(o.data)
+	}
+	*o = writeOp{next: f.freeW}
+	f.freeW = o
+}
+
+func (p *Port) write(addr uint64, data []byte, done func(), owned bool) {
+	p.writeCommon(addr, data, done, nil, nil, owned)
+}
+
+func (p *Port) writeArg(addr uint64, data []byte, adone func(any), aarg any, owned bool) {
+	p.writeCommon(addr, data, nil, adone, aarg, owned)
+}
+
+func (p *Port) writeCommon(addr uint64, data []byte, done func(), adone func(any), aarg any, owned bool) {
 	q, ok := p.fab.target(addr)
 	if !ok {
 		p.fab.noteUR()
+		if owned {
+			p.fab.eng.Bufs().Put(data)
+		}
 		return
 	}
 	if p.fab.linkDown(p) || p.fab.linkDown(q) || p.fab.dropTLP(p, telemetry.MemWr) {
 		p.fab.noteDrop()
+		if owned {
+			p.fab.eng.Bufs().Put(data)
+		}
 		return
 	}
-	poisoned := p.fab.corruptTLP(p, telemetry.MemWr)
+	o := p.fab.getWriteOp()
+	o.p, o.q, o.addr, o.data, o.owned = p, q, addr, data, owned
+	o.done, o.adone, o.aarg = done, adone, aarg
+	o.poisoned = p.fab.corruptTLP(p, telemetry.MemWr)
 	wire := p.cfg.WriteWireBytes(len(data))
 	p.UpBytes += int64(wire)
 	d1 := p.cfg.EffectiveRate().Serialize(wire)
-	end1 := p.up.Acquire(d1, func() {
-		p.fab.eng.After(p.cfg.PropDelay, func() {
-			wire2 := q.cfg.WriteWireBytes(len(data))
-			q.DownBytes += int64(wire2)
-			d2 := q.cfg.EffectiveRate().Serialize(wire2)
-			end2 := q.down.Acquire(d2, func() {
-				p.fab.eng.After(q.cfg.PropDelay, func() {
-					if poisoned {
-						p.fab.notePoison()
-						return
-					}
-					q.dev.MMIOWrite(addr-q.base, data)
-					if done != nil {
-						done()
-					}
-				})
-			})
-			if q.tlm != nil {
-				q.observe(telemetry.Down, telemetry.MemWr, addr, len(data),
-					wire2, writeSegs(q.cfg, len(data)), end2, d2)
-			}
-		})
-	})
+	end1 := p.up.AcquireArg(d1, writeUpDone, o)
 	if p.tlm != nil {
 		p.observe(telemetry.Up, telemetry.MemWr, addr, len(data),
 			wire, writeSegs(p.cfg, len(data)), end1, d1)
+	}
+}
+
+// writeUpDone: the TLP finished serializing on the initiator's up link.
+func writeUpDone(a any) {
+	o := a.(*writeOp)
+	o.p.fab.eng.AfterArg(o.p.cfg.PropDelay, writeAtSwitch, o)
+}
+
+// writeAtSwitch: the TLP reached the switch; serialize on the target's
+// down link.
+func writeAtSwitch(a any) {
+	o := a.(*writeOp)
+	q := o.q
+	wire2 := q.cfg.WriteWireBytes(len(o.data))
+	q.DownBytes += int64(wire2)
+	d2 := q.cfg.EffectiveRate().Serialize(wire2)
+	end2 := q.down.AcquireArg(d2, writeDownDone, o)
+	if q.tlm != nil {
+		q.observe(telemetry.Down, telemetry.MemWr, o.addr, len(o.data),
+			wire2, writeSegs(q.cfg, len(o.data)), end2, d2)
+	}
+}
+
+// writeDownDone: the TLP finished serializing toward the target device.
+func writeDownDone(a any) {
+	o := a.(*writeOp)
+	o.p.fab.eng.AfterArg(o.q.cfg.PropDelay, writeDeliver, o)
+}
+
+// writeDeliver: the last byte arrived; deliver to the device (or discard a
+// poisoned payload) and recycle the record.
+func writeDeliver(a any) {
+	o := a.(*writeOp)
+	fab := o.p.fab
+	if o.poisoned {
+		fab.notePoison()
+		fab.putWriteOp(o)
+		return
+	}
+	o.q.dev.MMIOWrite(o.addr-o.q.base, o.data)
+	done, adone, aarg := o.done, o.adone, o.aarg
+	fab.putWriteOp(o)
+	if done != nil {
+		done()
+	}
+	if adone != nil {
+		adone(aarg)
 	}
 }
 
@@ -276,14 +378,8 @@ func (p *Port) Write(addr uint64, data []byte, done func()) {
 // the simulation; the timer event is a no-op if the completion already
 // arrived.
 func (p *Port) Read(addr uint64, size int, done func(c Completion)) {
-	settled := false
-	finish := func(c Completion) {
-		if settled {
-			return
-		}
-		settled = true
-		done(c)
-	}
+	o := &readOp{p: p, addr: addr, size: size, done: done}
+	o.q, o.hasTarget = p.fab.target(addr)
 	// The timeout budget scales with the transfer: real completers
 	// return large reads as a stream of CplD segments, each of which
 	// resets the requester's completion timer. The budget is the base
@@ -292,14 +388,8 @@ func (p *Port) Read(addr uint64, size int, done func(c Completion)) {
 	budget := p.cfg.CplTimeout +
 		2*p.cfg.EffectiveRate().Serialize(p.cfg.ReadReqWireBytes(size)+p.cfg.CompletionWireBytes(size)) +
 		4*p.cfg.PropDelay
-	p.fab.eng.After(budget, func() {
-		if !settled {
-			p.fab.noteTimeout()
-		}
-		finish(Completion{Status: CplTimedOut})
-	})
+	p.fab.eng.AfterArg(budget, readTimeout, o)
 
-	q, hasTarget := p.fab.target(addr)
 	if p.fab.linkDown(p) || p.fab.dropTLP(p, telemetry.MemRd) {
 		// The request vanished before serializing; the timeout armed
 		// above is now the only way this transaction resolves.
@@ -309,84 +399,162 @@ func (p *Port) Read(addr uint64, size int, done func(c Completion)) {
 	reqWire := p.cfg.ReadReqWireBytes(size)
 	p.UpBytes += int64(reqWire)
 	d1 := p.cfg.EffectiveRate().Serialize(reqWire)
-	end1 := p.up.Acquire(d1, func() {
-		p.fab.eng.After(p.cfg.PropDelay, func() {
-			if !hasTarget {
-				// Unsupported Request: the switch returns a dataless
-				// error completion over the requester's down link.
-				p.fab.noteUR()
-				p.completeRead(addr, nil, CplUR, finish)
-				return
-			}
-			if p.fab.linkDown(q) {
-				p.fab.noteDrop()
-				return
-			}
-			reqWire2 := q.cfg.ReadReqWireBytes(size)
-			q.DownBytes += int64(reqWire2)
-			d2 := q.cfg.EffectiveRate().Serialize(reqWire2)
-			end2 := q.down.Acquire(d2, func() {
-				p.fab.eng.After(q.cfg.PropDelay, func() {
-					data := q.dev.MMIORead(addr-q.base, size)
-					if data == nil {
-						// Non-responding completer: no completion is
-						// ever generated; the requester's timeout
-						// resolves the transaction.
-						return
-					}
-					if p.fab.linkDown(q) || p.fab.dropTLP(q, telemetry.CplD) {
-						p.fab.noteDrop()
-						return
-					}
-					status := CplSuccess
-					if p.fab.corruptTLP(q, telemetry.CplD) {
-						p.fab.notePoison()
-						status = CplPoisoned
-					}
-					cplWire := q.cfg.CompletionWireBytes(len(data))
-					q.UpBytes += int64(cplWire)
-					d3 := q.cfg.EffectiveRate().Serialize(cplWire)
-					end3 := q.up.Acquire(d3, func() {
-						p.fab.eng.After(q.cfg.PropDelay, func() {
-							if status == CplPoisoned {
-								data = nil
-							}
-							p.completeRead(addr, data, status, finish)
-						})
-					})
-					if q.tlm != nil {
-						q.observe(telemetry.Up, telemetry.CplD, addr, len(data),
-							cplWire, cplSegs(q.cfg, len(data)), end3, d3)
-					}
-				})
-			})
-			if q.tlm != nil {
-				q.observe(telemetry.Down, telemetry.MemRd, addr, 0,
-					reqWire2, readReqSegs(q.cfg, size), end2, d2)
-			}
-		})
-	})
+	end1 := p.up.AcquireArg(d1, readReqUpDone, o)
 	if p.tlm != nil {
 		p.observe(telemetry.Up, telemetry.MemRd, addr, 0,
 			reqWire, readReqSegs(p.cfg, size), end1, d1)
 	}
 }
 
+// readOp is the state of one non-posted read in flight: one allocation per
+// transaction, replacing the closure-per-hop chain. Unlike writeOp it is
+// not freelisted — the unconditionally armed timeout event keeps a
+// reference until the budget expires, long after a successful read
+// settles, and recycling under an outstanding alias invites double-use
+// bugs for a negligible saving (reads are descriptor-path, not per-byte).
+type readOp struct {
+	p, q      *Port
+	addr      uint64
+	size      int
+	done      func(Completion)
+	data      []byte
+	status    CplStatus
+	settled   bool
+	hasTarget bool
+}
+
+// settle resolves the transaction exactly once.
+func (o *readOp) settle(c Completion) {
+	if o.settled {
+		return
+	}
+	o.settled = true
+	o.done(c)
+}
+
+// readTimeout fires when the completion budget expires; a no-op if the
+// completion already arrived.
+func readTimeout(a any) {
+	o := a.(*readOp)
+	if !o.settled {
+		o.p.fab.noteTimeout()
+	}
+	o.settle(Completion{Status: CplTimedOut})
+}
+
+// readReqUpDone: the request finished serializing on the initiator's up
+// link.
+func readReqUpDone(a any) {
+	o := a.(*readOp)
+	o.p.fab.eng.AfterArg(o.p.cfg.PropDelay, readReqAtSwitch, o)
+}
+
+// readReqAtSwitch: the request reached the switch; route it to the target
+// or answer UR.
+func readReqAtSwitch(a any) {
+	o := a.(*readOp)
+	fab := o.p.fab
+	if !o.hasTarget {
+		// Unsupported Request: the switch returns a dataless error
+		// completion over the requester's down link.
+		fab.noteUR()
+		o.completeRead(nil, CplUR)
+		return
+	}
+	q := o.q
+	if fab.linkDown(q) {
+		fab.noteDrop()
+		return
+	}
+	reqWire2 := q.cfg.ReadReqWireBytes(o.size)
+	q.DownBytes += int64(reqWire2)
+	d2 := q.cfg.EffectiveRate().Serialize(reqWire2)
+	end2 := q.down.AcquireArg(d2, readReqDownDone, o)
+	if q.tlm != nil {
+		q.observe(telemetry.Down, telemetry.MemRd, o.addr, 0,
+			reqWire2, readReqSegs(q.cfg, o.size), end2, d2)
+	}
+}
+
+// readReqDownDone: the request finished serializing toward the completer.
+func readReqDownDone(a any) {
+	o := a.(*readOp)
+	o.p.fab.eng.AfterArg(o.q.cfg.PropDelay, readAtDevice, o)
+}
+
+// readAtDevice: the completer executes MMIORead and streams the completion
+// back over its up link.
+func readAtDevice(a any) {
+	o := a.(*readOp)
+	q, fab := o.q, o.p.fab
+	data := q.dev.MMIORead(o.addr-q.base, o.size)
+	if data == nil {
+		// Non-responding completer: no completion is ever generated; the
+		// requester's timeout resolves the transaction.
+		return
+	}
+	if fab.linkDown(q) || fab.dropTLP(q, telemetry.CplD) {
+		fab.noteDrop()
+		return
+	}
+	o.status = CplSuccess
+	if fab.corruptTLP(q, telemetry.CplD) {
+		fab.notePoison()
+		o.status = CplPoisoned
+	}
+	o.data = data
+	cplWire := q.cfg.CompletionWireBytes(len(data))
+	q.UpBytes += int64(cplWire)
+	d3 := q.cfg.EffectiveRate().Serialize(cplWire)
+	end3 := q.up.AcquireArg(d3, readCplUpDone, o)
+	if q.tlm != nil {
+		q.observe(telemetry.Up, telemetry.CplD, o.addr, len(data),
+			cplWire, cplSegs(q.cfg, len(data)), end3, d3)
+	}
+}
+
+// readCplUpDone: the completion finished serializing on the completer's up
+// link.
+func readCplUpDone(a any) {
+	o := a.(*readOp)
+	o.p.fab.eng.AfterArg(o.q.cfg.PropDelay, readCplAtSwitch, o)
+}
+
+// readCplAtSwitch: the completion reached the switch; a poisoned payload
+// is discarded here, then the stream serializes to the requester.
+func readCplAtSwitch(a any) {
+	o := a.(*readOp)
+	if o.status == CplPoisoned {
+		o.data = nil
+	}
+	o.completeRead(o.data, o.status)
+}
+
 // completeRead serializes the completion stream (or a dataless error
 // completion) over the requester's down link and settles the read.
-func (p *Port) completeRead(addr uint64, data []byte, status CplStatus, finish func(Completion)) {
+func (o *readOp) completeRead(data []byte, status CplStatus) {
+	p := o.p
+	o.data, o.status = data, status
 	cplWire := p.cfg.CompletionWireBytes(len(data))
 	p.DownBytes += int64(cplWire)
 	d := p.cfg.EffectiveRate().Serialize(cplWire)
-	end := p.down.Acquire(d, func() {
-		p.fab.eng.After(p.cfg.PropDelay, func() {
-			finish(Completion{Data: data, Status: status})
-		})
-	})
+	end := p.down.AcquireArg(d, readCplDownDone, o)
 	if p.tlm != nil {
-		p.observe(telemetry.Down, telemetry.CplD, addr, len(data),
+		p.observe(telemetry.Down, telemetry.CplD, o.addr, len(data),
 			cplWire, cplSegs(p.cfg, len(data)), end, d)
 	}
+}
+
+// readCplDownDone: the completion finished serializing to the requester.
+func readCplDownDone(a any) {
+	o := a.(*readOp)
+	o.p.fab.eng.AfterArg(o.p.cfg.PropDelay, readSettle, o)
+}
+
+// readSettle delivers the completion to the caller.
+func readSettle(a any) {
+	o := a.(*readOp)
+	o.settle(Completion{Data: o.data, Status: o.status})
 }
 
 // AddrOf returns the fabric address corresponding to an offset within the

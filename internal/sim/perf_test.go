@@ -1,0 +1,157 @@
+package sim
+
+import "testing"
+
+// nopArg is a no-op arg-form callback for heap bookkeeping tests.
+func nopArg(any) {}
+
+// TestHeapPopClearsVacatedSlot pins the fix for the popped-event leak:
+// pop must zero the vacated tail slot so the backing array does not keep
+// the dispatched callback (and everything its closure or arg references)
+// reachable until the slot is overwritten by a later push.
+func TestHeapPopClearsVacatedSlot(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.AtArg(Time(i), nopArg, &struct{}{})
+	}
+	for len(e.events) > 0 {
+		e.pop()
+		full := e.events[:cap(e.events)]
+		vacated := full[len(e.events)]
+		if vacated.afn != nil || vacated.arg != nil {
+			t.Fatalf("slot %d still holds afn/arg (%v) after pop",
+				len(e.events), vacated.arg)
+		}
+	}
+}
+
+// TestHeapShrinkQuarterFull pins the shrink policy: once a drained queue
+// falls to a quarter of its backing capacity, pop reallocates at half
+// capacity, and it never bothers below shrinkCapMin. A burst therefore
+// cannot pin its high-water footprint for the rest of a run.
+func TestHeapShrinkQuarterFull(t *testing.T) {
+	e := NewEngine()
+	const n = 1 << 12
+	// Deterministic scramble (LCG) so the drain exercises real sift-downs
+	// across the shrink reallocations, not just an already-sorted array.
+	x := uint64(1)
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		e.AtArg(Time(x%100_000), nopArg, nil)
+	}
+	grown := cap(e.events)
+	if grown < n {
+		t.Fatalf("cap after %d pushes = %d, want >= %d", n, grown, n)
+	}
+
+	shrunk := false
+	prev := Time(-1)
+	prevCap := grown
+	for len(e.events) > 0 {
+		ev := e.pop()
+		if ev.at < prev {
+			t.Fatalf("pop order broken across shrink: %v after %v", ev.at, prev)
+		}
+		prev = ev.at
+		if c := cap(e.events); c < prevCap {
+			shrunk = true
+			if c != prevCap/2 {
+				t.Fatalf("shrink went %d -> %d, want halving to %d", prevCap, c, prevCap/2)
+			}
+			if len(e.events) > prevCap/4 {
+				t.Fatalf("shrank at len %d with cap %d, policy is <= cap/4", len(e.events), prevCap)
+			}
+			prevCap = c
+		}
+	}
+	if !shrunk {
+		t.Fatalf("queue drained from cap %d without ever shrinking", grown)
+	}
+	if c := cap(e.events); c >= 2*shrinkCapMin {
+		t.Fatalf("final cap %d, want < %d (shrink runs until cap drops below %d)",
+			c, 2*shrinkCapMin, shrinkCapMin)
+	}
+}
+
+// tickState is the preallocated state for the steady-state alloc tests: a
+// self-rescheduling event that re-arms via AfterArg instead of capturing
+// anything in a fresh closure.
+type tickState struct {
+	e        *Engine
+	n, limit int
+}
+
+func tickRun(a any) {
+	s := a.(*tickState)
+	s.n++
+	if s.n < s.limit {
+		s.e.AfterArg(Nanosecond, tickRun, s)
+	}
+}
+
+// TestEngineSteadyStateZeroAlloc pins the tentpole contract: a
+// steady-state scheduler that reschedules a preallocated event through
+// AfterArg allocates nothing per event.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	s := &tickState{e: e, limit: 1000}
+	avg := testing.AllocsPerRun(10, func() {
+		s.n = 0
+		e.AfterArg(0, tickRun, s)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state AfterArg loop: %.1f allocs per %d events, want 0", avg, s.limit)
+	}
+}
+
+// timerTick re-arms a reusable Timer from its own expiry callback.
+type timerTick struct {
+	t        *Timer
+	n, limit int
+}
+
+func timerTickRun(a any) {
+	s := a.(*timerTick)
+	s.n++
+	if s.n < s.limit {
+		s.t.Reset(Nanosecond)
+	}
+}
+
+// TestTimerSteadyStateZeroAlloc pins the reusable-timer contract: Reset
+// and expiry of a preallocated Timer allocate nothing per firing.
+func TestTimerSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	s := &timerTick{limit: 1000}
+	s.t = e.NewTimer(timerTickRun, s)
+	avg := testing.AllocsPerRun(10, func() {
+		s.n = 0
+		s.t.Reset(Nanosecond)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("Timer Reset/expire loop: %.1f allocs per %d firings, want 0", avg, s.limit)
+	}
+}
+
+// TestBufPoolRoundTripZeroAlloc pins the pool contract: once a size class
+// is warm, a Get/Put round trip allocates nothing.
+func TestBufPoolRoundTripZeroAlloc(t *testing.T) {
+	p := NewBufPool()
+	p.Put(p.Get(512)) // warm the class
+	avg := testing.AllocsPerRun(100, func() {
+		b := p.Get(512)
+		p.Put(b)
+	})
+	if avg != 0 {
+		t.Fatalf("warm Get/Put round trip: %.1f allocs, want 0", avg)
+	}
+	st := p.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("Misses = %d after one cold Get, want 1", st.Misses)
+	}
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding = %d after balanced round trips, want 0", got)
+	}
+}

@@ -53,6 +53,23 @@ func (r *Resource) Acquire(service Duration, done func()) Time {
 	return end
 }
 
+// AcquireArg is Acquire's allocation-free form: done(arg) is scheduled at
+// completion through Engine.AtArg, so per-packet steady-state callers can
+// pass a preallocated state object instead of building a closure.
+func (r *Resource) AcquireArg(service Duration, done func(any), arg any) Time {
+	start := r.eng.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end := start + service
+	r.busyUntil = end
+	r.Busy += service
+	if done != nil {
+		r.eng.AtArg(end, done, arg)
+	}
+	return end
+}
+
 // AcquireAt is like Acquire but the item only becomes eligible for service
 // at the given release time (which may be in the future).
 func (r *Resource) AcquireAt(release Time, service Duration, done func()) Time {

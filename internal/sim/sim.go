@@ -8,10 +8,7 @@
 // strictly in (time, insertion-order) order, so runs are reproducible.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, measured in picoseconds.
 //
@@ -60,38 +57,39 @@ func (t Time) String() string {
 // FromSeconds converts seconds to virtual Time.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 
+// event is one scheduled callback: afn(arg) runs at time at. All scheduling
+// forms reduce to this one shape — At wraps its closure in arg behind a
+// static trampoline, Timers pass themselves as arg — so dispatch is a
+// single indirect call with no branching, and the struct stays at 40 bytes
+// (copies and GC write barriers on heap moves are the hot path's main
+// cost). Events are stored by value; scheduling never boxes or allocates:
+// func values and pointers are pointer-shaped, so the any conversions
+// below are allocation-free.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among same-time events
-	fn  func()
+	afn func(any)
+	arg any
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// runClosure is the dispatch trampoline for the closure-based At/After
+// forms.
+func runClosure(a any) { a.(func())() }
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; create one with NewEngine.
+//
+// The pending-event queue is a typed 4-ary min-heap ordered by
+// (time, insertion sequence). The 4-ary layout halves the tree depth of a
+// binary heap (fewer cache lines touched per operation), and the typed
+// implementation avoids container/heap's interface{} boxing, so scheduling
+// an event never allocates.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []event
 	stopped bool
+	bufs    *BufPool
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -100,21 +98,118 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Bufs returns the engine's packet-buffer pool, creating it on first use.
+// Like the engine itself the pool is single-threaded; see BufPool for the
+// ownership discipline.
+func (e *Engine) Bufs() *BufPool {
+	if e.bufs == nil {
+		e.bufs = NewBufPool()
+	}
+	return e.bufs
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a model bug, and silently reordering events would make
 // results nondeterministic in confusing ways.
-func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
-	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
-}
+func (e *Engine) At(t Time, fn func()) { e.push(t, runClosure, fn) }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+func (e *Engine) After(d Duration, fn func()) { e.push(e.now+d, runClosure, fn) }
 
-// Pending reports the number of scheduled events.
+// AtArg schedules fn(arg) at absolute time t. Unlike At, the callback takes
+// its state as an explicit argument, so steady-state schedulers can pass a
+// preallocated state object to a package-level function instead of
+// capturing it in a fresh closure per event. Passing a pointer (or any
+// pointer-shaped value) in arg does not allocate.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) { e.push(t, fn, arg) }
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (e *Engine) AfterArg(d Duration, fn func(any), arg any) {
+	e.push(e.now+d, fn, arg)
+}
+
+// push inserts a new event into the heap, assigning its sequence number.
+func (e *Engine) push(at Time, afn func(any), arg any) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	h := e.events
+	i := len(h)
+	if i < cap(h) {
+		h = h[:i+1]
+		h[i] = event{at: at, seq: e.seq, afn: afn, arg: arg}
+	} else {
+		h = append(h, event{at: at, seq: e.seq, afn: afn, arg: arg})
+	}
+	// Sift up: parent of i is (i-1)/4. A new event never moves above an
+	// equal-time parent (its seq is the largest yet), preserving FIFO.
+	for i > 0 {
+		p := (i - 1) / 4
+		if h[p].at < h[i].at || (h[p].at == h[i].at && h[p].seq < h[i].seq) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.events = h
+}
+
+// shrinkCapMin is the smallest backing-array capacity the shrink policy
+// considers; below it the memory at stake is noise.
+const shrinkCapMin = 64
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// cleared so the backing array does not retain the callback (and whatever
+// its closure or arg references) after dispatch, and the array is
+// reallocated at half capacity once the queue drains to a quarter of it,
+// so a burst (e.g. an overload point of the cluster sweep) does not pin
+// its high-water footprint for the rest of a long run.
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // clear: do not retain fn/arg through the backing array
+	h = h[:n]
+	if n > 0 {
+		// Sift the former tail down from the root, moving a hole instead
+		// of swapping (one 40 B store per level, not three).
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].at < h[m].at || (h[j].at == h[m].at && h[j].seq < h[m].seq) {
+					m = j
+				}
+			}
+			if last.at < h[m].at || (last.at == h[m].at && last.seq < h[m].seq) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	if c := cap(h); c >= shrinkCapMin && n <= c/4 {
+		s := make([]event, n, c/2)
+		copy(s, h)
+		h = s
+	}
+	e.events = h
+	return top
+}
+
+// Pending reports the number of scheduled events (including not-yet-expired
+// entries of stopped or reset Timers, which fire as no-ops).
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Stop makes the current Run/RunUntil call return after the in-flight event
@@ -125,9 +220,9 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run() {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		ev.afn(ev.arg)
 	}
 }
 
@@ -139,9 +234,9 @@ func (e *Engine) RunUntil(deadline Time) {
 		if e.events[0].at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		ev.afn(ev.arg)
 	}
 	if !e.stopped && e.now < deadline {
 		e.now = deadline

@@ -19,6 +19,18 @@ type Sample struct {
 	sorted []float64 // lazy sorted copy; nil when stale
 }
 
+// NewSample returns a sample preallocated for about sizeHint
+// observations, avoiding the append growth path (and its copies) that
+// shows up in cluster-scale profiles. A non-positive hint is the same as
+// a zero Sample.
+func NewSample(sizeHint int) *Sample {
+	s := &Sample{}
+	if sizeHint > 0 {
+		s.vals = make([]float64, 0, sizeHint)
+	}
+	return s
+}
+
 // Add appends an observation.
 func (s *Sample) Add(v float64) {
 	s.vals = append(s.vals, v)

@@ -66,6 +66,12 @@ type Driver struct {
 	cpu *sim.Resource
 	rng *sim.Rand
 
+	// Freelists of pooled per-packet work records (single-threaded, like
+	// the engine). A record abandoned mid-flight by a queue reset is
+	// garbage-collected; correctness never depends on recycling.
+	freeTxP *txPost
+	freeRxW *rxWork
+
 	// Stats.
 	RxPackets, TxPackets int64
 	// CQEErrors counts error completions observed; TxErrors counts
@@ -104,6 +110,16 @@ func (d *Driver) CPU() *sim.Resource { return d.cpu }
 // cpuWork charges one CPU operation, with occasional OS jitter, then runs
 // fn.
 func (d *Driver) cpuWork(cost sim.Duration, fn func()) {
+	d.cpu.Acquire(d.cpuCost(cost), fn)
+}
+
+// cpuWorkArg is cpuWork with an arg-form continuation, for the per-packet
+// paths that keep their state in a pooled record instead of a closure.
+func (d *Driver) cpuWorkArg(cost sim.Duration, fn func(any), arg any) {
+	d.cpu.AcquireArg(d.cpuCost(cost), fn, arg)
+}
+
+func (d *Driver) cpuCost(cost sim.Duration) sim.Duration {
 	jittered := d.Prm.JitterProb > 0 && d.rng.Float64() < d.Prm.JitterProb
 	if jittered {
 		cost += d.rng.Pareto(d.Prm.JitterMin, d.Prm.JitterMax, d.Prm.JitterAlpha)
@@ -114,7 +130,84 @@ func (d *Driver) cpuWork(cost sim.Duration, fn func()) {
 			t.jitters.Inc()
 		}
 	}
-	d.cpu.Acquire(cost, fn)
+	return cost
+}
+
+// txPost carries one frame through the TX CPU cost to its ring post.
+type txPost struct {
+	p     *EthPort
+	frame []byte
+	next  *txPost
+}
+
+func (d *Driver) getTxPost() *txPost {
+	x := d.freeTxP
+	if x != nil {
+		d.freeTxP = x.next
+		x.next = nil
+		return x
+	}
+	return &txPost{}
+}
+
+func (d *Driver) putTxPost(x *txPost) {
+	*x = txPost{next: d.freeTxP}
+	d.freeTxP = x
+}
+
+func txPostRun(a any) {
+	x := a.(*txPost)
+	p, frame := x.p, x.frame
+	p.drv.putTxPost(x)
+	if int(p.pi-p.ci) >= p.sqSize {
+		p.tTxSwQueued.Inc()
+		p.txQueued = append(p.txQueued, frame)
+		return
+	}
+	p.post(frame)
+}
+
+// rxWork carries one receive completion through the RX CPU cost to frame
+// delivery and buffer recycling.
+type rxWork struct {
+	p    *EthPort
+	c    nic.CQE
+	next *rxWork
+}
+
+func (d *Driver) getRxWork() *rxWork {
+	x := d.freeRxW
+	if x != nil {
+		d.freeRxW = x.next
+		x.next = nil
+		return x
+	}
+	return &rxWork{}
+}
+
+func (d *Driver) putRxWork(x *rxWork) {
+	*x = rxWork{next: d.freeRxW}
+	d.freeRxW = x
+}
+
+func rxWorkRun(a any) {
+	x := a.(*rxWork)
+	p, c := x.p, x.c
+	p.drv.putRxWork(x)
+	p.drv.RxPackets++
+	p.tRxPackets.Inc()
+	base := p.drv.fab.PortOf(p.drv.mem).Base()
+	frame := p.drv.mem.ReadAt(c.Addr-base, int(c.ByteCount))
+	if p.OnReceive != nil {
+		p.OnReceive(frame, RxMeta{FlowTag: c.FlowTag, RSSHash: c.RSSHash, ChecksumOK: c.ChecksumOK})
+	}
+	// Recycle the buffer (in-order repost, batched doorbells).
+	p.rqPI++
+	p.rqSinceDB++
+	if p.rqSinceDB >= p.drv.Prm.DoorbellBatch || p.rq.Posted() < p.rqSize/2 {
+		p.rqSinceDB = 0
+		p.ringRQDoorbell()
+	}
 }
 
 // RxMeta carries receive metadata up to the application.
@@ -140,6 +233,8 @@ type EthPort struct {
 	ci       uint32
 	sincedb  int
 	txQueued [][]byte // frames waiting for ring space
+	dbTimer  *sim.Timer
+	scratch  [nic.SendWQESize]byte // ring-descriptor marshal buffer
 
 	rqRing    uint64
 	rxBufs    uint64
@@ -183,6 +278,9 @@ func (d *Driver) NewEthPort(cfg EthPortConfig) *EthPort {
 	}
 	p := &EthPort{drv: d, vport: cfg.VPort, sqSize: cfg.TxEntries, rqSize: cfg.RxEntries,
 		txBufSz: cfg.BufBytes, rxBufSz: cfg.BufBytes}
+	// Lazy-doorbell timer: rearmed on every non-batch post instead of
+	// allocating a check closure per post.
+	p.dbTimer = d.eng.NewTimer(dbTimerFire, p)
 
 	scqRing := d.mem.Alloc(uint64(cfg.TxEntries)*nic.CQESize, 64)
 	scq := d.nic.CreateCQ(nic.CQConfig{Ring: d.fab.AddrOf(d.mem, scqRing), Size: cfg.TxEntries,
@@ -225,9 +323,9 @@ func (p *EthPort) SQ() *nic.SQ { return p.sq }
 
 func (p *EthPort) ringRQDoorbell() {
 	p.tRQDoorbells.Inc()
-	var b [4]byte
-	putU32(b[:], p.rqPI)
-	p.drv.host.Write(p.drv.bar+nic.RQDoorbellOffset(p.rq.ID), b[:], nil)
+	b := p.drv.eng.Bufs().Get(4)
+	putU32(b, p.rqPI)
+	p.drv.host.WriteOwned(p.drv.bar+nic.RQDoorbellOffset(p.rq.ID), b, nil)
 }
 
 func putU32(b []byte, v uint32) {
@@ -240,14 +338,9 @@ func (p *EthPort) Send(frame []byte) {
 	if len(frame) > p.txBufSz {
 		panic(fmt.Sprintf("swdriver: frame %d exceeds buffer %d", len(frame), p.txBufSz))
 	}
-	p.drv.cpuWork(p.drv.Prm.TxCost, func() {
-		if int(p.pi-p.ci) >= p.sqSize {
-			p.tTxSwQueued.Inc()
-			p.txQueued = append(p.txQueued, frame)
-			return
-		}
-		p.post(frame)
-	})
+	x := p.drv.getTxPost()
+	x.p, x.frame = p, frame
+	p.drv.cpuWorkArg(p.drv.Prm.TxCost, txPostRun, x)
 }
 
 func (p *EthPort) post(frame []byte) {
@@ -261,7 +354,9 @@ func (p *EthPort) post(frame []byte) {
 		p.drv.TxPackets++
 		p.tTxPosts.Inc()
 		p.tTxInline.Inc()
-		p.drv.host.Write(p.drv.bar+nic.SQDoorbellOffset(p.sq.ID), w.Marshal(), nil)
+		b := p.drv.eng.Bufs().Get(w.WireSize())
+		w.MarshalInto(b)
+		p.drv.host.WriteOwned(p.drv.bar+nic.SQDoorbellOffset(p.sq.ID), b, nil)
 		return
 	}
 	slot := uint64(p.pi) % uint64(p.sqSize)
@@ -270,7 +365,10 @@ func (p *EthPort) post(frame []byte) {
 	signal := p.drv.Prm.SignalEvery == 1 || p.pi%uint32(p.drv.Prm.SignalEvery) == uint32(p.drv.Prm.SignalEvery-1)
 	w := nic.SendWQE{Opcode: nic.OpSend, Index: uint16(p.pi), Signal: signal,
 		Addr: p.drv.fab.AddrOf(p.drv.mem, bufOff), Len: uint32(len(frame))}
-	p.drv.mem.WriteAt(p.sqRing+slot*nic.SendWQESize, w.Marshal())
+	// WriteAt copies synchronously, so the descriptor marshals into a
+	// per-port scratch buffer instead of a fresh slice.
+	w.MarshalInto(p.scratch[:])
+	p.drv.mem.WriteAt(p.sqRing+slot*nic.SendWQESize, p.scratch[:])
 	p.pi++
 	p.sincedb++
 	p.drv.TxPackets++
@@ -279,13 +377,17 @@ func (p *EthPort) post(frame []byte) {
 		p.flushDoorbell()
 	} else {
 		// Lazy doorbell: make sure it eventually fires even without
-		// further sends.
-		pi := p.pi
-		p.drv.eng.After(200*sim.Nanosecond, func() {
-			if p.sincedb > 0 && p.pi == pi {
-				p.flushDoorbell()
-			}
-		})
+		// further sends. Rearming pushes the deadline past any newer
+		// post, exactly like the per-post check closure it replaces.
+		p.dbTimer.Reset(200 * sim.Nanosecond)
+	}
+}
+
+// dbTimerFire flushes a doorbell still pending 200 ns after the last post.
+func dbTimerFire(a any) {
+	p := a.(*EthPort)
+	if p.sincedb > 0 {
+		p.flushDoorbell()
 	}
 }
 
@@ -293,9 +395,10 @@ func (p *EthPort) flushDoorbell() {
 	p.tDBBatch.Observe(int64(p.sincedb))
 	p.tSQDoorbells.Inc()
 	p.sincedb = 0
-	var b [4]byte
-	putU32(b[:], p.pi)
-	p.drv.host.Write(p.drv.bar+nic.SQDoorbellOffset(p.sq.ID), b[:], nil)
+	p.dbTimer.Stop()
+	b := p.drv.eng.Bufs().Get(4)
+	putU32(b, p.pi)
+	p.drv.host.WriteOwned(p.drv.bar+nic.SQDoorbellOffset(p.sq.ID), b, nil)
 }
 
 // Poll is the poll-mode driver's queue-health check: a PMD core notices
@@ -390,20 +493,7 @@ func (p *EthPort) rxComplete(c nic.CQE) {
 		}
 		return
 	}
-	p.drv.cpuWork(p.drv.Prm.RxCost, func() {
-		p.drv.RxPackets++
-		p.tRxPackets.Inc()
-		base := p.drv.fab.PortOf(p.drv.mem).Base()
-		frame := p.drv.mem.ReadAt(c.Addr-base, int(c.ByteCount))
-		if p.OnReceive != nil {
-			p.OnReceive(frame, RxMeta{FlowTag: c.FlowTag, RSSHash: c.RSSHash, ChecksumOK: c.ChecksumOK})
-		}
-		// Recycle the buffer (in-order repost, batched doorbells).
-		p.rqPI++
-		p.rqSinceDB++
-		if p.rqSinceDB >= p.drv.Prm.DoorbellBatch || p.rq.Posted() < p.rqSize/2 {
-			p.rqSinceDB = 0
-			p.ringRQDoorbell()
-		}
-	})
+	x := p.drv.getRxWork()
+	x.p, x.c = p, c
+	p.drv.cpuWorkArg(p.drv.Prm.RxCost, rxWorkRun, x)
 }

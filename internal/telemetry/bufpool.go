@@ -1,0 +1,24 @@
+package telemetry
+
+import "flexdriver/internal/sim"
+
+// RegisterBufPool surfaces a buffer pool's accounting as sampled metrics
+// under path ("<path>/gets", "/puts", "/misses", "/foreign", "/overflow",
+// and the leak counter "/outstanding" = gets − puts, which must read zero
+// when the simulation has quiesced).
+//
+// Registration is deliberately opt-in rather than wired into every engine:
+// experiments hash their telemetry snapshots for determinism regression
+// (exps.ClusterTelemetryHash), and silently adding metrics would change
+// those bytes.
+func RegisterBufPool(r *Registry, path string, p *sim.BufPool) {
+	if r == nil || p == nil {
+		return
+	}
+	r.Func(path+"/gets", func() float64 { return float64(p.Stats().Gets) })
+	r.Func(path+"/puts", func() float64 { return float64(p.Stats().Puts) })
+	r.Func(path+"/misses", func() float64 { return float64(p.Stats().Misses) })
+	r.Func(path+"/foreign", func() float64 { return float64(p.Stats().Foreign) })
+	r.Func(path+"/overflow", func() float64 { return float64(p.Stats().Overflow) })
+	r.Func(path+"/outstanding", func() float64 { return float64(p.Outstanding()) })
+}
