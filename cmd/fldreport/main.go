@@ -13,6 +13,10 @@
 //	                           # chrome://tracing or Perfetto)
 //	fldreport -exp chaos -seed 7 -faults heavy
 //	                           # replay one deterministic fault storm
+//	fldreport -exp scenario -seed 1 -count 200
+//	                           # sweep 200 generated scenarios (CI smoke)
+//	fldreport -exp scenario -seed 42 -spec "seed=42 clients=1 ..."
+//	                           # replay one exact (possibly shrunk) scenario
 package main
 
 import (
@@ -40,10 +44,12 @@ func parseClients(spec string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio, telemetry, chaos, cluster)")
+	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio, telemetry, chaos, cluster, scenario)")
 	quick := flag.Bool("quick", false, "shorter measurement windows")
-	seed := flag.Int64("seed", 1, "random seed for the chaos experiment's fault plan; a failing (seed, faults) pair replays the identical storm")
+	seed := flag.Int64("seed", 1, "random seed for the chaos experiment's fault plan and the scenario sweep's first seed; a failing seed replays the identical run")
 	faults := flag.String("faults", "", `fault spec for the chaos experiment: a preset ("light", "heavy") or key=value pairs, e.g. "heavy" or "light,wire.loss=0.1" (default "heavy")`)
+	count := flag.Int("count", 25, "how many generated scenarios the scenario sweep runs (seeds seed..seed+count-1)")
+	spec := flag.String("spec", "", "exact scenario spec to replay for -exp scenario (the form a shrunk repro command prints); overrides -count")
 	clients := flag.String("clients", "1,2,4,8", "client counts the cluster experiment sweeps, comma-separated")
 	traceOut := flag.String("trace", "", "run the telemetry experiment, print its counter snapshot, and write the TLP flight recorder as Chrome trace_event JSON to this file")
 	flag.Parse()
@@ -95,6 +101,7 @@ func main() {
 		{"ext-virtio", func() *exps.Result { return exps.Portability(window) }},
 		{"telemetry", runTelemetry},
 		{"chaos", func() *exps.Result { return exps.Chaos(*seed, *faults, window) }},
+		{"scenario", func() *exps.Result { return exps.Scenario(*seed, *count, *spec) }},
 		{"cluster", func() *exps.Result {
 			p := exps.DefaultClusterParams(window)
 			ns, err := parseClients(*clients)

@@ -1,8 +1,6 @@
 package exps
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 
 	"flexdriver"
@@ -274,8 +272,7 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 		pt.tailDrops += port.Counters.TailDrops
 	}
 	snap := reg.Snapshot()
-	sum := sha256.Sum256([]byte(snap.String()))
-	pt.telemHash = hex.EncodeToString(sum[:])
+	pt.telemHash = snap.Hash()
 	pt.pcieMismatches = pcieMismatches(snap, "server", srv.Fab)
 	for ci, h := range cl.Hosts {
 		pt.pcieMismatches += pcieMismatches(snap, fmt.Sprintf("client%d", ci), h.Fab)

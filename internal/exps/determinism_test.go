@@ -34,3 +34,32 @@ func TestClusterTelemetryStable(t *testing.T) {
 		t.Fatalf("back-to-back fixed-seed runs diverged: %s vs %s", a, b)
 	}
 }
+
+// goldenChaosScenarioHash extends the golden pin to a cluster run with
+// an active fault plan: scenario seed 2 expands to a 4-core VXLAN server
+// with an RDMA sidecar under PCIe drop/corrupt and wire loss/dup/delay
+// injection. Fault plans draw from their own seeded random streams, so
+// this pin catches determinism regressions in the injection paths (and
+// their recovery machinery) that a fault-free run never exercises. Same
+// rule as above: if a change legitimately alters behavior, recapture the
+// constant and say why in the commit message.
+const goldenChaosScenarioHash = "e421cb4418086b4e45ec5bca73e84787e211af510c089248de8f5f22b79df2d9"
+
+func TestChaosScenarioTelemetryGolden(t *testing.T) {
+	got := ScenarioTelemetryHash(2)
+	if got != goldenChaosScenarioHash {
+		t.Fatalf("chaos-fault scenario telemetry diverged from golden snapshot:\n got  %s\n want %s",
+			got, goldenChaosScenarioHash)
+	}
+}
+
+// TestChaosScenarioTelemetryStable is the in-process double-run variant
+// under fault injection: the plan's Bernoulli stream, the flap schedule
+// and every recovery path must be as replayable as the clean fast path.
+func TestChaosScenarioTelemetryStable(t *testing.T) {
+	a := ScenarioTelemetryHash(2)
+	b := ScenarioTelemetryHash(2)
+	if a != b {
+		t.Fatalf("back-to-back chaos scenario runs diverged: %s vs %s", a, b)
+	}
+}

@@ -1,0 +1,91 @@
+package exps
+
+import (
+	"fmt"
+
+	"flexdriver/internal/scenario"
+)
+
+// Scenario drives the randomized scenario fuzzer (internal/scenario) as
+// a reportable experiment. Two modes:
+//
+//   - sweep (spec == ""): run `count` generated scenarios starting at
+//     `seed`, each to quiescence and twice (the replay-determinism
+//     invariant compares the two telemetry hashes). This is the CI
+//     smoke: `fldreport -exp scenario -seed 1 -count 200`.
+//   - replay (spec != ""): parse and run that exact spec — the path the
+//     shrinker's one-line repro command takes, so a shrunk violation
+//     reproduces outside the test harness.
+//
+// The first violated scenario is shrunk to a minimal reproducing spec
+// and its repro command is printed in the report; the experiment's
+// checks fail if any scenario violated an invariant.
+func Scenario(seed int64, count int, spec string) *Result {
+	r := &Result{ID: "scenario"}
+	r.Columns = []string{"seed", "sent", "lost", "dups", "faults-injected", "verdict"}
+
+	var specs []scenario.Spec
+	if spec != "" {
+		r.Title = fmt.Sprintf("scenario replay (spec=%q)", spec)
+		s, err := scenario.Parse(spec)
+		if err != nil {
+			r.Check("spec parses", 1, 0, "", false, err.Error())
+			return r
+		}
+		specs = []scenario.Spec{s}
+	} else {
+		if count < 1 {
+			count = 1
+		}
+		r.Title = fmt.Sprintf("randomized scenario sweep (seeds %d..%d)", seed, seed+int64(count)-1)
+		for i := int64(0); i < int64(count); i++ {
+			specs = append(specs, scenario.Generate(seed+i))
+		}
+	}
+
+	var violated []*scenario.Result
+	var sent, lost, dups, injected int64
+	for _, s := range specs {
+		res := scenario.Check(s)
+		sent += res.Sent
+		lost += res.Lost
+		dups += res.Dups
+		injected += res.Injected.Total()
+		if len(res.Violations) > 0 {
+			violated = append(violated, res)
+			r.AddRow(fmt.Sprintf("%d", s.Seed), d64(res.Sent), d64(res.Lost),
+				d64(res.Dups), d64(res.Injected.Total()),
+				"VIOLATED "+res.Violations[0].Invariant)
+		}
+	}
+	r.AddRow("(all)", d64(sent), d64(lost), d64(dups), d64(injected),
+		fmt.Sprintf("%d/%d clean", len(specs)-len(violated), len(specs)))
+
+	// Shrink the first violation to its minimal repro and surface the
+	// one-liner; the remaining violations replay individually via -spec.
+	if len(violated) > 0 {
+		first := violated[0]
+		min, runs := scenario.Shrink(first.Spec, first.Violations[0].Invariant)
+		r.AddRow("", "", "", "", "", "")
+		r.AddRow("shrunk", fmt.Sprintf("%d runs", runs), "", "", "", min.String())
+		r.AddRow("repro", "", "", "", "", min.ReproCommand())
+		for _, v := range first.Violations {
+			r.AddRow("violation", "", "", "", "", v.String())
+		}
+	}
+
+	r.Check("every scenario holds all global invariants", 0, float64(len(violated)),
+		"violating scenarios", len(violated) == 0,
+		"frame conservation, PCIe reconcile, CQE<->WQE, pool balance, quiescence, replay determinism")
+	r.Check("sweep exercised traffic", 1, b2f(sent > 0), "", sent > 0, "")
+	return r
+}
+
+// ScenarioTelemetryHash runs one generated scenario once and returns the
+// SHA-256 of its final telemetry snapshot — the whole run's
+// deterministic fingerprint, golden-pinned by the determinism
+// regression tests (including a chaos-fault scenario, so fault-plan
+// random streams are covered too).
+func ScenarioTelemetryHash(seed int64) string {
+	return scenario.Run(scenario.Generate(seed)).Hash
+}

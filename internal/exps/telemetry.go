@@ -2,7 +2,6 @@ package exps
 
 import (
 	"fmt"
-	"strings"
 
 	"flexdriver"
 	"flexdriver/internal/pcie"
@@ -13,13 +12,7 @@ import (
 // ends with suffix — used to aggregate per-queue metrics (sq3/doorbells,
 // sq7/doorbells, ...) without knowing queue IDs.
 func sumCounters(s flexdriver.Snapshot, prefix, suffix string) int64 {
-	var tot int64
-	for p, v := range s.Counters {
-		if strings.HasPrefix(p, prefix) && strings.HasSuffix(p, suffix) {
-			tot += v
-		}
-	}
-	return tot
+	return s.Sum(prefix, suffix)
 }
 
 // reconcilePCIe compares the telemetry byte counters of every port on a

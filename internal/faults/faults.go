@@ -11,6 +11,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -416,7 +417,11 @@ func parseProb(s string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if v < 0 || v > 1 {
+	// NaN must be rejected explicitly: it passes both range comparisons
+	// below (every comparison with NaN is false), yet never round-trips
+	// through String (NaN != NaN), and a NaN rate silently disables the
+	// class. Found by FuzzParseSpecRoundTrip.
+	if math.IsNaN(v) || v < 0 || v > 1 {
 		return 0, fmt.Errorf("probability %v outside [0,1]", v)
 	}
 	return v, nil
@@ -427,5 +432,62 @@ func parseDur(s string) (sim.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Negative durations would put the injection window or flap schedule
+	// before time zero; flapDown's modulo arithmetic also misbehaves on
+	// them. Found by FuzzParseSpecRoundTrip.
+	if d < 0 {
+		return 0, fmt.Errorf("duration %v is negative", d)
+	}
 	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond, nil
+}
+
+// formatDur renders a duration in the Go syntax ParseSpec accepts.
+// ParseSpec only produces whole-nanosecond durations, so the conversion
+// is lossless.
+func formatDur(d sim.Duration) string {
+	return time.Duration(int64(d / sim.Nanosecond)).String()
+}
+
+// String serializes the config as a ParseSpec-compatible key=value spec:
+// ParseSpec(cfg.String()) reproduces cfg exactly (the round trip is
+// fuzzed). Zero-valued classes are omitted; the zero config renders as
+// the empty string. WireDelayBy is emitted only when it differs from the
+// parse-time zero value, so specs stay minimal.
+func (c Config) String() string {
+	var parts []string
+	add := func(key string, v float64) {
+		if v != 0 {
+			parts = append(parts, key+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	addDur := func(key string, d sim.Duration) {
+		if d != 0 {
+			parts = append(parts, key+"="+formatDur(d))
+		}
+	}
+	add("pcie.drop", c.PCIeDrop)
+	add("pcie.corrupt", c.PCIeCorrupt)
+	addDur("flap.every", c.FlapEvery)
+	addDur("flap.for", c.FlapFor)
+	add("db.loss", c.DoorbellLoss)
+	add("wqe.fail", c.WQEFetchFail)
+	add("cqe.err", c.CQEErr)
+	add("accel.stall", c.AccelStall)
+	add("wire.loss", c.WireLoss)
+	add("wire.dup", c.WireDup)
+	add("wire.delay", c.WireDelay)
+	addDur("wire.delayby", c.WireDelayBy)
+	if c.WireDir != 0 {
+		parts = append(parts, "wire.dir="+strconv.Itoa(c.WireDir))
+	}
+	if len(c.WireDropNth) > 0 {
+		ns := make([]string, len(c.WireDropNth))
+		for i, n := range c.WireDropNth {
+			ns[i] = strconv.FormatInt(n, 10)
+		}
+		parts = append(parts, "wire.dropn="+strings.Join(ns, ";"))
+	}
+	addDur("start", c.Start)
+	addDur("stop", c.Stop)
+	return strings.Join(parts, ",")
 }

@@ -33,6 +33,7 @@ const (
 	DropRDMATimeout    DropReason = "rdma-timeout-retransmit"
 	DropRDMAUnknownQPN DropReason = "rdma-unknown-qpn"
 	DropRDMAOutOfOrder DropReason = "rdma-out-of-order"
+	DropRDMAStaleEpoch DropReason = "rdma-stale-epoch"
 	DropQPError        DropReason = "qp-error-state"
 
 	// eSwitch steering.
@@ -56,7 +57,7 @@ var AllDropReasons = []DropReason{
 	DropRQBadDesc, DropRQOverflow, DropRQNoBuffers, DropRxTooBig, DropRQError,
 	DropSQError,
 	DropQPNotConnected, DropRDMATimeout, DropRDMAUnknownQPN,
-	DropRDMAOutOfOrder, DropQPError,
+	DropRDMAOutOfOrder, DropRDMAStaleEpoch, DropQPError,
 	DropESwitchMiss, DropPolicer, DropDecapFailed, DropESPAuthFailed,
 	DropRuleDrop, DropNoSuchVPort, DropNoDisposition, DropTableLoop,
 	DropNoWire, DropWireInjectedLoss,

@@ -459,8 +459,16 @@ func (n *NIC) Ingress(frame []byte) {
 	n.rxEngine.Acquire(n.Prm.RxPerPkt, func() {
 		n.eng.After(n.Prm.PipelineDelay, func() {
 			// RoCE transport packets bypass the match-action pipeline:
-			// the NIC's hardware transport consumes them directly.
+			// the NIC's hardware transport consumes them directly. They
+			// still count as port receives, in both stats stores — the
+			// telemetry-mirror invariant holds the two equal.
 			if bth, payload, ok := parseRoCE(frame); ok {
+				n.Stats.RxPackets++
+				n.Stats.RxBytes += int64(len(frame))
+				if t := n.tlm; t != nil {
+					t.rxPackets.Inc()
+					t.rxBytes.Add(int64(len(frame)))
+				}
 				n.rdmaIngress(bth, payload)
 				return
 			}

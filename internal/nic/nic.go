@@ -122,16 +122,19 @@ type NIC struct {
 	flt *FaultHooks   // nil unless SetFaults was called
 }
 
-var nicSeq int
-
-// New returns a NIC bound to the engine, with a unique MAC/IP identity.
+// New returns a NIC bound to the engine, with a MAC/IP identity unique
+// within the engine. Identity comes from the engine's own allocator, not
+// a package global: a fresh engine always numbers its NICs 1, 2, 3, ...,
+// so two runs of the same scenario build bit-identical clusters (RSS
+// hashes included) — the scenario fuzzer's replay-determinism invariant
+// depends on it.
 func New(name string, eng *sim.Engine, prm Params) *NIC {
-	nicSeq++
+	id := eng.NextID("nic")
 	n := &NIC{
 		Name: name,
 		Prm:  prm,
-		MAC:  netpkt.MACFrom(nicSeq),
-		IP:   netpkt.IPFrom(nicSeq),
+		MAC:  netpkt.MACFrom(id),
+		IP:   netpkt.IPFrom(id),
 		eng:  eng,
 		sqs:  make(map[uint32]*SQ),
 		rqs:  make(map[uint32]*RQ),

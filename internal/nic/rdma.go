@@ -26,15 +26,22 @@ const (
 	btNak        = 0x12
 )
 
-// BTH is the base transport header of a RoCE packet.
+// BTH is the base transport header of a RoCE packet. Epoch rides in a
+// reserved byte: it names the connection incarnation the packet belongs
+// to, so a receiver never confuses a stale in-flight packet (delayed or
+// duplicated on the wire across a reconnect) with traffic of the new
+// connection — after a reconnect both PSN streams restart at zero, and
+// without the epoch a leftover packet could alias into the fresh
+// sequence space and corrupt a reassembling message.
 type BTH struct {
 	Opcode  uint8
+	Epoch   uint8
 	DestQPN uint32
 	PSN     uint32
 }
 
 func (h BTH) marshal(b []byte) []byte {
-	b = append(b, h.Opcode, 0, 0, 0)
+	b = append(b, h.Opcode, h.Epoch, 0, 0)
 	b = binary.BigEndian.AppendUint32(b, h.DestQPN)
 	return binary.BigEndian.AppendUint32(b, h.PSN)
 }
@@ -45,6 +52,7 @@ func parseBTH(b []byte) (BTH, []byte, error) {
 	}
 	return BTH{
 		Opcode:  b[0],
+		Epoch:   b[1],
 		DestQPN: binary.BigEndian.Uint32(b[4:]),
 		PSN:     binary.BigEndian.Uint32(b[8:]),
 	}, b[BTHLen:], nil
@@ -89,9 +97,13 @@ type QP struct {
 
 	// state gates the transport: an Error-state QP drops sends and
 	// arriving packets until ReconnectQPs re-establishes it. gen
-	// invalidates pending timer events across a reconnect.
-	state QueueState
-	gen   uint32
+	// invalidates pending timer events across a reconnect; connEpoch is
+	// the wire-visible incarnation number stamped into every BTH, so
+	// packets of a dead connection are rejected instead of aliasing into
+	// the restarted PSN space.
+	state     QueueState
+	gen       uint32
+	connEpoch uint8
 
 	// Sender state.
 	sndPSN     uint32 // next PSN to assign
@@ -146,6 +158,12 @@ func (n *NIC) CreateQP(cfg QPConfig) *QP {
 func ConnectQPs(a, b *QP) {
 	a.remoteNIC, a.remoteQPN = b.n, b.QPN
 	b.remoteNIC, b.remoteQPN = a.n, a.QPN
+	// Align the two ends on one connection epoch (reset bumps each side's
+	// epoch, so a reconnect lands on a number no in-flight packet carries).
+	if a.connEpoch < b.connEpoch {
+		a.connEpoch = b.connEpoch
+	}
+	b.connEpoch = a.connEpoch
 }
 
 // send accepts one message from the SQ and segments it into the
@@ -194,7 +212,7 @@ func (qp *QP) send(idx uint32, wqe SendWQE, data []byte) {
 
 // buildPacket wraps a payload segment in RoCE v2 framing.
 func (qp *QP) buildPacket(op uint8, psn uint32, payload []byte) []byte {
-	bth := BTH{Opcode: op, DestQPN: qp.remoteQPN, PSN: psn}
+	bth := BTH{Opcode: op, Epoch: qp.connEpoch, DestQPN: qp.remoteQPN, PSN: psn}
 	l4 := bth.marshal(make([]byte, 0, BTHLen+len(payload)+ICRCLen))
 	l4 = append(l4, payload...)
 	l4 = append(l4, 0, 0, 0, 0) // ICRC placeholder
@@ -230,6 +248,10 @@ func (qp *QP) pump() {
 func (qp *QP) transmit(frame []byte) {
 	qp.n.Stats.TxPackets++
 	qp.n.Stats.TxBytes += int64(len(frame))
+	if t := qp.n.tlm; t != nil {
+		t.txPackets.Inc()
+		t.txBytes.Add(int64(len(frame)))
+	}
 	if qp.remoteNIC == qp.n {
 		n := qp.n
 		n.esw.loopback.Acquire(n.esw.LoopbackRate.Serialize(len(frame)), func() {
@@ -308,13 +330,16 @@ func (qp *QP) enterError(syndrome uint8) {
 	qp.sent = nil
 }
 
-// reset returns the QP to a freshly-established state.
+// reset returns the QP to a freshly-established state. The connection
+// epoch advances so the wire can tell the new incarnation's packets from
+// leftovers of the old one (ConnectQPs re-aligns both ends).
 func (qp *QP) reset() {
 	if qp.state == QueueError {
 		qp.n.noteRecovery()
 	}
 	qp.state = QueueReady
 	qp.gen++
+	qp.connEpoch++
 	qp.sndPSN, qp.una = 0, 0
 	qp.sent = nil
 	qp.retries = 0
@@ -362,6 +387,14 @@ func (n *NIC) rdmaIngress(bth BTH, payload []byte) {
 func (qp *QP) receive(bth BTH, payload []byte) {
 	if qp.state != QueueReady {
 		qp.n.drop(DropQPError)
+		return
+	}
+	if bth.Epoch != qp.connEpoch {
+		// A leftover of a previous connection incarnation, still in
+		// flight (wire delay or duplication) across a reconnect. Its PSN
+		// belongs to the old sequence space; accepting it would corrupt
+		// the restarted stream.
+		qp.n.drop(DropRDMAStaleEpoch)
 		return
 	}
 	switch bth.Opcode {
@@ -442,7 +475,7 @@ func (qp *QP) sendCtl(op uint8, psn uint32) {
 	if qp.remoteNIC == nil {
 		return
 	}
-	bth := BTH{Opcode: op, DestQPN: qp.remoteQPN, PSN: psn}
+	bth := BTH{Opcode: op, Epoch: qp.connEpoch, DestQPN: qp.remoteQPN, PSN: psn}
 	l4 := bth.marshal(make([]byte, 0, BTHLen+ICRCLen))
 	l4 = append(l4, 0, 0, 0, 0)
 	udp := netpkt.UDP{SrcPort: 0xC000, DstPort: netpkt.RoCEPort, Length: uint16(netpkt.UDPHeaderLen + len(l4))}

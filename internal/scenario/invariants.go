@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"fmt"
+
+	"flexdriver"
+	"flexdriver/internal/faults"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/pcie"
+	"flexdriver/internal/swdriver"
+)
+
+// runState carries everything the invariant checks need to cross-examine
+// a finished run: the cluster's layers, the fault plan's tallies, and
+// the bookkeeping the workload kept on the side.
+type runState struct {
+	spec    Spec
+	eng     *flexdriver.Engine
+	cl      *flexdriver.Cluster
+	reg     *flexdriver.Registry
+	plan    *faults.Plan
+	rts     []*flexdriver.Runtime
+	clients []*client
+	epA     *swdriver.RDMAEndpoint
+	epB     *swdriver.RDMAEndpoint
+
+	rdmaBad, rdmaGhosts int64
+	echoSendFails       int64
+}
+
+// node is one racked node's identity for per-node checks.
+type node struct {
+	name string
+	nic  *nic.NIC
+	fab  *pcie.Fabric
+}
+
+func (st *runState) nodes() []node {
+	var ns []node
+	for _, inn := range st.cl.Innovas {
+		ns = append(ns, node{inn.Name(), inn.NIC, inn.Fab})
+	}
+	for _, h := range st.cl.Hosts {
+		ns = append(ns, node{h.Name(), h.NIC, h.Fab})
+	}
+	return ns
+}
+
+// checkInvariants appends one Violation per failed global invariant.
+// Every check is phrased as a conservation or reconciliation law, so a
+// violation means real state went missing or was manufactured — not that
+// a tuning threshold was missed.
+func checkInvariants(res *Result, st *runState) {
+	snap := st.reg.Snapshot()
+	res.Hash = snap.Hash()
+	bad := func(invariant, format string, args ...any) {
+		res.Violations = append(res.Violations, Violation{invariant, fmt.Sprintf(format, args...)})
+	}
+
+	inj := res.Injected
+	nodes := st.nodes()
+
+	// Frame conservation: every sent frame is delivered, or its loss is
+	// recorded somewhere with a reason — an injected fault (each worth at
+	// most one flushed 512-entry ring of collateral), a switch tail drop,
+	// a NIC drop counter, or an echo-side send failure. A fault-free,
+	// uncongested scenario therefore has a budget of zero: any loss at
+	// all is a ghost drop. (The PlantLossNth hook manufactures exactly
+	// such a drop, and this is the invariant that must catch it.)
+	var nicDrops int64
+	for _, nd := range nodes {
+		for _, v := range nd.nic.Stats.Drops {
+			nicDrops += v
+		}
+	}
+	var short int64
+	for _, c := range st.clients {
+		short += c.short
+	}
+	swStats := st.cl.Switch().Stats
+	budget := 512*inj.Total() + res.TailDrops + nicDrops + st.echoSendFails + swStats.Malformed + short
+	if res.Lost > budget {
+		bad("frame-conservation",
+			"%d of %d frames lost but only %d accounted for (injected=%d tail=%d nic=%d echo-fail=%d)",
+			res.Lost, res.Sent, budget, inj.Total(), res.TailDrops, nicDrops, st.echoSendFails)
+	}
+
+	// No ghost frames: a client must never receive a sequence number it
+	// has not sent — no layer may manufacture packets.
+	var ghosts int64
+	for _, c := range st.clients {
+		ghosts += c.ghosts
+	}
+	if ghosts > 0 {
+		bad("ghost-frames", "%d frames delivered with sequence numbers never sent", ghosts)
+	}
+
+	// No duplication beyond the plan's injected wire duplicates.
+	if res.Dups > inj.WireDups {
+		bad("duplication", "%d duplicate deliveries vs %d injected wire dups", res.Dups, inj.WireDups)
+	}
+
+	// Byte-exact PCIe reconciliation on every node: the telemetry tree's
+	// per-device byte counters must equal each fabric port's independent
+	// accounting, faults or not.
+	mismatches := 0
+	for _, nd := range nodes {
+		for _, p := range nd.fab.Ports() {
+			dev := p.Device().PCIeName()
+			if snap.Get(nd.name+"/pcie/"+dev+"/up/bytes") != p.UpBytes ||
+				snap.Get(nd.name+"/pcie/"+dev+"/down/bytes") != p.DownBytes {
+				mismatches++
+			}
+		}
+	}
+	if mismatches > 0 {
+		bad("pcie-reconcile", "%d PCIe ports with telemetry/port byte mismatches", mismatches)
+	}
+
+	// CQE/WQE matching, from the telemetry tree alone: every completion
+	// the NIC wrote corresponds to an executed send WQE, a placed receive
+	// packet, or an error-state announcement — and every placed packet
+	// announces a completion. More CQEs than causes means completions
+	// were manufactured; fewer than placements means one went missing —
+	// excusable only by an injected fault (a dropped PCIe TLP can kill
+	// the completion write after the payload already landed), so the
+	// receive-side bound is exact on a fault-free run.
+	for _, nd := range nodes {
+		executed := snap.Sum(nd.name+"/nic/sq", "/wqe_executed")
+		placed := snap.Sum(nd.name+"/nic/rq", "/packets")
+		cqes := snap.Sum(nd.name+"/nic/cq", "/cqes")
+		errs := nd.nic.Stats.QueueErrors
+		if cqes > executed+placed+errs {
+			bad("cqe-wqe", "%s: %d CQEs exceed %d executed WQEs + %d placed packets + %d errors",
+				nd.name, cqes, executed, placed, errs)
+		}
+		if placed > cqes+inj.Total() {
+			bad("cqe-wqe", "%s: %d placed packets but only %d CQEs announced (%d faults injected)",
+				nd.name, placed, cqes, inj.Total())
+		}
+	}
+
+	// Buffer-pool balance: the engine's shared pool must have every
+	// buffer returned once the run quiesces (free-on-delivery ownership).
+	if out := st.eng.Bufs().Outstanding(); out != 0 {
+		bad("bufpool-leak", "%d pool buffers still outstanding after quiescence", out)
+	}
+
+	// Engine quiescence: no wedged retry or recovery loop keeps
+	// scheduling events after traffic stops.
+	if n := st.eng.Pending(); n != 0 {
+		bad("quiesce", "%d events still pending after drain", n)
+	}
+
+	// Recovery: every runtime and client queue is back in Ready, and
+	// every queue error was answered by a driver reset.
+	for i, rt := range st.rts {
+		if !rt.QueuesReady() {
+			bad("queues-recovered", "server FLD runtime %d has queues not in Ready", i)
+		}
+	}
+	for i, c := range st.clients {
+		if c.port.SQ().State() != nic.QueueReady || c.port.RQ().State() != nic.QueueReady {
+			bad("queues-recovered", "client%d port queues not in Ready", i)
+		}
+	}
+	if st.epA != nil {
+		for i, ep := range []*swdriver.RDMAEndpoint{st.epA, st.epB} {
+			if ep.QP.State() != nic.QueueReady ||
+				ep.QP.SQ.State() != nic.QueueReady || ep.QP.RQ.State() != nic.QueueReady {
+				bad("queues-recovered", "RDMA sidecar endpoint %d has rings not in Ready", i)
+			}
+		}
+	}
+	for _, nd := range nodes {
+		if nd.nic.Stats.QueueErrors > nd.nic.Stats.QueueRecoveries {
+			bad("queues-recovered", "%s: %d queue errors vs %d recoveries",
+				nd.name, nd.nic.Stats.QueueErrors, nd.nic.Stats.QueueRecoveries)
+		}
+	}
+
+	// The plan's telemetry mirror must agree with its own tallies.
+	if st.plan != nil {
+		if tel := snap.Sum("faults/injected/", ""); tel != inj.Total() {
+			bad("faults-telemetry", "faults/injected/* sums to %d, plan tallied %d", tel, inj.Total())
+		}
+	}
+
+	// The NIC's packet counters flow through two independent paths
+	// (Stats fields and telemetry counters); they must agree exactly.
+	for _, nd := range nodes {
+		if snap.Get(nd.name+"/nic/tx/packets") != nd.nic.Stats.TxPackets ||
+			snap.Get(nd.name+"/nic/rx/packets") != nd.nic.Stats.RxPackets {
+			bad("telemetry-mirror", "%s: NIC Stats and telemetry tx/rx packet counters disagree", nd.name)
+		}
+	}
+
+	// RDMA sidecar: the reliable transport may lose messages only to
+	// injected faults, must never corrupt one, and must never deliver a
+	// message that was not sent.
+	if st.spec.RDMA {
+		if st.rdmaBad > 0 {
+			bad("rdma-corruption", "%d delivered messages failed byte verification", st.rdmaBad)
+		}
+		if st.rdmaGhosts > 0 || res.RDMADelivered > res.RDMASent {
+			bad("rdma-ghost", "delivered %d messages, sent %d (%d with unsent ordinals)",
+				res.RDMADelivered, res.RDMASent, st.rdmaGhosts)
+		}
+		if inj.Total() == 0 && res.RDMADelivered != res.RDMASent {
+			bad("rdma-delivery", "fault-free run delivered %d of %d messages",
+				res.RDMADelivered, res.RDMASent)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package scenario
+
+import (
+	"fmt"
+
+	"flexdriver"
+	"flexdriver/internal/faults"
+	"flexdriver/internal/netpkt"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/sim"
+	"flexdriver/internal/swdriver"
+)
+
+// Phasing shared by every scenario: clean warmup (queues settle, no
+// faults), the spec's measurement window (faults active), clean drain
+// (recoveries complete), then run-to-quiescence.
+const (
+	warmup = 20 * sim.Microsecond
+	drain  = 60 * sim.Microsecond
+	// seqOff is where the 8-byte send ordinal lives in a delivered echo
+	// frame: Eth(14) + IPv4(20) + UDP(8).
+	seqOff = 42
+	// vxlanOuter is the encapsulation overhead in front of the inner
+	// frame: outer Eth(14) + IPv4(20) + UDP(8) + VXLAN(8).
+	vxlanOuter = 50
+	// flowsPerClient is each client's flow-set size (sport/size variety
+	// for RSS spread).
+	flowsPerClient = 6
+)
+
+// Violation is one failed global invariant.
+type Violation struct {
+	Invariant string // stable name the shrinker matches on
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Result is one scenario run's outcome: the violations (empty on a clean
+// run), the telemetry fingerprint, and the headline counters the report
+// and the shrinker's progress lines print.
+type Result struct {
+	Spec       Spec
+	Violations []Violation
+	// Hash is the SHA-256 of the final telemetry snapshot — the whole
+	// run's deterministic fingerprint.
+	Hash string
+
+	Sent, Lost, Dups        int64
+	RDMASent, RDMADelivered int64
+	Injected                faults.Counts
+	TailDrops               int64
+}
+
+// Violated reports whether the result carries the named violation.
+func (r *Result) Violated(invariant string) bool {
+	for _, v := range r.Violations {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+// client is one echo client's bookkeeping.
+type client struct {
+	host      *flexdriver.Host
+	port      *swdriver.EthPort
+	frames    [][]byte
+	sent      int64
+	delivered int64
+	recv      map[int64]int64
+	ghosts    int64
+	short     int64
+}
+
+// udpFrame builds a UDP frame between two concrete NICs, sized to size
+// bytes on the wire (before any encapsulation).
+func udpFrame(src, dst *flexdriver.NIC, sport, dport uint16, size int) []byte {
+	n := size - netpkt.EthHeaderLen - netpkt.IPv4HeaderLen - netpkt.UDPHeaderLen
+	payload := make([]byte, n)
+	udp := netpkt.UDP{SrcPort: sport, DstPort: dport, Length: uint16(netpkt.UDPHeaderLen + n)}
+	l4 := append(udp.Marshal(nil), payload...)
+	ip := netpkt.IPv4{TotalLen: uint16(netpkt.IPv4HeaderLen + len(l4)), Proto: netpkt.ProtoUDP,
+		Src: src.IP, Dst: dst.IP}
+	l3 := append(ip.Marshal(nil), l4...)
+	eth := netpkt.Eth{Dst: dst.MAC, Src: src.MAC, EtherType: netpkt.EtherTypeIPv4}
+	return append(eth.Marshal(nil), l3...)
+}
+
+// vxlanWrap encapsulates inner in an outer Eth+IPv4+UDP(4789)+VXLAN
+// envelope between the same pair of NICs, the frame shape the server's
+// decap rule strips back to inner.
+func vxlanWrap(src, dst *flexdriver.NIC, osport uint16, inner []byte) []byte {
+	vx := append(netpkt.VXLAN{VNI: 42}.Marshal(nil), inner...)
+	udp := netpkt.UDP{SrcPort: osport, DstPort: netpkt.VXLANPort,
+		Length: uint16(netpkt.UDPHeaderLen + len(vx))}
+	l4 := append(udp.Marshal(nil), vx...)
+	ip := netpkt.IPv4{TotalLen: uint16(netpkt.IPv4HeaderLen + len(l4)), Proto: netpkt.ProtoUDP,
+		Src: src.IP, Dst: dst.IP}
+	l3 := append(ip.Marshal(nil), l4...)
+	eth := netpkt.Eth{Dst: dst.MAC, Src: src.MAC, EtherType: netpkt.EtherTypeIPv4}
+	return append(eth.Marshal(nil), l3...)
+}
+
+// swapEcho reverses a UDP frame in place — Ethernet addresses, IPv4
+// addresses, UDP ports — so the reply routes back through the switch to
+// the sender (pure swaps keep the IPv4 checksum valid).
+func swapEcho(f []byte) {
+	if len(f) < netpkt.EthHeaderLen+netpkt.IPv4HeaderLen+netpkt.UDPHeaderLen {
+		return
+	}
+	for i := 0; i < 6; i++ {
+		f[i], f[6+i] = f[6+i], f[i]
+	}
+	for i := 0; i < 4; i++ {
+		f[26+i], f[30+i] = f[30+i], f[26+i]
+	}
+	f[34], f[36] = f[36], f[34]
+	f[35], f[37] = f[37], f[35]
+}
+
+// stamp writes an 8-byte big-endian ordinal at off.
+func stamp(f []byte, off int, seq int64) {
+	for i := 7; i >= 0; i-- {
+		f[off+i] = byte(seq)
+		seq >>= 8
+	}
+}
+
+// unstamp reads the ordinal stamp back.
+func unstamp(f []byte, off int) int64 {
+	var seq int64
+	for i := 0; i < 8; i++ {
+		seq = seq<<8 | int64(f[off+i])
+	}
+	return seq
+}
+
+// rdmaPattern builds (and rdmaVerify checks) a sidecar message: the send
+// ordinal in the first 8 bytes, then an ordinal-keyed byte pattern, so a
+// delivered message proves byte-exact end-to-end transport.
+func rdmaPattern(seq int64, n int) []byte {
+	msg := make([]byte, n)
+	stamp(msg, 0, seq)
+	for i := 8; i < n; i++ {
+		msg[i] = byte(int64(i)*7 + seq)
+	}
+	return msg
+}
+
+func rdmaVerify(msg []byte) (seq int64, ok bool) {
+	if len(msg) < 8 {
+		return 0, false
+	}
+	seq = unstamp(msg, 0)
+	for i := 8; i < len(msg); i++ {
+		if msg[i] != byte(int64(i)*7+seq) {
+			return seq, false
+		}
+	}
+	return seq, true
+}
+
+// Run executes one scenario to quiescence and checks every global
+// invariant. The run is a pure function of the Spec: identical specs
+// produce identical Results, including the telemetry hash.
+func Run(s Spec) *Result {
+	res := &Result{Spec: s}
+	window := sim.Duration(s.WindowUs) * sim.Microsecond
+
+	reg := flexdriver.NewRegistry()
+	opts := []flexdriver.Option{flexdriver.WithTelemetry(reg)}
+	var plan *faults.Plan
+	if s.Faults != "" {
+		cfg, err := faults.ParseSpec(s.Faults)
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{"spec-parse", err.Error()})
+			return res
+		}
+		// Probabilistic faults fire only inside the window; warmup and
+		// drain stay clean so every recovery completes before the
+		// invariants are judged (the chaos experiment's phasing).
+		cfg.Start, cfg.Stop = warmup, warmup+window
+		plan = faults.NewPlan(s.Seed, cfg)
+		opts = append(opts, flexdriver.WithFaults(plan))
+	}
+
+	cl := flexdriver.NewCluster(opts...).
+		SwitchRate(sim.BitRate(s.RateGbps) * sim.Gbps).
+		SwitchQueueFrames(s.QueueFrames)
+	eng := cl.Eng
+
+	// Server: one Innova, FLDCores cores behind an RSS TIR, each running
+	// the header-swapping echo. Send failures (credit stalls under fault
+	// storms) are counted so open-loop loss stays accounted for.
+	srv := cl.AddInnova("server")
+	rts := []*flexdriver.Runtime{srv.RT}
+	for i := 1; i < s.FLDCores; i++ {
+		_, rt := srv.AddFLD(srv.FLD.Config())
+		rts = append(rts, rt)
+	}
+	var echoSendFails int64
+	var rqs []*nic.RQ
+	for _, rt := range rts {
+		rt.CreateEthTxQueue(0, nil)
+		ecp := flexdriver.NewEControlPlane(rt)
+		ecp.InstallDefaultEgressToWire()
+		rt.Start()
+		f := rt.FLD()
+		f.SetHandler(flexdriver.HandlerFunc(func(data []byte, md flexdriver.Metadata) {
+			out := append([]byte(nil), data...)
+			swapEcho(out)
+			if err := f.Send(0, out, md); err != nil {
+				echoSendFails++
+			}
+		}))
+		rqs = append(rqs, rt.RQ())
+	}
+	if s.Path == "vxlan" {
+		vxport := uint16(netpkt.VXLANPort)
+		srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+			Match:  flexdriver.Match{DstPort: &vxport},
+			Action: flexdriver.Action{Decap: true, ToTIR: &nic.TIR{RQs: rqs}}})
+	} else {
+		srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+			Action: flexdriver.Action{ToTIR: &nic.TIR{RQs: rqs}}})
+	}
+
+	// Clients: per-client flow sets (random sports and sizes), sequence
+	// stamping for per-frame conservation, steering on own IP. The stamp
+	// rides at the *inner* offset on the VXLAN path, so replies (which
+	// come back decapped) always carry it at seqOff.
+	stampOff := seqOff
+	if s.Path == "vxlan" {
+		stampOff = vxlanOuter + seqOff
+	}
+	clients := make([]*client, 0, s.Clients)
+	for ci := 0; ci < s.Clients; ci++ {
+		h := cl.AddHost(fmt.Sprintf("client%d", ci))
+		port := h.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
+		ip := h.NIC.IP
+		h.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+			Match:  flexdriver.Match{DstIP: &ip},
+			Action: flexdriver.Action{ToRQ: port.RQ()}})
+		c := &client{host: h, port: port, recv: make(map[int64]int64)}
+		frng := sim.NewRand(s.Seed*7919 + int64(ci))
+		for fi := 0; fi < flowsPerClient; fi++ {
+			sport := uint16(4000 + frng.Intn(20000))
+			size := s.FrameMin
+			if s.FrameMax > s.FrameMin {
+				size += frng.Intn(s.FrameMax - s.FrameMin + 1)
+			}
+			f := udpFrame(h.NIC, srv.NIC, sport, 7777, size)
+			if s.Path == "vxlan" {
+				f = vxlanWrap(h.NIC, srv.NIC, sport, f)
+			}
+			c.frames = append(c.frames, f)
+		}
+		plant := s.PlantLossNth
+		c.port.OnReceive = func(fr []byte, _ swdriver.RxMeta) {
+			if len(fr) < seqOff+8 {
+				c.short++
+				return
+			}
+			c.delivered++
+			if plant > 0 && c.delivered%plant == 0 {
+				// The planted defect: a delivered frame vanishes before
+				// the bookkeeping — a drop with no drop reason anywhere.
+				return
+			}
+			seq := unstamp(fr, seqOff)
+			if seq < 0 || seq >= c.sent {
+				c.ghosts++
+				return
+			}
+			c.recv[seq]++
+		}
+		clients = append(clients, c)
+	}
+
+	// RDMA sidecar: a host pair on the same switch running a reliable
+	// message stream, so the go-back-N transport shares the fabric (and
+	// its faults) with the echo traffic.
+	var epA, epB *swdriver.RDMAEndpoint
+	var rdmaSent, rdmaDelivered, rdmaBad, rdmaGhosts int64
+	rrng := sim.NewRand(s.Seed * 31337)
+	if s.RDMA {
+		ra := cl.AddHost("rdma0")
+		rb := cl.AddHost("rdma1")
+		cfg := swdriver.RDMAConfig{SendEntries: 64, RecvEntries: 64, MaxMsgBytes: 32 << 10, MTU: 1024}
+		epA = ra.Drv.NewRDMAEndpoint(cfg)
+		epB = rb.Drv.NewRDMAEndpoint(cfg)
+		nic.ConnectQPs(epA.QP, epB.QP)
+		epB.OnMessage = func(data []byte) {
+			rdmaDelivered++
+			seq, ok := rdmaVerify(data)
+			if !ok {
+				rdmaBad++
+			} else if seq >= rdmaSent {
+				rdmaGhosts++
+			}
+		}
+	}
+
+	// The FDB is programmed statically (every MAC pinned to its port) so
+	// no frame ever floods to a foreign NIC: per-sequence conservation
+	// then has no benign flood copies to excuse.
+	sw := cl.Switch()
+	for _, h := range cl.Hosts {
+		sw.Program(h.NIC.MAC, cl.PortOf(h.NIC))
+	}
+	for _, inn := range cl.Innovas {
+		sw.Program(inn.NIC.MAC, cl.PortOf(inn.NIC))
+	}
+
+	// Open-loop load: Poisson clients draw i.i.d. exponential gaps;
+	// bursty clients send fixed back-to-back trains at the same mean
+	// rate, stressing the switch queues and RQ refill paths.
+	stop := warmup + window
+	for ci, c := range clients {
+		rng := sim.NewRand(s.Seed*1000 + int64(ci))
+		var avgBits float64
+		for _, f := range c.frames {
+			avgBits += float64(len(f) * 8)
+		}
+		avgBits /= float64(len(c.frames))
+		mean := sim.Duration(avgBits / (s.PerClientGbps * 1e9) * float64(sim.Second))
+		burst := 1
+		if s.Pattern == "bursty" {
+			burst = 8 + rng.Intn(25)
+		}
+		gap := mean * sim.Duration(burst)
+		c := c
+		var tick func()
+		tick = func() {
+			if eng.Now() >= stop {
+				return
+			}
+			for b := 0; b < burst; b++ {
+				f := append([]byte(nil), c.frames[int(c.sent)%len(c.frames)]...)
+				stamp(f, stampOff, c.sent)
+				c.sent++
+				c.port.Send(f)
+			}
+			eng.After(rng.Exp(gap), tick)
+		}
+		eng.After(rng.Exp(gap), tick)
+	}
+	if s.RDMA {
+		msgBytes := 1024 << rrng.Intn(3) // 1, 2 or 4 KiB messages
+		interval := sim.Duration(float64(msgBytes*8) / 1.5e9 * float64(sim.Second))
+		var mtick func()
+		mtick = func() {
+			if eng.Now() >= stop {
+				return
+			}
+			epA.Send(rdmaPattern(rdmaSent, msgBytes))
+			rdmaSent++
+			eng.After(rrng.Exp(interval), mtick)
+		}
+		eng.After(rrng.Exp(interval), mtick)
+	}
+
+	// Watchdog: poll-mode drivers and the FLD runtimes notice Error-state
+	// queues even when the CQE announcing the error was itself lost; a
+	// QP pair stuck in Error is reconnected (modify-QP cycle).
+	deadline := stop + drain
+	recoverAll := func() {
+		for _, c := range clients {
+			c.port.Poll()
+		}
+		for _, rt := range rts {
+			rt.Recover()
+		}
+		if epA != nil {
+			epA.Poll()
+			epB.Poll()
+			if epA.QP.State() != nic.QueueReady || epB.QP.State() != nic.QueueReady {
+				swdriver.ReconnectEndpoints(epA, epB)
+			}
+		}
+	}
+	var watchdog func()
+	watchdog = func() {
+		recoverAll()
+		if eng.Now() < deadline {
+			eng.After(20*sim.Microsecond, watchdog)
+		}
+	}
+	eng.After(warmup, watchdog)
+
+	eng.RunUntil(deadline)
+	// Quiesce: drain in-flight work, give recovery one final pass in
+	// case an error surfaced after the watchdog's last tick, and drain
+	// whatever that pass scheduled.
+	eng.Run()
+	recoverAll()
+	eng.Run()
+
+	// --- gather ---------------------------------------------------------
+	for _, c := range clients {
+		res.Sent += c.sent
+		for seq := int64(0); seq < c.sent; seq++ {
+			switch n := c.recv[seq]; {
+			case n == 0:
+				res.Lost++
+			case n > 1:
+				res.Dups += n - 1
+			}
+		}
+	}
+	if plan != nil {
+		res.Injected = plan.Injected
+	}
+	for _, p := range sw.Ports() {
+		res.TailDrops += p.Counters.TailDrops
+	}
+	res.RDMASent, res.RDMADelivered = rdmaSent, rdmaDelivered
+
+	checkInvariants(res, &runState{
+		spec: s, eng: eng, cl: cl, reg: reg, plan: plan, rts: rts,
+		clients: clients, epA: epA, epB: epB,
+		rdmaBad: rdmaBad, rdmaGhosts: rdmaGhosts,
+		echoSendFails: echoSendFails,
+	})
+	return res
+}
+
+// Check runs the scenario twice and adds the replay-determinism
+// invariant: both runs must produce byte-identical telemetry. It returns
+// the first run's result (augmented with any determinism violation).
+func Check(s Spec) *Result {
+	r1 := Run(s)
+	r2 := Run(s)
+	if r1.Hash != r2.Hash {
+		r1.Violations = append(r1.Violations, Violation{"replay-determinism",
+			fmt.Sprintf("back-to-back runs diverged: %s vs %s", r1.Hash, r2.Hash)})
+	}
+	return r1
+}

@@ -1,0 +1,271 @@
+// Package scenario is the testbed's randomized-but-deterministic
+// exploration harness: one integer seed expands into a full cluster
+// scenario — topology (hosts, FLD cores, switch rates and queue depths),
+// workload mix (Poisson or bursty clients, frame-size ranges, Ethernet
+// vs. VXLAN data paths, an optional RDMA sidecar) and a fault plan — the
+// scenario runs to quiescence, and a set of global invariants is checked
+// against the telemetry tree. Because everything derives from the seed,
+// any violation replays exactly; the Shrink pass then bisects the fault
+// plan and scales the topology and workload down to a minimal spec whose
+// one-line repro command reproduces the violation deterministically.
+//
+// The package is the paper-reproduction analogue of FoundationDB-style
+// simulation testing: instead of a handful of hand-picked experiments,
+// the whole configuration space of the testbed is sampled under fault
+// injection, with conservation-style invariants (no ghost frames, no
+// unaccounted loss, byte-exact PCIe reconciliation, buffer-pool balance,
+// engine quiescence, replay determinism) standing in for correctness.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"flexdriver/internal/faults"
+	"flexdriver/internal/sim"
+)
+
+// Spec is one fully expanded scenario. All fields are plain values so a
+// Spec round-trips through String/Parse and embeds into a one-line repro
+// command.
+type Spec struct {
+	// Seed drives every random choice of the run: the clients' arrival
+	// processes and the fault plan's Bernoulli stream. (The topology and
+	// workload fields below are themselves derived from a seed by
+	// Generate, but once expanded they travel explicitly so a shrunk
+	// spec stays self-contained.)
+	Seed int64
+
+	// --- topology ---
+	Clients     int // echo clients racked behind the ToR switch (1..3)
+	FLDCores    int // FLD cores on the server's FPGA behind RSS (1, 2 or 4)
+	RateGbps    int // switch per-port line rate
+	QueueFrames int // switch output-queue bound, frames
+
+	// --- workload ---
+	Pattern            string  // "poisson" or "bursty" client arrivals
+	FrameMin, FrameMax int     // UDP frame sizes sampled per flow, bytes
+	PerClientGbps      float64 // offered load per client
+	WindowUs           int     // measurement window, microseconds
+	Path               string  // "eth" or "vxlan" (decap on the server NIC)
+	RDMA               bool    // add an RDMA host pair on the same switch
+
+	// PlantLossNth is a test-only defect injector: every Nth frame
+	// delivered to a client is silently discarded *before* the
+	// bookkeeping sees it — a modeled "drop without a drop reason" that
+	// the frame-conservation invariant must catch. 0 disables it. It is
+	// part of the spec so a shrunk repro still plants the same bug.
+	PlantLossNth int64
+
+	// Faults is a faults.ParseSpec specification ("" injects nothing).
+	// Run confines the probabilistic window to the measurement window.
+	Faults string
+}
+
+// Generate expands a seed into a scenario. The mapping is pure: the same
+// seed always yields the same Spec, so `-seed N` alone reproduces any
+// generated scenario.
+func Generate(seed int64) Spec {
+	rng := sim.NewRand(seed ^ 0x5ce4a210)
+	sizes := []int{64, 128, 256, 512, 1024}
+	s := Spec{
+		Seed:        seed,
+		Clients:     1 + rng.Intn(3),
+		FLDCores:    []int{1, 2, 4}[rng.Intn(3)],
+		RateGbps:    []int{10, 25, 40}[rng.Intn(3)],
+		QueueFrames: []int{16, 32, 64, 128}[rng.Intn(4)],
+		Pattern:     []string{"poisson", "bursty"}[rng.Intn(2)],
+		WindowUs:    30 + rng.Intn(51),
+		Path:        []string{"eth", "vxlan"}[rng.Intn(2)],
+		RDMA:        rng.Intn(10) < 3,
+	}
+	lo := rng.Intn(len(sizes))
+	hi := lo + rng.Intn(len(sizes)-lo)
+	s.FrameMin, s.FrameMax = sizes[lo], sizes[hi]
+
+	// Offered load stays under ~60% of the server port (the echo doubles
+	// it on the same link), so a fault-free scenario is drop-free and the
+	// conservation invariant has zero slack.
+	cap := float64(s.RateGbps)
+	if cap > 25 {
+		cap = 25
+	}
+	per := 0.6 * cap / float64(s.Clients) * (0.3 + 0.7*rng.Float64())
+	s.PerClientGbps = float64(int(per*10)) / 10
+	if s.PerClientGbps < 0.5 {
+		s.PerClientGbps = 0.5
+	}
+
+	s.Faults = genFaults(rng)
+	return s
+}
+
+// genFaults samples a fault plan: one scenario in four runs clean, the
+// rest enable a random subset of classes at rates the recovery paths are
+// known to absorb (the chaos experiment's regime).
+func genFaults(rng *sim.Rand) string {
+	if rng.Intn(4) == 0 {
+		return ""
+	}
+	var cfg faults.Config
+	pick := func(max float64) float64 {
+		// Two-digit precision keeps the spec short and round-trippable.
+		return float64(int(rng.Float64()*max*1000)) / 1000
+	}
+	if rng.Intn(3) > 0 {
+		cfg.WireLoss = pick(0.03)
+	}
+	if rng.Intn(3) > 0 {
+		cfg.WireDup = pick(0.02)
+	}
+	if rng.Intn(3) > 0 {
+		cfg.WireDelay = pick(0.03)
+	}
+	if rng.Intn(2) == 0 {
+		cfg.PCIeDrop = pick(0.01)
+		cfg.PCIeCorrupt = pick(0.005)
+	}
+	if rng.Intn(2) == 0 {
+		cfg.DoorbellLoss = pick(0.05)
+		cfg.WQEFetchFail = pick(0.01)
+		cfg.CQEErr = pick(0.01)
+	}
+	if rng.Intn(3) == 0 {
+		cfg.AccelStall = pick(0.02)
+	}
+	if rng.Intn(5) == 0 {
+		cfg.FlapEvery = 40 * sim.Microsecond
+		cfg.FlapFor = sim.Duration(1+rng.Intn(2)) * sim.Microsecond
+	}
+	return cfg.String()
+}
+
+// String serializes the spec as space-separated key=value fields, the
+// textual form Parse accepts and ReproCommand embeds. No value contains
+// a space (the fault spec is comma/semicolon-structured), so the format
+// survives shell quoting as a single argument.
+func (s Spec) String() string {
+	parts := []string{
+		"seed=" + strconv.FormatInt(s.Seed, 10),
+		"clients=" + strconv.Itoa(s.Clients),
+		"cores=" + strconv.Itoa(s.FLDCores),
+		"rate=" + strconv.Itoa(s.RateGbps),
+		"queue=" + strconv.Itoa(s.QueueFrames),
+		"pattern=" + s.Pattern,
+		"frames=" + strconv.Itoa(s.FrameMin) + ":" + strconv.Itoa(s.FrameMax),
+		"gbps=" + strconv.FormatFloat(s.PerClientGbps, 'g', -1, 64),
+		"window=" + strconv.Itoa(s.WindowUs),
+		"path=" + s.Path,
+	}
+	if s.RDMA {
+		parts = append(parts, "rdma=1")
+	}
+	if s.PlantLossNth > 0 {
+		parts = append(parts, "plant="+strconv.FormatInt(s.PlantLossNth, 10))
+	}
+	if s.Faults != "" {
+		parts = append(parts, "faults="+s.Faults)
+	}
+	return strings.Join(parts, " ")
+}
+
+// ReproCommand returns the one-line command that replays this exact
+// scenario (and its invariant checking) from a shell.
+func (s Spec) ReproCommand() string {
+	return fmt.Sprintf("fldreport -exp scenario -seed %d -spec %q", s.Seed, s.String())
+}
+
+// Parse decodes a String-serialized spec. Every field is validated
+// against the ranges Run supports, so a hand-edited spec fails loudly
+// instead of building a degenerate cluster.
+func Parse(text string) (Spec, error) {
+	s := Spec{
+		Clients: 1, FLDCores: 1, RateGbps: 25, QueueFrames: 64,
+		Pattern: "poisson", FrameMin: 64, FrameMax: 64,
+		PerClientGbps: 1, WindowUs: 50, Path: "eth",
+	}
+	for _, field := range strings.Fields(text) {
+		kv := strings.SplitN(field, "=", 2)
+		if len(kv) != 2 {
+			return s, fmt.Errorf("scenario: field %q is not key=value", field)
+		}
+		key, val := kv[0], kv[1]
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "clients":
+			s.Clients, err = parseRange(val, 1, 8)
+		case "cores":
+			s.FLDCores, err = parseRange(val, 1, 8)
+		case "rate":
+			s.RateGbps, err = parseRange(val, 1, 100)
+		case "queue":
+			s.QueueFrames, err = parseRange(val, 1, 4096)
+		case "pattern":
+			if val != "poisson" && val != "bursty" {
+				err = fmt.Errorf("must be poisson or bursty")
+			}
+			s.Pattern = val
+		case "frames":
+			lohi := strings.SplitN(val, ":", 2)
+			if len(lohi) != 2 {
+				err = fmt.Errorf("want min:max")
+				break
+			}
+			if s.FrameMin, err = parseRange(lohi[0], 64, 9000); err != nil {
+				break
+			}
+			if s.FrameMax, err = parseRange(lohi[1], 64, 9000); err != nil {
+				break
+			}
+			if s.FrameMax < s.FrameMin {
+				err = fmt.Errorf("max %d below min %d", s.FrameMax, s.FrameMin)
+			}
+		case "gbps":
+			s.PerClientGbps, err = strconv.ParseFloat(val, 64)
+			// NaN slips past the range check (every comparison is false)
+			// but can never round-trip; reject it explicitly.
+			if err == nil && (math.IsNaN(s.PerClientGbps) || s.PerClientGbps <= 0 || s.PerClientGbps > 100) {
+				err = fmt.Errorf("out of (0,100]")
+			}
+		case "window":
+			s.WindowUs, err = parseRange(val, 5, 1000)
+		case "path":
+			if val != "eth" && val != "vxlan" {
+				err = fmt.Errorf("must be eth or vxlan")
+			}
+			s.Path = val
+		case "rdma":
+			s.RDMA = val == "1" || val == "true"
+		case "plant":
+			s.PlantLossNth, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && s.PlantLossNth < 0 {
+				err = fmt.Errorf("must be >= 0")
+			}
+		case "faults":
+			if _, err = faults.ParseSpec(val); err == nil {
+				s.Faults = val
+			}
+		default:
+			return s, fmt.Errorf("scenario: unknown key %q", key)
+		}
+		if err != nil {
+			return s, fmt.Errorf("scenario: bad value for %s: %v", key, err)
+		}
+	}
+	return s, nil
+}
+
+func parseRange(val string, lo, hi int) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, err
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("%d outside [%d,%d]", n, lo, hi)
+	}
+	return n, nil
+}

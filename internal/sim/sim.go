@@ -90,6 +90,7 @@ type Engine struct {
 	events  []event
 	stopped bool
 	bufs    *BufPool
+	ids     map[string]int
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -97,6 +98,20 @@ func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// NextID returns 1, 2, 3, ... per name, an engine-scoped identity
+// allocator. Components that need unique-but-deterministic identities
+// (NIC MAC/IP numbering, device names) draw from here instead of a
+// package-level counter, so a fresh engine always numbers its world the
+// same way — the property replay determinism rests on: two runs of the
+// same scenario in one process must build bit-identical clusters.
+func (e *Engine) NextID(name string) int {
+	if e.ids == nil {
+		e.ids = make(map[string]int)
+	}
+	e.ids[name]++
+	return e.ids[name]
+}
 
 // Bufs returns the engine's packet-buffer pool, creating it on first use.
 // Like the engine itself the pool is single-threaded; see BufPool for the

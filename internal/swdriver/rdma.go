@@ -16,6 +16,7 @@ type RDMAEndpoint struct {
 	txBufSz int
 	sqSize  int
 	pi, ci  uint32
+	rqPI    uint32
 	queued  [][]byte
 
 	// reassembly per local QP (SRQ delivers per-packet CQEs).
@@ -77,19 +78,17 @@ func (d *Driver) NewRDMAEndpoint(cfg RDMAConfig) *RDMAEndpoint {
 // armRecycle reposts receive buffers as the NIC consumes them, tracking
 // stride consumption like the FLD ring manager does.
 func (e *RDMAEndpoint) armRecycle(rq *nic.RQ, entries, bufBytes int) {
-	pi := uint32(entries)
+	e.rqPI = uint32(entries)
 	curBuf := int32(-1)
 	strides := 0
 	per := bufBytes / 256
 	e.recycle = func(c nic.CQE) {
 		bufIdx := int32(c.Index >> 8)
 		bump := func() {
-			pi++
+			e.rqPI++
 			curBuf = -1
 			strides = 0
-			var b [4]byte
-			putU32(b[:], pi)
-			e.drv.host.Write(e.drv.bar+nic.RQDoorbellOffset(rq.ID), b[:], nil)
+			e.ringRQDoorbell()
 		}
 		if curBuf >= 0 && bufIdx != curBuf {
 			bump()
@@ -100,6 +99,45 @@ func (e *RDMAEndpoint) armRecycle(rq *nic.RQ, entries, bufBytes int) {
 			bump()
 		}
 	}
+}
+
+func (e *RDMAEndpoint) ringRQDoorbell() {
+	var b [4]byte
+	putU32(b[:], e.rqPI)
+	e.drv.host.Write(e.drv.bar+nic.RQDoorbellOffset(e.QP.RQ.ID), b[:], nil)
+}
+
+// Poll makes the endpoint notice Error-state rings even when the error
+// CQE that announced them was itself lost to a fault — the same
+// watchdog hook EthPort.Poll provides. An errored SQ is flushed (the
+// in-flight messages are counted lost, the software queue reposts into
+// the clean ring); an errored RQ is reset and re-armed at the current
+// producer index, discarding any half-reassembled message. It reports
+// whether anything needed recovering. Note this repairs the *rings*
+// only: a QP pair in the Error state additionally needs ReconnectQPs,
+// which takes both ends.
+func (e *RDMAEndpoint) Poll() bool {
+	recovered := false
+	if e.QP.SQ.State() == nic.QueueError {
+		e.drv.TxErrors += int64(e.pi - e.ci)
+		e.ci = e.pi
+		e.QP.SQ.ResetTo(e.pi, e.pi)
+		e.drv.Recoveries++
+		for len(e.queued) > 0 && int(e.pi-e.ci) < e.sqSize {
+			d := e.queued[0]
+			e.queued = e.queued[1:]
+			e.post(d)
+		}
+		recovered = true
+	}
+	if e.QP.RQ.State() == nic.QueueError {
+		e.cur = nil
+		e.QP.RQ.Reset()
+		e.drv.Recoveries++
+		e.ringRQDoorbell()
+		recovered = true
+	}
+	return recovered
 }
 
 // Send transmits one message over the QP, charging CPU cost.
@@ -127,7 +165,39 @@ func (e *RDMAEndpoint) post(data []byte) {
 	e.drv.host.Write(e.drv.bar+nic.SQDoorbellOffset(e.QP.SQ.ID), b[:], nil)
 }
 
+// ReconnectEndpoints re-establishes the RC connection between two
+// endpoints after a transport failure (retry-exceeded flush, injected
+// QP error). Beyond the QP-level modify cycle, the *driver* state of
+// the dead incarnation must go too: unacknowledged messages will never
+// complete (the reconnected QP cleared its retransmission queue), so
+// their SQ slots are flushed and counted as TxErrors, and any
+// half-reassembled receive is discarded — its remaining fragments died
+// with the old connection, and splicing a new message onto them would
+// deliver corrupt bytes.
+func ReconnectEndpoints(a, b *RDMAEndpoint) {
+	nic.ReconnectQPs(a.QP, b.QP)
+	for _, e := range []*RDMAEndpoint{a, b} {
+		e.cur = nil
+		if e.pi != e.ci {
+			e.drv.TxErrors += int64(e.pi - e.ci)
+			e.ci = e.pi
+			e.QP.SQ.ResetTo(e.pi, e.pi)
+			e.drv.Recoveries++
+			for len(e.queued) > 0 && int(e.pi-e.ci) < e.sqSize {
+				d := e.queued[0]
+				e.queued = e.queued[1:]
+				e.post(d)
+			}
+		}
+	}
+}
+
 func (e *RDMAEndpoint) sendComplete(c nic.CQE) {
+	if e.ci == e.pi {
+		// Stale completion for a slot already flushed by a reconnect;
+		// its loss was accounted there.
+		return
+	}
 	if c.Opcode == nic.CQEError {
 		// SynRetryExceeded flushes the QP with one error CQE per
 		// unacknowledged message; each consumed its SQ slot. Recovery
@@ -163,6 +233,17 @@ func (e *RDMAEndpoint) recvComplete(c nic.CQE) {
 		if c.Last {
 			msg := e.cur
 			e.cur = nil
+			// Integrity check (the model's ICRC stand-in): the CQE's
+			// flow tag carries the transport's byte count for the whole
+			// message. A shorter reassembly means a fragment's payload
+			// DMA was lost after the transport already acknowledged it
+			// (e.g. a dropped PCIe TLP); delivering it would hand the
+			// application spliced garbage, so the driver discards the
+			// message and counts the loss.
+			if len(msg) != int(c.FlowTag) {
+				e.drv.RxErrors++
+				return
+			}
 			e.drv.RxPackets++
 			if e.OnMessage != nil {
 				e.OnMessage(msg)

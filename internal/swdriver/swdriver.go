@@ -75,9 +75,12 @@ type Driver struct {
 	// Stats.
 	RxPackets, TxPackets int64
 	// CQEErrors counts error completions observed; TxErrors counts
-	// transmit descriptors lost to them; Recoveries counts
+	// transmit descriptors lost to them; RxErrors counts received
+	// messages discarded by the driver's integrity check (a reassembled
+	// RDMA message whose length disagrees with the transport's — a
+	// fragment's payload DMA was lost); Recoveries counts
 	// driver-initiated queue resets.
-	CQEErrors, TxErrors, Recoveries int64
+	CQEErrors, TxErrors, RxErrors, Recoveries int64
 
 	tlm *drvTelemetry // nil unless SetTelemetry was called
 }

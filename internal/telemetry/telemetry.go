@@ -21,6 +21,8 @@
 package telemetry
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -394,6 +396,30 @@ func (r *Registry) Snapshot() Snapshot {
 
 // Get returns the counter value at path (0 if absent).
 func (s Snapshot) Get(path string) int64 { return s.Counters[path] }
+
+// Sum totals every counter whose path starts with prefix and ends with
+// suffix — the invariant-checking accessor for aggregating per-queue
+// metrics (sq3/doorbells, sq7/doorbells, ...) without knowing queue IDs.
+// Either string may be empty to match everything on that side.
+func (s Snapshot) Sum(prefix, suffix string) int64 {
+	var tot int64
+	for p, v := range s.Counters {
+		if strings.HasPrefix(p, prefix) && strings.HasSuffix(p, suffix) {
+			tot += v
+		}
+	}
+	return tot
+}
+
+// Hash returns the SHA-256 of the snapshot's String dump, in hex. Because
+// the simulation is deterministic, the hash is a compact fingerprint of an
+// entire run: every counter, byte total and histogram bucket on every node
+// must match for two runs to agree. The determinism regression tests and
+// the scenario fuzzer's replay-determinism invariant both pin on it.
+func (s Snapshot) Hash() string {
+	sum := sha256.Sum256([]byte(s.String()))
+	return hex.EncodeToString(sum[:])
+}
 
 // Interval returns the virtual time spanned since prev.
 func (s Snapshot) Interval(prev Snapshot) sim.Duration { return s.At - prev.At }

@@ -166,8 +166,13 @@ type Host struct {
 	NIC *NIC
 	Drv *Driver
 
-	tel *telemetry.Registry
+	name string
+	tel  *telemetry.Registry
 }
+
+// Name returns the node name the host was built under — the telemetry
+// scope its counters register beneath.
+func (h *Host) Name() string { return h.name }
 
 // Telemetry returns the registry the host was built with, or nil when
 // telemetry is disabled.
@@ -190,7 +195,7 @@ func newHost(eng *Engine, name string, o Options) *Host {
 	drv := swdriver.New(eng, fab, mem, n, o.Driver)
 	wireTelemetry(o.Telemetry, eng, name, fab, n, nil, drv)
 	wireFaults(o, eng, fab, n, nil)
-	return &Host{Eng: eng, Fab: fab, Mem: mem, NIC: n, Drv: drv, tel: o.Telemetry}
+	return &Host{Eng: eng, Fab: fab, Mem: mem, NIC: n, Drv: drv, name: name, tel: o.Telemetry}
 }
 
 // Innova is an Innova-2-style SmartNIC node: host DRAM, a ConnectX-class
@@ -212,6 +217,14 @@ type Innova struct {
 	link    LinkConfig // the node's configured PCIe link, reused by AddFLD
 	numFLDs int
 }
+
+// Name returns the node name the Innova was built under — the telemetry
+// scope its counters register beneath.
+func (inn *Innova) Name() string { return inn.name }
+
+// NumFLDs returns how many FLD cores the node carries (1 plus AddFLD
+// calls).
+func (inn *Innova) NumFLDs() int { return inn.numFLDs }
 
 // Telemetry returns the registry the node was built with, or nil when
 // telemetry is disabled.
