@@ -42,7 +42,7 @@ func TestWQEByMMIODisabled(t *testing.T) {
 	for i := 0; i < n; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	if afu.Echoed != n || len(received) != n {
 		t.Fatalf("echoed=%d received=%d want %d (drops %v)", afu.Echoed, len(received), n,
 			rp.Server.NIC.Stats.Drops)
@@ -65,7 +65,7 @@ func TestSignalEveryOne(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	if got != 64 || afu.Echoed != 64 {
 		t.Fatalf("echoed=%d received=%d", afu.Echoed, got)
 	}
@@ -85,7 +85,7 @@ func TestFLDCreditExhaustionAndRecovery(t *testing.T) {
 	for i := 0; i < n; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	if afu.Dropped == 0 {
 		t.Fatal("expected credit stalls with a tiny pool")
 	}
@@ -103,7 +103,7 @@ func TestFLDCreditExhaustionAndRecovery(t *testing.T) {
 	// And the pipe still works: send again.
 	before := afu.Echoed
 	port.Send(frame)
-	rp.Eng.Run()
+	rp.Run()
 	if afu.Echoed != before+1 {
 		t.Fatal("FLD wedged after credit exhaustion")
 	}
@@ -121,7 +121,7 @@ func TestOnCreditsNotification(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	if notifications == 0 {
 		t.Fatal("no credit-release notifications")
 	}
@@ -155,7 +155,7 @@ func TestTinyFLDConfigStillWorks(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	if got != 30 || afu.Echoed != 30 {
 		t.Fatalf("tiny config: echoed=%d received=%d", afu.Echoed, got)
 	}
@@ -190,7 +190,7 @@ func TestMultiQueueFLD(t *testing.T) {
 	for j := 0; j < 40; j++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	if got != 40 {
 		t.Fatalf("received %d/40 across two queues", got)
 	}
@@ -201,7 +201,7 @@ func TestMultiQueueFLD(t *testing.T) {
 func TestPerQueueShaping(t *testing.T) {
 	rp := NewRemotePair()
 	srv := rp.Server
-	shaper := NewTokenBucket(rp.Eng, 1*Gbps, 3000)
+	shaper := NewTokenBucket(rp.Engine(), 1*Gbps, 3000)
 	srv.RT.CreateEthTxQueue(0, shaper)
 	ecp := NewEControlPlane(srv.RT)
 	ecp.InstallDefaultEgressToWire()
@@ -213,13 +213,13 @@ func TestPerQueueShaping(t *testing.T) {
 	rp.Client.NIC.ESwitch().AddRule(0, Rule{Action: Action{ToRQ: port.RQ()}})
 	got := 0
 	var last Time
-	port.OnReceive = func([]byte, swdriver.RxMeta) { got++; last = rp.Eng.Now() }
+	port.OnReceive = func([]byte, swdriver.RxMeta) { got++; last = rp.Engine().Now() }
 	frame := buildUDPFrame(1, 2, 3, 3, 1200)
 	const n = 50
 	for j := 0; j < n; j++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	if got != n {
 		t.Fatalf("shaper dropped traffic: %d/%d", got, n)
 	}
@@ -261,7 +261,7 @@ func TestRandomFLDConfigs(t *testing.T) {
 		for i := 0; i < n; i++ {
 			port.Send(frame)
 		}
-		rp.Eng.Run()
+		rp.Run()
 		if got != n || afu.Echoed != n {
 			t.Fatalf("trial %d (cfg %+v): echoed=%d received=%d want %d (drops %v)",
 				trial, cfg, afu.Echoed, got, n, rp.Server.NIC.Stats.Drops)

@@ -1,6 +1,8 @@
 package flexdriver
 
 import (
+	"runtime"
+
 	"flexdriver/internal/ethswitch"
 	"flexdriver/internal/sim"
 )
@@ -22,11 +24,17 @@ type (
 // telemetry registers each node under its name plus the switch under
 // "switch", and a fault plan attaches to every layer of every node and
 // to every switch-port link.
+//
+// Each node owns a private shard engine; the switch fabric is a shard of
+// its own, and the only cross-shard paths are the port conduits, whose
+// propagation delay is the scheduler's lookahead. Run and RunUntil drive
+// all shards through the group's conservative parallel scheduler —
+// byte-identical to the sequential schedule at any worker count.
 type Cluster struct {
-	Eng     *Engine
 	Hosts   []*Host
 	Innovas []*Innova
 
+	group *sim.Group
 	o     Options
 	swCfg ethswitch.Config
 	sw    *ethswitch.Switch
@@ -35,11 +43,22 @@ type Cluster struct {
 
 // NewCluster starts an empty topology; add nodes with AddHost/AddInnova.
 func NewCluster(opts ...Option) *Cluster {
-	return &Cluster{
-		Eng:   sim.NewEngine(),
+	c := &Cluster{
+		group: sim.NewGroup(),
 		o:     buildOptions(opts),
 		ports: make(map[*NIC]*ethswitch.Port),
 	}
+	// Lookahead = the per-segment switch latency (ethswitch's default
+	// until SwitchLatency overrides it): no frame crosses shards faster
+	// than one segment's propagation delay.
+	c.group.SetLookahead(500 * Nanosecond)
+	// The group clock is the cluster's time authority. Bind is
+	// first-wins, so binding here keeps any node's per-shard clock from
+	// claiming the registry.
+	if c.o.Telemetry != nil {
+		c.o.Telemetry.Bind(c.group.Now)
+	}
+	return c
 }
 
 // SwitchRate sets the switch's per-port line rate (default 25 Gbps).
@@ -51,11 +70,16 @@ func (c *Cluster) SwitchRate(r BitRate) *Cluster {
 	return c
 }
 
-// SwitchLatency sets the per-segment propagation delay (default 500 ns).
+// SwitchLatency sets the per-segment propagation delay (default 500 ns)
+// and with it the scheduler's lookahead.
 func (c *Cluster) SwitchLatency(d Duration) *Cluster {
 	c.swCfg.Latency = d
+	if d == 0 {
+		d = 500 * Nanosecond // ethswitch treats 0 as "use the default"
+	}
+	c.group.SetLookahead(d)
 	if c.sw != nil {
-		c.sw.SetLatency(d)
+		c.sw.SetLatency(c.swCfg.Latency)
 	}
 	return c
 }
@@ -69,12 +93,12 @@ func (c *Cluster) SwitchQueueFrames(n int) *Cluster {
 	return c
 }
 
-// Switch returns the ToR switch, creating it on first use.
+// Switch returns the ToR switch, creating it (and its shard engine) on
+// first use.
 func (c *Cluster) Switch() *EthSwitch {
 	if c.sw == nil {
-		c.sw = ethswitch.New(c.Eng, c.swCfg)
+		c.sw = ethswitch.New(c.group.NewEngine(), c.swCfg)
 		if c.o.Telemetry != nil {
-			c.o.Telemetry.Bind(c.Eng.Now)
 			c.sw.SetTelemetry(c.o.Telemetry.Scope("switch"))
 		}
 	}
@@ -87,40 +111,102 @@ func (c *Cluster) PortOf(n *NIC) *SwitchPort { return c.ports[n] }
 // Telemetry returns the registry the cluster was built with, or nil.
 func (c *Cluster) Telemetry() *Registry { return c.o.Telemetry }
 
-// AddHost builds a plain host and racks it behind the switch.
+// Group exposes the underlying scheduler group — the escape hatch for
+// invariant sweeps (per-shard Pending/Bufs) and scheduler tuning.
+func (c *Cluster) Group() *sim.Group { return c.group }
+
+// Engines returns every shard engine in creation order (nodes, then the
+// switch if one exists).
+func (c *Cluster) Engines() []*Engine { return c.group.Engines() }
+
+// Now returns the cluster's virtual time: exact after Run/RunUntil
+// return, when every shard has synchronized.
+func (c *Cluster) Now() Time { return c.group.Now() }
+
+// Control schedules fn at cluster time t on the coordinator: every
+// shard is quiesced past t and advanced to t before fn runs, so fn may
+// read or mutate any node. Controls are the cluster-wide analogue of
+// Engine.At; per-node work belongs on the node's own engine.
+func (c *Cluster) Control(t Time, fn func()) { c.group.Control(t, fn) }
+
+// Pending returns the number of undelivered events across all shards,
+// in-flight cross-shard frames included.
+func (c *Cluster) Pending() int { return c.group.Pending() }
+
+// Run drives every shard until the cluster is idle.
+func (c *Cluster) Run() {
+	c.prepare()
+	c.group.Run()
+}
+
+// RunUntil drives every shard through deadline (inclusive), then
+// advances all clocks to it.
+func (c *Cluster) RunUntil(deadline Time) {
+	c.prepare()
+	c.group.RunUntil(deadline)
+}
+
+// prepare resolves the worker count just before a run: 0 means one
+// worker per CPU; the TLP flight recorder — a single unlocked ring
+// buffer — forces the (identical) sequential schedule.
+func (c *Cluster) prepare() {
+	w := c.o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if c.o.Telemetry != nil && c.o.Telemetry.Recorder() != nil {
+		w = 1
+	}
+	c.group.SetWorkers(w)
+}
+
+// AddHost builds a plain host on its own shard and racks it behind the
+// switch.
 func (c *Cluster) AddHost(name string) *Host {
 	h := c.buildHost(name)
 	c.join(h.NIC)
 	return h
 }
 
-// AddInnova builds an Innova node and racks it behind the switch.
+// AddInnova builds an Innova node on its own shard and racks it behind
+// the switch.
 func (c *Cluster) AddInnova(name string) *Innova {
 	inn := c.buildInnova(name)
 	c.join(inn.NIC)
 	return inn
 }
 
-// buildHost constructs a node from the folded carrier without cabling
-// it; NewRemotePair uses it to wire its two nodes back to back instead.
+// buildHost constructs a node on a fresh shard without cabling it;
+// NewRemotePair instead colocates its two nodes via buildHostOn.
 func (c *Cluster) buildHost(name string) *Host {
-	h := newHost(c.Eng, name, c.o)
+	return c.buildHostOn(c.group.NewEngine(), name)
+}
+
+func (c *Cluster) buildHostOn(eng *Engine, name string) *Host {
+	h := newHost(eng, name, c.o)
+	h.cl = c
 	c.Hosts = append(c.Hosts, h)
 	return h
 }
 
 func (c *Cluster) buildInnova(name string) *Innova {
-	inn := newInnova(c.Eng, name, c.o)
+	return c.buildInnovaOn(c.group.NewEngine(), name)
+}
+
+func (c *Cluster) buildInnovaOn(eng *Engine, name string) *Innova {
+	inn := newInnova(eng, name, c.o)
+	inn.cl = c
 	c.Innovas = append(c.Innovas, inn)
 	return inn
 }
 
 // join cables a NIC to the next switch port and extends the fault plan
-// to the new link.
+// to the new link — one stream per direction, each on the shard whose
+// hooks consume it.
 func (c *Cluster) join(n *NIC) {
 	port := c.Switch().Connect(n)
 	c.ports[n] = port
 	if c.o.Faults != nil {
-		c.o.Faults.AttachLink(port.Link())
+		c.o.Faults.AttachLink(port.Link(), port.EndpointEngine(), c.sw.Engine())
 	}
 }

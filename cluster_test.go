@@ -93,6 +93,7 @@ func TestClusterEchoSmoke(t *testing.T) {
 		// 4 Gbit/s per client (512 B / 1.024 us): well under the server
 		// port, so the bounded switch queues must not drop anything.
 		interval := 1024 * Nanosecond
+		heng := h.Engine()
 		sent := 0
 		var tick func()
 		tick = func() {
@@ -101,11 +102,11 @@ func TestClusterEchoSmoke(t *testing.T) {
 			}
 			port.Send(frames[sent%len(frames)])
 			sent++
-			cl.Eng.After(interval, tick)
+			heng.After(interval, tick)
 		}
-		cl.Eng.After(Duration(ci)*interval/clients, tick)
+		heng.After(Duration(ci)*interval/clients, tick)
 	}
-	cl.Eng.Run()
+	cl.Run()
 
 	for ci, got := range received {
 		if got != perClient {
@@ -127,7 +128,7 @@ func TestClusterEchoSmoke(t *testing.T) {
 	if drops != 0 {
 		t.Errorf("switch tail-dropped %d frames at an uncongested load", drops)
 	}
-	if pending := cl.Eng.Pending(); pending != 0 {
+	if pending := cl.Pending(); pending != 0 {
 		t.Errorf("engine left %d events pending after Run", pending)
 	}
 }
@@ -175,7 +176,7 @@ func TestAddFLDTelemetryAndFaults(t *testing.T) {
 	for i := 0; i < n; i++ {
 		port.Send(frame)
 	}
-	inn.Eng.Run()
+	inn.Run()
 
 	// The plan's accelerator hook must have fired on the added core:
 	// AccelStall=1 swallows every delivered frame.

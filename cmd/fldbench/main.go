@@ -1,5 +1,5 @@
 // Command fldbench runs the simulator's steady-state performance
-// benchmarks and records the results in BENCH_PR4.json, so CI can catch
+// benchmarks and records the results in BENCH_PR6.json, so CI can catch
 // event-throughput or allocation regressions without parsing `go test
 // -bench` output.
 //
@@ -7,13 +7,16 @@
 //
 //	fldbench            run the suite and rewrite the baseline file
 //	fldbench -check     run the suite and compare against the baseline,
-//	                    exiting nonzero on >25% throughput regression or
-//	                    an allocs/op increase
+//	                    exiting nonzero on >25% throughput regression,
+//	                    an allocs/op increase, or (on machines with
+//	                    enough cores) a parallel speedup below 2x
 //
 // The suite covers the engine's event loop (typed 4-ary heap), the
-// reusable-timer path, a BufPool round trip, and the reduced cluster
-// sweep that dominates `go test -bench` wall clock. DESIGN.md's
-// "Simulator performance" section explains how to read the numbers.
+// reusable-timer path, a BufPool round trip, the reduced cluster sweep
+// that dominates `go test -bench` wall clock, and a 16-client cluster
+// point at 1, 4 and 8 scheduler workers — the conservative parallel
+// scheduler's speedup measurement. DESIGN.md's "Simulator performance"
+// and "Parallel simulation" sections explain how to read the numbers.
 package main
 
 import (
@@ -39,11 +42,17 @@ type Result struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
-// File is the BENCH_PR4.json schema.
+// File is the BENCH_PR6.json schema.
 type File struct {
 	GeneratedBy string            `json:"generated_by"`
 	GoVersion   string            `json:"go_version"`
+	NumCPU      int               `json:"num_cpu"`
 	Benchmarks  map[string]Result `json:"benchmarks"`
+	// SpeedupPar8 is cluster_par1 wall clock over cluster_par8 wall
+	// clock: how much faster the 16-client sweep point runs with eight
+	// scheduler workers than with the sequential reference schedule.
+	// Meaningless (and not gated) below 8 hardware threads.
+	SpeedupPar8 float64 `json:"speedup_par8"`
 }
 
 // tick is the preallocated self-rescheduling event used by the engine
@@ -113,12 +122,32 @@ var benches = []struct {
 			exps.Cluster(p)
 		}
 	}},
+	{"cluster_par1", clusterPointBench(1)},
+	{"cluster_par4", clusterPointBench(4)},
+	{"cluster_par8", clusterPointBench(8)},
+}
+
+// clusterPointBench runs one 16-client sweep point with the scheduler
+// pinned to w workers. All three variants compute the identical
+// simulation (the telemetry hash is byte-identical by construction);
+// only wall clock differs.
+func clusterPointBench(w int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		p := exps.DefaultClusterParams(400 * flexdriver.Microsecond)
+		p.Workers = w
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			exps.ClusterTelemetryHash(16, p)
+		}
+	}
 }
 
 func run() File {
 	out := File{
 		GeneratedBy: "cmd/fldbench",
 		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
 		Benchmarks:  make(map[string]Result, len(benches)),
 	}
 	for _, bm := range benches {
@@ -134,6 +163,11 @@ func run() File {
 		out.Benchmarks[bm.name] = res
 		fmt.Printf("%-18s %12.1f ns/op %10d allocs/op %14.0f events/sec\n",
 			bm.name, res.NsPerOp, res.AllocsPerOp, res.EventsPerSec)
+	}
+	if p1, p8 := out.Benchmarks["cluster_par1"], out.Benchmarks["cluster_par8"]; p8.NsPerOp > 0 {
+		out.SpeedupPar8 = p1.NsPerOp / p8.NsPerOp
+		fmt.Printf("%-18s %12.2fx (16 clients, 8 workers vs sequential, %d CPUs)\n",
+			"parallel_speedup", out.SpeedupPar8, out.NumCPU)
 	}
 	return out
 }
@@ -166,12 +200,27 @@ func check(baseline, got File) error {
 			fmt.Fprintln(os.Stderr, "FAIL:", firstErr)
 		}
 	}
+	// The parallel scheduler must actually pay for its barriers: on a
+	// machine with eight or more hardware threads, the 16-client point
+	// has to run at least 2x faster with 8 workers than sequentially.
+	// Fewer cores cannot exhibit the speedup, so the gate is skipped
+	// (the throughput and allocs gates above still apply everywhere).
+	if runtime.NumCPU() >= 8 {
+		if got.SpeedupPar8 < 2.0 {
+			firstErr = fmt.Errorf("parallel speedup at 8 workers is %.2fx, want >= 2x",
+				got.SpeedupPar8)
+			fmt.Fprintln(os.Stderr, "FAIL:", firstErr)
+		}
+	} else {
+		fmt.Printf("fldbench: %d CPUs, parallel-speedup gate skipped (needs >= 8)\n",
+			runtime.NumCPU())
+	}
 	return firstErr
 }
 
 func main() {
 	checkMode := flag.Bool("check", false, "compare against the baseline file instead of rewriting it")
-	path := flag.String("baseline", "BENCH_PR4.json", "baseline file to write or check against")
+	path := flag.String("baseline", "BENCH_PR6.json", "baseline file to write or check against")
 	flag.Parse()
 
 	got := run()

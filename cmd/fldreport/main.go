@@ -51,6 +51,7 @@ func main() {
 	count := flag.Int("count", 25, "how many generated scenarios the scenario sweep runs (seeds seed..seed+count-1)")
 	spec := flag.String("spec", "", "exact scenario spec to replay for -exp scenario (the form a shrunk repro command prints); overrides -count")
 	clients := flag.String("clients", "1,2,4,8", "client counts the cluster experiment sweeps, comma-separated")
+	workers := flag.Int("workers", 0, "scheduler workers for the cluster experiment: 0 = one per CPU, 1 = sequential reference (identical telemetry either way)")
 	traceOut := flag.String("trace", "", "run the telemetry experiment, print its counter snapshot, and write the TLP flight recorder as Chrome trace_event JSON to this file")
 	flag.Parse()
 
@@ -110,6 +111,7 @@ func main() {
 				os.Exit(2)
 			}
 			p.Clients = ns
+			p.Workers = *workers
 			return exps.Cluster(p)
 		}},
 	}

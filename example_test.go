@@ -38,7 +38,7 @@ func Example() {
 	l3 := append(ip.Marshal(nil), l4...)
 	eth := netpkt.Eth{Dst: netpkt.MACFrom(2), Src: netpkt.MACFrom(1), EtherType: netpkt.EtherTypeIPv4}
 	port.Send(append(eth.Marshal(nil), l3...))
-	rp.Eng.Run()
+	rp.Run()
 
 	fmt.Printf("echoed=%d received=%d serverCPUPackets=%d\n",
 		afu.Echoed, received, srv.Drv.RxPackets+srv.Drv.TxPackets)

@@ -38,7 +38,7 @@ func main() {
 	rp := flexdriver.NewRemotePair()
 	srv := rp.Server
 	srv.RT.CreateEthTxQueue(0, nil)
-	afu := iotauth.NewAFU(srv.FLD, rp.Eng, 8)
+	afu := iotauth.NewAFU(srv.FLD, rp.Engine(), 8)
 	ecp := flexdriver.NewEControlPlane(srv.RT)
 
 	// Application queue for validated traffic.
@@ -60,7 +60,7 @@ func main() {
 			Match:     flexdriver.Match{SrcIP: &src},
 			Context:   uint32(tnt + 1),
 			NextTable: appTable,
-			Policer:   flexdriver.NewTokenBucket(rp.Eng, 6*flexdriver.Gbps, 16<<10),
+			Policer:   flexdriver.NewTokenBucket(rp.Engine(), 6*flexdriver.Gbps, 16<<10),
 		})
 	}
 	srv.RT.Start()
@@ -79,7 +79,7 @@ func main() {
 			port.Send(coapFrame(101, uint16(30000+i%16), forged))
 		}
 	}
-	rp.Eng.Run()
+	rp.Run()
 
 	fmt.Printf("validated: %d  invalid-signature: %d  malformed: %d\n",
 		afu.Valid, afu.Invalid, afu.Malformed)

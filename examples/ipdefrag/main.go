@@ -43,7 +43,7 @@ func main() {
 
 	// The defragmentation AFU behind FLD.
 	srv.RT.CreateEthTxQueue(0, nil)
-	afu := defrag.NewAFU(srv.FLD, srv.Eng, 10*flexdriver.Millisecond, 1024)
+	afu := defrag.NewAFU(srv.FLD, srv.Engine(), 10*flexdriver.Millisecond, 1024)
 	ecp := flexdriver.NewEControlPlane(srv.RT)
 
 	// Pipeline: (1) NIC VXLAN decap offload, (2) fragments detour to the
@@ -93,7 +93,7 @@ func main() {
 			sentFragments++
 		}
 	}
-	rp.Eng.Run()
+	rp.Run()
 
 	fmt.Printf("sent: 50 packets as %d VXLAN-encapsulated fragments\n", sentFragments)
 	fmt.Printf("NIC decapsulated: %d (hardware tunnel offload)\n", esw.Counters["vxlan-decap"])

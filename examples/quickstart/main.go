@@ -40,7 +40,7 @@ func main() {
 	var sentAt flexdriver.Time
 	port.OnReceive = func(frame []byte, md swdriver.RxMeta) {
 		received++
-		lastRTT = rp.Eng.Now() - sentAt
+		lastRTT = rp.Engine().Now() - sentAt
 	}
 
 	// Fire 1000 frames.
@@ -55,11 +55,11 @@ func main() {
 	const n = 1000
 	for i := 0; i < n; i++ {
 		if i == n-1 {
-			sentAt = rp.Eng.Now()
+			sentAt = rp.Engine().Now()
 		}
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 
 	fmt.Printf("sent %d frames of %d bytes\n", n, len(frame))
 	fmt.Printf("echoed by the accelerator: %d (dropped %d)\n", afu.Echoed, afu.Dropped)

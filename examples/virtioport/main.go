@@ -46,7 +46,7 @@ func overConnectX(n int) (echoed, received int) {
 	for i := 0; i < n; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	return
 }
 

@@ -19,7 +19,7 @@ func main() {
 	rsrv := flexdriver.NewRServer(rp.Server.RT)
 	rsrv.Listen("zuc")
 	rp.Server.RT.Start()
-	afu := zuc.NewAFU(rp.Server.FLD, rp.Eng, 8, zuc.DefaultLaneParams())
+	afu := zuc.NewAFU(rp.Server.FLD, rp.Engine(), 8, zuc.DefaultLaneParams())
 	afu.QueueFor = rsrv.QueueFor
 
 	// Client: connect and wrap the endpoint in the cryptodev driver.
@@ -28,7 +28,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	cd := zuc.NewCryptodev(rp.Eng, ep)
+	cd := zuc.NewCryptodev(rp.Engine(), ep)
 
 	key := [16]byte{0x17, 0x3d, 0x14, 0xba, 0x50, 0x03, 0x73, 0x1d,
 		0x7a, 0x60, 0x04, 0x94, 0x70, 0xf0, 0x0a, 0x29}
@@ -48,7 +48,7 @@ func main() {
 	cd.Enqueue(&zuc.Op{Op: zuc.OpAuth, Key: key, Count: 7, Bearer: 1, Data: plain,
 		Done: func(o *zuc.Op) { mac = o.MAC }})
 
-	rp.Eng.Run()
+	rp.Run()
 
 	local := zuc.EEA3(key, 0x66035492, 0xf, 0, plain, len(plain)*8)
 	fmt.Printf("plaintext : %q\n", plain)
@@ -58,5 +58,5 @@ func main() {
 	fmt.Printf("remote 128-EIA3 MAC   : %08x (local %08x)\n",
 		mac, zuc.EIA3(key, 7, 1, 0, plain, len(plain)*8))
 	fmt.Printf("ops completed: %d, accelerator lanes used: 8\n", cd.Completed)
-	fmt.Printf("virtual time elapsed: %v (RDMA round trips through the NIC's hardware transport)\n", rp.Eng.Now())
+	fmt.Printf("virtual time elapsed: %v (RDMA round trips through the NIC's hardware transport)\n", rp.Engine().Now())
 }

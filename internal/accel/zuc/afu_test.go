@@ -18,7 +18,7 @@ func newZucTestbed(t *testing.T) (*flexdriver.RemotePair, *zuc.AFU, *zuc.Cryptod
 	rsrv.Listen("zuc")
 	rp.Server.RT.Start()
 
-	afu := zuc.NewAFU(rp.Server.FLD, rp.Eng, 8, zuc.DefaultLaneParams())
+	afu := zuc.NewAFU(rp.Server.FLD, rp.Engine(), 8, zuc.DefaultLaneParams())
 	afu.QueueFor = rsrv.QueueFor
 
 	ep, err := flexdriver.ConnectRDMA(rp.Client.Drv, rsrv, "zuc",
@@ -26,7 +26,7 @@ func newZucTestbed(t *testing.T) (*flexdriver.RemotePair, *zuc.AFU, *zuc.Cryptod
 	if err != nil {
 		t.Fatal(err)
 	}
-	cd := zuc.NewCryptodev(rp.Eng, ep)
+	cd := zuc.NewCryptodev(rp.Engine(), ep)
 	return rp, afu, cd
 }
 
@@ -42,7 +42,7 @@ func TestDisaggregatedEncryptMatchesLocal(t *testing.T) {
 	var done *zuc.Op
 	cd.Enqueue(&zuc.Op{Op: zuc.OpEncrypt, Key: key, Count: 0x66035492, Bearer: 0xf,
 		Data: plain, Done: func(o *zuc.Op) { done = o }})
-	rp.Eng.Run()
+	rp.Run()
 
 	if done == nil {
 		t.Fatalf("op never completed (afu: %+v)", afu)
@@ -67,7 +67,7 @@ func TestDisaggregatedEncryptDecryptRoundTrip(t *testing.T) {
 			cd.Enqueue(&zuc.Op{Op: zuc.OpDecrypt, Key: key, Count: 1, Data: enc.Result,
 				Done: func(dec *zuc.Op) { final = dec.Result }})
 		}})
-	rp.Eng.Run()
+	rp.Run()
 
 	if !bytes.Equal(final, plain) {
 		t.Fatalf("round trip failed: %q", final)
@@ -81,7 +81,7 @@ func TestDisaggregatedAuth(t *testing.T) {
 	var mac uint32
 	cd.Enqueue(&zuc.Op{Op: zuc.OpAuth, Key: key, Count: 5, Bearer: 3, Direction: 1,
 		Data: msg, Done: func(o *zuc.Op) { mac = o.MAC }})
-	rp.Eng.Run()
+	rp.Run()
 	if want := zuc.EIA3(key, 5, 3, 1, msg, len(msg)*8); mac != want {
 		t.Fatalf("remote MAC %08x, want %08x", mac, want)
 	}
@@ -97,7 +97,7 @@ func TestManyOpsPipelined(t *testing.T) {
 		cd.Enqueue(&zuc.Op{Op: zuc.OpEncrypt, Key: key, Count: uint32(i), Data: data,
 			Done: func(o *zuc.Op) { completed++ }})
 	}
-	rp.Eng.Run()
+	rp.Run()
 	if completed != n {
 		t.Fatalf("completed %d/%d (afu requests=%d responses=%d bad=%d dropped=%d)",
 			completed, n, afu.Requests, afu.Responses, afu.Bad, afu.Dropped)

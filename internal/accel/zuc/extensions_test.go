@@ -55,7 +55,7 @@ func TestKeyStorageEndToEnd(t *testing.T) {
 	var got []byte
 	cd.EnqueueShort(&zuc.Op{Op: zuc.OpEncrypt, Count: 99, Data: plain,
 		Done: func(o *zuc.Op) { got = o.Result }}, 7)
-	rp.Eng.Run()
+	rp.Run()
 
 	if afu.KeysStored != 1 {
 		t.Fatalf("keys stored = %d", afu.KeysStored)
@@ -71,7 +71,7 @@ func TestUnknownKeySlotRejected(t *testing.T) {
 	done := false
 	cd.EnqueueShort(&zuc.Op{Op: zuc.OpEncrypt, Data: []byte{1},
 		Done: func(*zuc.Op) { done = true }}, 999)
-	rp.Eng.Run()
+	rp.Run()
 	if done {
 		t.Fatal("request with unregistered key completed")
 	}
@@ -97,7 +97,7 @@ func TestBatchedRequestsEndToEnd(t *testing.T) {
 			Done: func(o *zuc.Op) { results[i] = o.Result }}
 	}
 	cd.EnqueueBatch(ops, 1)
-	rp.Eng.Run()
+	rp.Run()
 
 	for i := range ops {
 		want := zuc.EEA3(key, uint32(i), 0, 0, bytes.Repeat([]byte{byte(i + 1)}, 64), 64*8)
@@ -124,9 +124,9 @@ func TestBatchingImprovesSmallRequestThroughput(t *testing.T) {
 		var lastDone flexdriver.Time
 		run(rp, cd, func() {
 			n++
-			lastDone = rp.Eng.Now()
+			lastDone = rp.Engine().Now()
 		})
-		rp.Eng.Run()
+		rp.Run()
 		if n != total {
 			t.Fatalf("completed %d/%d", n, total)
 		}

@@ -43,10 +43,14 @@ func (c Config) withDefaults() Config {
 
 // Endpoint is what a switch port faces: a NIC (or a test stub) that can
 // accept the port as its physical attachment and receive frames.
-// *nic.NIC satisfies it.
+// *nic.NIC satisfies it. Engine reports the endpoint's simulation shard;
+// the port runs its NIC-side half (dir-0 serialization, dir-1 delivery)
+// there, so a sharded cluster crosses engines only on the port's two
+// conduits.
 type Endpoint interface {
 	AttachPort(nic.Port)
 	Ingress(frame []byte)
+	Engine() *sim.Engine
 }
 
 // Stats tallies switch-level forwarding decisions.
@@ -77,9 +81,12 @@ type Switch struct {
 }
 
 // portXfer is one frame's transit record through a port segment (either
-// direction). Records are recycled through the switch's freelist and
-// scheduled with the engine's arg-form callbacks, so the steady-state
-// forwarding path allocates nothing per frame.
+// direction). Records are recycled through freelists and scheduled with
+// the engine's arg-form callbacks, so the steady-state forwarding path
+// allocates nothing per frame. Dir-0 records live on the port's own
+// freelist (touched only by the endpoint's shard); dir-1 records live on
+// the switch's freelist (touched only by the switch shard) — the two
+// sides of a port may run on different engines and must not share one.
 type portXfer struct {
 	p      *Port
 	frame  []byte
@@ -106,6 +113,24 @@ func (s *Switch) putXfer(x *portXfer) {
 	s.freeX = x
 }
 
+func (p *Port) getXferN() *portXfer {
+	x := p.freeN
+	if x != nil {
+		p.freeN = x.next
+		x.next = nil
+	} else {
+		x = &portXfer{}
+	}
+	x.p = p
+	return x
+}
+
+func (p *Port) putXferN(x *portXfer) {
+	x.p, x.frame, x.onSent = nil, nil, nil
+	x.next = p.freeN
+	p.freeN = x
+}
+
 // New builds a switch; zero Config fields take defaults.
 func New(eng *sim.Engine, cfg Config) *Switch {
 	return &Switch{eng: eng, cfg: cfg.withDefaults(), fdb: make(map[netpkt.MAC]*Port)}
@@ -120,6 +145,9 @@ func (s *Switch) SetQueueFrames(n int)      { s.cfg.QueueFrames = n }
 // Rate returns the per-port line rate.
 func (s *Switch) Rate() sim.BitRate { return s.cfg.Rate }
 
+// Engine returns the engine the switch fabric schedules on.
+func (s *Switch) Engine() *sim.Engine { return s.eng }
+
 // Ports returns the attached ports in connection order.
 func (s *Switch) Ports() []*Port { return s.ports }
 
@@ -127,13 +155,21 @@ func (s *Switch) Ports() []*Port { return s.ports }
 func (s *Switch) FDBSize() int { return len(s.fdb) }
 
 // Connect attaches an endpoint to the next free port and makes the port
-// the endpoint's physical attachment.
+// the endpoint's physical attachment. The NIC-to-switch serialization
+// resource lives on the endpoint's engine and the two segment directions
+// become conduits, so an endpoint on another shard exchanges frames with
+// the switch only through the group's barrier merge. With the endpoint on
+// the switch's own engine the conduits degenerate to direct schedules and
+// behavior is unchanged.
 func (s *Switch) Connect(ep Endpoint) *Port {
+	epEng := ep.Engine()
 	p := &Port{
-		sw: s, ID: len(s.ports), ep: ep,
-		in:  sim.NewResource(s.eng),
+		sw: s, ID: len(s.ports), ep: ep, epEng: epEng,
+		in:  sim.NewResource(epEng),
 		out: sim.NewResource(s.eng),
 	}
+	p.inC = sim.NewConduit(epEng, s.eng, p.recvIn)
+	p.outC = sim.NewConduit(s.eng, epEng, p.recvOut)
 	s.ports = append(s.ports, p)
 	ep.AttachPort(p)
 	if s.tlm != nil {
@@ -207,16 +243,26 @@ type PortCounters struct {
 // Port is one switch port plus the segment cabling it to its endpoint.
 // It implements nic.Port for the NIC-to-switch direction. On its Link,
 // dir 0 is NIC-to-switch and dir 1 is switch-to-NIC.
+//
+// Shard split: Send/portInSent and recvOut run on the endpoint's engine;
+// ingress, deliver and portOutSent run on the switch's engine. Each field
+// has a single writing shard (the Link's per-direction counters and fault
+// hooks are disjoint by direction), so a parallel group needs no locks
+// here.
 type Port struct {
 	ID       int
 	Counters PortCounters
 
-	sw   *Switch
-	ep   Endpoint
-	link nic.Link
+	sw    *Switch
+	ep    Endpoint
+	epEng *sim.Engine
+	link  nic.Link
 
-	in, out *sim.Resource
-	queued  int // frames waiting or in service on out
+	in, out *sim.Resource // in: endpoint engine; out: switch engine
+	queued  int           // frames waiting or in service on out
+
+	inC, outC *sim.Conduit
+	freeN     *portXfer // dir-0 transit records (endpoint shard's pool)
 
 	tlm *portTelemetry
 }
@@ -224,6 +270,10 @@ type Port struct {
 // Link exposes the segment's fault hooks and delivery counters for
 // faults.Plan.AttachLink.
 func (p *Port) Link() *nic.Link { return &p.link }
+
+// EndpointEngine returns the engine the port's NIC-side half runs on
+// (dir-0 hooks fire there; dir-1 hooks fire on the switch engine).
+func (p *Port) EndpointEngine() *sim.Engine { return p.epEng }
 
 // QueueDepth returns the instantaneous output-queue occupancy,
 // including the frame in service.
@@ -236,51 +286,50 @@ func (p *Port) count(frames, bytes *int64, n int) {
 
 // Send serializes a frame from the NIC into the switch (dir 0). It is
 // the nic.Port implementation; onSent fires when the frame has fully
-// left the NIC.
+// left the NIC. Runs on the endpoint's shard.
 func (p *Port) Send(frame []byte, onSent func()) {
 	p.link.Sent[0]++
-	x := p.sw.getXfer(p)
+	x := p.getXferN()
 	x.frame, x.onSent = frame, onSent
 	x.d = p.sw.cfg.Rate.Serialize(len(frame) + nic.EthWireOverhead)
 	p.in.AcquireArg(x.d, portInSent, x)
 }
 
-// portInSent runs when the frame has fully left the NIC (dir 0).
+// portInSent runs when the frame has fully left the NIC (dir 0, endpoint
+// shard). Loss, delay and duplication for this direction are evaluated
+// here, on the sending side of the segment; surviving copies cross to the
+// switch shard through the inbound conduit.
 func portInSent(a any) {
 	x := a.(*portXfer)
-	p, l, frame := x.p, &x.p.link, x.frame
+	p, l, frame, d := x.p, &x.p.link, x.frame, x.d
 	if x.onSent != nil {
 		x.onSent()
 		x.onSent = nil
 	}
+	p.putXferN(x)
 	if l.Loss != nil && l.Loss(0, frame) {
 		l.Lost[0]++
 		if t := p.tlm; t != nil {
-			t.injected.Inc()
+			t.injectedUp.Inc()
 		}
-		p.sw.putXfer(x)
 		return
 	}
 	lat := p.sw.cfg.Latency
 	if l.Delay != nil {
 		lat += l.Delay(0, frame)
 	}
-	dup := l.Dup != nil && l.Dup(0, frame)
-	p.sw.eng.AfterArg(lat, portInDeliver, x)
-	if dup {
+	now := p.epEng.Now()
+	p.inC.Send(now+lat, frame)
+	if l.Dup != nil && l.Dup(0, frame) {
 		// A duplicate trails the original by one serialization time,
 		// matching the Wire model.
-		x2 := p.sw.getXfer(p)
-		x2.frame = frame
-		p.sw.eng.AfterArg(lat+x.d, portInDeliver, x2)
+		p.inC.Send(now+lat+d, frame)
 	}
 }
 
-// portInDeliver hands the received frame to the forwarding pipeline.
-func portInDeliver(a any) {
-	x := a.(*portXfer)
-	p, frame := x.p, x.frame
-	p.sw.putXfer(x)
+// recvIn accepts a frame off the inbound conduit and hands it to the
+// forwarding pipeline (switch shard).
+func (p *Port) recvIn(frame []byte) {
 	p.link.Delivered[0]++
 	p.sw.ingress(p, frame)
 }
@@ -306,40 +355,38 @@ func (p *Port) deliver(frame []byte) {
 	p.out.AcquireArg(x.d, portOutSent, x)
 }
 
-// portOutSent runs when the frame has fully left the switch port (dir 1).
+// portOutSent runs when the frame has fully left the switch port (dir 1,
+// switch shard). Surviving copies cross to the endpoint shard through the
+// outbound conduit.
 func portOutSent(a any) {
 	x := a.(*portXfer)
-	p, l, frame := x.p, &x.p.link, x.frame
+	p, l, frame, d := x.p, &x.p.link, x.frame, x.d
 	p.queued--
 	if t := p.tlm; t != nil {
 		t.depth.Set(int64(p.queued))
 	}
+	p.sw.putXfer(x)
 	if l.Loss != nil && l.Loss(1, frame) {
 		l.Lost[1]++
 		if t := p.tlm; t != nil {
-			t.injected.Inc()
+			t.injectedDown.Inc()
 		}
-		p.sw.putXfer(x)
 		return
 	}
 	lat := p.sw.cfg.Latency
 	if l.Delay != nil {
 		lat += l.Delay(1, frame)
 	}
-	dup := l.Dup != nil && l.Dup(1, frame)
-	p.sw.eng.AfterArg(lat, portOutDeliver, x)
-	if dup {
-		x2 := p.sw.getXfer(p)
-		x2.frame = frame
-		p.sw.eng.AfterArg(lat+x.d, portOutDeliver, x2)
+	now := p.sw.eng.Now()
+	p.outC.Send(now+lat, frame)
+	if l.Dup != nil && l.Dup(1, frame) {
+		p.outC.Send(now+lat+d, frame)
 	}
 }
 
-// portOutDeliver hands the frame to the endpoint NIC's ingress pipeline.
-func portOutDeliver(a any) {
-	x := a.(*portXfer)
-	p, frame := x.p, x.frame
-	p.sw.putXfer(x)
+// recvOut accepts a frame off the outbound conduit and hands it to the
+// endpoint NIC's ingress pipeline (endpoint shard).
+func (p *Port) recvOut(frame []byte) {
 	p.link.Delivered[1]++
 	p.count(&p.Counters.TxFrames, &p.Counters.TxBytes, len(frame))
 	if t := p.tlm; t != nil {

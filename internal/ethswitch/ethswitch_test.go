@@ -20,6 +20,7 @@ type stubEP struct {
 }
 
 func (s *stubEP) AttachPort(p nic.Port) { s.port = p }
+func (s *stubEP) Engine() *sim.Engine   { return s.eng }
 func (s *stubEP) Ingress(frame []byte) {
 	s.got = append(s.got, append([]byte(nil), frame...))
 	s.at = append(s.at, s.eng.Now())

@@ -14,11 +14,16 @@ type swTelemetry struct {
 	forwarded, floods, filtered *telemetry.Counter
 }
 
+// portTelemetry counters are split by writing shard: the endpoint's
+// engine owns the dir-0 (up) side plus delivered tx, the switch engine
+// owns the dir-1 (down) side — so each counter has exactly one writer
+// when the cluster runs sharded.
 type portTelemetry struct {
 	rxFrames, rxBytes *telemetry.Counter
 	txFrames, txBytes *telemetry.Counter
 	tailDrops         *telemetry.Counter
-	injected          *telemetry.Counter // fault-plane losses on this segment
+	injectedUp        *telemetry.Counter // fault-plane losses, NIC-to-switch
+	injectedDown      *telemetry.Counter // fault-plane losses, switch-to-NIC
 	depth             *telemetry.Gauge   // output-queue occupancy (high-water tracked)
 }
 
@@ -45,13 +50,14 @@ func (s *Switch) SetTelemetry(sc *telemetry.Scope) {
 func (p *Port) instrument(sc *telemetry.Scope) {
 	ps := sc.Scope(fmt.Sprintf("port%d", p.ID))
 	p.tlm = &portTelemetry{
-		rxFrames:  ps.Counter("rx/frames"),
-		rxBytes:   ps.Counter("rx/bytes"),
-		txFrames:  ps.Counter("tx/frames"),
-		txBytes:   ps.Counter("tx/bytes"),
-		tailDrops: ps.Counter("tail_drops"),
-		injected:  ps.Counter("injected_loss"),
-		depth:     ps.Gauge("queue/depth"),
+		rxFrames:     ps.Counter("rx/frames"),
+		rxBytes:      ps.Counter("rx/bytes"),
+		txFrames:     ps.Counter("tx/frames"),
+		txBytes:      ps.Counter("tx/bytes"),
+		tailDrops:    ps.Counter("tail_drops"),
+		injectedUp:   ps.Counter("injected_loss/up"),
+		injectedDown: ps.Counter("injected_loss/down"),
+		depth:        ps.Gauge("queue/depth"),
 	}
 	ps.Func("out/util", p.out.Utilization)
 	ps.Func("in/util", p.in.Utilization)

@@ -48,7 +48,7 @@ func Chaos(seed int64, spec string, window flexdriver.Duration) *Result {
 	plan := flexdriver.NewFaultPlan(seed, cfg)
 	reg := flexdriver.NewRegistry()
 	rp, port, _ := fldeRemoteBed(flexdriver.WithTelemetry(reg), flexdriver.WithFaults(plan))
-	eng := rp.Eng
+	eng := rp.Engine()
 
 	// Sequence-stamped frames: the payload's first 8 bytes carry the send
 	// ordinal, so loss and duplication are measured per frame, not from

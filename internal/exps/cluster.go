@@ -34,6 +34,11 @@ type ClusterParams struct {
 	Warmup, Window, Drain flexdriver.Duration
 	// Seed drives the per-client Poisson arrival streams.
 	Seed int64
+	// Workers pins the cluster scheduler's worker count (0 = one per
+	// CPU, 1 = the sequential reference schedule). Results are
+	// byte-identical at any setting; the determinism tests and the
+	// parallel-speedup benchmarks sweep it.
+	Workers int
 }
 
 // DefaultClusterParams returns the standard sweep: N ∈ {1,2,4,8}
@@ -150,8 +155,8 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 	cl := flexdriver.NewCluster(
 		flexdriver.WithDriver(genDriverParams()),
 		flexdriver.WithTelemetry(reg),
+		flexdriver.WithWorkers(p.Workers),
 	).SwitchQueueFrames(p.QueueFrames)
-	eng := cl.Eng
 
 	// Server: one Innova, FLDCores cores behind an RSS TIR, each running
 	// the header-swapping echo.
@@ -175,18 +180,19 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 
 	// Clients: RSS-balanced flow sets, per-client sequence stamping for
 	// RTT, steering on own IP (flooded frames for other nodes miss).
+	// Every per-client accumulator (latencies, rx bytes) is private to
+	// that client's shard during the run and merged afterwards — shards
+	// run on real goroutines, so shared accumulators would race.
 	const seqOff = 42 // Eth(14) + IPv4(20) + UDP(8)
-	// Size hint: every measured-window packet can contribute one RTT
-	// observation, so preallocate generously to keep Add off the slice
-	// growth path at cluster scale.
-	lat := stats.NewSample(1 << 16)
 	measuring := false
-	var rxBytes int64
 	type client struct {
+		eng    *sim.Engine
 		port   *swdriver.EthPort
 		frames [][]byte
 		sent   int64
 		sendAt []flexdriver.Time
+		lat    []float64
+		rxB    int64
 	}
 	clients := make([]*client, 0, n)
 	for ci := 0; ci < n; ci++ {
@@ -196,7 +202,8 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 		h.NIC.ESwitch().AddRule(0, flexdriver.Rule{
 			Match:  flexdriver.Match{DstIP: &ip},
 			Action: flexdriver.Action{ToRQ: port.RQ()}})
-		c := &client{port: port, frames: balancedFlows(h, srv, p.FlowsPerClient, p.FLDCores, p.FrameSize)}
+		c := &client{eng: h.Engine(), port: port,
+			frames: balancedFlows(h, srv, p.FlowsPerClient, p.FLDCores, p.FrameSize)}
 		port.OnReceive = func(fr []byte, _ swdriver.RxMeta) {
 			if len(fr) < seqOff+8 || !measuring {
 				return
@@ -206,9 +213,9 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 				seq = seq<<8 | int64(fr[seqOff+i])
 			}
 			if seq < int64(len(c.sendAt)) {
-				lat.Add((eng.Now() - c.sendAt[seq]).Seconds() * 1e6)
+				c.lat = append(c.lat, (c.eng.Now()-c.sendAt[seq]).Seconds()*1e6)
 			}
-			rxBytes += int64(len(fr))
+			c.rxB += int64(len(fr))
 		}
 		clients = append(clients, c)
 	}
@@ -224,7 +231,7 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 		c := c
 		var tick func()
 		tick = func() {
-			if eng.Now() >= stopSending {
+			if c.eng.Now() >= stopSending {
 				return
 			}
 			f := append([]byte(nil), c.frames[int(c.sent)%len(c.frames)]...)
@@ -233,20 +240,33 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 				f[seqOff+i] = byte(seq)
 				seq >>= 8
 			}
-			c.sendAt = append(c.sendAt, eng.Now())
+			c.sendAt = append(c.sendAt, c.eng.Now())
 			c.sent++
 			c.port.Send(f)
-			eng.After(rng.Exp(mean), tick)
+			c.eng.After(rng.Exp(mean), tick)
 		}
-		eng.After(rng.Exp(mean), tick)
+		c.eng.After(rng.Exp(mean), tick)
 	}
 
-	eng.RunUntil(p.Warmup)
+	cl.RunUntil(p.Warmup)
 	measuring = true
-	eng.RunUntil(stopSending)
+	cl.RunUntil(stopSending)
 	measuring = false
-	eng.RunUntil(stopSending + p.Drain)
-	eng.Run()
+	cl.RunUntil(stopSending + p.Drain)
+	cl.Run()
+
+	// Merge the per-shard accumulators now that every shard is idle.
+	// Size hint: every measured-window packet can contribute one RTT
+	// observation, so preallocate generously to keep Add off the slice
+	// growth path at cluster scale.
+	lat := stats.NewSample(1 << 16)
+	var rxBytes int64
+	for _, c := range clients {
+		for _, v := range c.lat {
+			lat.Add(v)
+		}
+		rxBytes += c.rxB
+	}
 
 	pt := clusterPoint{
 		clients:      n,
@@ -254,7 +274,7 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 		achievedGbps: float64(rxBytes) * 8 / p.Window.Seconds() / 1e9,
 		p50us:        lat.Median(),
 		p99us:        lat.Percentile(99),
-		pending:      eng.Pending(),
+		pending:      cl.Pending(),
 	}
 	var total int64
 	for _, rt := range rts {

@@ -28,11 +28,11 @@ type kernelCores struct {
 // newKernelCores builds n cores each with a receive queue, returning the
 // TIR that RSS-spreads across them.
 func newKernelCores(inn *flexdriver.Innova, n int, perPkt sim.Duration, swDefrag bool) (*kernelCores, *nic.TIR) {
-	k := &kernelCores{eng: inn.Eng, perPkt: perPkt, nodes: inn}
+	k := &kernelCores{eng: inn.Engine(), perPkt: perPkt, nodes: inn}
 	tir := &nic.TIR{}
 	for i := 0; i < n; i++ {
 		i := i
-		core := sim.NewResource(inn.Eng)
+		core := sim.NewResource(inn.Engine())
 		k.cores = append(k.cores, core)
 		if swDefrag {
 			k.reasm = append(k.reasm, defrag.NewReassembler(10*flexdriver.Millisecond, 4096))
@@ -183,7 +183,7 @@ func defragThroughput(cfg DefragConfig, flows int, window flexdriver.Duration) f
 		esw.AddRule(0, flexdriver.Rule{Action: flexdriver.Action{ToTable: intp(appTable)}})
 	case HWDefrag, HWDefragVXLAN:
 		srv.RT.CreateEthTxQueue(0, nil)
-		afu := defrag.NewAFU(srv.FLD, srv.Eng, 10*flexdriver.Millisecond, 4096)
+		afu := defrag.NewAFU(srv.FLD, srv.Engine(), 10*flexdriver.Millisecond, 4096)
 		_ = afu
 		ecp := flexdriver.NewEControlPlane(srv.RT)
 		if cfg == HWDefragVXLAN {
@@ -250,15 +250,15 @@ func defragThroughput(cfg DefragConfig, flows int, window flexdriver.Duration) f
 	idx := 0
 	warmup := 200 * flexdriver.Microsecond
 	deadline := warmup + window + 200*flexdriver.Microsecond
-	paceSends(rp.Eng, interval, deadline, func() {
+	paceSends(rp.Engine(), interval, deadline, func() {
 		port.Send(frames[idx%len(frames)])
 		idx++
 	})
-	rp.Eng.RunUntil(warmup)
+	rp.RunUntil(warmup)
 	start := cores.AppBytes
-	rp.Eng.RunUntil(warmup + window)
+	rp.RunUntil(warmup + window)
 	delivered := cores.AppBytes - start
-	rp.Eng.RunUntil(deadline)
+	rp.RunUntil(deadline)
 	return float64(delivered) * 8 / window.Seconds() / 1e9
 }
 

@@ -12,7 +12,13 @@ import (
 // behavior-preserving down to the byte: same seeds, same event order,
 // same counters. If a change legitimately alters simulation behavior,
 // recapture the constant and say why in the commit message.
-const goldenClusterHash = "1394ae68c8da541a1b74211935e4ca0dd2021c61c5d2e13f0ac5e03d34650a52"
+//
+// Recaptured for the sharded-engine cluster: each node now runs on a
+// private engine synchronized at the switch, which legitimately
+// re-interleaves same-instant events across nodes. The new hash is the
+// sequential reference schedule's, and TestClusterSeqParIdentical pins
+// every parallel worker count to it.
+const goldenClusterHash = "435b41af1a90645698c6c5de0acf8b1257475b9459c68abbff9e334bbacd5b8c"
 
 func TestClusterTelemetryGolden(t *testing.T) {
 	p := DefaultClusterParams(100 * sim.Microsecond)
@@ -43,7 +49,11 @@ func TestClusterTelemetryStable(t *testing.T) {
 // their recovery machinery) that a fault-free run never exercises. Same
 // rule as above: if a change legitimately alters behavior, recapture the
 // constant and say why in the commit message.
-const goldenChaosScenarioHash = "e421cb4418086b4e45ec5bca73e84787e211af510c089248de8f5f22b79df2d9"
+//
+// Recaptured for the sharded-engine cluster (see goldenClusterHash):
+// per-node engines re-interleave cross-node events, and fault streams
+// are now per-attachment rather than plan-global.
+const goldenChaosScenarioHash = "963a3a817ac3c4477cdd0f2155c8044ae96043488f1585a4fa51f5138345a47d"
 
 func TestChaosScenarioTelemetryGolden(t *testing.T) {
 	got := ScenarioTelemetryHash(2)
@@ -61,5 +71,37 @@ func TestChaosScenarioTelemetryStable(t *testing.T) {
 	b := ScenarioTelemetryHash(2)
 	if a != b {
 		t.Fatalf("back-to-back chaos scenario runs diverged: %s vs %s", a, b)
+	}
+}
+
+// TestClusterSeqParIdentical is the parallel scheduler's core guarantee,
+// pinned at the experiment layer: the sharded cluster must produce
+// byte-identical telemetry whether its shards run on one worker (the
+// sequential reference schedule) or on many. Any divergence means a
+// cross-shard ordering leaked into results.
+func TestClusterSeqParIdentical(t *testing.T) {
+	p := DefaultClusterParams(100 * sim.Microsecond)
+	p.Workers = 1
+	seq := ClusterTelemetryHash(2, p)
+	for _, w := range []int{2, 4, 8} {
+		p.Workers = w
+		if got := ClusterTelemetryHash(2, p); got != seq {
+			t.Fatalf("workers=%d diverged from the sequential schedule:\n got  %s\n want %s",
+				w, got, seq)
+		}
+	}
+}
+
+// TestChaosSeqParIdentical extends the sequential-vs-parallel pin to a
+// fault-injecting scenario: per-attachment fault streams, recovery
+// watchdog controls and the RDMA sidecar must all replay identically
+// under the parallel scheduler.
+func TestChaosSeqParIdentical(t *testing.T) {
+	seq := ScenarioTelemetryHashWorkers(2, 1)
+	for _, w := range []int{2, 8} {
+		if got := ScenarioTelemetryHashWorkers(2, w); got != seq {
+			t.Fatalf("workers=%d diverged from the sequential schedule:\n got  %s\n want %s",
+				w, got, seq)
+		}
 	}
 }

@@ -268,7 +268,7 @@ func EchoBandwidthWithNIC(mode EchoMode, sizes []int, window flexdriver.Duration
 		case FLDERemote:
 			rp, port, _ := fldeRemoteBed()
 			achieved = measureEcho(echoBedFns{
-				eng:  rp.Eng,
+				eng:  rp.Engine(),
 				send: func(f []byte) { port.Send(f) },
 				onReceive: func(fn func(int)) {
 					port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }
@@ -277,7 +277,7 @@ func EchoBandwidthWithNIC(mode EchoMode, sizes []int, window flexdriver.Duration
 		case FLDELocal:
 			inn, port, _ := fldeLocalBed(genDriverParams())
 			achieved = measureEcho(echoBedFns{
-				eng:  inn.Eng,
+				eng:  inn.Engine(),
 				send: func(f []byte) { port.Send(f) },
 				onReceive: func(fn func(int)) {
 					port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }
@@ -288,7 +288,7 @@ func EchoBandwidthWithNIC(mode EchoMode, sizes []int, window flexdriver.Duration
 		case CPURemote:
 			rp, port := cpuRemoteBed(ioFwdParams())
 			achieved = measureEcho(echoBedFns{
-				eng:  rp.Eng,
+				eng:  rp.Engine(),
 				send: func(f []byte) { port.Send(f) },
 				onReceive: func(fn func(int)) {
 					port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }
@@ -330,12 +330,12 @@ func fldrRemoteBandwidth(size int, offeredGbps float64, window flexdriver.Durati
 	interval := flexdriver.Duration(float64(size*8) / (offeredGbps * 1e9) * float64(flexdriver.Second))
 	warmup := 150 * flexdriver.Microsecond
 	deadline := warmup + window + 100*flexdriver.Microsecond
-	paceSends(rp.Eng, interval, deadline, func() { ep.Send(msg) })
-	rp.Eng.RunUntil(warmup)
+	paceSends(rp.Engine(), interval, deadline, func() { ep.Send(msg) })
+	rp.RunUntil(warmup)
 	measuring = true
-	rp.Eng.RunUntil(warmup + window)
+	rp.RunUntil(warmup + window)
 	measuring = false
-	rp.Eng.RunUntil(deadline)
+	rp.RunUntil(deadline)
 	return float64(rxBytes) * 8 / window.Seconds() / 1e9
 }
 
@@ -403,14 +403,14 @@ func MixedTrace(window flexdriver.Duration) *Result {
 		var hook func(func(int))
 		if useFLD {
 			rp, port, _ := fldeRemoteBed()
-			eng = rp.Eng
+			eng = rp.Engine()
 			send = func(f []byte) { port.Send(f) }
 			hook = func(fn func(int)) {
 				port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }
 			}
 		} else {
 			rp, port := cpuRemoteBed(fwdCoreParams())
-			eng = rp.Eng
+			eng = rp.Engine()
 			send = func(f []byte) { port.Send(f) }
 			hook = func(fn func(int)) {
 				port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }
@@ -460,7 +460,7 @@ func Table6(samples int) *Result {
 	runFLDE := func() stats.Summary {
 		rp, port, _ := fldeRemoteBed()
 		rp.Client.Drv.Prm = latencyDriverParams()
-		return closedLoopRTT(rp.Eng, samples,
+		return closedLoopRTT(rp.Engine(), samples,
 			func(f []byte) { port.Send(f) },
 			func(fn func()) {
 				port.OnReceive = func([]byte, swdriver.RxMeta) { fn() }
@@ -469,7 +469,7 @@ func Table6(samples int) *Result {
 	runCPU := func() stats.Summary {
 		rp, port := cpuRemoteBed(serverCPUParams())
 		rp.Client.Drv.Prm = latencyDriverParams()
-		return closedLoopRTT(rp.Eng, samples,
+		return closedLoopRTT(rp.Engine(), samples,
 			func(f []byte) { port.Send(f) },
 			func(fn func()) {
 				port.OnReceive = func([]byte, swdriver.RxMeta) { fn() }
@@ -596,7 +596,7 @@ func fldrLatencyAtLoad(size int, offeredGbps float64, samples int) (medianUs, p9
 	recv := 0
 	ep.OnMessage = func(data []byte) {
 		// Echoes return in order: match FIFO.
-		rtt := rp.Eng.Now() - sendTimes[recv]
+		rtt := rp.Engine().Now() - sendTimes[recv]
 		recv++
 		lat.Add(rtt.Microseconds())
 		rxBytes += int64(len(data))
@@ -611,21 +611,21 @@ func fldrLatencyAtLoad(size int, offeredGbps float64, samples int) (medianUs, p9
 			return
 		}
 		sent++
-		sendTimes = append(sendTimes, rp.Eng.Now())
+		sendTimes = append(sendTimes, rp.Engine().Now())
 		ep.Send(msg)
-		rp.Eng.After(rng.Exp(mean), tick)
+		rp.Engine().After(rng.Exp(mean), tick)
 	}
-	t0 = rp.Eng.Now()
+	t0 = rp.Engine().Now()
 	tick()
-	rp.Eng.Run()
-	dur := rp.Eng.Now() - t0
+	rp.Run()
+	dur := rp.Engine().Now() - t0
 	if dur <= 0 {
 		dur = 1
 	}
 	return lat.Median(), lat.Percentile(99), float64(rxBytes) * 8 / dur.Seconds() / 1e9
 }
 
-func engOf(inn *flexdriver.Innova) *flexdriver.Engine { return inn.Eng }
+func engOf(inn *flexdriver.Innova) *flexdriver.Engine { return inn.Engine() }
 
 // fldrLocalLowLoadLatency measures the single-node FLD-R echo RTT: the
 // client endpoint lives on the Innova host and its QP loops back through
@@ -647,17 +647,17 @@ func fldrLocalLowLoadLatency(size, samples int) float64 {
 	n := 0
 	var fire func()
 	ep.OnMessage = func([]byte) {
-		lat.Add((inn.Eng.Now() - sentAt).Microseconds())
+		lat.Add((inn.Engine().Now() - sentAt).Microseconds())
 		n++
 		if n < samples {
 			fire()
 		}
 	}
 	fire = func() {
-		sentAt = inn.Eng.Now()
+		sentAt = inn.Engine().Now()
 		ep.Send(msg)
 	}
 	fire()
-	inn.Eng.Run()
+	inn.Run()
 	return lat.Median()
 }

@@ -47,7 +47,7 @@ func iotBed(tenants int, policerGbps float64) (*flexdriver.RemotePair, *iotauth.
 	rp := flexdriver.NewRemotePair(flexdriver.WithDriver(genDriverParams()))
 	srv := rp.Server
 	srv.RT.CreateEthTxQueue(0, nil)
-	afu := iotauth.NewAFU(srv.FLD, rp.Eng, 8)
+	afu := iotauth.NewAFU(srv.FLD, rp.Engine(), 8)
 	ecp := flexdriver.NewEControlPlane(srv.RT)
 
 	// Application queue on the server host: validated packets land here.
@@ -61,7 +61,7 @@ func iotBed(tenants int, policerGbps float64) (*flexdriver.RemotePair, *iotauth.
 		src := netpkt.IPFrom(100 + tnt)
 		var pol *flexdriver.TokenBucket
 		if policerGbps > 0 {
-			pol = flexdriver.NewTokenBucket(rp.Eng, flexdriver.BitRate(policerGbps*1e9), 16<<10)
+			pol = flexdriver.NewTokenBucket(rp.Engine(), flexdriver.BitRate(policerGbps*1e9), 16<<10)
 		}
 		ecp.InstallAccelerate(flexdriver.AccelerateSpec{
 			Table:     0,
@@ -90,12 +90,12 @@ func IotLineRate(window flexdriver.Duration) *Result {
 		interval := flexdriver.Duration(float64(len(frame)*8) / 26.5e9 * float64(flexdriver.Second))
 		warmup := 150 * flexdriver.Microsecond
 		deadline := warmup + window + 100*flexdriver.Microsecond
-		paceSends(rp.Eng, interval, deadline, func() { port.Send(frame) })
-		rp.Eng.RunUntil(warmup)
+		paceSends(rp.Engine(), interval, deadline, func() { port.Send(frame) })
+		rp.RunUntil(warmup)
 		start := afu.ValidBytes[1]
-		rp.Eng.RunUntil(warmup + window)
+		rp.RunUntil(warmup + window)
 		validated := float64(afu.ValidBytes[1]-start) * 8 / window.Seconds() / 1e9
-		rp.Eng.RunUntil(deadline)
+		rp.RunUntil(deadline)
 		line := perfmodel.EthernetGoodput(25, size)
 		meets := validated >= 0.90*line
 		if !meets {
@@ -116,7 +116,7 @@ func IotInvalidTokensDropped(window flexdriver.Duration) *Result {
 	forged := iotFrame(512, 100, 10001, []byte("attacker-key"), "dev0")
 	n := 0
 	deadline := window
-	paceSends(rp.Eng, 2*flexdriver.Microsecond, deadline, func() {
+	paceSends(rp.Engine(), 2*flexdriver.Microsecond, deadline, func() {
 		if n%2 == 0 {
 			port.Send(good)
 		} else {
@@ -124,7 +124,7 @@ func IotInvalidTokensDropped(window flexdriver.Duration) *Result {
 		}
 		n++
 	})
-	rp.Eng.Run()
+	rp.Run()
 	r.Columns = []string{"valid", "invalid", "malformed"}
 	r.AddRow(d0(int(afu.Valid)), d0(int(afu.Invalid)), d0(int(afu.Malformed)))
 	ok := afu.Valid > 0 && afu.Invalid > 0 && afu.Valid+afu.Invalid >= int64(n)-20 &&
@@ -153,14 +153,14 @@ func IotIsolation(window flexdriver.Duration) *Result {
 		intervalB := flexdriver.Duration(float64(size*8) / 16e9 * float64(flexdriver.Second))
 		warmup := 150 * flexdriver.Microsecond
 		deadline := warmup + window + 100*flexdriver.Microsecond
-		paceSends(rp.Eng, intervalA, deadline, func() { port.Send(frameA) })
-		paceSends(rp.Eng, intervalB, deadline, func() { port.Send(frameB) })
-		rp.Eng.RunUntil(warmup)
+		paceSends(rp.Engine(), intervalA, deadline, func() { port.Send(frameA) })
+		paceSends(rp.Engine(), intervalB, deadline, func() { port.Send(frameB) })
+		rp.RunUntil(warmup)
 		a0, b0 := afu.ValidBytes[1], afu.ValidBytes[2]
-		rp.Eng.RunUntil(warmup + window)
+		rp.RunUntil(warmup + window)
 		a = float64(afu.ValidBytes[1]-a0) * 8 / window.Seconds() / 1e9
 		b = float64(afu.ValidBytes[2]-b0) * 8 / window.Seconds() / 1e9
-		rp.Eng.RunUntil(deadline)
+		rp.RunUntil(deadline)
 		return a, b
 	}
 

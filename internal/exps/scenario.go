@@ -89,3 +89,12 @@ func Scenario(seed int64, count int, spec string) *Result {
 func ScenarioTelemetryHash(seed int64) string {
 	return scenario.Run(scenario.Generate(seed)).Hash
 }
+
+// ScenarioTelemetryHashWorkers is ScenarioTelemetryHash with the cluster
+// scheduler's worker count pinned — the determinism tests use it to
+// prove the parallel schedule reproduces the sequential reference hash.
+func ScenarioTelemetryHashWorkers(seed int64, workers int) string {
+	s := scenario.Generate(seed)
+	s.Workers = workers
+	return scenario.Run(s).Hash
+}

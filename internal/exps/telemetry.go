@@ -66,7 +66,7 @@ func TelemetryWithRegistry(window flexdriver.Duration) (*Result, *flexdriver.Reg
 	rp, port, _ := fldeRemoteBed(flexdriver.WithTelemetry(reg))
 
 	achieved := measureEcho(echoBedFns{
-		eng:  rp.Eng,
+		eng:  rp.Engine(),
 		send: func(f []byte) { port.Send(f) },
 		onReceive: func(fn func(int)) {
 			port.OnReceive = func(fr []byte, md swdriver.RxMeta) { fn(len(fr)) }

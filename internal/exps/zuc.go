@@ -16,14 +16,14 @@ func zucBed() (*flexdriver.RemotePair, *zuc.AFU, *zuc.Cryptodev) {
 	rsrv := flexdriver.NewRServer(rp.Server.RT)
 	rsrv.Listen("zuc")
 	rp.Server.RT.Start()
-	afu := zuc.NewAFU(rp.Server.FLD, rp.Eng, 8, zuc.DefaultLaneParams())
+	afu := zuc.NewAFU(rp.Server.FLD, rp.Engine(), 8, zuc.DefaultLaneParams())
 	afu.QueueFor = rsrv.QueueFor
 	ep, err := flexdriver.ConnectRDMA(rp.Client.Drv, rsrv, "zuc",
 		flexdriver.RDMAConfig{SendEntries: 512, RecvEntries: 128})
 	if err != nil {
 		panic(err)
 	}
-	return rp, afu, zuc.NewCryptodev(rp.Eng, ep)
+	return rp, afu, zuc.NewCryptodev(rp.Engine(), ep)
 }
 
 // softBaseline returns the CPU cryptodev calibrated to the paper's
@@ -57,7 +57,7 @@ func zucThroughputAt(size int, window flexdriver.Duration) float64 {
 	count := uint32(0)
 	warmup := 150 * flexdriver.Microsecond
 	deadline := warmup + window + 150*flexdriver.Microsecond
-	paceSends(rp.Eng, interval, deadline, func() {
+	paceSends(rp.Engine(), interval, deadline, func() {
 		count++
 		cd.Enqueue(&zuc.Op{Op: zuc.OpEncrypt, Key: key, Count: count, Data: data,
 			Done: func(o *zuc.Op) {
@@ -66,11 +66,11 @@ func zucThroughputAt(size int, window flexdriver.Duration) float64 {
 				}
 			}})
 	})
-	rp.Eng.RunUntil(warmup)
+	rp.RunUntil(warmup)
 	measuring = true
-	rp.Eng.RunUntil(warmup + window)
+	rp.RunUntil(warmup + window)
 	measuring = false
-	rp.Eng.RunUntil(deadline)
+	rp.RunUntil(deadline)
 	return float64(doneBytes) * 8 / window.Seconds() / 1e9
 }
 
@@ -179,7 +179,7 @@ func zucLatencyAtLoad(size int, offeredGbps float64, samples int) (medianUs, p99
 	mean := flexdriver.Duration(float64(size*8) / (offeredGbps * 1e9) * float64(flexdriver.Second))
 	rng := newRand(3)
 	sent := 0
-	t0 := rp.Eng.Now()
+	t0 := rp.Engine().Now()
 	var tick func()
 	tick = func() {
 		if sent >= samples {
@@ -191,11 +191,11 @@ func zucLatencyAtLoad(size int, offeredGbps float64, samples int) (medianUs, p99
 				lat.Add((o.DoneAt - o.SubmittedAt).Microseconds())
 				bytes += int64(size)
 			}})
-		rp.Eng.After(rng.Exp(mean), tick)
+		rp.Engine().After(rng.Exp(mean), tick)
 	}
 	tick()
-	rp.Eng.Run()
-	dur := rp.Eng.Now() - t0
+	rp.Run()
+	dur := rp.Engine().Now() - t0
 	if dur <= 0 {
 		dur = 1
 	}
@@ -225,7 +225,7 @@ func ZucBatchingSpeedup(size, total int) float64 {
 		key := [16]byte{9}
 		n := 0
 		var last flexdriver.Time
-		done := func(*zuc.Op) { n++; last = rp.Eng.Now() }
+		done := func(*zuc.Op) { n++; last = rp.Engine().Now() }
 		if batched {
 			cd.SetKey(1, key)
 			for i := 0; i < total; i += 16 {
@@ -242,7 +242,7 @@ func ZucBatchingSpeedup(size, total int) float64 {
 					Data: make([]byte, size), Done: done})
 			}
 		}
-		rp.Eng.Run()
+		rp.Run()
 		if n != total {
 			panic("zuc batching run incomplete")
 		}

@@ -1,12 +1,15 @@
 // Package faults is the testbed's deterministic fault-injection plane.
-// A Plan is built from a seed and a Config, attached to the layers it
-// perturbs (PCIe fabrics, NICs, FLDs, the Ethernet wire) through each
-// layer's FaultHooks, and draws every probabilistic decision from one
-// sim.Rand stream — so a (seed, config, workload) triple replays the
-// exact same fault sequence on every run. The chaos experiment leans on
-// this to assert recovery invariants under randomized-but-reproducible
-// fault storms, printing the seed on failure so any storm can be
-// replayed under a debugger.
+// A Plan is built from a seed and a Config and attached to the layers it
+// perturbs (PCIe fabrics, NICs, FLDs, Ethernet links) through each
+// layer's FaultHooks. Every attachment derives its own sim.Rand stream
+// from (plan seed, attachment ordinal), and attachment order is fixed by
+// construction order — so a (seed, config, workload) triple replays the
+// exact same fault sequence on every run, and, because each stream is
+// consumed by exactly one simulation shard, the sequence is identical
+// whether the cluster runs sequentially or in parallel. The chaos
+// experiment leans on this to assert recovery invariants under
+// randomized-but-reproducible fault storms, printing the seed on failure
+// so any storm can be replayed under a debugger.
 package faults
 
 import (
@@ -14,6 +17,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"flexdriver/internal/fld"
@@ -80,19 +84,22 @@ func (c Counts) Total() int64 {
 }
 
 // Plan is a bound fault-injection plan. One Plan may be attached to any
-// number of fabrics/NICs/FLDs/wires; all of them share the seeded
-// random stream, which keeps the whole testbed's fault sequence a pure
-// function of (seed, config, workload).
+// number of fabrics/NICs/FLDs/links; each attachment derives a private
+// random stream from the plan seed and its attachment ordinal, which
+// keeps the whole testbed's fault sequence a pure function of
+// (seed, config, construction order) — independent of event interleaving
+// across shards, so sequential and parallel cluster runs inject
+// identically.
 type Plan struct {
 	Cfg Config
 	// Injected tallies what was actually injected, for reconciliation
-	// against observed loss.
+	// against observed loss. Several shards feed it concurrently, hence
+	// the atomic updates in note; read it only between runs.
 	Injected Counts
 
-	rng     *sim.Rand
-	eng     *sim.Engine
-	wireSeq [2]int64 // first link's frames per direction (WireDropNth ordinals)
-	wired   bool     // whether a link already claimed wireSeq
+	seed    int64
+	nstream int64       // attachment-stream ordinal allocator
+	eng     *sim.Engine // default clock for streams without their own
 
 	tlm *planTelemetry
 }
@@ -103,75 +110,119 @@ func NewPlan(seed int64, cfg Config) *Plan {
 	if cfg.WireDelayBy == 0 {
 		cfg.WireDelayBy = 2 * sim.Microsecond
 	}
-	return &Plan{Cfg: cfg, rng: sim.NewRand(seed)}
+	return &Plan{Cfg: cfg, seed: seed}
 }
 
-// Bind attaches the plan to an engine clock so the Start/Stop window
-// and link-flap schedule are evaluated against simulated time. The
-// facade calls this; unbound plans treat every instant as active.
+// Bind attaches the plan's default clock so the Start/Stop window and
+// link-flap schedule are evaluated against simulated time even for
+// attachments that carry no engine of their own (bare links in tests).
+// The facade calls this; unbound plans treat every instant as active.
 func (p *Plan) Bind(eng *sim.Engine) { p.eng = eng }
 
+// mixSeed derives a child-stream seed (splitmix64-style finalizer) from
+// the plan seed and the attachment ordinal.
+func mixSeed(seed, k int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(k)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// stream is one attachment's private fault source: a derived random
+// stream plus the clock of the shard that evaluates the hooks. Exactly
+// one shard draws from a given stream, so hook evaluation needs no
+// locking and its sequence cannot depend on cross-shard interleaving.
+type stream struct {
+	p   *Plan
+	rng *sim.Rand
+	eng *sim.Engine
+}
+
+// newStream allocates the next attachment stream, evaluated on eng's
+// clock (or the plan's default clock when eng is nil). Construction-time
+// only: the ordinal sequence is part of the deterministic topology.
+func (p *Plan) newStream(eng *sim.Engine) *stream {
+	p.nstream++
+	return &stream{p: p, rng: sim.NewRand(mixSeed(p.seed, p.nstream)), eng: eng}
+}
+
+func (s *stream) clock() *sim.Engine {
+	if s.eng != nil {
+		return s.eng
+	}
+	return s.p.eng
+}
+
 // active reports whether the probabilistic window is open.
-func (p *Plan) active() bool {
-	if p.eng == nil {
+func (s *stream) active() bool {
+	eng := s.clock()
+	if eng == nil {
 		return true
 	}
-	now := p.eng.Now()
-	if now < p.Cfg.Start {
+	now := eng.Now()
+	if now < s.p.Cfg.Start {
 		return false
 	}
-	return p.Cfg.Stop == 0 || now < p.Cfg.Stop
+	return s.p.Cfg.Stop == 0 || now < s.p.Cfg.Stop
 }
 
 // flapDown reports whether the link-flap schedule has the link down.
-func (p *Plan) flapDown() bool {
-	if p.Cfg.FlapEvery <= 0 || !p.active() {
+func (s *stream) flapDown() bool {
+	if s.p.Cfg.FlapEvery <= 0 || !s.active() {
 		return false
 	}
-	if p.eng == nil {
+	eng := s.clock()
+	if eng == nil {
 		return false
 	}
-	return p.eng.Now()%p.Cfg.FlapEvery < p.Cfg.FlapFor
+	return eng.Now()%s.p.Cfg.FlapEvery < s.p.Cfg.FlapFor
 }
 
 // hit draws one Bernoulli decision; the draw is skipped entirely when
 // prob is zero so disabled fault classes don't consume random numbers.
-func (p *Plan) hit(prob float64) bool {
-	return prob > 0 && p.active() && p.rng.Float64() < prob
+func (s *stream) hit(prob float64) bool {
+	return prob > 0 && s.active() && s.rng.Float64() < prob
 }
 
-// note records one injection in Counts and telemetry.
+// note records one injection in Counts and telemetry. Atomic on both:
+// every shard with an attachment funnels into these shared tallies.
 func (p *Plan) note(n *int64, c *telemetry.Counter) {
-	*n++
-	c.Inc()
+	atomic.AddInt64(n, 1)
+	c.IncAtomic()
 }
 
 // --- attachment -----------------------------------------------------------
 
 // AttachFabric installs the PCIe fault hooks (TLP drop, poison,
-// link-flap windows) on a fabric. No-op when no PCIe class is enabled.
+// link-flap windows) on a fabric, drawing from a stream private to this
+// attachment on the fabric's own engine. No-op when no PCIe class is
+// enabled.
 func (p *Plan) AttachFabric(f *pcie.Fabric) {
 	c := &p.Cfg
 	if c.PCIeDrop == 0 && c.PCIeCorrupt == 0 && c.FlapEvery == 0 {
 		return
 	}
+	s := p.newStream(f.Engine())
 	f.SetFaults(&pcie.FaultHooks{
 		Drop: func(_ *pcie.Port, _ telemetry.TLPType) bool {
-			if p.hit(c.PCIeDrop) {
+			if s.hit(c.PCIeDrop) {
 				p.note(&p.Injected.PCIeDrops, p.tlm.pcieDrops())
 				return true
 			}
 			return false
 		},
 		Corrupt: func(_ *pcie.Port, _ telemetry.TLPType) bool {
-			if p.hit(c.PCIeCorrupt) {
+			if s.hit(c.PCIeCorrupt) {
 				p.note(&p.Injected.PCIeCorrupts, p.tlm.pcieCorrupts())
 				return true
 			}
 			return false
 		},
 		Down: func(_ *pcie.Port) bool {
-			if p.flapDown() {
+			if s.flapDown() {
 				p.note(&p.Injected.LinkFlapTLPs, p.tlm.linkFlapTLPs())
 				return true
 			}
@@ -181,29 +232,31 @@ func (p *Plan) AttachFabric(f *pcie.Fabric) {
 }
 
 // AttachNIC installs the NIC fault hooks (doorbell loss, WQE-fetch
-// failure, CQE errors). No-op when no NIC class is enabled.
+// failure, CQE errors) on a stream private to this attachment. No-op
+// when no NIC class is enabled.
 func (p *Plan) AttachNIC(n *nic.NIC) {
 	c := &p.Cfg
 	if c.DoorbellLoss == 0 && c.WQEFetchFail == 0 && c.CQEErr == 0 {
 		return
 	}
+	s := p.newStream(n.Engine())
 	n.SetFaults(&nic.FaultHooks{
 		DropDoorbell: func(_ *nic.NIC) bool {
-			if p.hit(c.DoorbellLoss) {
+			if s.hit(c.DoorbellLoss) {
 				p.note(&p.Injected.DoorbellLosses, p.tlm.doorbellLosses())
 				return true
 			}
 			return false
 		},
 		FailWQEFetch: func(_ *nic.SQ) bool {
-			if p.hit(c.WQEFetchFail) {
+			if s.hit(c.WQEFetchFail) {
 				p.note(&p.Injected.WQEFetchFails, p.tlm.wqeFetchFails())
 				return true
 			}
 			return false
 		},
 		CQEError: func(_ *nic.CQ) bool {
-			if p.hit(c.CQEErr) {
+			if s.hit(c.CQEErr) {
 				p.note(&p.Injected.CQEErrors, p.tlm.cqeErrors())
 				return true
 			}
@@ -218,9 +271,10 @@ func (p *Plan) AttachFLD(f *fld.FLD) {
 	if c.AccelStall == 0 {
 		return
 	}
+	s := p.newStream(f.Engine())
 	f.SetFaults(&fld.FaultHooks{
 		AccelStall: func(_ *fld.FLD) bool {
-			if p.hit(c.AccelStall) {
+			if s.hit(c.AccelStall) {
 				p.note(&p.Injected.AccelStalls, p.tlm.accelStalls())
 				return true
 			}
@@ -242,28 +296,30 @@ func (p *Plan) dirMatch(dir int) bool {
 }
 
 // AttachWire installs the wire fault hooks (loss, duplication,
-// delay-induced reordering, deterministic Nth-frame drops). No-op when
-// no wire class is enabled.
-func (p *Plan) AttachWire(w *nic.Wire) { p.AttachLink(&w.Link) }
+// delay-induced reordering, deterministic Nth-frame drops) on a cable.
+// Both directions of a cable run on one engine. No-op when no wire
+// class is enabled.
+func (p *Plan) AttachWire(w *nic.Wire) { p.AttachLink(&w.Link, w.Engine(), w.Engine()) }
 
 // AttachLink installs the wire fault hooks on any Ethernet link — a
-// point-to-point cable or one switch port's segment. WireDropNth
-// ordinals count per link, per direction, so attaching the plan to
-// every link of a cluster drops the Nth frame of each, independently.
-// No-op when no wire class is enabled.
-func (p *Plan) AttachLink(l *nic.Link) {
+// point-to-point cable or one switch port's segment. eng0 and eng1 name
+// the engines that evaluate direction 0 (A transmits) and direction 1
+// (B transmits) respectively; on a switch port segment these are the
+// endpoint's and the switch's shards, and each direction draws from its
+// own attachment stream so the two shards never share a random state.
+// Nil engines fall back to the plan's default clock (bare links in
+// tests). WireDropNth ordinals count per link, per direction, so
+// attaching the plan to every link of a cluster drops the Nth frame of
+// each, independently. No-op when no wire class is enabled.
+func (p *Plan) AttachLink(l *nic.Link, eng0, eng1 *sim.Engine) {
 	c := &p.Cfg
 	if c.WireLoss == 0 && c.WireDup == 0 && c.WireDelay == 0 && len(c.WireDropNth) == 0 {
 		return
 	}
-	seq := &p.wireSeq
-	if p.wired {
-		// Second and later links get their own ordinal counters; the
-		// first keeps the plan-level pair so single-wire testbeds keep
-		// their exact historical fault sequence.
-		seq = new([2]int64)
-	}
-	p.wired = true
+	// Per-direction streams and ordinals: element dir is only ever
+	// touched by dir's engine, so the pair needs no lock.
+	ss := [2]*stream{p.newStream(eng0), p.newStream(eng1)}
+	seq := new([2]int64)
 	l.Loss = func(dir int, _ []byte) bool {
 		if !p.dirMatch(dir) {
 			return false
@@ -275,7 +331,7 @@ func (p *Plan) AttachLink(l *nic.Link) {
 				return true
 			}
 		}
-		if p.hit(c.WireLoss) {
+		if ss[dir].hit(c.WireLoss) {
 			p.note(&p.Injected.WireLosses, p.tlm.wireLosses())
 			return true
 		}
@@ -285,7 +341,7 @@ func (p *Plan) AttachLink(l *nic.Link) {
 		if !p.dirMatch(dir) {
 			return false
 		}
-		if p.hit(c.WireDup) {
+		if ss[dir].hit(c.WireDup) {
 			p.note(&p.Injected.WireDups, p.tlm.wireDups())
 			return true
 		}
@@ -295,7 +351,7 @@ func (p *Plan) AttachLink(l *nic.Link) {
 		if !p.dirMatch(dir) {
 			return 0
 		}
-		if p.hit(c.WireDelay) {
+		if ss[dir].hit(c.WireDelay) {
 			p.note(&p.Injected.WireDelays, p.tlm.wireDelays())
 			return c.WireDelayBy
 		}

@@ -111,13 +111,12 @@ func TestDeterministicDropOrdinals(t *testing.T) {
 // TestAttachLinkPerLinkOrdinals: when one plan serves several links —
 // the switched-cluster case — WireDropNth counts per link, so every
 // cable drops its own Nth frame rather than sharing one global ordinal
-// stream. The first attached link keeps the plan-level counters for
-// compatibility with single-wire fault sequences.
+// stream.
 func TestAttachLinkPerLinkOrdinals(t *testing.T) {
 	p := NewPlan(1, Config{WireDropNth: []int64{2}})
 	var l1, l2 nic.Link
-	p.AttachLink(&l1)
-	p.AttachLink(&l2)
+	p.AttachLink(&l1, nil, nil)
+	p.AttachLink(&l2, nil, nil)
 	frame := make([]byte, 64)
 
 	for name, l := range map[string]*nic.Link{"first": &l1, "second": &l2} {

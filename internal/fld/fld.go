@@ -180,6 +180,9 @@ func New(eng *sim.Engine, cfg Config) *FLD {
 // Config returns the instance configuration.
 func (f *FLD) Config() Config { return f.cfg }
 
+// Engine returns the engine the FLD schedules on.
+func (f *FLD) Engine() *sim.Engine { return f.eng }
+
 // AttachPCIe connects FLD to the fabric.
 func (f *FLD) AttachPCIe(fab *pcie.Fabric, cfg pcie.LinkConfig) *pcie.Port {
 	f.fab = fab

@@ -57,8 +57,14 @@ type wireEnd struct {
 
 func (we *wireEnd) Send(frame []byte, onSent func()) { we.w.send(we.end, frame, onSent) }
 
-// ConnectWire cables two NICs back to back.
+// ConnectWire cables two NICs back to back. Both NICs must live on the
+// same engine: a point-to-point cable has no barrier seam, so a sharded
+// cluster must place a cabled pair in one shard (the switch fabric is the
+// cross-shard path). The panic catches topology bugs at build time.
 func ConnectWire(a, b *NIC, rate sim.BitRate, latency sim.Duration) *Wire {
+	if a.eng != b.eng {
+		panic("nic: ConnectWire requires both NICs on one engine; cross-shard links go through the switch")
+	}
 	w := &Wire{
 		eng:     a.eng,
 		rate:    rate,
@@ -74,6 +80,9 @@ func ConnectWire(a, b *NIC, rate sim.BitRate, latency sim.Duration) *Wire {
 
 // Rate returns the line rate.
 func (w *Wire) Rate() sim.BitRate { return w.rate }
+
+// Engine returns the engine both cable ends schedule on.
+func (w *Wire) Engine() *sim.Engine { return w.eng }
 
 // send serializes a frame from the given end; onSent fires when the frame
 // has fully left the sender, delivery at the far NIC after latency.

@@ -15,7 +15,6 @@ import (
 // the bookkeeping the workload kept on the side.
 type runState struct {
 	spec    Spec
-	eng     *flexdriver.Engine
 	cl      *flexdriver.Cluster
 	reg     *flexdriver.Registry
 	plan    *faults.Plan
@@ -140,15 +139,20 @@ func checkInvariants(res *Result, st *runState) {
 		}
 	}
 
-	// Buffer-pool balance: the engine's shared pool must have every
-	// buffer returned once the run quiesces (free-on-delivery ownership).
-	if out := st.eng.Bufs().Outstanding(); out != 0 {
+	// Buffer-pool balance: every shard's pool must have every buffer
+	// returned once the run quiesces (free-on-delivery ownership).
+	var out int64
+	for _, eng := range st.cl.Engines() {
+		out += eng.Bufs().Outstanding()
+	}
+	if out != 0 {
 		bad("bufpool-leak", "%d pool buffers still outstanding after quiescence", out)
 	}
 
-	// Engine quiescence: no wedged retry or recovery loop keeps
-	// scheduling events after traffic stops.
-	if n := st.eng.Pending(); n != 0 {
+	// Cluster quiescence: no wedged retry or recovery loop keeps
+	// scheduling events after traffic stops, on any shard or in flight
+	// between shards.
+	if n := st.cl.Pending(); n != 0 {
 		bad("quiesce", "%d events still pending after drain", n)
 	}
 

@@ -170,7 +170,7 @@ func Run(s Spec) *Result {
 	window := sim.Duration(s.WindowUs) * sim.Microsecond
 
 	reg := flexdriver.NewRegistry()
-	opts := []flexdriver.Option{flexdriver.WithTelemetry(reg)}
+	opts := []flexdriver.Option{flexdriver.WithTelemetry(reg), flexdriver.WithWorkers(s.Workers)}
 	var plan *faults.Plan
 	if s.Faults != "" {
 		cfg, err := faults.ParseSpec(s.Faults)
@@ -189,7 +189,6 @@ func Run(s Spec) *Result {
 	cl := flexdriver.NewCluster(opts...).
 		SwitchRate(sim.BitRate(s.RateGbps) * sim.Gbps).
 		SwitchQueueFrames(s.QueueFrames)
-	eng := cl.Eng
 
 	// Server: one Innova, FLDCores cores behind an RSS TIR, each running
 	// the header-swapping echo. Send failures (credit stalls under fault
@@ -281,13 +280,19 @@ func Run(s Spec) *Result {
 
 	// RDMA sidecar: a host pair on the same switch running a reliable
 	// message stream, so the go-back-N transport shares the fabric (and
-	// its faults) with the echo traffic.
+	// its faults) with the echo traffic. The receive callback runs on
+	// rdma1's shard while the send ordinal lives on rdma0's, so delivered
+	// ordinals are collected raw and judged against the final send count
+	// after the run — shards must not read each other's bookkeeping.
 	var epA, epB *swdriver.RDMAEndpoint
-	var rdmaSent, rdmaDelivered, rdmaBad, rdmaGhosts int64
+	var rdmaSent, rdmaDelivered, rdmaBad int64
+	var rdmaSeqs []int64 // delivered ordinals, judged against rdmaSent post-run
 	rrng := sim.NewRand(s.Seed * 31337)
+	var rdmaEng *flexdriver.Engine
 	if s.RDMA {
 		ra := cl.AddHost("rdma0")
 		rb := cl.AddHost("rdma1")
+		rdmaEng = ra.Engine()
 		cfg := swdriver.RDMAConfig{SendEntries: 64, RecvEntries: 64, MaxMsgBytes: 32 << 10, MTU: 1024}
 		epA = ra.Drv.NewRDMAEndpoint(cfg)
 		epB = rb.Drv.NewRDMAEndpoint(cfg)
@@ -297,9 +302,8 @@ func Run(s Spec) *Result {
 			seq, ok := rdmaVerify(data)
 			if !ok {
 				rdmaBad++
-			} else if seq >= rdmaSent {
-				rdmaGhosts++
 			}
+			rdmaSeqs = append(rdmaSeqs, seq)
 		}
 	}
 
@@ -332,9 +336,10 @@ func Run(s Spec) *Result {
 		}
 		gap := mean * sim.Duration(burst)
 		c := c
+		ceng := c.host.Engine()
 		var tick func()
 		tick = func() {
-			if eng.Now() >= stop {
+			if ceng.Now() >= stop {
 				return
 			}
 			for b := 0; b < burst; b++ {
@@ -343,28 +348,30 @@ func Run(s Spec) *Result {
 				c.sent++
 				c.port.Send(f)
 			}
-			eng.After(rng.Exp(gap), tick)
+			ceng.After(rng.Exp(gap), tick)
 		}
-		eng.After(rng.Exp(gap), tick)
+		ceng.After(rng.Exp(gap), tick)
 	}
 	if s.RDMA {
 		msgBytes := 1024 << rrng.Intn(3) // 1, 2 or 4 KiB messages
 		interval := sim.Duration(float64(msgBytes*8) / 1.5e9 * float64(sim.Second))
 		var mtick func()
 		mtick = func() {
-			if eng.Now() >= stop {
+			if rdmaEng.Now() >= stop {
 				return
 			}
 			epA.Send(rdmaPattern(rdmaSent, msgBytes))
 			rdmaSent++
-			eng.After(rrng.Exp(interval), mtick)
+			rdmaEng.After(rrng.Exp(interval), mtick)
 		}
-		eng.After(rrng.Exp(interval), mtick)
+		rdmaEng.After(rrng.Exp(interval), mtick)
 	}
 
 	// Watchdog: poll-mode drivers and the FLD runtimes notice Error-state
-	// queues even when the CQE announcing the error was itself lost; a
-	// QP pair stuck in Error is reconnected (modify-QP cycle).
+	// queues even when the CQE announcing the error was itself lost; a QP
+	// pair stuck in Error is reconnected (modify-QP cycle). It sweeps
+	// every node, so it runs as a cluster control: all shards quiesced
+	// and advanced to the tick before it touches their queues.
 	deadline := stop + drain
 	recoverAll := func() {
 		for _, c := range clients {
@@ -384,19 +391,19 @@ func Run(s Spec) *Result {
 	var watchdog func()
 	watchdog = func() {
 		recoverAll()
-		if eng.Now() < deadline {
-			eng.After(20*sim.Microsecond, watchdog)
+		if cl.Now() < deadline {
+			cl.Control(cl.Now()+20*sim.Microsecond, watchdog)
 		}
 	}
-	eng.After(warmup, watchdog)
+	cl.Control(warmup, watchdog)
 
-	eng.RunUntil(deadline)
+	cl.RunUntil(deadline)
 	// Quiesce: drain in-flight work, give recovery one final pass in
 	// case an error surfaced after the watchdog's last tick, and drain
 	// whatever that pass scheduled.
-	eng.Run()
+	cl.Run()
 	recoverAll()
-	eng.Run()
+	cl.Run()
 
 	// --- gather ---------------------------------------------------------
 	for _, c := range clients {
@@ -417,9 +424,18 @@ func Run(s Spec) *Result {
 		res.TailDrops += p.Counters.TailDrops
 	}
 	res.RDMASent, res.RDMADelivered = rdmaSent, rdmaDelivered
+	// A ghost is an ordinal the sender never issued. rdmaSent only grows,
+	// so judging against its final value post-run is equivalent to the
+	// at-delivery check without reading across shards mid-run.
+	var rdmaGhosts int64
+	for _, seq := range rdmaSeqs {
+		if seq < 0 || seq >= rdmaSent {
+			rdmaGhosts++
+		}
+	}
 
 	checkInvariants(res, &runState{
-		spec: s, eng: eng, cl: cl, reg: reg, plan: plan, rts: rts,
+		spec: s, cl: cl, reg: reg, plan: plan, rts: rts,
 		clients: clients, epA: epA, epB: epB,
 		rdmaBad: rdmaBad, rdmaGhosts: rdmaGhosts,
 		echoSendFails: echoSendFails,

@@ -125,3 +125,52 @@ func TestReplayDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelSweep200 drives two hundred generated scenarios through
+// the parallel scheduler (default worker count) and holds every global
+// invariant. The narrower golden tests prove sequential and parallel
+// schedules are byte-identical; this sweep covers topology and fault
+// variety at a scale the double-run Check sweep cannot afford.
+func TestParallelSweep200(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-seed sweep")
+	}
+	var quiet int
+	for seed := int64(1); seed <= 200; seed++ {
+		s := Generate(seed)
+		res := Run(s)
+		if len(res.Violations) > 0 {
+			t.Errorf("seed %d: %v\nrepro: %s", seed, res.Violations, s.ReproCommand())
+		}
+		// A rare low-rate bursty client can draw its first arrival past a
+		// short window and legitimately send nothing; tolerate a handful,
+		// but a broad die-off would mean the load loops broke.
+		if res.Sent == 0 {
+			quiet++
+		}
+	}
+	if quiet > 10 {
+		t.Errorf("%d of 200 scenarios sent no frames", quiet)
+	}
+}
+
+// TestSeqParHashEquality spot-checks a band of generated scenarios for
+// byte-identical telemetry between the sequential reference schedule
+// and an 8-worker parallel run — the fuzzer-facing form of the
+// determinism guarantee the golden tests pin on fixed topologies.
+func TestSeqParHashEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed double-run sweep")
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		s := Generate(seed)
+		s.Workers = 1
+		seq := Run(s)
+		s.Workers = 8
+		par := Run(s)
+		if seq.Hash != par.Hash {
+			t.Errorf("seed %d: sequential %s vs parallel %s\nrepro: %s",
+				seed, seq.Hash, par.Hash, s.ReproCommand())
+		}
+	}
+}

@@ -62,6 +62,13 @@ type Spec struct {
 	// Faults is a faults.ParseSpec specification ("" injects nothing).
 	// Run confines the probabilistic window to the measurement window.
 	Faults string
+
+	// Workers pins the cluster scheduler's worker count (0 = one per
+	// CPU, 1 = the sequential reference schedule). It never affects the
+	// Result — only wall-clock time — and exists so the determinism
+	// tests can cross-check the parallel schedule against sequential.
+	// Generate leaves it 0 and Spec.String omits it.
+	Workers int
 }
 
 // Generate expands a seed into a scenario. The mapping is pure: the same

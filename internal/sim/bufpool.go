@@ -22,10 +22,10 @@ package sim
 type BufPool struct {
 	free [bufClasses][][]byte
 
-	gets, puts   uint64
-	misses       uint64 // Get found its class empty and allocated
-	foreign      uint64 // Put of a buffer whose capacity matches no class
-	overflow     uint64 // Put dropped because the class freelist was full
+	gets, puts uint64
+	misses     uint64 // Get found its class empty and allocated
+	foreign    uint64 // Put of a buffer whose capacity matches no class
+	overflow   uint64 // Put dropped because the class freelist was full
 }
 
 const (

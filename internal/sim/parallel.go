@@ -1,0 +1,535 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Group joins several Engines — one per node shard — under a conservative
+// parallel scheduler.
+//
+// The scheduler exploits the one physical fact that makes node shards
+// independent: every cross-shard interaction crosses a link with nonzero
+// latency. If L (the lookahead) is the minimum latency of any cross-shard
+// link, then an event executed at time t can only influence another shard
+// at t+L or later. The group therefore advances in rounds: find the
+// earliest pending event time T across all shards, let every shard run its
+// own events in the window [T, T+L) on its own goroutine, then synchronize
+// at a barrier where cross-shard messages (buffered in Conduits during the
+// round) are merged and injected into their destination engines.
+//
+// Determinism does not depend on the number of worker goroutines. Within a
+// round, shards touch only their own state plus per-conduit outboxes owned
+// by the sending shard; at the barrier the coordinator sorts all buffered
+// messages by (arrival time, conduit ID, send index) and injects them in
+// that order, so destination-engine sequence numbers — and hence the
+// (time, seq) execution order — come out identical whether the round ran
+// on one worker or eight. Sequential mode (SetWorkers(1)) runs the same
+// rounds in shard-index order and is the determinism reference.
+//
+// Zero lookahead degenerates gracefully: windows shrink to a single
+// picosecond instant, rounds crawl one timestamp at a time, and messages
+// sent at time t arrive at t in the next round at the same instant. Slow,
+// but still correct and still deterministic.
+//
+// Construction (NewEngine, Conduit wiring, Control scheduling from outside
+// a run) is single-threaded, like everything else at build time. During a
+// round, shard events must not touch group state; Control actions run at
+// barriers on the coordinator goroutine and may touch everything.
+type Group struct {
+	engines   []*Engine
+	conduits  []*Conduit
+	lookahead Duration
+	workers   int
+	now       Time
+	ids       map[string]int
+
+	controls []control
+	ctlSeq   uint64
+
+	// Barrier scratch, reused across rounds so the steady state does not
+	// allocate.
+	active []*Engine
+	refs   []mref
+
+	// Worker-pool state for the current run. Workers are spawned at the
+	// start of a parallel run and torn down when it returns, so an idle
+	// group holds no goroutines.
+	rounds chan *roundState
+	doneCh chan struct{}
+	nwork  int
+}
+
+// roundState is one round's work descriptor. It is a fresh object per
+// round so that a worker whose token delivery straggles past the barrier
+// finds an exhausted cursor and parks, instead of claiming work from the
+// next round with a stale window limit.
+type roundState struct {
+	act   []*Engine
+	limit Time
+	claim atomic.Int64
+	left  atomic.Int64
+}
+
+// control is a barrier action: fn runs at time at on the coordinator
+// goroutine, with every shard quiesced and advanced to at. Controls are
+// the sharded replacement for "global" events — watchdogs that poll every
+// node, recovery passes, phase changes.
+type control struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// NewGroup returns an empty group with lookahead 0 and workers 1.
+func NewGroup() *Group {
+	return &Group{workers: 1, ids: make(map[string]int)}
+}
+
+// NewEngine creates a new shard engine owned by the group. Shard indices
+// follow creation order and are stable for a given construction sequence.
+func (g *Group) NewEngine() *Engine {
+	e := &Engine{group: g, shard: len(g.engines)}
+	g.engines = append(g.engines, e)
+	return e
+}
+
+// Engines returns the group's shard engines in creation order. The slice
+// is the group's own; callers must not mutate it.
+func (g *Group) Engines() []*Engine { return g.engines }
+
+// SetLookahead declares the minimum latency of any cross-shard link. The
+// scheduler never lets a shard run more than this far ahead of the
+// globally earliest event. Setting it too large breaks causality (the
+// Conduit send path panics when a message would arrive inside the current
+// window); too small only costs barrier rounds.
+func (g *Group) SetLookahead(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	g.lookahead = d
+}
+
+// Lookahead returns the configured lookahead.
+func (g *Group) Lookahead() Duration { return g.lookahead }
+
+// SetWorkers sets the number of goroutines that execute shards within a
+// round. 1 (the default) is fully sequential: same rounds, same results,
+// one goroutine — the reference mode for determinism checks.
+func (g *Group) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.workers = n
+}
+
+// Workers returns the configured worker count.
+func (g *Group) Workers() int { return g.workers }
+
+// Now returns the group's notion of current time: the maximum of the
+// barrier clock and every shard clock. It is exact at barriers (where
+// controls and snapshots run) and within one lookahead window elsewhere.
+func (g *Group) Now() Time {
+	t := g.now
+	for _, e := range g.engines {
+		if e.now > t {
+			t = e.now
+		}
+	}
+	return t
+}
+
+// NextID allocates from the group-wide identity space shared by all shard
+// engines. Construction-time only.
+func (g *Group) NextID(name string) int {
+	g.ids[name]++
+	return g.ids[name]
+}
+
+// Control schedules fn to run at absolute time t on the coordinator, with
+// all shards quiesced up to t and their clocks advanced to t. Controls at
+// the same instant run in scheduling order, before any shard event at t.
+// Call it at construction time or from within another control action —
+// never from a shard event, which would race the coordinator.
+func (g *Group) Control(t Time, fn func()) {
+	if t < g.now {
+		panic(fmt.Sprintf("sim: scheduling control at %v before now %v", t, g.now))
+	}
+	g.ctlSeq++
+	g.controls = append(g.controls, control{at: t, seq: g.ctlSeq, fn: fn})
+}
+
+// Pending reports the total number of scheduled events across all shards,
+// pending conduit messages, and pending controls.
+func (g *Group) Pending() int {
+	n := len(g.controls)
+	for _, e := range g.engines {
+		n += e.Pending()
+	}
+	for _, c := range g.conduits {
+		n += len(c.out)
+	}
+	return n
+}
+
+// Run executes events until every shard's queue drains and no conduit
+// messages or controls remain.
+func (g *Group) Run() {
+	g.run(0, true)
+	// Leave every clock at the global end time so post-run inspection
+	// (telemetry snapshots, rate math) sees one consistent instant.
+	g.advanceAll(g.Now())
+	g.now = g.Now()
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// every clock to the deadline.
+func (g *Group) RunUntil(deadline Time) {
+	g.run(deadline, false)
+	g.advanceAll(deadline)
+	if g.now < deadline {
+		g.now = deadline
+	}
+}
+
+// run is the round loop shared by Run and RunUntil.
+func (g *Group) run(deadline Time, drain bool) {
+	par := g.workers > 1 && len(g.engines) > 1
+	if par {
+		g.startWorkers()
+		defer g.stopWorkers()
+	}
+	for {
+		// Flush first: controls and the previous round may have left
+		// messages in conduit outboxes, and both the next-event scan and
+		// the quiescence check below must see them in engine heaps.
+		g.flush()
+
+		tNext, haveE := g.nextEventTime()
+		cAt, haveC := g.nextControlTime()
+
+		if haveC && (!haveE || cAt <= tNext) {
+			if !drain && cAt > deadline {
+				return
+			}
+			// Every event before cAt is done (tNext >= cAt), so the
+			// barrier action sees a fully quiesced world at cAt.
+			g.advanceAll(cAt)
+			if g.now < cAt {
+				g.now = cAt
+			}
+			g.runControlsAt(cAt)
+			continue
+		}
+		if !haveE {
+			return
+		}
+		if !drain && tNext > deadline {
+			return
+		}
+
+		end := tNext + g.lookahead
+		if end <= tNext {
+			// Zero lookahead: degenerate to lockstep single-instant
+			// rounds. Messages sent at tNext arrive at tNext next round.
+			end = tNext + 1
+		}
+		if haveC && cAt < end {
+			end = cAt
+		}
+		if !drain && deadline+1 < end {
+			end = deadline + 1
+		}
+		g.round(end, par)
+	}
+}
+
+// nextEventTime scans the shards for the globally earliest pending event.
+func (g *Group) nextEventTime() (Time, bool) {
+	var best Time
+	have := false
+	for _, e := range g.engines {
+		if t, ok := e.nextTime(); ok && (!have || t < best) {
+			best, have = t, true
+		}
+	}
+	return best, have
+}
+
+// nextControlTime reports the earliest pending control.
+func (g *Group) nextControlTime() (Time, bool) {
+	var best Time
+	var seq uint64
+	have := false
+	for i := range g.controls {
+		c := &g.controls[i]
+		if !have || c.at < best || (c.at == best && c.seq < seq) {
+			best, seq, have = c.at, c.seq, true
+		}
+	}
+	return best, have
+}
+
+// runControlsAt executes all controls due at instant t in scheduling
+// order, including ones a control schedules at the same instant.
+func (g *Group) runControlsAt(t Time) {
+	for {
+		mi := -1
+		var seq uint64
+		for i := range g.controls {
+			c := &g.controls[i]
+			if c.at != t {
+				continue
+			}
+			if mi < 0 || c.seq < seq {
+				mi, seq = i, c.seq
+			}
+		}
+		if mi < 0 {
+			return
+		}
+		fn := g.controls[mi].fn
+		last := len(g.controls) - 1
+		g.controls[mi] = g.controls[last]
+		g.controls[last] = control{}
+		g.controls = g.controls[:last]
+		fn()
+	}
+}
+
+// advanceAll moves every shard clock forward to t.
+func (g *Group) advanceAll(t Time) {
+	for _, e := range g.engines {
+		e.AdvanceTo(t)
+	}
+}
+
+// round runs every shard with work before end, concurrently when par and
+// more than one shard is active.
+func (g *Group) round(end Time, par bool) {
+	act := g.active[:0]
+	for _, e := range g.engines {
+		if t, ok := e.nextTime(); ok && t < end {
+			act = append(act, e)
+		}
+	}
+	g.active = act
+	if len(act) == 0 {
+		return
+	}
+	if !par || len(act) == 1 {
+		for _, e := range act {
+			e.runBefore(end)
+		}
+		return
+	}
+	// Parallel round: workers claim shards off the round descriptor via
+	// its atomic cursor. The token send publishes the descriptor to the
+	// workers; the worker that finishes the last shard signals done,
+	// which publishes every shard's state back to the coordinator, so
+	// the barrier merge observes a consistent world without locks.
+	rs := &roundState{act: act, limit: end}
+	rs.left.Store(int64(len(act)))
+	n := g.nwork
+	if n > len(act) {
+		n = len(act)
+	}
+	for i := 0; i < n; i++ {
+		g.rounds <- rs
+	}
+	<-g.doneCh
+}
+
+// startWorkers spawns the round-execution goroutines for one run call.
+func (g *Group) startWorkers() {
+	n := g.workers
+	if n > len(g.engines) {
+		n = len(g.engines)
+	}
+	g.nwork = n
+	g.rounds = make(chan *roundState)
+	g.doneCh = make(chan struct{})
+	for i := 0; i < n; i++ {
+		go g.worker(g.rounds, g.doneCh)
+	}
+}
+
+// stopWorkers tears the pool down; parked workers exit on channel close.
+func (g *Group) stopWorkers() {
+	close(g.rounds)
+	g.rounds = nil
+	g.doneCh = nil
+}
+
+// worker executes rounds: claim a shard, run it to the window end, repeat
+// until the round's shards are exhausted. The worker that finishes the
+// last shard signals the coordinator. Channels come in as parameters so a
+// worker never touches group fields the coordinator rewrites between runs.
+func (g *Group) worker(rounds <-chan *roundState, done chan<- struct{}) {
+	for rs := range rounds {
+		for {
+			i := int(rs.claim.Add(1)) - 1
+			if i >= len(rs.act) {
+				break
+			}
+			rs.act[i].runBefore(rs.limit)
+			if rs.left.Add(-1) == 0 {
+				done <- struct{}{}
+			}
+		}
+	}
+}
+
+// --- Conduits ------------------------------------------------------------
+
+// cmsg is one buffered cross-shard message: a frame and its arrival time.
+type cmsg struct {
+	at    Time
+	frame []byte
+}
+
+// dnode carries a delivery through the destination engine's event heap and
+// is recycled on a per-conduit freelist, so steady-state crossings do not
+// allocate. The freelist is touched by the coordinator (get, at barriers)
+// and the destination shard (put, during rounds); barrier alternation
+// orders the two, so no lock is needed.
+type dnode struct {
+	c     *Conduit
+	frame []byte
+	next  *dnode
+}
+
+// conduitDeliver is the static dispatch trampoline for conduit arrivals.
+// The node is recycled before the handler runs, so a handler that triggers
+// another crossing on the same conduit can reuse it immediately.
+func conduitDeliver(a any) {
+	d := a.(*dnode)
+	c := d.c
+	f := d.frame
+	d.frame = nil
+	d.next = c.freeD
+	c.freeD = d
+	c.deliver(f)
+}
+
+// Conduit is a one-directional cross-shard message channel — the model's
+// link seam. The source shard buffers sends during a round; the barrier
+// merge injects them into the destination engine in (arrival time, conduit
+// ID, send index) order. Handlers run on the destination shard at the
+// arrival time and read the frame only; a frame handed to Send must not be
+// mutated afterwards (concurrent readers on another shard may hold it).
+//
+// A conduit whose endpoints are the same engine (a co-located pair, or a
+// model built on one standalone engine) degenerates to a direct schedule
+// on that engine — same semantics, no barrier involvement.
+type Conduit struct {
+	g       *Group
+	id      int
+	src     *Engine
+	dst     *Engine
+	deliver func(frame []byte)
+	out     []cmsg
+	freeD   *dnode
+}
+
+// NewConduit wires a one-directional channel from src to dst. deliver runs
+// on dst's shard at each message's arrival time. Distinct engines must
+// belong to the same group.
+func NewConduit(src, dst *Engine, deliver func(frame []byte)) *Conduit {
+	c := &Conduit{src: src, dst: dst, deliver: deliver}
+	if src != dst {
+		if src.group == nil || src.group != dst.group {
+			panic("sim: conduit endpoints must share a group")
+		}
+		c.g = src.group
+		c.id = len(c.g.conduits)
+		c.g.conduits = append(c.g.conduits, c)
+	}
+	return c
+}
+
+// Src returns the source engine.
+func (c *Conduit) Src() *Engine { return c.src }
+
+// Dst returns the destination engine.
+func (c *Conduit) Dst() *Engine { return c.dst }
+
+// Send schedules frame to arrive at absolute time at. Call it from the
+// source shard (or from a control action). The arrival must respect the
+// group's lookahead — at least one full window after the current round
+// began — which holds by construction when the lookahead is the minimum
+// cross-shard link latency.
+func (c *Conduit) Send(at Time, frame []byte) {
+	if c.src == c.dst {
+		d := c.get(frame)
+		c.src.push(at, conduitDeliver, d)
+		return
+	}
+	c.out = append(c.out, cmsg{at: at, frame: frame})
+}
+
+// get pops a delivery node off the freelist.
+func (c *Conduit) get(frame []byte) *dnode {
+	d := c.freeD
+	if d == nil {
+		d = &dnode{c: c}
+	} else {
+		c.freeD = d.next
+		d.next = nil
+	}
+	d.frame = frame
+	return d
+}
+
+// mref indexes one buffered message during the barrier merge.
+type mref struct {
+	c *Conduit
+	i int
+}
+
+// flush merges every conduit outbox into the destination engines in
+// (arrival time, conduit ID, send index) order. That order is a pure
+// function of what the shards produced — not of which worker ran them or
+// when — so the injected sequence numbers, and every subsequent tie-break,
+// are identical in sequential and parallel runs. Runs on the coordinator
+// between rounds; uses a reused scratch slice and an insertion sort
+// (message counts per barrier are small) so it does not allocate in steady
+// state.
+func (g *Group) flush() {
+	refs := g.refs[:0]
+	for _, c := range g.conduits {
+		for i := range c.out {
+			refs = append(refs, mref{c, i})
+		}
+	}
+	if len(refs) == 0 {
+		g.refs = refs
+		return
+	}
+	for i := 1; i < len(refs); i++ {
+		r := refs[i]
+		ra := r.c.out[r.i].at
+		j := i - 1
+		for j >= 0 {
+			o := refs[j]
+			oa := o.c.out[o.i].at
+			if oa < ra || (oa == ra && (o.c.id < r.c.id || (o.c.id == r.c.id && o.i < r.i))) {
+				break
+			}
+			refs[j+1] = refs[j]
+			j--
+		}
+		refs[j+1] = r
+	}
+	for _, r := range refs {
+		m := &r.c.out[r.i]
+		r.c.dst.push(m.at, conduitDeliver, r.c.get(m.frame))
+		m.frame = nil
+	}
+	for _, c := range g.conduits {
+		if len(c.out) > 0 {
+			c.out = c.out[:0]
+		}
+	}
+	g.refs = refs[:0]
+}

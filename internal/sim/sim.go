@@ -1,11 +1,17 @@
-// Package sim provides a deterministic, single-threaded discrete-event
-// simulation engine used as the timing substrate for the FlexDriver
-// reproduction.
+// Package sim provides a deterministic discrete-event simulation engine
+// used as the timing substrate for the FlexDriver reproduction.
 //
 // All model components (PCIe links, NIC pipelines, CPU cores, accelerator
-// lanes) are plain Go objects that schedule callbacks on a shared Engine.
-// The engine keeps a virtual clock with picosecond resolution; events fire
+// lanes) are plain Go objects that schedule callbacks on an Engine. Each
+// engine keeps a virtual clock with picosecond resolution; events fire
 // strictly in (time, insertion-order) order, so runs are reproducible.
+//
+// A single Engine is single-threaded. For cluster-scale models, several
+// engines — one per node — can be joined into a Group (see parallel.go),
+// which runs them under a conservative parallel scheduler: shards execute
+// concurrently inside lookahead windows and exchange cross-shard messages
+// through Conduits merged in a fixed order at barriers, so results are
+// byte-identical whether the group runs on one goroutine or many.
 package sim
 
 import "fmt"
@@ -91,6 +97,8 @@ type Engine struct {
 	stopped bool
 	bufs    *BufPool
 	ids     map[string]int
+	group   *Group // non-nil when the engine is one shard of a Group
+	shard   int    // index within the group (creation order)
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -99,13 +107,29 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Group returns the Group this engine belongs to, or nil for a standalone
+// engine.
+func (e *Engine) Group() *Group { return e.group }
+
+// Shard returns the engine's index within its Group (creation order), or 0
+// for a standalone engine.
+func (e *Engine) Shard() int { return e.shard }
+
 // NextID returns 1, 2, 3, ... per name, an engine-scoped identity
 // allocator. Components that need unique-but-deterministic identities
 // (NIC MAC/IP numbering, device names) draw from here instead of a
 // package-level counter, so a fresh engine always numbers its world the
 // same way — the property replay determinism rests on: two runs of the
 // same scenario in one process must build bit-identical clusters.
+//
+// Engines that belong to a Group share one ID space, so every NIC in a
+// sharded cluster still gets a unique MAC/IP no matter which shard built
+// it. Identity allocation is a construction-time activity; calling NextID
+// from a running shard event is not supported.
 func (e *Engine) NextID(name string) int {
+	if e.group != nil {
+		return e.group.NextID(name)
+	}
 	if e.ids == nil {
 		e.ids = make(map[string]int)
 	}
@@ -255,5 +279,40 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 	if !e.stopped && e.now < deadline {
 		e.now = deadline
+	}
+}
+
+// nextTime reports the timestamp of the earliest pending event.
+func (e *Engine) nextTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// runBefore executes events with timestamps strictly less than limit. It is
+// the shard workhorse of the conservative parallel scheduler: within a
+// window [T, T+lookahead) no cross-shard message can arrive, so every shard
+// may run its own events for the window without coordination. The strict
+// inequality matters — an event exactly at the window end may race a
+// cross-shard arrival at the same instant and belongs to the next round.
+func (e *Engine) runBefore(limit Time) {
+	for len(e.events) > 0 {
+		if e.events[0].at >= limit {
+			return
+		}
+		ev := e.pop()
+		e.now = ev.at
+		ev.afn(ev.arg)
+	}
+}
+
+// AdvanceTo moves the clock forward to t without executing anything.
+// Scheduling helpers (After, resource reservations) measure from Now, so a
+// shard that idled through a window must still observe the global time when
+// a barrier action pokes it. Moving backwards is a no-op.
+func (e *Engine) AdvanceTo(t Time) {
+	if t > e.now {
+		e.now = t
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"flexdriver/internal/sim"
 )
@@ -50,6 +51,17 @@ func (c *Counter) Add(n int64) {
 		return
 	}
 	c.v += n
+}
+
+// IncAtomic adds one with an atomic read-modify-write. Most counters have
+// exactly one writing shard and use the plain Inc; a counter that several
+// shards of a parallel cluster feed (the fault plane's injection mirrors)
+// must use this form exclusively.
+func (c *Counter) IncAtomic() {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, 1)
 }
 
 // Value returns the current count (0 for a nil counter).

@@ -27,7 +27,7 @@ func TestIPSecDecryptThenDefrag(t *testing.T) {
 	sa := &netpkt.ESPSA{SPI: 0xABCD, Key: [16]byte{42, 1, 2}, Salt: [4]byte{7, 7, 7, 7}}
 
 	srv.RT.CreateEthTxQueue(0, nil)
-	afu := defrag.NewAFU(srv.FLD, srv.Eng, 10*Millisecond, 1024)
+	afu := defrag.NewAFU(srv.FLD, srv.Engine(), 10*Millisecond, 1024)
 	ecp := NewEControlPlane(srv.RT)
 
 	const appTable = 40
@@ -83,7 +83,7 @@ func TestIPSecDecryptThenDefrag(t *testing.T) {
 			port.Send(append(eth.Marshal(nil), enc...))
 		}
 	}
-	rp.Eng.Run()
+	rp.Run()
 
 	if got := esw.Counters["esp-decrypt"]; got != int64(seq) {
 		t.Fatalf("NIC decrypted %d/%d ESP packets", got, seq)
@@ -118,7 +118,7 @@ func TestIPSecForgedPacketsDropped(t *testing.T) {
 	esw := srv.NIC.ESwitch()
 	sa := &netpkt.ESPSA{SPI: 0x77, Key: [16]byte{1}, Salt: [4]byte{2}}
 	srv.RT.CreateEthTxQueue(0, nil)
-	defrag.NewAFU(srv.FLD, srv.Eng, Millisecond, 64)
+	defrag.NewAFU(srv.FLD, srv.Engine(), Millisecond, 64)
 	esp := uint8(netpkt.ProtoESP)
 	app := srv.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 64, RxEntries: 64})
 	esw.AddRule(0, Rule{Match: Match{Proto: &esp},
@@ -137,7 +137,7 @@ func TestIPSecForgedPacketsDropped(t *testing.T) {
 	}
 	eth := netpkt.Eth{Dst: netpkt.MACFrom(2), Src: netpkt.MACFrom(1), EtherType: netpkt.EtherTypeIPv4}
 	port.Send(append(eth.Marshal(nil), forged...))
-	rp.Eng.Run()
+	rp.Run()
 
 	if got != 0 {
 		t.Fatal("forged ESP packet delivered")

@@ -31,19 +31,19 @@ func measureEchoPps(t *testing.T, rp *RemotePair, port *swdriver.EthPort, window
 	i := 0
 	var tick func()
 	tick = func() {
-		if rp.Eng.Now() >= deadline {
+		if rp.Engine().Now() >= deadline {
 			return
 		}
 		port.Send(frames[i%len(frames)])
 		i++
-		rp.Eng.After(interval, tick)
+		rp.Engine().After(interval, tick)
 	}
-	rp.Eng.After(0, tick)
-	rp.Eng.RunUntil(warmup)
+	rp.Engine().After(0, tick)
+	rp.RunUntil(warmup)
 	measuring = true
-	rp.Eng.RunUntil(warmup + window)
+	rp.RunUntil(warmup + window)
 	measuring = false
-	rp.Eng.RunUntil(deadline)
+	rp.RunUntil(deadline)
 	return float64(received) / window.Seconds() / 1e6
 }
 
@@ -123,7 +123,7 @@ func TestConnectX6DxPortability(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	if got != 100 || afu.Echoed != 100 {
 		t.Fatalf("FLD against ConnectX-6 Dx: echoed=%d received=%d", afu.Echoed, got)
 	}

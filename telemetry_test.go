@@ -64,14 +64,14 @@ func TestTelemetryEchoReconciliation(t *testing.T) {
 	for i := 0; i < n1; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	snap1 := reg.Snapshot()
 
 	const n2 = 30
 	for i := 0; i < n2; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 	snap2 := reg.Snapshot()
 
 	if got != n1+n2 {
@@ -152,7 +152,7 @@ func TestTelemetryChromeTrace(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 
 	if rec.Total() == 0 {
 		t.Fatal("flight recorder captured no TLP events")

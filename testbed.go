@@ -43,6 +43,11 @@ type Options struct {
 	// ConnectWire on the option-built pairs — the Ethernet wire). Nil
 	// (the default) injects nothing.
 	Faults *FaultPlan
+	// Workers caps the scheduler's worker goroutines for Cluster runs:
+	// 0 (the default) uses one worker per CPU, 1 forces the sequential
+	// reference schedule, n > 1 uses n workers. Every setting produces
+	// byte-identical results; workers change only wall-clock time.
+	Workers int
 }
 
 // Option customizes testbed construction (the functional-options
@@ -81,6 +86,25 @@ func WithTelemetry(reg *Registry) Option { return func(o *Options) { o.Telemetry
 // Start/Stop window and link-flap schedule run on simulated time. One
 // plan may serve several nodes; they share its seeded random stream.
 func WithFaults(p *FaultPlan) Option { return func(o *Options) { o.Faults = p } }
+
+// WithParallel toggles the parallel scheduler for Cluster runs. Off
+// forces the sequential reference schedule (one worker); on restores
+// the default of one worker per CPU. Results are byte-identical either
+// way — sequential mode exists as the determinism reference and for
+// single-core profiling.
+func WithParallel(on bool) Option {
+	return func(o *Options) {
+		if on {
+			o.Workers = 0
+		} else {
+			o.Workers = 1
+		}
+	}
+}
+
+// WithWorkers pins the scheduler's worker count for Cluster runs
+// (0 = one per CPU, 1 = sequential).
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
 // WithOptions replaces the whole carrier at once — an escape hatch for
 // callers that build an Options value programmatically.
@@ -156,23 +180,72 @@ func wireFaults(o Options, eng *Engine, fab *pcie.Fabric, n *nic.NIC, f *fld.FLD
 	}
 }
 
+// Node is the execution handle every testbed node embeds: the node's
+// shard engine, its name, and — when the node was built by a Cluster —
+// the owning cluster. Per-node work (scheduling callbacks, reading the
+// local clock) goes through the node's engine; execution (Run/RunUntil)
+// delegates to the cluster's group scheduler when there is one, so
+// node.Run() on a clustered node drives the whole topology, exactly as
+// the redesigned Cluster.Run does.
+type Node struct {
+	eng  *Engine
+	cl   *Cluster
+	name string
+}
+
+// Engine returns the node's shard engine. Schedule node-local events
+// here; events that coordinate across nodes belong in Cluster.Control.
+func (n *Node) Engine() *Engine { return n.eng }
+
+// Name returns the node name — the telemetry scope its counters
+// register beneath.
+func (n *Node) Name() string { return n.name }
+
+// Cluster returns the owning cluster, or nil for standalone nodes.
+func (n *Node) Cluster() *Cluster { return n.cl }
+
+// At schedules fn at absolute time t on the node's shard.
+func (n *Node) At(t Time, fn func()) { n.eng.At(t, fn) }
+
+// Now returns the node's virtual time (the cluster's, when clustered).
+func (n *Node) Now() Time {
+	if n.cl != nil {
+		return n.cl.Now()
+	}
+	return n.eng.Now()
+}
+
+// Run drives the simulation to quiescence: the whole cluster for
+// clustered nodes, the private engine for standalone ones.
+func (n *Node) Run() {
+	if n.cl != nil {
+		n.cl.Run()
+		return
+	}
+	n.eng.Run()
+}
+
+// RunUntil drives the simulation through deadline (inclusive).
+func (n *Node) RunUntil(deadline Time) {
+	if n.cl != nil {
+		n.cl.RunUntil(deadline)
+		return
+	}
+	n.eng.RunUntil(deadline)
+}
+
 // Host is a plain server: CPU + DRAM + a ConnectX-class NIC, driven by
 // the software poll-mode driver. It is the client side of the remote
 // experiments and the CPU baseline of the local ones.
 type Host struct {
-	Eng *Engine
+	Node
 	Fab *pcie.Fabric
 	Mem *hostmem.Memory
 	NIC *NIC
 	Drv *Driver
 
-	name string
-	tel  *telemetry.Registry
+	tel *telemetry.Registry
 }
-
-// Name returns the node name the host was built under — the telemetry
-// scope its counters register beneath.
-func (h *Host) Name() string { return h.name }
 
 // Telemetry returns the registry the host was built with, or nil when
 // telemetry is disabled.
@@ -195,7 +268,7 @@ func newHost(eng *Engine, name string, o Options) *Host {
 	drv := swdriver.New(eng, fab, mem, n, o.Driver)
 	wireTelemetry(o.Telemetry, eng, name, fab, n, nil, drv)
 	wireFaults(o, eng, fab, n, nil)
-	return &Host{Eng: eng, Fab: fab, Mem: mem, NIC: n, Drv: drv, name: name, tel: o.Telemetry}
+	return &Host{Node: Node{eng: eng, name: name}, Fab: fab, Mem: mem, NIC: n, Drv: drv, tel: o.Telemetry}
 }
 
 // Innova is an Innova-2-style SmartNIC node: host DRAM, a ConnectX-class
@@ -203,7 +276,7 @@ func newHost(eng *Engine, name string, o Options) *Host {
 // (paper Figure 6). The host CPU also has a software driver, used by
 // local experiments as the load generator and CPU baseline.
 type Innova struct {
-	Eng *Engine
+	Node
 	Fab *pcie.Fabric
 	Mem *hostmem.Memory
 	NIC *NIC
@@ -211,16 +284,11 @@ type Innova struct {
 	RT  *Runtime
 	Drv *Driver
 
-	name    string
 	tel     *telemetry.Registry
 	faults  *faults.Plan
 	link    LinkConfig // the node's configured PCIe link, reused by AddFLD
 	numFLDs int
 }
-
-// Name returns the node name the Innova was built under — the telemetry
-// scope its counters register beneath.
-func (inn *Innova) Name() string { return inn.name }
 
 // NumFLDs returns how many FLD cores the node carries (1 plus AddFLD
 // calls).
@@ -248,8 +316,8 @@ func newInnova(eng *Engine, name string, o Options) *Innova {
 	drv := swdriver.New(eng, fab, mem, n, o.Driver)
 	wireTelemetry(o.Telemetry, eng, name, fab, n, f, drv)
 	wireFaults(o, eng, fab, n, f)
-	return &Innova{Eng: eng, Fab: fab, Mem: mem, NIC: n, FLD: f, RT: rt, Drv: drv,
-		name: name, tel: o.Telemetry, faults: o.Faults, link: o.Link, numFLDs: 1}
+	return &Innova{Node: Node{eng: eng, name: name}, Fab: fab, Mem: mem, NIC: n, FLD: f, RT: rt, Drv: drv,
+		tel: o.Telemetry, faults: o.Faults, link: o.Link, numFLDs: 1}
 }
 
 // AddFLD instantiates an additional FlexDriver core on the node's FPGA
@@ -257,13 +325,13 @@ func newInnova(eng *Engine, name string, o Options) *Innova {
 // multiple FLD 'cores' within the accelerator, combined with NIC RSS
 // offloads to balance the load on these cores".
 func (inn *Innova) AddFLD(cfg FLDConfig) (*FLD, *Runtime) {
-	f := fld.New(inn.Eng, cfg)
+	f := fld.New(inn.eng, cfg)
 	// A distinct device name keeps the extra core's PCIe-link telemetry
 	// separate (matching its fld<N> scope) so per-port byte accounting
 	// still reconciles.
 	f.SetPCIeName(fmt.Sprintf("fld%d", inn.numFLDs))
 	f.AttachPCIe(inn.Fab, inn.link)
-	rt := fldsw.NewRuntime(inn.Eng, inn.Fab, inn.Mem, inn.NIC, f)
+	rt := fldsw.NewRuntime(inn.eng, inn.Fab, inn.Mem, inn.NIC, f)
 	if inn.tel != nil {
 		f.SetTelemetry(inn.tel.Scope(inn.name).Scope(fmt.Sprintf("fld%d", inn.numFLDs)))
 	}
@@ -280,9 +348,10 @@ func ConnectWire(a, b *NIC, rate BitRate, latency Duration) *Wire {
 }
 
 // RemotePair is the paper's remote testbed: a client host with a
-// ConnectX-4-class NIC cabled to an Innova-2 server at 25 GbE.
+// ConnectX-4-class NIC cabled to an Innova-2 server at 25 GbE. Its
+// embedded Node runs the pair (Run/RunUntil/Now/Engine).
 type RemotePair struct {
-	Eng    *Engine
+	Node
 	Client *Host
 	Server *Innova
 	Wire   *Wire
@@ -290,18 +359,20 @@ type RemotePair struct {
 
 // NewRemotePair builds the two-node remote testbed — the trivial
 // Cluster: options fold once, both nodes build from the shared carrier,
-// and the NICs are cabled back to back (no switch in the path). With
-// WithTelemetry both register under their node names ("client",
-// "server") in the shared registry.
+// and the NICs are cabled back to back (no switch in the path). A
+// point-to-point cable has no barrier seam, so both nodes share one
+// shard engine. With WithTelemetry both register under their node names
+// ("client", "server") in the shared registry.
 func NewRemotePair(opts ...Option) *RemotePair {
 	c := NewCluster(opts...)
-	client := c.buildHost("client")
-	server := c.buildInnova("server")
+	eng := c.group.NewEngine()
+	client := c.buildHostOn(eng, "client")
+	server := c.buildInnovaOn(eng, "server")
 	w := nic.ConnectWire(client.NIC, server.NIC, 25*Gbps, 500*Nanosecond)
 	if c.o.Faults != nil {
 		c.o.Faults.AttachWire(w)
 	}
-	return &RemotePair{Eng: c.Eng, Client: client, Server: server, Wire: w}
+	return &RemotePair{Node: Node{eng: eng, cl: c, name: "pair"}, Client: client, Server: server, Wire: w}
 }
 
 // NewLocalInnova builds the paper's local testbed: one Innova node whose

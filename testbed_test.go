@@ -56,7 +56,7 @@ func TestFLDERemoteEcho(t *testing.T) {
 	for i := 0; i < n; i++ {
 		port.Send(frame)
 	}
-	rp.Eng.Run()
+	rp.Run()
 
 	if afu.Echoed != n {
 		t.Fatalf("AFU echoed %d, want %d (dropped %d, server drops %v)",
@@ -108,7 +108,7 @@ func TestFLDELocalEcho(t *testing.T) {
 	for i := 0; i < n; i++ {
 		port.Send(frame)
 	}
-	inn.Eng.Run()
+	inn.Run()
 
 	if echoAFU.Echoed != n || got != n {
 		t.Fatalf("echoed=%d received=%d want %d (drops %v, fld %+v)",
@@ -160,7 +160,7 @@ func TestFLDRRemoteEcho(t *testing.T) {
 	for _, m := range msgs {
 		ep.Send(m)
 	}
-	rp.Eng.Run()
+	rp.Run()
 
 	if len(got) != len(msgs) {
 		t.Fatalf("received %d messages, want %d (drops client=%v server=%v)",
