@@ -101,6 +101,9 @@ func (c *Cluster) Switch() *EthSwitch {
 		if c.o.Telemetry != nil {
 			c.sw.SetTelemetry(c.o.Telemetry.Scope("switch"))
 		}
+		if c.o.Faults != nil {
+			c.o.Faults.AttachSwitchReboot(c.sw.Engine(), c.sw)
+		}
 	}
 	return c.sw
 }

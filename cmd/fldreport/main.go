@@ -44,14 +44,14 @@ func parseClients(spec string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio, telemetry, chaos, cluster, scenario)")
+	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio, telemetry, chaos, failover, cluster, scenario)")
 	quick := flag.Bool("quick", false, "shorter measurement windows")
 	seed := flag.Int64("seed", 1, "random seed for the chaos experiment's fault plan and the scenario sweep's first seed; a failing seed replays the identical run")
-	faults := flag.String("faults", "", `fault spec for the chaos experiment: a preset ("light", "heavy") or key=value pairs, e.g. "heavy" or "light,wire.loss=0.1" (default "heavy")`)
+	faults := flag.String("faults", "", `fault spec for the chaos experiment: a preset ("light", "heavy", "crash") or key=value pairs, e.g. "heavy" or "light,wire.loss=0.1" (default "heavy")`)
 	count := flag.Int("count", 25, "how many generated scenarios the scenario sweep runs (seeds seed..seed+count-1)")
 	spec := flag.String("spec", "", "exact scenario spec to replay for -exp scenario (the form a shrunk repro command prints); overrides -count")
 	clients := flag.String("clients", "1,2,4,8", "client counts the cluster experiment sweeps, comma-separated")
-	workers := flag.Int("workers", 0, "scheduler workers for the cluster experiment: 0 = one per CPU, 1 = sequential reference (identical telemetry either way)")
+	workers := flag.Int("workers", 0, "scheduler workers for the cluster, chaos and failover experiments: 0 = one per CPU, 1 = sequential reference (identical telemetry either way)")
 	traceOut := flag.String("trace", "", "run the telemetry experiment, print its counter snapshot, and write the TLP flight recorder as Chrome trace_event JSON to this file")
 	flag.Parse()
 
@@ -101,7 +101,8 @@ func main() {
 		{"iot-security", func() *exps.Result { return exps.IotInvalidTokensDropped(window) }},
 		{"ext-virtio", func() *exps.Result { return exps.Portability(window) }},
 		{"telemetry", runTelemetry},
-		{"chaos", func() *exps.Result { return exps.Chaos(*seed, *faults, window) }},
+		{"chaos", func() *exps.Result { return exps.ChaosWorkers(*seed, *faults, window, *workers) }},
+		{"failover", func() *exps.Result { return exps.FailoverWorkers(window, *workers) }},
 		{"scenario", func() *exps.Result { return exps.Scenario(*seed, *count, *spec) }},
 		{"cluster", func() *exps.Result {
 			p := exps.DefaultClusterParams(window)

@@ -89,6 +89,10 @@ type (
 	RDMAEndpoint = swdriver.RDMAEndpoint
 	// RDMAConfig sizes an RDMAEndpoint.
 	RDMAConfig = swdriver.RDMAConfig
+	// Supervisor is the driver's crash-recovery escalation ladder
+	// (poll → queue reset → reconnect → FLR → reattach) with seeded
+	// backoff and MTTR telemetry; build one with NewSupervisor.
+	Supervisor = swdriver.Supervisor
 
 	// LinkConfig describes a PCIe link.
 	LinkConfig = pcie.LinkConfig
@@ -145,6 +149,12 @@ func DefaultNICParams() NICParams { return nic.DefaultParams() }
 
 // DefaultDriverParams returns the calibrated CPU-driver cost model.
 func DefaultDriverParams() DriverParams { return swdriver.DefaultParams() }
+
+// NewSupervisor builds the recovery escalation ladder for a driver; the
+// seed feeds only the retry-backoff jitter stream. Kick it from a
+// watchdog (for clusters, a Control sweep) whenever health should be
+// checked.
+func NewSupervisor(d *Driver, seed int64) *Supervisor { return swdriver.NewSupervisor(d, seed) }
 
 // Gen3x8 is the Innova-2's internal PCIe link configuration.
 func Gen3x8() LinkConfig { return pcie.Gen3x8() }

@@ -65,6 +65,10 @@ type Stats struct {
 	Filtered int64
 	// Malformed counts frames too short for an Ethernet header.
 	Malformed int64
+	// Reboots counts crash windows that actually took the switch down;
+	// RebootDrops counts frames that arrived while it was down.
+	Reboots     int64
+	RebootDrops int64
 }
 
 // Switch is one ToR switch instance. Attach endpoints with Connect.
@@ -77,8 +81,41 @@ type Switch struct {
 	fdb   map[netpkt.MAC]*Port
 	freeX *portXfer // freelist of transit records, shared by all ports
 
+	// downN counts active reboot windows (see Crash/Restart); the
+	// forwarding plane runs only at zero.
+	downN int
+
 	tlm *swTelemetry
 }
+
+// Crash models the ToR switch rebooting: the forwarding plane stops
+// (frames arriving at the fabric are dropped and counted) and the
+// learned FDB is lost with the control plane's RAM. Static entries
+// programmed at build time are flushed too — after Restart the switch
+// floods until it re-learns, exactly like real hardware coming back.
+// Crashes nest like nic.Crash.
+func (s *Switch) Crash() {
+	s.downN++
+	if s.downN > 1 {
+		return
+	}
+	s.Stats.Reboots++
+	if t := s.tlm; t != nil {
+		t.reboots.Inc()
+	}
+	s.fdb = make(map[netpkt.MAC]*Port)
+}
+
+// Restart lifts one reboot window.
+func (s *Switch) Restart() {
+	if s.downN == 0 {
+		return
+	}
+	s.downN--
+}
+
+// Down reports whether the switch is currently rebooting.
+func (s *Switch) Down() bool { return s.downN > 0 }
 
 // portXfer is one frame's transit record through a port segment (either
 // direction). Records are recycled through freelists and scheduled with
@@ -190,6 +227,13 @@ func unicastMAC(m netpkt.MAC) bool { return m[0]&1 == 0 && m != (netpkt.MAC{}) }
 // against the source MAC, then unicast to the learned output port or
 // flooded.
 func (s *Switch) ingress(src *Port, frame []byte) {
+	if s.downN > 0 {
+		s.Stats.RebootDrops++
+		if t := s.tlm; t != nil {
+			t.rebootDrops.Inc()
+		}
+		return
+	}
 	src.count(&src.Counters.RxFrames, &src.Counters.RxBytes, len(frame))
 	if t := src.tlm; t != nil {
 		t.rxFrames.Inc()

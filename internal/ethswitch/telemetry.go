@@ -12,6 +12,7 @@ type swTelemetry struct {
 	scope *telemetry.Scope
 
 	forwarded, floods, filtered *telemetry.Counter
+	reboots, rebootDrops        *telemetry.Counter
 }
 
 // portTelemetry counters are split by writing shard: the endpoint's
@@ -37,9 +38,11 @@ func (s *Switch) SetTelemetry(sc *telemetry.Scope) {
 	}
 	s.tlm = &swTelemetry{
 		scope:     sc,
-		forwarded: sc.Counter("forwarded"),
-		floods:    sc.Counter("floods"),
-		filtered:  sc.Counter("filtered"),
+		forwarded:   sc.Counter("forwarded"),
+		floods:      sc.Counter("floods"),
+		filtered:    sc.Counter("filtered"),
+		reboots:     sc.Counter("reboots"),
+		rebootDrops: sc.Counter("reboot_drops"),
 	}
 	sc.Func("fdb/size", func() float64 { return float64(len(s.fdb)) })
 	for _, p := range s.ports {

@@ -8,8 +8,8 @@ import (
 	"flexdriver/internal/swdriver"
 )
 
-// Chaos runs the FLD-E remote echo under a deterministic fault storm
-// and asserts the recovery invariants:
+// Chaos runs the FLD-E echo across a switched 2-node cluster under a
+// deterministic fault storm and asserts the recovery invariants:
 //
 //   - no app-level loss beyond what the plan injected (and zero loss
 //     when nothing was injected);
@@ -17,22 +17,43 @@ import (
 //   - the PCIe telemetry byte counters still reconcile byte-exactly
 //     against both fabrics' independent accounting — fault injection
 //     never unbalances the wire-byte bookkeeping;
-//   - every queue is back in the Ready state once the storm ends;
+//   - every queue is back in the Ready state once the storm ends, with
+//     the driver's supervision ladder closing every crash episode it
+//     opened (bounded MTTR, nothing abandoned);
 //   - the simulation engine fully quiesces (no wedged retry loops).
 //
 // seed drives the plan's random stream: a failing (seed, spec) pair
 // replays the identical storm. spec is a fault specification for
-// faults.ParseSpec; empty means the "heavy" preset. window is the
-// storm's duration.
+// faults.ParseSpec; empty means the "heavy" preset ("crash" adds the
+// device/node crash–restart classes). window is the storm's duration.
 func Chaos(seed int64, spec string, window flexdriver.Duration) *Result {
+	return ChaosWorkers(seed, spec, window, 0)
+}
+
+// ChaosWorkers is Chaos with the cluster scheduler's worker count
+// pinned (0 = one per CPU, 1 = the sequential reference). Results are
+// byte-identical at any setting — TestChaosExpSeqParIdentical pins it.
+func ChaosWorkers(seed int64, spec string, window flexdriver.Duration, workers int) *Result {
+	r, _ := chaosRun(seed, spec, window, workers)
+	return r
+}
+
+// ChaosTelemetryHash runs the storm and returns only the SHA-256 of the
+// final telemetry snapshot — the determinism tests' replay pin.
+func ChaosTelemetryHash(seed int64, spec string, window flexdriver.Duration, workers int) string {
+	_, h := chaosRun(seed, spec, window, workers)
+	return h
+}
+
+func chaosRun(seed int64, spec string, window flexdriver.Duration, workers int) (*Result, string) {
 	r := &Result{ID: "chaos",
-		Title: fmt.Sprintf("FLD-E echo under fault injection (seed=%d, faults=%q)", seed, orHeavy(spec))}
+		Title: fmt.Sprintf("FLD-E cluster echo under fault injection (seed=%d, faults=%q)", seed, orHeavy(spec))}
 	r.Columns = []string{"metric", "value", "", "", "", ""}
 
 	cfg, err := flexdriver.ParseFaultSpec(orHeavy(spec))
 	if err != nil {
 		r.Check("fault spec parses", 1, 0, "", false, err.Error())
-		return r
+		return r, ""
 	}
 
 	const (
@@ -47,13 +68,39 @@ func Chaos(seed int64, spec string, window flexdriver.Duration) *Result {
 
 	plan := flexdriver.NewFaultPlan(seed, cfg)
 	reg := flexdriver.NewRegistry()
-	rp, port, _ := fldeRemoteBed(flexdriver.WithTelemetry(reg), flexdriver.WithFaults(plan))
-	eng := rp.Engine()
+	cl := flexdriver.NewCluster(
+		flexdriver.WithDriver(genDriverParams()),
+		flexdriver.WithTelemetry(reg),
+		flexdriver.WithFaults(plan),
+		flexdriver.WithWorkers(workers),
+	)
+
+	// Server: one Innova whose FLD runs the header-swapping echo (the
+	// switch's source filter would eat verbatim hairpin replies).
+	srv := cl.AddInnova("server")
+	srv.RT.CreateEthTxQueue(0, nil)
+	ecp := flexdriver.NewEControlPlane(srv.RT)
+	ecp.InstallDefaultEgressToWire()
+	srv.RT.Start()
+	installSwapEcho(srv.FLD)
+	srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{Action: flexdriver.Action{ToRQ: srv.RT.RQ()}})
+
+	// Client: a software port steered on its own IP, watched by the
+	// supervision ladder (crash classes leave its rings errored with the
+	// announcing CQEs unDMAable — only the ladder can notice).
+	cli := cl.AddHost("client")
+	port := cli.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
+	ip := cli.NIC.IP
+	cli.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+		Match:  flexdriver.Match{DstIP: &ip},
+		Action: flexdriver.Action{ToRQ: port.RQ()}})
+	sup := flexdriver.NewSupervisor(cli.Drv, seed)
+	sup.SetTelemetry(reg.Scope("client").Scope("supervisor"))
 
 	// Sequence-stamped frames: the payload's first 8 bytes carry the send
 	// ordinal, so loss and duplication are measured per frame, not from
-	// aggregate counts.
-	base := buildFrame(size, 4000, 7777)
+	// aggregate counts. The map lives on the client's shard.
+	base := clusterFrame(cli.NIC, srv.NIC, 4000, 7777, size)
 	const seqOff = 42 // Eth(14) + IPv4(20) + UDP(8)
 	var sent int64
 	recv := make(map[int64]int64)
@@ -71,7 +118,7 @@ func Chaos(seed int64, spec string, window flexdriver.Duration) *Result {
 	// fault-free run is lossless.
 	interval := flexdriver.Duration(float64(len(base)*8) / 10e9 * float64(flexdriver.Second))
 	deadline := warmup + window + drain
-	paceSends(eng, interval, deadline, func() {
+	paceSends(cli.Engine(), interval, deadline, func() {
 		f := append([]byte(nil), base...)
 		seq := sent
 		for i := 7; i >= 0; i-- {
@@ -82,27 +129,28 @@ func Chaos(seed int64, spec string, window flexdriver.Duration) *Result {
 		port.Send(f)
 	})
 
-	// Watchdog: a poll-mode driver and the FLD runtime both notice
-	// Error-state queues even when the error CQE announcing the state
-	// was itself lost to a fault.
+	// Watchdog: a Control barrier sweep — it may touch every shard — that
+	// kicks the client's supervision ladder and the server runtime's
+	// queue scans, so Error states whose announcing CQE was lost (or
+	// never DMA-able: the device was crashed) still get noticed.
 	var watchdog func()
 	watchdog = func() {
-		port.Poll()
-		rp.Server.RT.Recover()
-		if eng.Now() < deadline {
-			eng.After(20*flexdriver.Microsecond, watchdog)
+		sup.Kick()
+		srv.RT.Recover()
+		if cl.Now() < deadline {
+			cl.Control(cl.Now()+20*flexdriver.Microsecond, watchdog)
 		}
 	}
-	eng.After(warmup, watchdog)
+	cl.Control(warmup, watchdog)
 
-	eng.RunUntil(deadline)
-	// Quiesce: drain in-flight work, then give the watchdog one final
-	// pass in case an error surfaced after its last tick, and drain the
-	// recovery it may have scheduled.
-	eng.Run()
-	port.Poll()
-	rp.Server.RT.Recover()
-	eng.Run()
+	cl.RunUntil(deadline)
+	// Quiesce: drain in-flight work, then give the watchdogs one final
+	// pass in case an error surfaced after their last tick, and drain the
+	// recovery they may have scheduled.
+	cl.Run()
+	sup.Kick()
+	srv.RT.Recover()
+	cl.Run()
 
 	inj := plan.Injected
 	var lost, dups int64
@@ -126,19 +174,29 @@ func Chaos(seed int64, spec string, window flexdriver.Duration) *Result {
 	r.AddRow("  accel stalls", d64(inj.AccelStalls), "", "", "", "")
 	r.AddRow("  wire loss/dup/delay", fmt.Sprintf("%d/%d/%d",
 		inj.WireLosses, inj.WireDups, inj.WireDelays), "", "", "", "")
+	crashes := inj.FLDResets + inj.NICFLRs + inj.NodeCrashes + inj.DrvCrashes + inj.SwReboots
+	r.AddRow("  crash fld/flr/node/drv/sw", fmt.Sprintf("%d/%d/%d/%d/%d",
+		inj.FLDResets, inj.NICFLRs, inj.NodeCrashes, inj.DrvCrashes, inj.SwReboots), "", "", "", "")
 
 	// Loss bound: a queue-fatal fault flushes at most one ring (512
-	// entries) of in-flight frames; every other fault class costs at
-	// most a handful. 512 per injected fault is a deliberately generous
-	// ceiling — the teeth are in "zero faults => zero loss".
+	// entries) of in-flight frames, and a crash window additionally eats
+	// the frames offered while the component is down; 512 per injected
+	// fault covers both generously — the teeth are in "zero faults =>
+	// zero loss".
 	maxLost := 512 * inj.Total()
 	r.Check("loss bounded by injected faults", float64(maxLost), float64(lost), "frames",
 		lost <= maxLost && (inj.Total() > 0 || lost == 0), "<= 512 per injected fault")
 	if inj.Total() > 0 {
 		r.Check("storm actually injected faults", 1, b2f(inj.Total() > 0), "", true, "")
 	}
-	r.Check("no duplication beyond injected", float64(inj.WireDups), float64(dups), "frames",
-		dups <= inj.WireDups, "each wire dup adds at most one copy")
+	// Duplication bound: each injected wire dup adds at most one copy,
+	// and each device crash–restart may replay its unacknowledged send
+	// window (at most one ring) — recovery is deliberately at-least-once:
+	// a reset replays every descriptor without a completion rather than
+	// guess which ones made it to the wire.
+	maxDups := inj.WireDups + 512*(inj.NICFLRs+inj.NodeCrashes+inj.FLDResets)
+	r.Check("no duplication beyond injected", float64(maxDups), float64(dups), "frames",
+		dups <= maxDups, "wire dups + crash-replay of unacked windows")
 	r.Check("traffic survived the storm", 1, b2f(sent > 0 && lost < sent), "",
 		sent > 0 && lost < sent, "")
 
@@ -146,8 +204,8 @@ func Chaos(seed int64, spec string, window flexdriver.Duration) *Result {
 	// charge no bytes anywhere, poisoned TLPs charge bytes on every link
 	// they traverse, so telemetry and port accounting must still agree.
 	snap := reg.Snapshot()
-	cm, _, _ := reconcilePCIe(r, snap, "client", rp.Client.Fab)
-	sm, _, _ := reconcilePCIe(r, snap, "server", rp.Server.Fab)
+	cm, _, _ := reconcilePCIe(r, snap, "client", cli.Fab)
+	sm, _, _ := reconcilePCIe(r, snap, "server", srv.Fab)
 	r.Check("PCIe byte counters reconcile under faults", 0, float64(cm+sm), "mismatches",
 		cm+sm == 0, "telemetry vs Port.{Up,Down}Bytes, byte-exact")
 
@@ -156,24 +214,67 @@ func Chaos(seed int64, spec string, window flexdriver.Duration) *Result {
 	r.Check("injection telemetry mirrors plan tallies", float64(inj.Total()), float64(injTel),
 		"faults", injTel == inj.Total(), "")
 
-	// Recovery: both NICs' queues are Ready again and every queue error
-	// was answered by a driver reset.
-	srvReady := rp.Server.RT.QueuesReady()
+	// The driver's telemetry mirror must agree with its raw Stats.
+	drvTelOK := snap.Get("client/swdriver/errors/recoveries") == cli.Drv.Recoveries &&
+		snap.Get("client/swdriver/errors/tx") == cli.Drv.TxErrors &&
+		snap.Get("client/swdriver/errors/cqe") == cli.Drv.CQEErrors
+	r.Check("driver telemetry mirrors Stats counters", 1, b2f(drvTelOK), "",
+		drvTelOK, "errors/{tx,cqe,recoveries} vs Driver fields")
+
+	// Recovery: both NICs' queues are Ready again. When no crash class
+	// ran, every queue error is answered one-for-one by a driver reset;
+	// crash windows break that pairing by design (a crash errors every
+	// ring silently, an FLR resets rings that never errored), so there
+	// the Ready check and the supervisor's episode accounting carry the
+	// assertion instead.
+	srvReady := srv.RT.QueuesReady()
 	cliReady := port.SQ().State() == nic.QueueReady && port.RQ().State() == nic.QueueReady
 	r.Check("all queues recovered to Ready", 1, b2f(srvReady && cliReady), "",
 		srvReady && cliReady, "server runtime + client port")
-	cliN, srvN := rp.Client.NIC.Stats, rp.Server.NIC.Stats
-	errsAnswered := cliN.QueueErrors <= cliN.QueueRecoveries && srvN.QueueErrors <= srvN.QueueRecoveries
-	r.Check("every queue error answered by a reset",
-		float64(cliN.QueueErrors+srvN.QueueErrors),
-		float64(cliN.QueueRecoveries+srvN.QueueRecoveries), "resets",
-		errsAnswered, "")
+	if crashes == 0 {
+		cliN, srvN := cli.NIC.Stats, srv.NIC.Stats
+		errsAnswered := cliN.QueueErrors <= cliN.QueueRecoveries && srvN.QueueErrors <= srvN.QueueRecoveries
+		r.Check("every queue error answered by a reset",
+			float64(cliN.QueueErrors+srvN.QueueErrors),
+			float64(cliN.QueueRecoveries+srvN.QueueRecoveries), "resets",
+			errsAnswered, "")
+	}
+
+	// Supervision ladder: every opened episode closed (none abandoned),
+	// and the worst observed MTTR is bounded by the storm's longest
+	// downtime window plus detection and retry latency.
+	episodes := snap.Counters["client/supervisor/episodes"]
+	abandoned := snap.Counters["client/supervisor/abandoned"]
+	r.AddRow("supervisor episodes (mttr max us)", fmt.Sprintf("%d (%.1f)",
+		episodes, float64(snap.Gauges["client/supervisor/mttr_max"].High)/1e6), "", "", "", "")
+	r.Check("no recovery episode abandoned", 0, float64(abandoned), "episodes",
+		abandoned == 0, "")
+	if episodes > 0 {
+		bound := 3*maxCrashFor(cfg) + 100*flexdriver.Microsecond
+		worst := flexdriver.Duration(snap.Gauges["client/supervisor/mttr_max"].High)
+		r.Check("MTTR bounded", float64(bound)/1e6, float64(worst)/1e6, "us",
+			worst <= bound, "detection -> healthy, worst episode")
+	}
 
 	// The engine must fully quiesce: no wedged retransmit or recovery
 	// loop keeps scheduling events once traffic stops.
-	r.Check("sim engine quiesced", 0, float64(eng.Pending()), "events",
-		eng.Pending() == 0, "no wedged retry loops")
-	return r
+	r.Check("sim engine quiesced", 0, float64(cl.Pending()), "events",
+		cl.Pending() == 0, "no wedged retry loops")
+	return r, snap.Hash()
+}
+
+// maxCrashFor returns the longest configured crash-downtime window —
+// the dominant term of any honest MTTR bound: an episode detected the
+// instant a component dies cannot close before the component returns.
+func maxCrashFor(cfg flexdriver.FaultsConfig) flexdriver.Duration {
+	m := cfg.FLDResetFor
+	for _, d := range []flexdriver.Duration{cfg.NICFLRFor, cfg.NodeCrashFor,
+		cfg.DrvCrashFor, cfg.SwRebootFor, cfg.PartFor, cfg.FlapFor} {
+		if d > m {
+			m = d
+		}
+	}
+	return m
 }
 
 func orHeavy(spec string) string {

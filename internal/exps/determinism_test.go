@@ -18,7 +18,14 @@ import (
 // re-interleaves same-instant events across nodes. The new hash is the
 // sequential reference schedule's, and TestClusterSeqParIdentical pins
 // every parallel worker count to it.
-const goldenClusterHash = "435b41af1a90645698c6c5de0acf8b1257475b9459c68abbff9e334bbacd5b8c"
+//
+// Recaptured for the failure-domain layer: every node now registers its
+// crash/recovery counters (nic device/*, fld errors/crash*, swdriver
+// errors/* mirrors and down/*) in the snapshot. Disabled crash classes
+// consume no fault-stream ordinals and schedule no events, so only the
+// snapshot's *paths* changed — the event schedule and every
+// pre-existing counter value are identical.
+const goldenClusterHash = "2583e9b697ba0b85437b90fff1f6a2107fd388dee68d0d152ab99fc87d385543"
 
 func TestClusterTelemetryGolden(t *testing.T) {
 	p := DefaultClusterParams(100 * sim.Microsecond)
@@ -53,7 +60,16 @@ func TestClusterTelemetryStable(t *testing.T) {
 // Recaptured for the sharded-engine cluster (see goldenClusterHash):
 // per-node engines re-interleave cross-node events, and fault streams
 // are now per-attachment rather than plan-global.
-const goldenChaosScenarioHash = "963a3a817ac3c4477cdd0f2155c8044ae96043488f1585a4fa51f5138345a47d"
+//
+// Recaptured for the failure-domain layer (see goldenClusterHash): new
+// crash/recovery counter paths in every snapshot, identical schedules.
+//
+// Recaptured again when scenarios grew supervision: the generator now
+// samples crash–restart classes (extra draws after the existing ones,
+// which can enable new fault classes for a given seed), and every host
+// driver registers a supervisor scope — both legitimately change seed
+// 2's plan and snapshot.
+const goldenChaosScenarioHash = "441eb8d37842ee99e4ae7ec9397fd262391b6553f2380a5f625b9f52e47e10be"
 
 func TestChaosScenarioTelemetryGolden(t *testing.T) {
 	got := ScenarioTelemetryHash(2)
@@ -71,6 +87,34 @@ func TestChaosScenarioTelemetryStable(t *testing.T) {
 	b := ScenarioTelemetryHash(2)
 	if a != b {
 		t.Fatalf("back-to-back chaos scenario runs diverged: %s vs %s", a, b)
+	}
+}
+
+// goldenChaosExpHash pins the chaos experiment itself — the switched
+// 2-node echo under the "crash" preset, whose device/node crash–restart
+// classes exercise the supervision ladder end to end. Same recapture
+// rule as the other goldens.
+const goldenChaosExpHash = "36575f703a13d876163878ed971c48412f888cf58aa43d5a33ce528af939a77a"
+
+func TestChaosExpTelemetryGolden(t *testing.T) {
+	got := ChaosTelemetryHash(7, "crash", 200*sim.Microsecond, 1)
+	if got != goldenChaosExpHash {
+		t.Fatalf("fixed-seed chaos telemetry diverged from golden snapshot:\n got  %s\n want %s",
+			got, goldenChaosExpHash)
+	}
+}
+
+// TestChaosExpSeqParIdentical pins the chaos experiment's telemetry to
+// the sequential reference schedule at several worker counts — crash
+// windows, supervision-ladder retries and watchdog Control sweeps must
+// replay byte-identically under the parallel scheduler.
+func TestChaosExpSeqParIdentical(t *testing.T) {
+	seq := ChaosTelemetryHash(7, "crash", 200*sim.Microsecond, 1)
+	for _, w := range []int{4, 8} {
+		if got := ChaosTelemetryHash(7, "crash", 200*sim.Microsecond, w); got != seq {
+			t.Fatalf("workers=%d diverged from the sequential schedule:\n got  %s\n want %s",
+				w, got, seq)
+		}
 	}
 }
 

@@ -65,14 +65,36 @@ type Config struct {
 	// of the window and the random stream. Used by tests that need one
 	// exact loss.
 	WireDropNth []int64
+
+	// --- Failure domains (device/node crash–restart schedules) ---
+	// Each class is a seeded schedule of crash episodes: the component
+	// crashes around Start + Every, stays down for about For, restarts,
+	// and the cycle repeats until Stop (Stop == 0 yields one episode).
+	// Both intervals carry ±25% jitter drawn from a stream derived at
+	// attach time, so the whole schedule is a pure function of
+	// (seed, topology) — independent of event interleaving, hence
+	// identical under sequential and parallel cluster runs. Episodes are
+	// clamped so every component is back up by Stop; the recovery ladder
+	// then has the drain phase to restore traffic.
+	FLDResetEvery, FLDResetFor   sim.Duration // FLD/AFU hard reset
+	NICFLREvery, NICFLRFor       sim.Duration // NIC function-level reset
+	NodeCrashEvery, NodeCrashFor sim.Duration // full node (NIC+FLD+driver) crash–restart
+	DrvCrashEvery, DrvCrashFor   sim.Duration // host driver process crash
+	SwRebootEvery, SwRebootFor   sim.Duration // ToR switch reboot (FDB flushed)
+	PartEvery, PartFor           sim.Duration // link partition/heal (both directions cut)
 }
 
-// Counts tallies injected faults per class.
+// Counts tallies injected faults per class. The crash classes count one
+// injection per component per episode; PartitionDrops counts each frame
+// a partitioned link swallowed (the partition window itself has no
+// single injection instant — its cost is exactly its drops).
 type Counts struct {
 	PCIeDrops, PCIeCorrupts, LinkFlapTLPs         int64
 	DoorbellLosses, WQEFetchFails, CQEErrors      int64
 	AccelStalls                                   int64
 	WireLosses, WireDups, WireDelays, WireDropped int64
+	FLDResets, NICFLRs, NodeCrashes               int64
+	DrvCrashes, SwReboots, PartitionDrops         int64
 }
 
 // Total returns the total number of injected faults.
@@ -80,7 +102,9 @@ func (c Counts) Total() int64 {
 	return c.PCIeDrops + c.PCIeCorrupts + c.LinkFlapTLPs +
 		c.DoorbellLosses + c.WQEFetchFails + c.CQEErrors +
 		c.AccelStalls +
-		c.WireLosses + c.WireDups + c.WireDelays + c.WireDropped
+		c.WireLosses + c.WireDups + c.WireDelays + c.WireDropped +
+		c.FLDResets + c.NICFLRs + c.NodeCrashes +
+		c.DrvCrashes + c.SwReboots + c.PartitionDrops
 }
 
 // Plan is a bound fault-injection plan. One Plan may be attached to any
@@ -192,6 +216,119 @@ func (s *stream) hit(prob float64) bool {
 func (p *Plan) note(n *int64, c *telemetry.Counter) {
 	atomic.AddInt64(n, 1)
 	c.IncAtomic()
+}
+
+// --- failure domains ------------------------------------------------------
+
+// Crashable is a component a failure-domain class can tear down and
+// bring back: *nic.NIC, *fld.FLD, swdriver drivers and the Ethernet
+// switch all implement it. Crash tears the component's state down
+// (in-flight work is dropped with enumerated reasons); Restart makes it
+// serviceable again — the driver-side recovery ladder is what actually
+// restores traffic.
+type Crashable interface {
+	Crash()
+	Restart()
+}
+
+// episode is one crash window: the component is down in [at, until).
+type episode struct{ at, until sim.Time }
+
+// maxEpisodes bounds a schedule so an unbounded window cannot flood the
+// event queue at attach time.
+const maxEpisodes = 64
+
+// episodes precomputes one class's crash windows. The jittered schedule
+// is drawn from a fresh attachment stream at construction time, so it
+// depends only on (seed, ordinal) — never on event order. Every window
+// is clamped to end by Stop: the component is always restarted inside
+// the fault window, leaving the drain phase for recovery. With Stop == 0
+// (no upper bound) a single episode is scheduled.
+func (p *Plan) episodes(every, dur sim.Duration) []episode {
+	if every <= 0 || dur <= 0 {
+		return nil
+	}
+	p.nstream++
+	rng := sim.NewRand(mixSeed(p.seed, p.nstream))
+	jitter := func(d sim.Duration) sim.Duration {
+		return sim.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+	}
+	start, stop := p.Cfg.Start, p.Cfg.Stop
+	var eps []episode
+	t := start + jitter(every)
+	for len(eps) < maxEpisodes {
+		d := jitter(dur)
+		if stop > 0 {
+			if t >= stop {
+				break
+			}
+			if t+d > stop {
+				d = stop - t
+			}
+		}
+		eps = append(eps, episode{at: t, until: t + d})
+		if stop == 0 {
+			break
+		}
+		t += jitter(every)
+	}
+	return eps
+}
+
+// attachCrash schedules one class's episodes on the component's own
+// shard: every attached component crashes at each window's start and
+// restarts at its end. note tallies one injection per component per
+// episode at the crash instant.
+func (p *Plan) attachCrash(eng *sim.Engine, every, dur sim.Duration, note func(), comps ...Crashable) {
+	if eng == nil || len(comps) == 0 {
+		return
+	}
+	for _, ep := range p.episodes(every, dur) {
+		ep := ep
+		eng.At(ep.at, func() {
+			for _, c := range comps {
+				note()
+				c.Crash()
+			}
+		})
+		eng.At(ep.until, func() {
+			for _, c := range comps {
+				c.Restart()
+			}
+		})
+	}
+}
+
+// AttachFLDReset schedules FLD/AFU hard resets for one accelerator.
+func (p *Plan) AttachFLDReset(eng *sim.Engine, f Crashable) {
+	p.attachCrash(eng, p.Cfg.FLDResetEvery, p.Cfg.FLDResetFor,
+		func() { p.note(&p.Injected.FLDResets, p.tlm.fldResets()) }, f)
+}
+
+// AttachNICFLR schedules NIC function-level resets for one adapter.
+func (p *Plan) AttachNICFLR(eng *sim.Engine, n Crashable) {
+	p.attachCrash(eng, p.Cfg.NICFLREvery, p.Cfg.NICFLRFor,
+		func() { p.note(&p.Injected.NICFLRs, p.tlm.nicFLRs()) }, n)
+}
+
+// AttachNodeCrash schedules whole-node crash–restart cycles: every
+// component of the node (NIC, FLD cores, driver) goes down and comes
+// back together, as when an Innova loses power or a host reboots.
+func (p *Plan) AttachNodeCrash(eng *sim.Engine, comps ...Crashable) {
+	p.attachCrash(eng, p.Cfg.NodeCrashEvery, p.Cfg.NodeCrashFor,
+		func() { p.note(&p.Injected.NodeCrashes, p.tlm.nodeCrashes()) }, comps...)
+}
+
+// AttachDriverCrash schedules host-driver process crashes.
+func (p *Plan) AttachDriverCrash(eng *sim.Engine, d Crashable) {
+	p.attachCrash(eng, p.Cfg.DrvCrashEvery, p.Cfg.DrvCrashFor,
+		func() { p.note(&p.Injected.DrvCrashes, p.tlm.drvCrashes()) }, d)
+}
+
+// AttachSwitchReboot schedules ToR switch reboots.
+func (p *Plan) AttachSwitchReboot(eng *sim.Engine, sw Crashable) {
+	p.attachCrash(eng, p.Cfg.SwRebootEvery, p.Cfg.SwRebootFor,
+		func() { p.note(&p.Injected.SwReboots, p.tlm.swReboots()) }, sw)
 }
 
 // --- attachment -----------------------------------------------------------
@@ -313,14 +450,42 @@ func (p *Plan) AttachWire(w *nic.Wire) { p.AttachLink(&w.Link, w.Engine(), w.Eng
 // each, independently. No-op when no wire class is enabled.
 func (p *Plan) AttachLink(l *nic.Link, eng0, eng1 *sim.Engine) {
 	c := &p.Cfg
-	if c.WireLoss == 0 && c.WireDup == 0 && c.WireDelay == 0 && len(c.WireDropNth) == 0 {
+	// Partition windows are precomputed per link, once, and then read
+	// passively from both directions' Loss hooks — the two shards share
+	// only immutable schedule data, never a random stream.
+	parts := p.episodes(c.PartEvery, c.PartFor)
+	if c.WireLoss == 0 && c.WireDup == 0 && c.WireDelay == 0 &&
+		len(c.WireDropNth) == 0 && len(parts) == 0 {
 		return
 	}
 	// Per-direction streams and ordinals: element dir is only ever
 	// touched by dir's engine, so the pair needs no lock.
 	ss := [2]*stream{p.newStream(eng0), p.newStream(eng1)}
 	seq := new([2]int64)
+	partitioned := func(dir int) bool {
+		if len(parts) == 0 {
+			return false
+		}
+		eng := ss[dir].clock()
+		if eng == nil {
+			return false
+		}
+		now := eng.Now()
+		for _, ep := range parts {
+			if now >= ep.at && now < ep.until {
+				return true
+			}
+		}
+		return false
+	}
 	l.Loss = func(dir int, _ []byte) bool {
+		// A partitioned link swallows every frame in both directions,
+		// regardless of WireDir; each casualty is tallied so frame
+		// conservation can attribute it.
+		if partitioned(dir) {
+			p.note(&p.Injected.PartitionDrops, p.tlm.partitionDrops())
+			return true
+		}
 		if !p.dirMatch(dir) {
 			return false
 		}
@@ -380,6 +545,18 @@ var Presets = map[string]Config{
 		AccelStall: 0.02,
 		WireLoss:   0.03, WireDup: 0.02, WireDelay: 0.03,
 	},
+	// crash layers the device/node failure domains over light packet
+	// noise: every class of the recovery ladder fires at least once in a
+	// sub-millisecond window.
+	"crash": {
+		DoorbellLoss: 0.01, WireLoss: 0.005,
+		FLDResetEvery: 150 * sim.Microsecond, FLDResetFor: 4 * sim.Microsecond,
+		NICFLREvery: 120 * sim.Microsecond, NICFLRFor: 4 * sim.Microsecond,
+		NodeCrashEvery: 300 * sim.Microsecond, NodeCrashFor: 8 * sim.Microsecond,
+		DrvCrashEvery: 200 * sim.Microsecond, DrvCrashFor: 6 * sim.Microsecond,
+		SwRebootEvery: 400 * sim.Microsecond, SwRebootFor: 4 * sim.Microsecond,
+		PartEvery: 250 * sim.Microsecond, PartFor: 6 * sim.Microsecond,
+	},
 }
 
 // ParseSpec parses a fault specification for the -faults flag: either a
@@ -389,6 +566,9 @@ var Presets = map[string]Config{
 //	pcie.drop pcie.corrupt flap.every flap.for
 //	db.loss wqe.fail cqe.err accel.stall
 //	wire.loss wire.dup wire.delay wire.delayby wire.dir wire.dropn
+//	fld.reset.every fld.reset.for nic.flr.every nic.flr.for
+//	node.crash.every node.crash.for drv.crash.every drv.crash.for
+//	sw.reboot.every sw.reboot.for part.every part.for
 //	start stop
 //
 // Probabilities are floats; durations use Go syntax ("200us");
@@ -454,6 +634,30 @@ func ParseSpec(spec string) (Config, error) {
 				}
 				cfg.WireDropNth = append(cfg.WireDropNth, n)
 			}
+		case "fld.reset.every":
+			cfg.FLDResetEvery, err = parseDur(val)
+		case "fld.reset.for":
+			cfg.FLDResetFor, err = parseDur(val)
+		case "nic.flr.every":
+			cfg.NICFLREvery, err = parseDur(val)
+		case "nic.flr.for":
+			cfg.NICFLRFor, err = parseDur(val)
+		case "node.crash.every":
+			cfg.NodeCrashEvery, err = parseDur(val)
+		case "node.crash.for":
+			cfg.NodeCrashFor, err = parseDur(val)
+		case "drv.crash.every":
+			cfg.DrvCrashEvery, err = parseDur(val)
+		case "drv.crash.for":
+			cfg.DrvCrashFor, err = parseDur(val)
+		case "sw.reboot.every":
+			cfg.SwRebootEvery, err = parseDur(val)
+		case "sw.reboot.for":
+			cfg.SwRebootFor, err = parseDur(val)
+		case "part.every":
+			cfg.PartEvery, err = parseDur(val)
+		case "part.for":
+			cfg.PartFor, err = parseDur(val)
 		case "start":
 			cfg.Start, err = parseDur(val)
 		case "stop":
@@ -543,6 +747,18 @@ func (c Config) String() string {
 		}
 		parts = append(parts, "wire.dropn="+strings.Join(ns, ";"))
 	}
+	addDur("fld.reset.every", c.FLDResetEvery)
+	addDur("fld.reset.for", c.FLDResetFor)
+	addDur("nic.flr.every", c.NICFLREvery)
+	addDur("nic.flr.for", c.NICFLRFor)
+	addDur("node.crash.every", c.NodeCrashEvery)
+	addDur("node.crash.for", c.NodeCrashFor)
+	addDur("drv.crash.every", c.DrvCrashEvery)
+	addDur("drv.crash.for", c.DrvCrashFor)
+	addDur("sw.reboot.every", c.SwRebootEvery)
+	addDur("sw.reboot.for", c.SwRebootFor)
+	addDur("part.every", c.PartEvery)
+	addDur("part.for", c.PartFor)
 	addDur("start", c.Start)
 	addDur("stop", c.Stop)
 	return strings.Join(parts, ",")

@@ -190,3 +190,57 @@ func TestParseSpec(t *testing.T) {
 		}
 	}
 }
+
+// TestParseSpecFailureDomains table-tests the crash-class keys: each
+// class parses into its Config pair and round-trips through String, and
+// every malformed form — unknown class, malformed rate, empty value — is
+// rejected with a diagnostic naming the offending key.
+func TestParseSpecFailureDomains(t *testing.T) {
+	valid := []struct {
+		spec string
+		want Config
+	}{
+		{"fld.reset.every=50us,fld.reset.for=7us",
+			Config{FLDResetEvery: 50 * sim.Microsecond, FLDResetFor: 7 * sim.Microsecond}},
+		{"nic.flr.every=30us,nic.flr.for=5us",
+			Config{NICFLREvery: 30 * sim.Microsecond, NICFLRFor: 5 * sim.Microsecond}},
+		{"node.crash.every=60us,node.crash.for=8us",
+			Config{NodeCrashEvery: 60 * sim.Microsecond, NodeCrashFor: 8 * sim.Microsecond}},
+		{"drv.crash.every=40us,drv.crash.for=3us",
+			Config{DrvCrashEvery: 40 * sim.Microsecond, DrvCrashFor: 3 * sim.Microsecond}},
+		{"sw.reboot.every=55us,sw.reboot.for=6us",
+			Config{SwRebootEvery: 55 * sim.Microsecond, SwRebootFor: 6 * sim.Microsecond}},
+		{"part.every=45us,part.for=4us",
+			Config{PartEvery: 45 * sim.Microsecond, PartFor: 4 * sim.Microsecond}},
+	}
+	for _, tc := range valid {
+		got, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+		if rt, err := ParseSpec(got.String()); err != nil || !reflect.DeepEqual(got, rt) {
+			t.Errorf("%q does not round-trip: %+v vs %+v (%v)", tc.spec, got, rt, err)
+		}
+	}
+
+	invalid := []struct {
+		name, spec string
+	}{
+		{"unknown class", "afu.crash.every=50us"},
+		{"unknown subkey", "node.crash.often=50us"},
+		{"malformed rate", "nic.flr.every=fast"},
+		{"rate not a duration", "drv.crash.for=0.5"},
+		{"negative duration", "fld.reset.for=-3us"},
+		{"empty value", "sw.reboot.every="},
+		{"missing value", "part.every"},
+	}
+	for _, tc := range invalid {
+		if _, err := ParseSpec(tc.spec); err == nil {
+			t.Errorf("%s: ParseSpec(%q) accepted, want error", tc.name, tc.spec)
+		}
+	}
+}

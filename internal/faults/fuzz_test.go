@@ -30,6 +30,12 @@ func FuzzParseSpecRoundTrip(f *testing.F) {
 		"start=-5us",
 		"wire.dropn=", "wire.dropn=1;;2", "=", ",,,", "light,light",
 		"wire.loss=1e-300", "wire.loss=0.0000000001",
+		"crash",
+		"fld.reset.every=50us,fld.reset.for=7us",
+		"nic.flr.every=30us,nic.flr.for=5us",
+		"node.crash.every=60us,node.crash.for=8us,drv.crash.every=40us,drv.crash.for=3us",
+		"sw.reboot.every=55us,sw.reboot.for=6us,part.every=45us,part.for=4us",
+		"node.crash.every=-1us", "drv.crash.for=nan", "part.every=",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -11,6 +11,8 @@ type planTelemetry struct {
 	cDoorbellLosses, cWQEFetchFails, cCQEErrors       *telemetry.Counter
 	cAccelStalls                                      *telemetry.Counter
 	cWireLosses, cWireDups, cWireDelays, cWireDropped *telemetry.Counter
+	cFLDResets, cNICFLRs, cNodeCrashes                *telemetry.Counter
+	cDrvCrashes, cSwReboots, cPartitionDrops          *telemetry.Counter
 }
 
 // SetTelemetry mirrors injection tallies into sc as injected/<class>
@@ -32,6 +34,12 @@ func (p *Plan) SetTelemetry(sc *telemetry.Scope) {
 		cWireDups:       sc.Counter("injected/wire_dups"),
 		cWireDelays:     sc.Counter("injected/wire_delays"),
 		cWireDropped:    sc.Counter("injected/wire_dropped"),
+		cFLDResets:      sc.Counter("injected/fld_resets"),
+		cNICFLRs:        sc.Counter("injected/nic_flrs"),
+		cNodeCrashes:    sc.Counter("injected/node_crashes"),
+		cDrvCrashes:     sc.Counter("injected/drv_crashes"),
+		cSwReboots:      sc.Counter("injected/sw_reboots"),
+		cPartitionDrops: sc.Counter("injected/partition_drops"),
 	}
 }
 
@@ -110,4 +118,46 @@ func (t *planTelemetry) wireDropped() *telemetry.Counter {
 		return nil
 	}
 	return t.cWireDropped
+}
+
+func (t *planTelemetry) fldResets() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cFLDResets
+}
+
+func (t *planTelemetry) nicFLRs() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cNICFLRs
+}
+
+func (t *planTelemetry) nodeCrashes() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cNodeCrashes
+}
+
+func (t *planTelemetry) drvCrashes() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cDrvCrashes
+}
+
+func (t *planTelemetry) swReboots() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cSwReboots
+}
+
+func (t *planTelemetry) partitionDrops() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.cPartitionDrops
 }

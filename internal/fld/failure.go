@@ -1,0 +1,75 @@
+package fld
+
+// Failure domains: FLD/AFU hard reset (crash–restart of the FPGA
+// function). While down the FLD does not respond on PCIe: descriptor
+// and payload reads from the NIC elicit no completion (the requester's
+// timeout drives the SQ into Error organically), completion and
+// receive-data writes are posted into the void, and accelerator Sends
+// fail. Crash frees every in-flight transmit resource — on-die SRAM
+// loses its contents with the function — so recovery after Restart is
+// a replay of an empty window plus a receive-ring resync.
+
+// Down reports whether the FLD is currently crashed.
+func (f *FLD) Down() bool { return f.downN > 0 }
+
+// Crash takes the FLD down. Crashes nest like nic.Crash: the function
+// responds again only when every crash window has lifted.
+func (f *FLD) Crash() {
+	f.downN++
+	if f.downN > 1 {
+		return
+	}
+	f.Stats.Crashes++
+	if t := f.tlm; t != nil {
+		t.crashes.Inc()
+	}
+	// The transmit pools are on-die SRAM: every pending descriptor, its
+	// payload pages and its translation entries die with the function.
+	for qi, tq := range f.queues {
+		for _, p := range tq.pending {
+			f.txPool.release(p.pages)
+			for i := 0; i < p.npages; i++ {
+				vp := (p.vstart + i) % f.windowPages
+				f.dataXlt.Delete(uint64(qi)<<32 | uint64(vp))
+			}
+			f.descXlt.Delete(uint64(qi)<<32 | uint64(p.idx%uint32(f.cfg.TxRingEntries)))
+			f.descFree = append(f.descFree, p.slot)
+			f.Stats.CrashDrops++
+			if t := f.tlm; t != nil {
+				t.crashDrops.Inc()
+			}
+		}
+		tq.pending = nil
+		tq.released = tq.pi
+	}
+	// Abandon the receive buffer the NIC was mid-fill on; ResyncRx
+	// reposts lost capacity once the driver ladder reaches the FLD.
+	f.rxCurBuf = -1
+	f.rxCurStrides = 0
+	f.noteOccupancy()
+}
+
+// Restart lifts one crash window. Like the NIC, the function comes
+// back empty: the driver's supervision ladder resets the NIC queues
+// (ReplayWindow is now empty, so the replay is trivial) and calls
+// ResyncRx to restore receive capacity.
+func (f *FLD) Restart() {
+	if f.downN == 0 {
+		return
+	}
+	f.downN--
+}
+
+// ResyncRx realigns the receive producer index after a crash–restart.
+// posted is how many buffers the NIC currently holds (rq.Posted());
+// buffers the NIC consumed while the FLD was down were completed with
+// CQEs nobody saw, so the FLD reposts the difference to return the
+// ring to full capacity.
+func (f *FLD) ResyncRx(posted int) {
+	f.rxCurBuf = -1
+	f.rxCurStrides = 0
+	if missing := f.RxBufCount() - posted; missing > 0 {
+		f.rxPI += uint32(missing)
+	}
+	f.writeRQDoorbell()
+}

@@ -54,11 +54,21 @@ type Stats struct {
 	// Recoveries counts driver-initiated recoveries the FLD completed
 	// (queue replays and receive re-arms).
 	Recoveries int64
+	// Crashes counts crash windows that actually took the function down;
+	// CrashDrops counts in-flight descriptors and packets that died with
+	// it; CrashLostCQEs counts completions the NIC posted into the void.
+	Crashes       int64
+	CrashDrops    int64
+	CrashLostCQEs int64
 }
 
 // ErrNoCredits is returned by Send when the queue lacks descriptor or
 // buffer credits; the accelerator should retry after OnCredits fires.
 var ErrNoCredits = fmt.Errorf("fld: insufficient tx credits")
+
+// ErrDown is returned by Send while the FLD is crashed (see Crash in
+// failure.go).
+var ErrDown = fmt.Errorf("fld: device down")
 
 // FLD is the FlexDriver hardware module instance.
 type FLD struct {
@@ -105,6 +115,10 @@ type FLD struct {
 	onError   func(queue int, syndrome uint8)
 
 	Stats Stats
+
+	// downN counts active crash windows (see Crash/Restart in
+	// failure.go); the function responds only at zero.
+	downN int
 
 	pcieName string // device name override for multi-core FPGAs
 
@@ -280,6 +294,9 @@ func (f *FLD) Credits(q int) (descSlots, bufBytes int) {
 // message for the bound QP) on queue q. The data is copied into FLD's
 // buffer pool; ErrNoCredits is returned when resources are exhausted.
 func (f *FLD) Send(q int, data []byte, md Metadata) error {
+	if f.downN > 0 {
+		return ErrDown
+	}
 	if q < 0 || q >= len(f.queues) {
 		return fmt.Errorf("fld: no such queue %d", q)
 	}
@@ -432,8 +449,13 @@ func (f *FLD) SetPCIeName(name string) { f.pcieName = name }
 func (f *FLD) BARSize() uint64 { return f.barSize }
 
 // MMIORead implements pcie.Device: the NIC reading descriptors or packet
-// data out of FLD's virtual windows.
+// data out of FLD's virtual windows. A crashed function does not
+// respond: nil elicits no completion, so the NIC's fetch times out and
+// the queue enters Error organically.
 func (f *FLD) MMIORead(offset uint64, size int) []byte {
+	if f.downN > 0 {
+		return nil
+	}
 	switch {
 	case offset >= f.txDescBase && offset < f.txDescBase+f.txDescSize:
 		return f.readDescRegion(offset-f.txDescBase, size)
@@ -496,8 +518,19 @@ func (f *FLD) readDataRegion(off uint64, size int) []byte {
 }
 
 // MMIOWrite implements pcie.Device: the NIC writing received packets and
-// completions.
+// completions. Writes to a crashed function are posted into the void;
+// lost completions are counted so invariant checkers can budget the
+// CQEs nobody consumed.
 func (f *FLD) MMIOWrite(offset uint64, data []byte) {
+	if f.downN > 0 {
+		if offset >= f.txCQBase {
+			f.Stats.CrashLostCQEs++
+			if t := f.tlm; t != nil {
+				t.crashLostCQEs.Inc()
+			}
+		}
+		return
+	}
 	switch {
 	case offset >= f.rxBufBase && offset < f.rxBufBase+uint64(f.cfg.RxBufBytes):
 		copy(f.rxMem[offset-f.rxBufBase:], data)
@@ -686,6 +719,15 @@ func (f *FLD) handleRxCQE(c nic.CQE) {
 	}
 	f.rxPipe.Acquire(f.cfg.PacketInterval(), func() {
 		f.eng.After(f.cfg.PipelineDelay, func() {
+			if f.downN > 0 {
+				// The function crashed while the packet was in the
+				// streaming pipeline: it dies with the SRAM.
+				f.Stats.CrashDrops++
+				if t := f.tlm; t != nil {
+					t.crashDrops.Inc()
+				}
+				return
+			}
 			if f.handler != nil {
 				f.handler.Receive(data, md)
 			}

@@ -11,6 +11,9 @@ type fldTelemetry struct {
 	errors             *telemetry.Counter
 	accelStalls        *telemetry.Counter
 	recoveries         *telemetry.Counter
+	crashes            *telemetry.Counter
+	crashDrops         *telemetry.Counter
+	crashLostCQEs      *telemetry.Counter
 
 	sqDoorbells *telemetry.Counter // 4 B PI doorbells (WQEByMMIO off)
 	wqeMMIO     *telemetry.Counter // full WQEs pushed over MMIO
@@ -40,25 +43,28 @@ func (f *FLD) SetTelemetry(sc *telemetry.Scope) {
 		return
 	}
 	f.tlm = &fldTelemetry{
-		txPackets:    sc.Counter("tx/packets"),
-		txBytes:      sc.Counter("tx/bytes"),
-		rxPackets:    sc.Counter("rx/packets"),
-		rxBytes:      sc.Counter("rx/bytes"),
-		creditStalls: sc.Counter("credit_stalls"),
-		errors:       sc.Counter("errors"),
-		accelStalls:  sc.Counter("errors/accel_stalls"),
-		recoveries:   sc.Counter("errors/recoveries"),
-		sqDoorbells:  sc.Counter("doorbells/sq"),
-		wqeMMIO:      sc.Counter("doorbells/wqe_mmio"),
-		rqDoorbells:  sc.Counter("doorbells/rq"),
-		descHits:     sc.Counter("xlt/desc_hits"),
-		descMisses:   sc.Counter("xlt/desc_misses"),
-		dataHits:     sc.Counter("xlt/data_hits"),
-		dataMisses:   sc.Counter("xlt/data_misses"),
-		txCQEs:       sc.Counter("cqe/tx"),
-		rxCQEs:       sc.Counter("cqe/rx"),
-		poolPages:    sc.Gauge("pool/pages_in_use"),
-		descSlots:    sc.Gauge("pool/desc_in_use"),
+		txPackets:     sc.Counter("tx/packets"),
+		txBytes:       sc.Counter("tx/bytes"),
+		rxPackets:     sc.Counter("rx/packets"),
+		rxBytes:       sc.Counter("rx/bytes"),
+		creditStalls:  sc.Counter("credit_stalls"),
+		errors:        sc.Counter("errors"),
+		accelStalls:   sc.Counter("errors/accel_stalls"),
+		recoveries:    sc.Counter("errors/recoveries"),
+		crashes:       sc.Counter("errors/crashes"),
+		crashDrops:    sc.Counter("errors/crash_drops"),
+		crashLostCQEs: sc.Counter("errors/crash_lost_cqes"),
+		sqDoorbells:   sc.Counter("doorbells/sq"),
+		wqeMMIO:       sc.Counter("doorbells/wqe_mmio"),
+		rqDoorbells:   sc.Counter("doorbells/rq"),
+		descHits:      sc.Counter("xlt/desc_hits"),
+		descMisses:    sc.Counter("xlt/desc_misses"),
+		dataHits:      sc.Counter("xlt/data_hits"),
+		dataMisses:    sc.Counter("xlt/data_misses"),
+		txCQEs:        sc.Counter("cqe/tx"),
+		rxCQEs:        sc.Counter("cqe/rx"),
+		poolPages:     sc.Gauge("pool/pages_in_use"),
+		descSlots:     sc.Gauge("pool/desc_in_use"),
 	}
 	sc.Func("tx_pipe/util", f.txPipe.Utilization)
 	sc.Func("rx_pipe/util", f.rxPipe.Utilization)

@@ -40,8 +40,10 @@ type Runtime struct {
 	Recoveries int64
 
 	sqByQ        map[int]*nic.SQ // FLD tx queue index -> NIC SQ
+	sqOrder      []int           // creation-ordered keys of sqByQ (deterministic scans)
 	txRecovering map[int]bool
 	rxRecovering bool
+	lastCrashes  int64 // fld.Stats.Crashes at the last rx recovery
 }
 
 // recoverDelay models the host's interrupt-and-reset latency between a
@@ -129,6 +131,7 @@ func (r *Runtime) CreateWeightedEthTxQueue(q int, shaper *sim.TokenBucket, weigh
 	r.fld.ConfigureTxQueue(q, sq.ID)
 	r.sqs = append(r.sqs, sq)
 	r.sqByQ[q] = sq
+	r.sqOrder = append(r.sqOrder, q)
 	return sq
 }
 
@@ -147,6 +150,7 @@ func (r *Runtime) CreateQP(q int) *nic.QP {
 	r.fld.ConfigureTxQueue(q, sq.ID)
 	r.sqs = append(r.sqs, sq)
 	r.sqByQ[q] = sq
+	r.sqOrder = append(r.sqOrder, q)
 	r.qps = append(r.qps, qp)
 	return qp
 }
@@ -167,6 +171,11 @@ func (r *Runtime) recoverTx(q int) {
 		}
 		ci, pi := r.fld.ReplayWindow(q)
 		sq.ResetTo(ci, pi)
+		if sq.State() != nic.QueueReady {
+			// Reset is refused while the NIC itself is crashed; the
+			// watchdog retries after the device restarts.
+			return
+		}
 		r.Recoveries++
 	})
 }
@@ -183,7 +192,20 @@ func (r *Runtime) recoverRx() {
 			return
 		}
 		r.rq.Reset()
-		r.fld.ReArmRx()
+		if r.rq.State() != nic.QueueReady {
+			// Refused while the NIC is crashed; retried by the watchdog.
+			return
+		}
+		if c := r.fld.Stats.Crashes; c != r.lastCrashes {
+			// An FLD crash lost the on-die receive bookkeeping (current
+			// buffer, stride counts, un-recycled credits): resync the
+			// producer index to full capacity instead of the incremental
+			// re-arm, which assumes that state survived.
+			r.lastCrashes = c
+			r.fld.ResyncRx(r.rq.Posted())
+		} else {
+			r.fld.ReArmRx()
+		}
 		r.Recoveries++
 	})
 }
@@ -192,8 +214,10 @@ func (r *Runtime) recoverRx() {
 // the Error state — the watchdog path for the case where the error CQE
 // itself was lost to a fault and the SetOnError channel never fired.
 func (r *Runtime) Recover() {
-	for q, sq := range r.sqByQ {
-		if sq.State() == nic.QueueError {
+	// Creation order, not map order: recovery schedules events, and event
+	// insertion order must replay identically for parallel determinism.
+	for _, q := range r.sqOrder {
+		if r.sqByQ[q].State() == nic.QueueError {
 			r.recoverTx(q)
 		}
 	}

@@ -28,6 +28,10 @@ const (
 	// Send path.
 	DropSQError DropReason = "sq-error-state"
 
+	// Failure domains: traffic and MMIO hitting a crashed device, and
+	// work that died with it.
+	DropDeviceDown DropReason = "device-down"
+
 	// RDMA transport.
 	DropQPNotConnected DropReason = "qp-not-connected"
 	DropRDMATimeout    DropReason = "rdma-timeout-retransmit"
@@ -55,7 +59,7 @@ var AllDropReasons = []DropReason{
 	DropDoorbellUnknownSQ, DropDoorbellBadSize, DropDoorbellUnknownRQ,
 	DropDoorbellInjected,
 	DropRQBadDesc, DropRQOverflow, DropRQNoBuffers, DropRxTooBig, DropRQError,
-	DropSQError,
+	DropSQError, DropDeviceDown,
 	DropQPNotConnected, DropRDMATimeout, DropRDMAUnknownQPN,
 	DropRDMAOutOfOrder, DropRDMAStaleEpoch, DropQPError,
 	DropESwitchMiss, DropPolicer, DropDecapFailed, DropESPAuthFailed,

@@ -92,7 +92,13 @@ func (sq *SQ) enterError(syndrome uint8) {
 // incomplete descriptor is discarded (ci jumps to pi). This is the host
 // software model — the driver tracks its own in-flight work and reposts
 // what it wants retried.
+// A reset is a no-op while the device is crashed: the modify-queue
+// command cannot reach dead hardware, so the queue stays in Error and
+// the driver's watchdog retries after the device restarts.
 func (sq *SQ) Reset() {
+	if sq.n.downN > 0 {
+		return
+	}
 	sq.epoch++
 	sq.ci = sq.pi
 	sq.inflight = 0
@@ -105,7 +111,11 @@ func (sq *SQ) Reset() {
 // replay model used by FLD: the accelerator rewinds to the last
 // completion it saw and the NIC re-fetches descriptors from the ring,
 // which the FLD still serves from its descriptor pools.
+// Like Reset, a no-op while the device is crashed.
 func (sq *SQ) ResetTo(ci, pi uint32) {
+	if sq.n.downN > 0 {
+		return
+	}
 	sq.epoch++
 	sq.ci, sq.pi = ci, pi
 	sq.inflight = 0
@@ -140,7 +150,11 @@ func (rq *RQ) enterError(syndrome uint8) {
 // pipeline rewinds to the consumer index and re-fetches from the ring —
 // posted buffers between ci and pi are preserved, so no receive capacity
 // is lost across the reset.
+// Like SQ.Reset, a no-op while the device is crashed.
 func (rq *RQ) Reset() {
+	if rq.n.downN > 0 {
+		return
+	}
 	rq.epoch++
 	rq.fetchIdx = rq.ci
 	rq.inflight = 0

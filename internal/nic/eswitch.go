@@ -456,6 +456,10 @@ func (n *NIC) transmitWire(frame []byte, onSent func()) {
 
 // Ingress accepts a frame from the physical port (cable or switch).
 func (n *NIC) Ingress(frame []byte) {
+	if n.downN > 0 {
+		n.drop(DropDeviceDown)
+		return
+	}
 	n.rxEngine.Acquire(n.Prm.RxPerPkt, func() {
 		n.eng.After(n.Prm.PipelineDelay, func() {
 			// RoCE transport packets bypass the match-action pipeline:

@@ -71,6 +71,12 @@ type Counters struct {
 	// QueueRecoveries counts driver-initiated resets back to Ready.
 	QueueErrors     int64
 	QueueRecoveries int64
+
+	// DeviceCrashes counts device-level crash windows (Crash calls that
+	// actually took the device down); DeviceFLRs counts driver-initiated
+	// function-level resets.
+	DeviceCrashes int64
+	DeviceFLRs    int64
 }
 
 func (c *Counters) drop(reason DropReason) {
@@ -115,6 +121,10 @@ type NIC struct {
 	freeRx   *rxDone
 
 	nextQN uint32
+
+	// downN counts active crash windows (see Crash/Restart in
+	// failure.go); the device is operational only at zero.
+	downN int
 
 	Stats Counters
 
@@ -168,11 +178,23 @@ func (n *NIC) PCIeName() string { return n.Name }
 func (n *NIC) BARSize() uint64 { return barSize }
 
 // MMIORead implements pcie.Device. The NIC BAR is write-only in this model
-// (doorbells); reads return zeros like reserved registers.
-func (n *NIC) MMIORead(offset uint64, size int) []byte { return make([]byte, size) }
+// (doorbells); reads return zeros like reserved registers. A crashed
+// device does not respond at all: nil elicits no completion, so the
+// requester sees a completion timeout.
+func (n *NIC) MMIORead(offset uint64, size int) []byte {
+	if n.downN > 0 {
+		return nil
+	}
+	return make([]byte, size)
+}
 
-// MMIOWrite implements pcie.Device: doorbell decoding.
+// MMIOWrite implements pcie.Device: doorbell decoding. Writes to a
+// crashed device are posted into the void and counted.
 func (n *NIC) MMIOWrite(offset uint64, data []byte) {
+	if n.downN > 0 {
+		n.drop(DropDeviceDown)
+		return
+	}
 	switch {
 	case offset >= sqDoorbellBase && offset < rqDoorbellBase:
 		id := uint32((offset - sqDoorbellBase) / sqDoorbellStep)

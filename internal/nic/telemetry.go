@@ -18,6 +18,9 @@ type nicTelemetry struct {
 
 	errQueue     *telemetry.Counter // queue transitions into Error
 	errRecovered *telemetry.Counter // driver-initiated resets to Ready
+
+	devCrashes *telemetry.Counter // device-level crash windows
+	devFLRs    *telemetry.Counter // function-level resets
 }
 
 // SetTelemetry attaches a telemetry scope to the NIC: NIC-level
@@ -38,6 +41,9 @@ func (n *NIC) SetTelemetry(sc *telemetry.Scope) {
 
 		errQueue:     sc.Counter("errors/queue"),
 		errRecovered: sc.Counter("errors/recovered"),
+
+		devCrashes: sc.Counter("device/crashes"),
+		devFLRs:    sc.Counter("device/flrs"),
 	}
 	sc.Func("tx_engine/util", n.txEngine.Utilization)
 	sc.Func("rx_engine/util", n.rxEngine.Utilization)

@@ -50,6 +50,9 @@ type Result struct {
 	RDMASent, RDMADelivered int64
 	Injected                faults.Counts
 	TailDrops               int64
+	// SupEpisodes counts closed supervision-ladder recovery episodes
+	// across every host driver (from the telemetry tree).
+	SupEpisodes int64
 }
 
 // Violated reports whether the result carries the named violation.
@@ -278,6 +281,24 @@ func Run(s Spec) *Result {
 		clients = append(clients, c)
 	}
 
+	// Every host driver gets a supervision ladder, kicked from the same
+	// watchdog cadence an OS driver's health check would run at. The
+	// ladder is what turns a device/node crash (rings errored, process
+	// restarted, device FLRed) back into Ready queues; its seed stream is
+	// independent of the workload's so backoff jitter never perturbs
+	// traffic draws. RDMA hosts get one too, but with no reconnect hook —
+	// QP reconnection takes both shards, so it stays in the Control
+	// barrier below.
+	var sups []*swdriver.Supervisor
+	superviseHost := func(h *flexdriver.Host, ord int64) {
+		sup := flexdriver.NewSupervisor(h.Drv, s.Seed*8191+ord)
+		sup.SetTelemetry(reg.Scope(h.Name()).Scope("supervisor"))
+		sups = append(sups, sup)
+	}
+	for ci, c := range clients {
+		superviseHost(c.host, int64(ci))
+	}
+
 	// RDMA sidecar: a host pair on the same switch running a reliable
 	// message stream, so the go-back-N transport shares the fabric (and
 	// its faults) with the echo traffic. The receive callback runs on
@@ -305,6 +326,8 @@ func Run(s Spec) *Result {
 			}
 			rdmaSeqs = append(rdmaSeqs, seq)
 		}
+		superviseHost(ra, 100)
+		superviseHost(rb, 101)
 	}
 
 	// The FDB is programmed statically (every MAC pinned to its port) so
@@ -374,6 +397,9 @@ func Run(s Spec) *Result {
 	// and advanced to the tick before it touches their queues.
 	deadline := stop + drain
 	recoverAll := func() {
+		for _, sup := range sups {
+			sup.Kick()
+		}
 		for _, c := range clients {
 			c.port.Poll()
 		}
@@ -436,7 +462,7 @@ func Run(s Spec) *Result {
 
 	checkInvariants(res, &runState{
 		spec: s, cl: cl, reg: reg, plan: plan, rts: rts,
-		clients: clients, epA: epA, epB: epB,
+		clients: clients, sups: sups, epA: epA, epB: epB,
 		rdmaBad: rdmaBad, rdmaGhosts: rdmaGhosts,
 		echoSendFails: echoSendFails,
 	})

@@ -61,6 +61,12 @@ func candidates(s Spec) []Spec {
 				func(c *faults.Config) { c.DoorbellLoss, c.WQEFetchFail, c.CQEErr = 0, 0, 0 },
 				func(c *faults.Config) { c.AccelStall = 0 },
 				func(c *faults.Config) { c.FlapEvery, c.FlapFor = 0, 0 },
+				func(c *faults.Config) { c.FLDResetEvery, c.FLDResetFor = 0, 0 },
+				func(c *faults.Config) { c.NICFLREvery, c.NICFLRFor = 0, 0 },
+				func(c *faults.Config) { c.NodeCrashEvery, c.NodeCrashFor = 0, 0 },
+				func(c *faults.Config) { c.DrvCrashEvery, c.DrvCrashFor = 0, 0 },
+				func(c *faults.Config) { c.SwRebootEvery, c.SwRebootFor = 0, 0 },
+				func(c *faults.Config) { c.PartEvery, c.PartFor = 0, 0 },
 			}
 			for _, zero := range zeroed {
 				mod := cfg

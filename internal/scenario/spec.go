@@ -146,6 +146,32 @@ func genFaults(rng *sim.Rand) string {
 		cfg.FlapEvery = 40 * sim.Microsecond
 		cfg.FlapFor = sim.Duration(1+rng.Intn(2)) * sim.Microsecond
 	}
+
+	// Failure domains: device/node crash–restart schedules, rarer than
+	// the byte-level classes. Downtime stays well under the drain phase
+	// so the supervision ladder and the runtime watchdog can absorb every
+	// episode before the invariants are judged; windows shorter than the
+	// period simply yield no episode (harmless).
+	every := func() sim.Duration { return sim.Duration(30+10*rng.Intn(4)) * sim.Microsecond }
+	down := func() sim.Duration { return sim.Duration(2+rng.Intn(7)) * sim.Microsecond }
+	if rng.Intn(6) == 0 {
+		cfg.FLDResetEvery, cfg.FLDResetFor = every(), down()
+	}
+	if rng.Intn(6) == 0 {
+		cfg.NICFLREvery, cfg.NICFLRFor = every(), down()
+	}
+	if rng.Intn(8) == 0 {
+		cfg.NodeCrashEvery, cfg.NodeCrashFor = every(), down()
+	}
+	if rng.Intn(6) == 0 {
+		cfg.DrvCrashEvery, cfg.DrvCrashFor = every(), down()
+	}
+	if rng.Intn(8) == 0 {
+		cfg.SwRebootEvery, cfg.SwRebootFor = every(), down()
+	}
+	if rng.Intn(8) == 0 {
+		cfg.PartEvery, cfg.PartFor = every(), down()
+	}
 	return cfg.String()
 }
 

@@ -1,0 +1,111 @@
+package swdriver
+
+import "flexdriver/internal/nic"
+
+// Failure domains: host driver crash–restart. While down the driver
+// process is gone — application sends are dropped and counted, and
+// completions land in rings nobody polls (the NIC keeps DMA-ing; the
+// dead process just never observes them, so SQ slots stop freeing and
+// RX buffers stop recycling until the restart reattaches). Restart
+// models the process coming back and re-initializing its queues:
+// in-flight transmit work is flushed and counted lost, receive rings
+// are reset and topped back up to full capacity.
+
+// Down reports whether the driver process is currently crashed.
+func (d *Driver) Down() bool { return d.downN > 0 }
+
+// Crash kills the driver process. The software queues die with its
+// address space: queued-but-unposted frames are counted lost
+// immediately. Crashes nest like nic.Crash.
+func (d *Driver) Crash() {
+	d.downN++
+	if d.downN > 1 {
+		return
+	}
+	d.Crashes++
+	if t := d.tlm; t != nil {
+		t.crashes.Inc()
+	}
+	for _, p := range d.ports {
+		d.noteTxErrors(int64(len(p.txQueued)))
+		p.txQueued = nil
+		p.dbTimer.Stop()
+		p.sincedb = 0
+	}
+	for _, e := range d.endpoints {
+		d.noteTxErrors(int64(len(e.queued)))
+		e.queued = nil
+		e.cur = nil
+	}
+}
+
+// Restart brings the process back; when the last crash window lifts,
+// the driver reattaches every port and endpoint.
+func (d *Driver) Restart() {
+	if d.downN == 0 {
+		return
+	}
+	d.downN--
+	if d.downN > 0 {
+		return
+	}
+	for _, p := range d.ports {
+		p.reattach()
+	}
+	for _, e := range d.endpoints {
+		e.reattach()
+	}
+}
+
+// reattach is the restarted process re-initializing one port: flush the
+// TX ring (in-flight work is lost — the restart has no record of it),
+// reset an errored RQ, and top the receive ring back up to full
+// capacity (buffers consumed while nobody recycled them would otherwise
+// stay lost). Queue resets are no-ops while the NIC itself is down; the
+// supervision ladder retries until they stick.
+func (p *EthPort) reattach() {
+	p.flushTx()
+	if p.rq.State() == nic.QueueError {
+		p.rq.Reset()
+		p.drv.noteRecovery()
+	}
+	if missing := p.rqSize - p.rq.Posted(); missing > 0 {
+		p.rqPI += uint32(missing)
+	}
+	p.rqSinceDB = 0
+	p.ringRQDoorbell()
+}
+
+// reattach re-initializes one RDMA endpoint after a crash–restart: the
+// ring-level equivalent of Poll's recovery, applied unconditionally,
+// plus the receive-capacity top-up. QP-level reconnection (both ends)
+// stays with ReconnectEndpoints.
+func (e *RDMAEndpoint) reattach() {
+	e.cur = nil
+	e.drv.noteTxErrors(int64(e.pi - e.ci))
+	e.ci = e.pi
+	e.QP.SQ.ResetTo(e.pi, e.pi)
+	e.drv.noteRecovery()
+	if e.QP.RQ.State() == nic.QueueError {
+		e.QP.RQ.Reset()
+		e.drv.noteRecovery()
+	}
+	if missing := e.rqEntries - e.QP.RQ.Posted(); missing > 0 {
+		e.rqPI += uint32(missing)
+	}
+	e.ringRQDoorbell()
+}
+
+func (d *Driver) noteDownTxDrop() {
+	d.DownTxDrops++
+	if t := d.tlm; t != nil {
+		t.downTxDrops.Inc()
+	}
+}
+
+func (d *Driver) noteDownCQE() {
+	d.DownCQEs++
+	if t := d.tlm; t != nil {
+		t.downCQEs.Inc()
+	}
+}

@@ -1,0 +1,156 @@
+package swdriver
+
+import (
+	"testing"
+
+	"flexdriver/internal/nic"
+	"flexdriver/internal/sim"
+	"flexdriver/internal/telemetry"
+)
+
+// wireAtoB builds two hosts cabled back to back with an Ethernet port on
+// each, steering b's ingress into its port; returns the hosts, a's tx
+// port, and a counter of frames b received.
+func wireAtoB(eng *sim.Engine) (a, b *host, tx *EthPort, got *int) {
+	a = newHost(eng, noJitter())
+	b = newHost(eng, noJitter())
+	nic.ConnectWire(a.nic, b.nic, 25*sim.Gbps, 500*sim.Nanosecond)
+	tx = a.drv.NewEthPort(EthPortConfig{TxEntries: 64, RxEntries: 64})
+	rx := b.drv.NewEthPort(EthPortConfig{TxEntries: 64, RxEntries: 64})
+	b.nic.ESwitch().AddRule(0, nic.Rule{Action: nic.Action{ToRQ: rx.RQ()}})
+	n := 0
+	rx.OnReceive = func([]byte, RxMeta) { n++ }
+	return a, b, tx, &n
+}
+
+// TestDriverCrashRestart: a driver crash drops application sends while
+// down and reattaches its queues on restart without outside help.
+func TestDriverCrashRestart(t *testing.T) {
+	eng := sim.NewEngine()
+	a, _, tx, got := wireAtoB(eng)
+	f := frame(256, 7)
+
+	for i := 0; i < 5; i++ {
+		tx.Send(f)
+	}
+	eng.At(10*sim.Microsecond, a.drv.Crash)
+	eng.At(12*sim.Microsecond, func() { tx.Send(f) }) // lost: process is down
+	eng.At(14*sim.Microsecond, a.drv.Restart)
+	eng.At(20*sim.Microsecond, func() {
+		for i := 0; i < 5; i++ {
+			tx.Send(f)
+		}
+	})
+	eng.Run()
+
+	if *got != 10 {
+		t.Fatalf("received %d frames, want 10", *got)
+	}
+	if a.drv.Crashes != 1 || a.drv.DownTxDrops != 1 {
+		t.Fatalf("Crashes=%d DownTxDrops=%d, want 1 and 1", a.drv.Crashes, a.drv.DownTxDrops)
+	}
+	if a.drv.Down() {
+		t.Fatal("driver still down after Restart")
+	}
+}
+
+// TestSupervisorRecoversNICCrash: a NIC crash–restart leaves every ring
+// errored; one supervisor Kick climbs the ladder until traffic flows
+// again, and the episode lands in MTTR telemetry.
+func TestSupervisorRecoversNICCrash(t *testing.T) {
+	eng := sim.NewEngine()
+	a, _, tx, got := wireAtoB(eng)
+	f := frame(256, 7)
+
+	reg := telemetry.New()
+	reg.Bind(eng.Now)
+	sup := NewSupervisor(a.drv, 42)
+	sup.SetTelemetry(reg.Scope("drv/supervisor"))
+
+	for i := 0; i < 5; i++ {
+		tx.Send(f)
+	}
+	eng.At(10*sim.Microsecond, a.nic.Crash)
+	eng.At(14*sim.Microsecond, a.nic.Restart)
+	eng.At(16*sim.Microsecond, sup.Kick)
+	eng.At(40*sim.Microsecond, func() {
+		if !sup.Healthy() {
+			t.Error("driver not healthy 24us after the restart")
+		}
+		for i := 0; i < 5; i++ {
+			tx.Send(f)
+		}
+	})
+	eng.Run()
+
+	if *got != 10 {
+		t.Fatalf("received %d frames, want 10", *got)
+	}
+	if sup.Active() {
+		t.Fatal("episode still open at quiescence")
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counters["drv/supervisor/episodes"]; n != 1 {
+		t.Fatalf("episodes = %d, want 1", n)
+	}
+	if snap.Counters["drv/supervisor/detects"] != 1 {
+		t.Fatal("detect not counted")
+	}
+	h := snap.Hists["drv/supervisor/mttr"]
+	if h.Count != 1 {
+		t.Fatalf("mttr observations = %d, want 1", h.Count)
+	}
+	if hi := snap.Gauges["drv/supervisor/mttr_max"].High; hi <= 0 {
+		t.Fatalf("mttr_max high-water = %d, want > 0", hi)
+	}
+}
+
+// TestSupervisorIdleWhenHealthy: kicking a healthy driver opens no
+// episode and schedules no events (the engine must quiesce untouched).
+func TestSupervisorIdleWhenHealthy(t *testing.T) {
+	eng := sim.NewEngine()
+	a, _, _, _ := wireAtoB(eng)
+	eng.Run() // drain setup doorbells
+	sup := NewSupervisor(a.drv, 1)
+	sup.Kick()
+	if sup.Active() {
+		t.Fatal("episode opened on a healthy driver")
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("supervisor left %d events pending", eng.Pending())
+	}
+}
+
+// TestSupervisorCrashDuringEpisode: if the NIC stays down past several
+// attempts the ladder keeps escalating (resets refuse to stick while the
+// device is away) and still converges once the device returns.
+func TestSupervisorCrashDuringEpisode(t *testing.T) {
+	eng := sim.NewEngine()
+	a, _, tx, got := wireAtoB(eng)
+	f := frame(256, 7)
+
+	sup := NewSupervisor(a.drv, 7)
+	for i := 0; i < 3; i++ {
+		tx.Send(f)
+	}
+	eng.At(10*sim.Microsecond, a.nic.Crash)
+	// Kick arrives while the device is still down: every rung's reset is
+	// refused until the restart 25us later.
+	eng.At(11*sim.Microsecond, sup.Kick)
+	eng.At(36*sim.Microsecond, a.nic.Restart)
+	eng.At(60*sim.Microsecond, func() {
+		if !sup.Healthy() {
+			t.Error("not healthy after device returned")
+		}
+		for i := 0; i < 3; i++ {
+			tx.Send(f)
+		}
+	})
+	eng.Run()
+	if *got != 6 {
+		t.Fatalf("received %d frames, want 6", *got)
+	}
+	if sup.Active() {
+		t.Fatal("episode still open")
+	}
+}

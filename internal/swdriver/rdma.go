@@ -11,13 +11,14 @@ type RDMAEndpoint struct {
 	drv *Driver
 	QP  *nic.QP
 
-	sqRing  uint64
-	txBufs  uint64
-	txBufSz int
-	sqSize  int
-	pi, ci  uint32
-	rqPI    uint32
-	queued  [][]byte
+	sqRing    uint64
+	txBufs    uint64
+	txBufSz   int
+	sqSize    int
+	rqEntries int
+	pi, ci    uint32
+	rqPI      uint32
+	queued    [][]byte
 
 	// reassembly per local QP (SRQ delivers per-packet CQEs).
 	cur     []byte
@@ -43,7 +44,8 @@ func (d *Driver) NewRDMAEndpoint(cfg RDMAConfig) *RDMAEndpoint {
 	if cfg.MaxMsgBytes == 0 {
 		cfg.MaxMsgBytes = 16 << 10
 	}
-	e := &RDMAEndpoint{drv: d, sqSize: cfg.SendEntries, txBufSz: cfg.MaxMsgBytes}
+	e := &RDMAEndpoint{drv: d, sqSize: cfg.SendEntries, rqEntries: cfg.RecvEntries,
+		txBufSz: cfg.MaxMsgBytes}
 
 	scqRing := d.mem.Alloc(uint64(cfg.SendEntries)*nic.CQESize, 64)
 	scq := d.nic.CreateCQ(nic.CQConfig{Ring: d.fab.AddrOf(d.mem, scqRing), Size: cfg.SendEntries,
@@ -72,6 +74,7 @@ func (d *Driver) NewRDMAEndpoint(cfg RDMAConfig) *RDMAEndpoint {
 	e.armRecycle(rq, cfg.RecvEntries, bufBytes)
 
 	e.QP = d.nic.CreateQP(nic.QPConfig{SQ: sq, RQ: rq, MTU: cfg.MTU})
+	d.endpoints = append(d.endpoints, e)
 	return e
 }
 
@@ -119,10 +122,10 @@ func (e *RDMAEndpoint) ringRQDoorbell() {
 func (e *RDMAEndpoint) Poll() bool {
 	recovered := false
 	if e.QP.SQ.State() == nic.QueueError {
-		e.drv.TxErrors += int64(e.pi - e.ci)
+		e.drv.noteTxErrors(int64(e.pi - e.ci))
 		e.ci = e.pi
 		e.QP.SQ.ResetTo(e.pi, e.pi)
-		e.drv.Recoveries++
+		e.drv.noteRecovery()
 		for len(e.queued) > 0 && int(e.pi-e.ci) < e.sqSize {
 			d := e.queued[0]
 			e.queued = e.queued[1:]
@@ -133,7 +136,7 @@ func (e *RDMAEndpoint) Poll() bool {
 	if e.QP.RQ.State() == nic.QueueError {
 		e.cur = nil
 		e.QP.RQ.Reset()
-		e.drv.Recoveries++
+		e.drv.noteRecovery()
 		e.ringRQDoorbell()
 		recovered = true
 	}
@@ -142,6 +145,10 @@ func (e *RDMAEndpoint) Poll() bool {
 
 // Send transmits one message over the QP, charging CPU cost.
 func (e *RDMAEndpoint) Send(data []byte) {
+	if e.drv.downN > 0 {
+		e.drv.noteDownTxDrop()
+		return
+	}
 	e.drv.cpuWork(e.drv.Prm.TxCost, func() {
 		if int(e.pi-e.ci) >= e.sqSize {
 			e.queued = append(e.queued, data)
@@ -179,10 +186,10 @@ func ReconnectEndpoints(a, b *RDMAEndpoint) {
 	for _, e := range []*RDMAEndpoint{a, b} {
 		e.cur = nil
 		if e.pi != e.ci {
-			e.drv.TxErrors += int64(e.pi - e.ci)
+			e.drv.noteTxErrors(int64(e.pi - e.ci))
 			e.ci = e.pi
 			e.QP.SQ.ResetTo(e.pi, e.pi)
-			e.drv.Recoveries++
+			e.drv.noteRecovery()
 			for len(e.queued) > 0 && int(e.pi-e.ci) < e.sqSize {
 				d := e.queued[0]
 				e.queued = e.queued[1:]
@@ -193,6 +200,10 @@ func ReconnectEndpoints(a, b *RDMAEndpoint) {
 }
 
 func (e *RDMAEndpoint) sendComplete(c nic.CQE) {
+	if e.drv.downN > 0 {
+		e.drv.noteDownCQE()
+		return
+	}
 	if e.ci == e.pi {
 		// Stale completion for a slot already flushed by a reconnect;
 		// its loss was accounted there.
@@ -202,8 +213,8 @@ func (e *RDMAEndpoint) sendComplete(c nic.CQE) {
 		// SynRetryExceeded flushes the QP with one error CQE per
 		// unacknowledged message; each consumed its SQ slot. Recovery
 		// (ReconnectQPs) needs both ends and is left to the application.
-		e.drv.CQEErrors++
-		e.drv.TxErrors++
+		e.drv.noteCQEError()
+		e.drv.noteTxErrors(1)
 		e.ci++
 		return
 	}
@@ -219,8 +230,12 @@ func (e *RDMAEndpoint) sendComplete(c nic.CQE) {
 }
 
 func (e *RDMAEndpoint) recvComplete(c nic.CQE) {
+	if e.drv.downN > 0 {
+		e.drv.noteDownCQE()
+		return
+	}
 	if c.Opcode == nic.CQEError {
-		e.drv.CQEErrors++
+		e.drv.noteCQEError()
 		e.cur = nil
 		return
 	}
@@ -241,7 +256,7 @@ func (e *RDMAEndpoint) recvComplete(c nic.CQE) {
 			// application spliced garbage, so the driver discards the
 			// message and counts the loss.
 			if len(msg) != int(c.FlowTag) {
-				e.drv.RxErrors++
+				e.drv.noteRxError()
 				return
 			}
 			e.drv.RxPackets++

@@ -1,0 +1,245 @@
+package swdriver
+
+import (
+	"flexdriver/internal/nic"
+	"flexdriver/internal/sim"
+	"flexdriver/internal/telemetry"
+)
+
+// Supervisor is the driver's recovery escalation ladder. The old model
+// — experiments sprinkling Poll() watchdogs — treated every failure as
+// a queue-level blip; device- and node-level crashes need heavier
+// hammers, and production drivers escalate through them in order:
+//
+//	rung 0  poll          notice Error-state queues, apply queue resets
+//	rung 1  queue reset   force-flush/reset every ring (Error or not)
+//	rung 2  QP reconnect  re-establish RC connections (optional hook)
+//	rung 3  device FLR    function-level reset of the NIC, re-ring
+//	rung 4  full reattach tear down to a fresh attach and replay
+//
+// Each rung gets a bounded retry budget; exhausted budgets escalate.
+// Retry pacing is seeded exponential backoff with jitter from the
+// supervisor's own deterministic stream, so recovery schedules replay
+// byte-identically under the parallel scheduler (everything runs on the
+// driver's shard). The supervisor is event-armed, not timer-driven: it
+// schedules work only while an episode is open, so an idle healthy
+// driver contributes nothing to the engine and simulations quiesce.
+//
+// Drive it from a watchdog edge (a cluster Control sweep, an
+// experiment's poll loop) by calling Kick; every recovery episode is
+// measured detection-to-healthy into MTTR telemetry.
+type Supervisor struct {
+	drv *Driver
+	eng *sim.Engine
+	rng *sim.Rand
+
+	// reconnect, when set, is rung 2: re-establish RC connections.
+	// Reconnection takes both ends, which may live on another shard —
+	// cross-shard deployments leave this nil and run reconnection from
+	// a Control barrier instead; the ladder then skips to rung 3.
+	reconnect func()
+
+	active     bool
+	detectedAt sim.Time
+	rung       int
+	tries      int
+	attempts   int
+
+	// Telemetry (nil-safe).
+	tDetects    *telemetry.Counter
+	tEpisodes   *telemetry.Counter
+	tAbandoned  *telemetry.Counter
+	tRungs      [numRungs]*telemetry.Counter
+	hMTTR       *telemetry.Histogram
+	hTimeToRung *telemetry.Histogram
+	gMTTRMax    *telemetry.Gauge
+}
+
+// Ladder rungs, least to most disruptive.
+const (
+	RungPoll = iota
+	RungQueueReset
+	RungReconnect
+	RungFLR
+	RungReattach
+	numRungs
+)
+
+var rungNames = [numRungs]string{"poll", "queue_reset", "reconnect", "flr", "reattach"}
+
+const (
+	// rungBudget attempts per rung before escalating.
+	rungBudget = 2
+	// Exponential backoff between attempts, jittered ±25%.
+	backoffBase = 500 * sim.Nanosecond
+	backoffMax  = 4 * sim.Microsecond
+	// maxAttempts bounds an episode that can never heal (e.g. a QP
+	// needing a reconnect no hook provides): the supervisor gives up
+	// rather than keep the engine from quiescing forever.
+	maxAttempts = 256
+)
+
+// NewSupervisor builds the ladder for a driver. The seed feeds the
+// backoff-jitter stream only — it is independent of the driver's CPU
+// jitter stream so supervision never perturbs workload timing draws.
+func NewSupervisor(d *Driver, seed int64) *Supervisor {
+	return &Supervisor{drv: d, eng: d.eng, rng: sim.NewRand(seed)}
+}
+
+// SetReconnect installs the rung-2 hook (see the field comment).
+func (s *Supervisor) SetReconnect(fn func()) { s.reconnect = fn }
+
+// SetTelemetry attaches MTTR and per-rung instrumentation, typically
+// under the driver's scope as "supervisor".
+func (s *Supervisor) SetTelemetry(sc *telemetry.Scope) {
+	if sc == nil {
+		return
+	}
+	s.tDetects = sc.Counter("detects")
+	s.tEpisodes = sc.Counter("episodes")
+	s.tAbandoned = sc.Counter("abandoned")
+	for r := 0; r < numRungs; r++ {
+		s.tRungs[r] = sc.Counter("rung/" + rungNames[r])
+	}
+	s.hMTTR = sc.Histogram("mttr")
+	s.hTimeToRung = sc.Histogram("time_to_rung")
+	s.gMTTRMax = sc.Gauge("mttr_max")
+}
+
+// Healthy reports whether every queue the driver owns is operational
+// and the process itself is running. QP connection state is included
+// only when a reconnect hook exists — without one, QP repair belongs
+// to whoever owns both ends.
+func (s *Supervisor) Healthy() bool {
+	d := s.drv
+	if d.downN > 0 || d.nic.Down() {
+		return false
+	}
+	for _, p := range d.ports {
+		if p.sq.State() != nic.QueueReady || p.rq.State() != nic.QueueReady {
+			return false
+		}
+	}
+	for _, e := range d.endpoints {
+		if e.QP.SQ.State() != nic.QueueReady || e.QP.RQ.State() != nic.QueueReady {
+			return false
+		}
+		if s.reconnect != nil && e.QP.State() != nic.QueueReady {
+			return false
+		}
+	}
+	return true
+}
+
+// Active reports whether a recovery episode is open.
+func (s *Supervisor) Active() bool { return s.active }
+
+// Kick is the watchdog edge: if the driver is unhealthy and no episode
+// is open, open one (recording the detection time) and start climbing.
+// Cheap when healthy — call it from every watchdog sweep.
+func (s *Supervisor) Kick() {
+	if s.active || s.Healthy() {
+		return
+	}
+	s.active = true
+	s.detectedAt = s.eng.Now()
+	s.rung, s.tries, s.attempts = 0, 0, 0
+	s.tDetects.Inc()
+	s.tRungs[0].Inc()
+	s.eng.At(s.eng.Now(), s.attempt)
+}
+
+// attempt runs one rung action, then either closes the episode
+// (healthy), escalates, or re-arms after backoff.
+func (s *Supervisor) attempt() {
+	if !s.active {
+		return
+	}
+	if s.Healthy() {
+		s.finish(false)
+		return
+	}
+	s.attempts++
+	if s.attempts > maxAttempts {
+		s.finish(true)
+		return
+	}
+	s.apply(s.rung)
+	s.tries++
+	if s.tries >= rungBudget && s.rung < RungReattach {
+		s.rung++
+		s.tries = 0
+		s.tRungs[s.rung].Inc()
+		s.hTimeToRung.Observe(int64(s.eng.Now() - s.detectedAt))
+	}
+	s.eng.After(s.backoff(), s.attempt)
+}
+
+// apply executes one rung of the ladder.
+func (s *Supervisor) apply(rung int) {
+	d := s.drv
+	switch rung {
+	case RungPoll:
+		for _, p := range d.ports {
+			p.Poll()
+		}
+		for _, e := range d.endpoints {
+			e.Poll()
+		}
+	case RungQueueReset:
+		for _, p := range d.ports {
+			p.reattach()
+		}
+		for _, e := range d.endpoints {
+			e.reattach()
+		}
+	case RungReconnect:
+		if s.reconnect != nil {
+			s.reconnect()
+		}
+	case RungFLR:
+		d.nic.FLR()
+		for _, p := range d.ports {
+			p.ringRQDoorbell()
+		}
+		for _, e := range d.endpoints {
+			e.ringRQDoorbell()
+		}
+	case RungReattach:
+		for _, p := range d.ports {
+			p.reattach()
+		}
+		for _, e := range d.endpoints {
+			e.reattach()
+		}
+		if s.reconnect != nil {
+			s.reconnect()
+		}
+	}
+}
+
+// finish closes the episode, recording MTTR (detection to healthy).
+func (s *Supervisor) finish(gaveUp bool) {
+	s.active = false
+	if gaveUp {
+		s.tAbandoned.Inc()
+		return
+	}
+	mttr := int64(s.eng.Now() - s.detectedAt)
+	s.tEpisodes.Inc()
+	s.hMTTR.Observe(mttr)
+	s.gMTTRMax.Set(mttr)
+}
+
+// backoff is the jittered exponential retry delay: base·2^attempt
+// capped at backoffMax, ±25% from the supervisor's own stream.
+func (s *Supervisor) backoff() sim.Duration {
+	d := backoffBase
+	for i := 1; i < s.attempts && d < backoffMax; i++ {
+		d *= 2
+	}
+	if d > backoffMax {
+		d = backoffMax
+	}
+	return sim.Duration(float64(d) * (0.75 + 0.5*s.rng.Float64()))
+}

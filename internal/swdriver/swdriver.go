@@ -72,6 +72,15 @@ type Driver struct {
 	freeTxP *txPost
 	freeRxW *rxWork
 
+	// Every port and endpoint the driver built, in creation order — the
+	// crash–restart reattach and the supervision ladder walk these.
+	ports     []*EthPort
+	endpoints []*RDMAEndpoint
+
+	// downN counts active crash windows (see Crash/Restart in
+	// failure.go); the driver process is running only at zero.
+	downN int
+
 	// Stats.
 	RxPackets, TxPackets int64
 	// CQEErrors counts error completions observed; TxErrors counts
@@ -81,6 +90,10 @@ type Driver struct {
 	// fragment's payload DMA was lost); Recoveries counts
 	// driver-initiated queue resets.
 	CQEErrors, TxErrors, RxErrors, Recoveries int64
+	// Crashes counts crash windows that actually took the process down;
+	// DownTxDrops counts application sends while it was down; DownCQEs
+	// counts completions nobody was alive to observe.
+	Crashes, DownTxDrops, DownCQEs int64
 
 	tlm *drvTelemetry // nil unless SetTelemetry was called
 }
@@ -312,6 +325,7 @@ func (d *Driver) NewEthPort(cfg EthPortConfig) *EthPort {
 	}
 	p.rqPI = uint32(cfg.RxEntries)
 	p.ringRQDoorbell()
+	d.ports = append(d.ports, p)
 	return p
 }
 
@@ -338,6 +352,10 @@ func putU32(b []byte, v uint32) {
 // Send transmits one frame, charging CPU cost; frames beyond the ring
 // capacity queue in software.
 func (p *EthPort) Send(frame []byte) {
+	if p.drv.downN > 0 {
+		p.drv.noteDownTxDrop()
+		return
+	}
 	if len(frame) > p.txBufSz {
 		panic(fmt.Sprintf("swdriver: frame %d exceeds buffer %d", len(frame), p.txBufSz))
 	}
@@ -417,7 +435,7 @@ func (p *EthPort) Poll() bool {
 	}
 	if p.rq.State() == nic.QueueError {
 		p.rq.Reset()
-		p.drv.Recoveries++
+		p.drv.noteRecovery()
 		p.ringRQDoorbell()
 		recovered = true
 	}
@@ -430,11 +448,11 @@ func (p *EthPort) Poll() bool {
 // discarded slots — stale completions from those would wrap the ci
 // advance in txComplete.
 func (p *EthPort) flushTx() {
-	p.drv.TxErrors += int64(p.pi - p.ci)
+	p.drv.noteTxErrors(int64(p.pi - p.ci))
 	p.ci = p.pi
 	p.sincedb = 0
 	p.sq.ResetTo(p.pi, p.pi)
-	p.drv.Recoveries++
+	p.drv.noteRecovery()
 	for len(p.txQueued) > 0 && int(p.pi-p.ci) < p.sqSize {
 		f := p.txQueued[0]
 		p.txQueued = p.txQueued[1:]
@@ -443,8 +461,14 @@ func (p *EthPort) flushTx() {
 }
 
 func (p *EthPort) txComplete(c nic.CQE) {
+	if p.drv.downN > 0 {
+		// The driver process is dead: nobody polls this CQ. The work is
+		// accounted when the restarted driver reattaches.
+		p.drv.noteDownCQE()
+		return
+	}
 	if c.Opcode == nic.CQEError {
-		p.drv.CQEErrors++
+		p.drv.noteCQEError()
 		if c.Syndrome == nic.SynQueueErr {
 			// Queue-fatal: nothing between ci and pi completed.
 			p.flushTx()
@@ -452,7 +476,7 @@ func (p *EthPort) txComplete(c nic.CQE) {
 		}
 		// Per-WQE error: the slot was consumed; fall through and advance
 		// ci exactly like a successful completion.
-		p.drv.TxErrors++
+		p.drv.noteTxErrors(1)
 	}
 	// A signaled completion covers its unsignaled predecessors.
 	adv := uint32(uint16(c.Index)-uint16(p.ci)) & 0xffff
@@ -475,14 +499,18 @@ func (p *EthPort) txComplete(c nic.CQE) {
 }
 
 func (p *EthPort) rxComplete(c nic.CQE) {
+	if p.drv.downN > 0 {
+		p.drv.noteDownCQE()
+		return
+	}
 	if c.Opcode == nic.CQEError {
-		p.drv.CQEErrors++
+		p.drv.noteCQEError()
 		if c.Syndrome == nic.SynQueueErr {
 			// RQ.Reset preserves the posted descriptors between ci and
 			// pi, so re-ringing the current producer index fully re-arms
 			// the receive pipeline.
 			p.rq.Reset()
-			p.drv.Recoveries++
+			p.drv.noteRecovery()
 			p.ringRQDoorbell()
 			return
 		}

@@ -12,11 +12,25 @@ type drvTelemetry struct {
 	scope   *telemetry.Scope
 	cpuOps  *telemetry.Counter
 	jitters *telemetry.Counter
+
+	// Error/recovery mirrors of the raw Stats fields, so invariant
+	// checkers and fldreport read them from the telemetry tree instead
+	// of peeking at the struct.
+	cqeErrors  *telemetry.Counter
+	txErrors   *telemetry.Counter
+	rxErrors   *telemetry.Counter
+	recoveries *telemetry.Counter
+
+	// Failure domains (see failure.go).
+	crashes     *telemetry.Counter
+	downTxDrops *telemetry.Counter
+	downCQEs    *telemetry.Counter
 }
 
 // SetTelemetry attaches a telemetry scope to the driver: CPU
-// operation/jitter counters, a core-utilization func, and per-port
-// doorbell/batch instrumentation for ports created afterwards.
+// operation/jitter counters, error/recovery mirrors, a core-utilization
+// func, and per-port doorbell/batch instrumentation for ports created
+// afterwards.
 func (d *Driver) SetTelemetry(sc *telemetry.Scope) {
 	if sc == nil {
 		return
@@ -25,8 +39,51 @@ func (d *Driver) SetTelemetry(sc *telemetry.Scope) {
 		scope:   sc,
 		cpuOps:  sc.Counter("cpu/ops"),
 		jitters: sc.Counter("cpu/jitter_events"),
+
+		cqeErrors:  sc.Counter("errors/cqe"),
+		txErrors:   sc.Counter("errors/tx"),
+		rxErrors:   sc.Counter("errors/rx"),
+		recoveries: sc.Counter("errors/recoveries"),
+
+		crashes:     sc.Counter("crashes"),
+		downTxDrops: sc.Counter("down/tx_drops"),
+		downCQEs:    sc.Counter("down/cqes"),
 	}
 	sc.Func("cpu/util", d.cpu.Utilization)
+}
+
+// note* mirror every Stats increment into the registry; all are
+// nil-telemetry safe so uninstrumented drivers pay one branch.
+
+func (d *Driver) noteCQEError() {
+	d.CQEErrors++
+	if t := d.tlm; t != nil {
+		t.cqeErrors.Inc()
+	}
+}
+
+func (d *Driver) noteTxErrors(n int64) {
+	if n == 0 {
+		return
+	}
+	d.TxErrors += n
+	if t := d.tlm; t != nil {
+		t.txErrors.Add(n)
+	}
+}
+
+func (d *Driver) noteRxError() {
+	d.RxErrors++
+	if t := d.tlm; t != nil {
+		t.rxErrors.Inc()
+	}
+}
+
+func (d *Driver) noteRecovery() {
+	d.Recoveries++
+	if t := d.tlm; t != nil {
+		t.recoveries.Inc()
+	}
 }
 
 func (p *EthPort) instrument(sc *telemetry.Scope) {

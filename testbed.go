@@ -163,8 +163,11 @@ func wireTelemetry(reg *telemetry.Registry, eng *Engine, name string,
 }
 
 // wireFaults binds the fault plan (if any) to the engine clock and
-// attaches its hooks to the node's layers.
-func wireFaults(o Options, eng *Engine, fab *pcie.Fabric, n *nic.NIC, f *fld.FLD) {
+// attaches its hooks to the node's layers, including the crash–restart
+// failure domains (each Attach is a no-op for disabled classes, and
+// disabled classes consume no stream ordinals, so plans without crash
+// faults reproduce their pre-crash schedules exactly).
+func wireFaults(o Options, eng *Engine, fab *pcie.Fabric, n *nic.NIC, f *fld.FLD, drv *swdriver.Driver) {
 	p := o.Faults
 	if p == nil {
 		return
@@ -178,6 +181,33 @@ func wireFaults(o Options, eng *Engine, fab *pcie.Fabric, n *nic.NIC, f *fld.FLD
 	if f != nil {
 		p.AttachFLD(f)
 	}
+	p.AttachNICFLR(eng, nicFLRDomain{n})
+	if f != nil {
+		p.AttachFLDReset(eng, f)
+	}
+	if drv != nil {
+		p.AttachDriverCrash(eng, drv)
+	}
+	comps := []faults.Crashable{n}
+	if f != nil {
+		comps = append(comps, f)
+	}
+	if drv != nil {
+		comps = append(comps, drv)
+	}
+	p.AttachNodeCrash(eng, comps...)
+}
+
+// nicFLRDomain adapts a NIC to the FLR fault class: the function drops
+// off the bus for the downtime window (a crash), and completing the
+// reset leaves every ring cleanly re-initialized rather than errored —
+// that's what distinguishes an FLR from a power loss.
+type nicFLRDomain struct{ n *nic.NIC }
+
+func (x nicFLRDomain) Crash() { x.n.Crash() }
+func (x nicFLRDomain) Restart() {
+	x.n.Restart()
+	x.n.FLR()
 }
 
 // Node is the execution handle every testbed node embeds: the node's
@@ -267,7 +297,7 @@ func newHost(eng *Engine, name string, o Options) *Host {
 	n.AttachPCIe(fab, o.NICLink)
 	drv := swdriver.New(eng, fab, mem, n, o.Driver)
 	wireTelemetry(o.Telemetry, eng, name, fab, n, nil, drv)
-	wireFaults(o, eng, fab, n, nil)
+	wireFaults(o, eng, fab, n, nil, drv)
 	return &Host{Node: Node{eng: eng, name: name}, Fab: fab, Mem: mem, NIC: n, Drv: drv, tel: o.Telemetry}
 }
 
@@ -288,6 +318,31 @@ type Innova struct {
 	faults  *faults.Plan
 	link    LinkConfig // the node's configured PCIe link, reused by AddFLD
 	numFLDs int
+	flds    []*FLD // every core, for whole-node crash–restart
+}
+
+// Crash takes the whole Innova down — NIC, every FLD core, and the host
+// driver — as one failure domain: the targeted-crash primitive behind
+// the failover experiment (the fault plan's node.crash class drives the
+// same components on a schedule instead). Balanced by Restart.
+func (inn *Innova) Crash() {
+	inn.NIC.Crash()
+	for _, f := range inn.flds {
+		f.Crash()
+	}
+	inn.Drv.Crash()
+}
+
+// Restart brings a crashed Innova back. Queue state does not silently
+// heal: rings stay errored until driver-side recovery (the supervision
+// ladder, fldsw watchdogs) reattaches them, exactly as after a real
+// power cycle.
+func (inn *Innova) Restart() {
+	inn.NIC.Restart()
+	for _, f := range inn.flds {
+		f.Restart()
+	}
+	inn.Drv.Restart()
 }
 
 // NumFLDs returns how many FLD cores the node carries (1 plus AddFLD
@@ -315,9 +370,9 @@ func newInnova(eng *Engine, name string, o Options) *Innova {
 	rt := fldsw.NewRuntime(eng, fab, mem, n, f)
 	drv := swdriver.New(eng, fab, mem, n, o.Driver)
 	wireTelemetry(o.Telemetry, eng, name, fab, n, f, drv)
-	wireFaults(o, eng, fab, n, f)
+	wireFaults(o, eng, fab, n, f, drv)
 	return &Innova{Node: Node{eng: eng, name: name}, Fab: fab, Mem: mem, NIC: n, FLD: f, RT: rt, Drv: drv,
-		tel: o.Telemetry, faults: o.Faults, link: o.Link, numFLDs: 1}
+		tel: o.Telemetry, faults: o.Faults, link: o.Link, numFLDs: 1, flds: []*FLD{f}}
 }
 
 // AddFLD instantiates an additional FlexDriver core on the node's FPGA
@@ -336,8 +391,10 @@ func (inn *Innova) AddFLD(cfg FLDConfig) (*FLD, *Runtime) {
 		f.SetTelemetry(inn.tel.Scope(inn.name).Scope(fmt.Sprintf("fld%d", inn.numFLDs)))
 	}
 	inn.numFLDs++
+	inn.flds = append(inn.flds, f)
 	if inn.faults != nil {
 		inn.faults.AttachFLD(f)
+		inn.faults.AttachFLDReset(inn.eng, f)
 	}
 	return f, rt
 }
