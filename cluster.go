@@ -39,6 +39,11 @@ type Cluster struct {
 	swCfg ethswitch.Config
 	sw    *ethswitch.Switch
 	ports map[*NIC]*ethswitch.Port
+
+	// Tenancy control plane: per-node managers plus the cluster's
+	// current desired-state spec (see tenancy.go).
+	tms     []*TenantManager
+	tenancy TenancySpec
 }
 
 // NewCluster starts an empty topology; add nodes with AddHost/AddInnova.

@@ -44,7 +44,8 @@ func parseClients(spec string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (table1, table2, table3, table4, table5, table6, fig4, fig7a, fig7b, fig7c, fig8a, fig8b, mixed-trace, defrag, iot-linerate, iot-isolation, iot-security, ext-virtio, telemetry, chaos, failover, cluster, scenario)")
+	exp := flag.String("exp", "", "run a single experiment (see -list for the full set)")
+	list := flag.Bool("list", false, "list every experiment with the flags it honors, then exit")
 	quick := flag.Bool("quick", false, "shorter measurement windows")
 	seed := flag.Int64("seed", 1, "random seed for the chaos experiment's fault plan and the scenario sweep's first seed; a failing seed replays the identical run")
 	faults := flag.String("faults", "", `fault spec for the chaos experiment: a preset ("light", "heavy", "crash") or key=value pairs, e.g. "heavy" or "light,wire.loss=0.1" (default "heavy")`)
@@ -79,32 +80,34 @@ func main() {
 	}
 
 	runners := []struct {
-		id  string
-		run func() *exps.Result
+		id    string
+		about string // one-liner for -list: what it measures + extra flags it honors
+		run   func() *exps.Result
 	}{
-		{"table1", exps.Table1},
-		{"table2", exps.Table2},
-		{"table3", exps.Table3},
-		{"table4", exps.Table4},
-		{"table5", exps.Table5},
-		{"fig4", exps.Fig4},
-		{"fig7a", exps.Fig7a},
-		{"fig7b", func() *exps.Result { return exps.Fig7b(sizes, window) }},
-		{"fig7c", func() *exps.Result { return exps.Fig7c(fractions, loadSamples) }},
-		{"table6", func() *exps.Result { return exps.Table6(latSamples) }},
-		{"mixed-trace", func() *exps.Result { return exps.MixedTrace(window) }},
-		{"fig8a", func() *exps.Result { return exps.Fig8a([]int{64, 128, 256, 512, 1024, 2048, 4096}, window) }},
-		{"fig8b", func() *exps.Result { return exps.Fig8b([]float64{0.1, 0.3, 0.5, 0.7, 0.9}, loadSamples) }},
-		{"defrag", func() *exps.Result { return exps.Defrag(window) }},
-		{"iot-linerate", func() *exps.Result { return exps.IotLineRate(window) }},
-		{"iot-isolation", func() *exps.Result { return exps.IotIsolation(window) }},
-		{"iot-security", func() *exps.Result { return exps.IotInvalidTokensDropped(window) }},
-		{"ext-virtio", func() *exps.Result { return exps.Portability(window) }},
-		{"telemetry", runTelemetry},
-		{"chaos", func() *exps.Result { return exps.ChaosWorkers(*seed, *faults, window, *workers) }},
-		{"failover", func() *exps.Result { return exps.FailoverWorkers(window, *workers) }},
-		{"scenario", func() *exps.Result { return exps.Scenario(*seed, *count, *spec) }},
-		{"cluster", func() *exps.Result {
+		{"table1", "driver resource footprint vs the paper's Table 1", exps.Table1},
+		{"table2", "FLD FPGA area budget vs Table 2", exps.Table2},
+		{"table3", "per-queue-type doorbell/CQE costs vs Table 3", exps.Table3},
+		{"table4", "PCIe TLP round-trip accounting vs Table 4", exps.Table4},
+		{"table5", "ZUC accelerator throughput vs Table 5", exps.Table5},
+		{"fig4", "doorbell batching sweep vs Figure 4", exps.Fig4},
+		{"fig7a", "single-core packet-rate ceiling vs Figure 7a", exps.Fig7a},
+		{"fig7b", "throughput by frame size vs Figure 7b", func() *exps.Result { return exps.Fig7b(sizes, window) }},
+		{"fig7c", "latency under load vs Figure 7c", func() *exps.Result { return exps.Fig7c(fractions, loadSamples) }},
+		{"table6", "round-trip latency percentiles vs Table 6", func() *exps.Result { return exps.Table6(latSamples) }},
+		{"mixed-trace", "mixed ZUC/plain traffic trace replay", func() *exps.Result { return exps.MixedTrace(window) }},
+		{"fig8a", "IP-defrag throughput by fragment size vs Figure 8a", func() *exps.Result { return exps.Fig8a([]int{64, 128, 256, 512, 1024, 2048, 4096}, window) }},
+		{"fig8b", "IP-defrag throughput by fragmented fraction vs Figure 8b", func() *exps.Result { return exps.Fig8b([]float64{0.1, 0.3, 0.5, 0.7, 0.9}, loadSamples) }},
+		{"defrag", "IP defragmentation accelerator end-to-end", func() *exps.Result { return exps.Defrag(window) }},
+		{"iot-linerate", "IoT token authentication at line rate", func() *exps.Result { return exps.IotLineRate(window) }},
+		{"iot-isolation", "IoT accelerator isolation from host traffic", func() *exps.Result { return exps.IotIsolation(window) }},
+		{"iot-security", "invalid IoT tokens dropped in hardware", func() *exps.Result { return exps.IotInvalidTokensDropped(window) }},
+		{"ext-virtio", "portability: FLD behind a virtio-style NIC", func() *exps.Result { return exps.Portability(window) }},
+		{"telemetry", "telemetry/flight-recorder self-check; honors -trace", runTelemetry},
+		{"chaos", "deterministic fault storm; honors -seed -faults -workers", func() *exps.Result { return exps.ChaosWorkers(*seed, *faults, window, *workers) }},
+		{"failover", "crash-failover SLOs under supervision; honors -workers", func() *exps.Result { return exps.FailoverWorkers(window, *workers) }},
+		{"scenario", "generated-scenario sweep; honors -seed -count -spec", func() *exps.Result { return exps.Scenario(*seed, *count, *spec) }},
+		{"tenancy", "multi-tenant live reconcile under traffic; honors -seed", func() *exps.Result { return exps.Tenancy(*seed, window) }},
+		{"cluster", "N-client scaling behind a ToR switch; honors -clients -workers", func() *exps.Result {
 			p := exps.DefaultClusterParams(window)
 			ns, err := parseClients(*clients)
 			if err != nil {
@@ -115,6 +118,14 @@ func main() {
 			p.Workers = *workers
 			return exps.Cluster(p)
 		}},
+	}
+
+	if *list {
+		fmt.Println("experiments (run one with -exp <id>; all honor -quick):")
+		for _, rn := range runners {
+			fmt.Printf("  %-14s %s\n", rn.id, rn.about)
+		}
+		return
 	}
 
 	if *exp != "" {

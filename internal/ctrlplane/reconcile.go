@@ -1,0 +1,299 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"sort"
+
+	"flexdriver/internal/sim"
+	"flexdriver/internal/telemetry"
+)
+
+// TenantState is what a node observes one tenant to be running: the
+// actuated counterpart of a Tenant spec entry.
+type TenantState struct {
+	VFs, Cores    int
+	SQs, RQs, CQs int
+	Weight        int
+	RateGbps      float64
+}
+
+// Matches reports whether the observed state satisfies the desired one.
+func (o TenantState) Matches(t Tenant) bool {
+	return o.VFs == t.VFs && o.Cores == t.Cores &&
+		o.SQs == t.SQs && o.RQs == t.RQs && o.CQs == t.CQs &&
+		o.Weight == t.Weight && o.RateGbps == t.RateGbps
+}
+
+// Actuator is the node-side machinery the reconciler drives. All calls
+// run on the node's engine (the reconciler never crosses shards).
+//
+// Drain must be idempotent and report whether the tenant has quiesced:
+// the reconciler keeps calling it (with backoff) until it returns true,
+// then reconfigures, then undrains. A tenant unknown to the node drains
+// trivially (true).
+type Actuator interface {
+	// Observed reports the tenants the node is actually running.
+	Observed() map[string]TenantState
+	// Drain stops feeding the tenant new work and reports whether all
+	// of its in-flight work has quiesced.
+	Drain(name string) bool
+	// Reconfigure creates the tenant or reshapes it to the desired
+	// state. Called only while the tenant is drained (or new).
+	Reconfigure(name string, t Tenant) error
+	// Undrain resumes the tenant after a successful reconfigure.
+	Undrain(name string)
+	// Remove tears the tenant down. Called only while drained.
+	Remove(name string) error
+}
+
+const (
+	// reconcileBackoffBase/Max pace retry attempts, jittered ±25% from
+	// the reconciler's own seeded stream — same discipline as the
+	// swdriver supervision ladder, so convergence schedules replay
+	// byte-identically under the parallel scheduler.
+	reconcileBackoffBase = 1 * sim.Microsecond
+	reconcileBackoffMax  = 16 * sim.Microsecond
+	// reconcileMaxAttempts bounds an episode that can never converge
+	// (an actuator that always errors, a drain that never completes):
+	// the reconciler abandons rather than keep the engine from
+	// quiescing forever. Abandonment is a counted, alarmable event.
+	reconcileMaxAttempts = 256
+)
+
+// Reconciler converges one node onto a desired-state Spec. It is
+// event-armed like the swdriver Supervisor: Apply (or a watchdog Kick)
+// opens a convergence episode, attempts run on seeded jittered backoff,
+// and an idle converged reconciler schedules nothing.
+type Reconciler struct {
+	eng *sim.Engine
+	act Actuator
+	rng *sim.Rand
+
+	desired  Spec
+	haveSpec bool
+
+	active    bool
+	attempts  int
+	startedAt sim.Time
+
+	// draining tracks per-tenant drain episodes: present while the
+	// reconciler is draining the tenant, recording when it started so
+	// drain time lands in telemetry.
+	draining map[string]sim.Time
+
+	// Telemetry (nil-safe handles).
+	tApplies, tRejected   *telemetry.Counter
+	tEpisodes, tAbandoned *telemetry.Counter
+	tDrains, tReconfigs   *telemetry.Counter
+	tUndrains, tRemoves   *telemetry.Counter
+	tActErrors            *telemetry.Counter
+	hConverge, hDrain     *telemetry.Histogram
+	gDrainMax, gVersion   *telemetry.Gauge
+}
+
+// NewReconciler builds a reconciler for one node. The seed feeds the
+// backoff-jitter stream only.
+func NewReconciler(eng *sim.Engine, act Actuator, seed int64) *Reconciler {
+	return &Reconciler{eng: eng, act: act, rng: sim.NewRand(seed),
+		draining: make(map[string]sim.Time)}
+}
+
+// SetTelemetry attaches convergence instrumentation, typically under a
+// node scope as "ctrlplane".
+func (r *Reconciler) SetTelemetry(sc *telemetry.Scope) {
+	if sc == nil {
+		return
+	}
+	r.tApplies = sc.Counter("applies")
+	r.tRejected = sc.Counter("applies_rejected")
+	r.tEpisodes = sc.Counter("episodes")
+	r.tAbandoned = sc.Counter("abandoned")
+	r.tDrains = sc.Counter("drains")
+	r.tReconfigs = sc.Counter("reconfigures")
+	r.tUndrains = sc.Counter("undrains")
+	r.tRemoves = sc.Counter("removes")
+	r.tActErrors = sc.Counter("actuator_errors")
+	r.hConverge = sc.Histogram("converge")
+	r.hDrain = sc.Histogram("drain")
+	r.gDrainMax = sc.Gauge("drain_max")
+	r.gVersion = sc.Gauge("version")
+}
+
+// Version returns the version of the spec the reconciler is converging
+// toward (0 before the first Apply).
+func (r *Reconciler) Version() int {
+	if !r.haveSpec {
+		return 0
+	}
+	return r.desired.Version
+}
+
+// Apply accepts a new desired-state spec and opens a convergence
+// episode. The version must strictly exceed the current one; stale or
+// replayed specs are rejected and counted.
+func (r *Reconciler) Apply(spec Spec) error {
+	if err := spec.Validate(); err != nil {
+		r.tRejected.Inc()
+		return err
+	}
+	if r.haveSpec && spec.Version <= r.desired.Version {
+		r.tRejected.Inc()
+		return fmt.Errorf("ctrlplane: spec version %d does not advance current %d",
+			spec.Version, r.desired.Version)
+	}
+	r.desired = spec
+	r.haveSpec = true
+	r.tApplies.Inc()
+	r.gVersion.Set(int64(spec.Version))
+	r.Kick()
+	return nil
+}
+
+// Kick is the watchdog edge: open a convergence episode if the node has
+// diverged from the spec and none is running. Cheap when converged.
+func (r *Reconciler) Kick() {
+	if r.active || !r.haveSpec || r.Converged() {
+		return
+	}
+	r.active = true
+	r.attempts = 0
+	r.startedAt = r.eng.Now()
+	r.eng.At(r.eng.Now(), r.attempt)
+}
+
+// Active reports whether a convergence episode is open.
+func (r *Reconciler) Active() bool { return r.active }
+
+// Converged reports whether observed state matches the spec exactly:
+// every desired tenant present with the desired shape, no undesired
+// tenant running, nothing mid-drain.
+func (r *Reconciler) Converged() bool {
+	if !r.haveSpec {
+		return true
+	}
+	if len(r.draining) > 0 {
+		return false
+	}
+	obs := r.act.Observed()
+	for _, t := range r.desired.Tenants {
+		o, ok := obs[t.Name]
+		if !ok || !o.Matches(t) {
+			return false
+		}
+	}
+	for name := range obs {
+		if _, ok := r.desired.Tenant(name); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// attempt makes one convergence pass: walk the diff in sorted tenant
+// order, progress each divergent tenant one step, re-arm on backoff
+// until converged or out of attempts.
+func (r *Reconciler) attempt() {
+	if !r.active {
+		return
+	}
+	if r.Converged() {
+		r.finish(false)
+		return
+	}
+	r.attempts++
+	if r.attempts > reconcileMaxAttempts {
+		r.finish(true)
+		return
+	}
+
+	obs := r.act.Observed()
+
+	// Removals first (freeing cores a grow may need), in sorted order.
+	removed := make([]string, 0)
+	for name := range obs {
+		if _, ok := r.desired.Tenant(name); !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		if r.drainStep(name) {
+			r.tRemoves.Inc()
+			if err := r.act.Remove(name); err != nil {
+				r.tActErrors.Inc()
+			} else {
+				delete(r.draining, name)
+			}
+		}
+	}
+
+	for _, name := range r.desired.Names() {
+		t, _ := r.desired.Tenant(name)
+		o, running := obs[name]
+		switch {
+		case !running:
+			// New tenant: nothing live to drain.
+			r.tReconfigs.Inc()
+			if err := r.act.Reconfigure(name, t); err != nil {
+				r.tActErrors.Inc()
+			}
+		case !o.Matches(t):
+			// Live tenant changing shape: drain → reconfigure → undrain.
+			if r.drainStep(name) {
+				r.tReconfigs.Inc()
+				if err := r.act.Reconfigure(name, t); err != nil {
+					r.tActErrors.Inc()
+					continue
+				}
+				delete(r.draining, name)
+				r.tUndrains.Inc()
+				r.act.Undrain(name)
+			}
+		}
+	}
+
+	r.eng.After(r.backoff(), r.attempt)
+}
+
+// drainStep advances one tenant's drain: returns true once quiesced,
+// recording the drain duration the first time it completes.
+func (r *Reconciler) drainStep(name string) bool {
+	start, open := r.draining[name]
+	if !open {
+		start = r.eng.Now()
+		r.draining[name] = start
+		r.tDrains.Inc()
+	}
+	if !r.act.Drain(name) {
+		return false
+	}
+	d := int64(r.eng.Now() - start)
+	r.hDrain.Observe(d)
+	r.gDrainMax.Set(d)
+	return true
+}
+
+// finish closes the episode, recording convergence time.
+func (r *Reconciler) finish(gaveUp bool) {
+	r.active = false
+	if gaveUp {
+		r.tAbandoned.Inc()
+		// Leave drain episodes open: the next Apply/Kick resumes them.
+		return
+	}
+	r.tEpisodes.Inc()
+	r.hConverge.Observe(int64(r.eng.Now() - r.startedAt))
+}
+
+// backoff mirrors the supervisor's pacing: base·2^attempt capped, ±25%
+// jitter from the reconciler's own stream.
+func (r *Reconciler) backoff() sim.Duration {
+	d := reconcileBackoffBase
+	for i := 1; i < r.attempts && d < reconcileBackoffMax; i++ {
+		d *= 2
+	}
+	if d > reconcileBackoffMax {
+		d = reconcileBackoffMax
+	}
+	return sim.Duration(float64(d) * (0.75 + 0.5*r.rng.Float64()))
+}

@@ -1,0 +1,221 @@
+// Package ctrlplane is the declarative multi-tenant control plane: a
+// versioned desired-state spec (tenants, VF counts, queue quotas,
+// bandwidth shares) and a per-node reconcile loop that drives observed
+// state toward the spec via drain → reconfigure → undrain steps.
+//
+// The shape mirrors how real FEC-accelerator operators run fleets
+// (ROADMAP item 4): the operator publishes a config, a per-node
+// controller diffs it against what the node is actually running, and
+// convergence happens through bounded, retried, observable steps — never
+// by tearing down a live tenant without draining it first.
+package ctrlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Tenant is one tenant's slice of a node: how many virtual functions
+// and FLD cores it gets, the queue quota of each VF, and its bandwidth
+// share (ETS weight among tenants plus an optional aggregate shaper).
+type Tenant struct {
+	Name  string `json:"name"`
+	VFs   int    `json:"vfs"`
+	Cores int    `json:"cores"`
+	// Per-VF queue quota.
+	SQs int `json:"sqs"`
+	RQs int `json:"rqs"`
+	CQs int `json:"cqs"`
+	// Weight is the tenant's ETS share of the egress port; RateGbps,
+	// when nonzero, caps the tenant's aggregate egress rate.
+	Weight   int     `json:"weight"`
+	RateGbps float64 `json:"rate_gbps,omitempty"`
+}
+
+// Spec is the versioned desired state for one node. Versions must
+// strictly advance: a reconciler refuses a spec whose version does not
+// exceed the one it is already converging toward, so a stale publish
+// can never roll a node backward.
+type Spec struct {
+	Version int      `json:"version"`
+	Tenants []Tenant `json:"tenants"`
+}
+
+// Validate rejects specs that cannot be actuated.
+func (s Spec) Validate() error {
+	if s.Version <= 0 {
+		return fmt.Errorf("ctrlplane: spec version must be positive, got %d", s.Version)
+	}
+	seen := make(map[string]bool, len(s.Tenants))
+	for _, t := range s.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("ctrlplane: tenant with empty name")
+		}
+		if strings.ContainsAny(t.Name, " \t\n,=/") {
+			return fmt.Errorf("ctrlplane: tenant name %q contains reserved characters", t.Name)
+		}
+		// JSON is the wire form; a name JSON cannot carry losslessly
+		// would silently change identity crossing encodings.
+		if !utf8.ValidString(t.Name) {
+			return fmt.Errorf("ctrlplane: tenant name %q is not valid UTF-8", t.Name)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("ctrlplane: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.VFs < 1 {
+			return fmt.Errorf("ctrlplane: tenant %q needs at least one VF, got %d", t.Name, t.VFs)
+		}
+		if t.Cores < 0 || t.SQs < 0 || t.RQs < 0 || t.CQs < 0 || t.Weight < 0 {
+			return fmt.Errorf("ctrlplane: tenant %q has a negative allotment", t.Name)
+		}
+		if t.RateGbps < 0 {
+			return fmt.Errorf("ctrlplane: tenant %q has a negative rate", t.Name)
+		}
+	}
+	return nil
+}
+
+// Tenant returns the named tenant's desired state and whether it is in
+// the spec.
+func (s Spec) Tenant(name string) (Tenant, bool) {
+	for _, t := range s.Tenants {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Tenant{}, false
+}
+
+// Names returns the spec's tenant names, sorted — the reconciler's
+// deterministic walk order.
+func (s Spec) Names() []string {
+	out := make([]string, 0, len(s.Tenants))
+	for _, t := range s.Tenants {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarshalJSON-compatible round trips come from the struct tags; the
+// text form below is the CLI/fuzzer encoding, one token per tenant:
+//
+//	version=2 tenant=A,vfs=1,cores=2,sqs=4,rqs=1,cqs=2,weight=3,rate=10
+//
+// Fields at their zero value are still written, so String∘Parse is an
+// exact round trip.
+
+// String renders the spec in its one-line text form.
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "version=%d", s.Version)
+	for _, t := range s.Tenants {
+		fmt.Fprintf(&b, " tenant=%s,vfs=%d,cores=%d,sqs=%d,rqs=%d,cqs=%d,weight=%d",
+			t.Name, t.VFs, t.Cores, t.SQs, t.RQs, t.CQs, t.Weight)
+		if t.RateGbps != 0 {
+			fmt.Fprintf(&b, ",rate=%s", strconv.FormatFloat(t.RateGbps, 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the spec as JSON (the operator-facing wire form).
+func (s Spec) JSON() string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// ParseSpec parses either encoding: JSON (first byte '{') or the
+// one-line text form.
+func ParseSpec(in string) (Spec, error) {
+	in = strings.TrimSpace(in)
+	if strings.HasPrefix(in, "{") {
+		var s Spec
+		if err := json.Unmarshal([]byte(in), &s); err != nil {
+			return Spec{}, fmt.Errorf("ctrlplane: bad JSON spec: %w", err)
+		}
+		if err := s.Validate(); err != nil {
+			return Spec{}, err
+		}
+		return s, nil
+	}
+	var s Spec
+	sawVersion := false
+	for _, tok := range strings.Fields(in) {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("ctrlplane: bad token %q (want key=value)", tok)
+		}
+		switch key {
+		case "version":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("ctrlplane: bad version %q", val)
+			}
+			s.Version = v
+			sawVersion = true
+		case "tenant":
+			t, err := parseTenant(val)
+			if err != nil {
+				return Spec{}, err
+			}
+			s.Tenants = append(s.Tenants, t)
+		default:
+			return Spec{}, fmt.Errorf("ctrlplane: unknown key %q", key)
+		}
+	}
+	if !sawVersion {
+		return Spec{}, fmt.Errorf("ctrlplane: spec has no version")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// parseTenant decodes "NAME,vfs=1,cores=2,..." — the first comma field
+// is the name, the rest are attributes.
+func parseTenant(val string) (Tenant, error) {
+	fields := strings.Split(val, ",")
+	t := Tenant{Name: fields[0]}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Tenant{}, fmt.Errorf("ctrlplane: bad tenant attribute %q", f)
+		}
+		if k == "rate" {
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Tenant{}, fmt.Errorf("ctrlplane: bad tenant rate %q", v)
+			}
+			t.RateGbps = r
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Tenant{}, fmt.Errorf("ctrlplane: bad tenant attribute value %q=%q", k, v)
+		}
+		switch k {
+		case "vfs":
+			t.VFs = n
+		case "cores":
+			t.Cores = n
+		case "sqs":
+			t.SQs = n
+		case "rqs":
+			t.RQs = n
+		case "cqs":
+			t.CQs = n
+		case "weight":
+			t.Weight = n
+		default:
+			return Tenant{}, fmt.Errorf("ctrlplane: unknown tenant attribute %q", k)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,91 @@
+package ctrlplane
+
+import (
+	"strings"
+	"testing"
+)
+
+func specAB() Spec {
+	return Spec{Version: 3, Tenants: []Tenant{
+		{Name: "A", VFs: 1, Cores: 2, SQs: 4, RQs: 1, CQs: 2, Weight: 3, RateGbps: 10},
+		{Name: "B", VFs: 2, Cores: 1, SQs: 2, RQs: 1, CQs: 2, Weight: 1},
+	}}
+}
+
+func TestSpecTextRoundTrip(t *testing.T) {
+	s := specAB()
+	got, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", s.String(), err)
+	}
+	if got.String() != s.String() {
+		t.Fatalf("round trip diverged:\n in  %s\n out %s", s.String(), got.String())
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := specAB()
+	got, err := ParseSpec(s.JSON())
+	if err != nil {
+		t.Fatalf("ParseSpec(JSON): %v", err)
+	}
+	if got.String() != s.String() {
+		t.Fatalf("JSON round trip diverged:\n in  %s\n out %s", s.String(), got.String())
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string // substring of the expected error; "" = valid
+	}{
+		{"valid", func(s *Spec) {}, ""},
+		{"zero version", func(s *Spec) { s.Version = 0 }, "version"},
+		{"empty name", func(s *Spec) { s.Tenants[0].Name = "" }, "empty name"},
+		{"reserved char", func(s *Spec) { s.Tenants[0].Name = "a,b" }, "reserved"},
+		{"duplicate", func(s *Spec) { s.Tenants[1].Name = "A" }, "duplicate"},
+		{"no VFs", func(s *Spec) { s.Tenants[0].VFs = 0 }, "at least one VF"},
+		{"negative quota", func(s *Spec) { s.Tenants[0].SQs = -1 }, "negative"},
+		{"negative rate", func(s *Spec) { s.Tenants[0].RateGbps = -1 }, "negative rate"},
+	}
+	for _, c := range cases {
+		s := specAB()
+		c.mut(&s)
+		err := s.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got error %v, want one mentioning %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"", "tenant=A,vfs=1", "version=x", "version=1 bogus",
+		"version=1 tenant=A,vfs=", "version=1 tenant=A,zzz=3",
+		"{not json", `{"version":0}`,
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestSpecNamesSorted(t *testing.T) {
+	s := Spec{Version: 1, Tenants: []Tenant{
+		{Name: "zeta", VFs: 1}, {Name: "alpha", VFs: 1}, {Name: "mid", VFs: 1},
+	}}
+	names := s.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}

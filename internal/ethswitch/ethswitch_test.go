@@ -238,6 +238,87 @@ func TestManyPortsAllPairs(t *testing.T) {
 	}
 }
 
+// TestStaticFDBFlushedByReboot pins the static-FDB × sw.reboot
+// interaction the chaos scenarios rely on: Program entries live in the
+// same control-plane RAM as learned ones, so a crash flushes both.
+// While down the fabric drops (and counts) everything; after Restart
+// the first frame to the formerly pinned MAC floods like any unknown
+// unicast, and forwarding heals either by learning from reverse
+// traffic or by the operator re-Programming the entry. If Crash ever
+// starts preserving static entries, the scenario fault model's
+// "switch reboot forces re-flood" assumption is wrong and this fails.
+func TestStaticFDBFlushedByReboot(t *testing.T) {
+	eng, sw, eps, ports := testFabric(t, 3, Config{})
+	sw.Program(mac(1), ports[1])
+
+	// The static entry unicasts without any learning having happened.
+	eps[0].port.Send(frameBetween(mac(0), mac(1), 100), nil)
+	eng.Run()
+	if len(eps[1].got) != 1 || len(eps[2].got) != 0 || sw.Stats.Floods != 0 {
+		t.Fatalf("static unicast went wrong: got %d/%d floods=%d",
+			len(eps[1].got), len(eps[2].got), sw.Stats.Floods)
+	}
+
+	// Crash flushes the FDB — the static entry and the learned mac(0)
+	// source entry go together — and the plane drops while down.
+	sw.Crash()
+	if sw.FDBSize() != 0 {
+		t.Fatalf("fdb holds %d entries across a crash; static entries must flush", sw.FDBSize())
+	}
+	eps[0].port.Send(frameBetween(mac(0), mac(1), 100), nil)
+	eng.Run()
+	if len(eps[1].got) != 1 || sw.Stats.RebootDrops != 1 {
+		t.Fatalf("frame crossed a rebooting switch: got=%d rebootDrops=%d",
+			len(eps[1].got), sw.Stats.RebootDrops)
+	}
+
+	// After restart the pinned MAC is unknown again: the next frame
+	// floods to every other port, exactly like hardware coming back.
+	sw.Restart()
+	eps[0].port.Send(frameBetween(mac(0), mac(1), 100), nil)
+	eng.Run()
+	if len(eps[1].got) != 2 || len(eps[2].got) != 1 || sw.Stats.Floods != 1 {
+		t.Fatalf("post-reboot frame did not flood: got %d/%d floods=%d",
+			len(eps[1].got), len(eps[2].got), sw.Stats.Floods)
+	}
+
+	// Re-programming restores unicast without waiting for reverse
+	// traffic — the recovery path scenario Run does not need because its
+	// static entries are only installed once, before any fault window.
+	sw.Program(mac(1), ports[1])
+	eps[0].port.Send(frameBetween(mac(0), mac(1), 100), nil)
+	eng.Run()
+	if len(eps[1].got) != 3 || len(eps[2].got) != 1 {
+		t.Fatalf("re-programmed unicast leaked: got %d/%d", len(eps[1].got), len(eps[2].got))
+	}
+	if sw.Stats.Reboots != 1 {
+		t.Fatalf("reboots = %d, want 1", sw.Stats.Reboots)
+	}
+}
+
+// TestNestedRebootWindows: overlapping crash windows nest — the plane
+// stays down until every window lifts, and only the first transition
+// counts as a reboot (matching nic.Crash semantics).
+func TestNestedRebootWindows(t *testing.T) {
+	eng, sw, eps, ports := testFabric(t, 2, Config{})
+	sw.Program(mac(1), ports[1])
+	sw.Crash()
+	sw.Crash()
+	sw.Restart()
+	if !sw.Down() {
+		t.Fatal("switch came up with one of two crash windows still open")
+	}
+	eps[0].port.Send(frameBetween(mac(0), mac(1), 100), nil)
+	eng.Run()
+	if len(eps[1].got) != 0 {
+		t.Fatal("nested-down switch forwarded a frame")
+	}
+	sw.Restart()
+	if sw.Down() || sw.Stats.Reboots != 1 {
+		t.Fatalf("after final restart: down=%v reboots=%d", sw.Down(), sw.Stats.Reboots)
+	}
+}
+
 func TestMalformedCounted(t *testing.T) {
 	eng, sw, eps, _ := testFabric(t, 2, Config{})
 	eps[0].port.Send([]byte{1, 2, 3}, nil)

@@ -37,7 +37,7 @@ func (s *Switch) SetTelemetry(sc *telemetry.Scope) {
 		return
 	}
 	s.tlm = &swTelemetry{
-		scope:     sc,
+		scope:       sc,
 		forwarded:   sc.Counter("forwarded"),
 		floods:      sc.Counter("floods"),
 		filtered:    sc.Counter("filtered"),

@@ -283,8 +283,15 @@ func (p *Plan) attachCrash(eng *sim.Engine, every, dur sim.Duration, note func()
 	if eng == nil || len(comps) == 0 {
 		return
 	}
+	// A component attached mid-run (a core instantiated by the tenancy
+	// control plane, say) joins the remaining schedule; windows already
+	// in the past don't apply to it.
+	now := eng.Now()
 	for _, ep := range p.episodes(every, dur) {
 		ep := ep
+		if ep.at < now {
+			continue
+		}
 		eng.At(ep.at, func() {
 			for _, c := range comps {
 				note()

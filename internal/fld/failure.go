@@ -23,6 +23,33 @@ func (f *FLD) Crash() {
 	if t := f.tlm; t != nil {
 		t.crashes.Inc()
 	}
+	f.flushFunction(true)
+}
+
+// ResetFunction is the deliberate analogue of a crash–restart cycle:
+// the PF control plane resets the AFU transmit/receive state when a
+// tenant releases its core, so the next tenant inherits no pending
+// descriptors, pool pages or translations. Unlike Crash it counts no
+// fault and the function stays up — the core is drained (or being torn
+// down, its queues already failed) when this is called. The queue
+// indices restart from zero: the next tenure binds fresh NIC queues,
+// whose rings also start empty, and drain logic compares the two
+// producer indices for equality.
+func (f *FLD) ResetFunction() {
+	f.flushFunction(false)
+	for _, tq := range f.queues {
+		tq.pi = 0
+		tq.released = 0
+		tq.cursor = 0
+		tq.sinceSig = 0
+	}
+}
+
+// flushFunction releases every in-flight transmit resource and abandons
+// the in-progress receive buffer. crashed selects the fault accounting:
+// a real crash window counts each dropped descriptor, a deliberate
+// function reset does not.
+func (f *FLD) flushFunction(crashed bool) {
 	// The transmit pools are on-die SRAM: every pending descriptor, its
 	// payload pages and its translation entries die with the function.
 	for qi, tq := range f.queues {
@@ -34,9 +61,11 @@ func (f *FLD) Crash() {
 			}
 			f.descXlt.Delete(uint64(qi)<<32 | uint64(p.idx%uint32(f.cfg.TxRingEntries)))
 			f.descFree = append(f.descFree, p.slot)
-			f.Stats.CrashDrops++
-			if t := f.tlm; t != nil {
-				t.crashDrops.Inc()
+			if crashed {
+				f.Stats.CrashDrops++
+				if t := f.tlm; t != nil {
+					t.crashDrops.Inc()
+				}
 			}
 		}
 		tq.pending = nil

@@ -47,6 +47,7 @@ const (
 	DropESPAuthFailed    DropReason = "esp-auth-failed"
 	DropRuleDrop         DropReason = "rule-drop"
 	DropNoSuchVPort      DropReason = "no-such-vport"
+	DropCrossDomain      DropReason = "cross-domain"
 	DropNoDisposition    DropReason = "rule-no-disposition"
 	DropTableLoop        DropReason = "table-loop"
 	DropNoWire           DropReason = "no-wire"
@@ -63,6 +64,6 @@ var AllDropReasons = []DropReason{
 	DropQPNotConnected, DropRDMATimeout, DropRDMAUnknownQPN,
 	DropRDMAOutOfOrder, DropRDMAStaleEpoch, DropQPError,
 	DropESwitchMiss, DropPolicer, DropDecapFailed, DropESPAuthFailed,
-	DropRuleDrop, DropNoSuchVPort, DropNoDisposition, DropTableLoop,
-	DropNoWire, DropWireInjectedLoss,
+	DropRuleDrop, DropNoSuchVPort, DropCrossDomain, DropNoDisposition,
+	DropTableLoop, DropNoWire, DropWireInjectedLoss,
 }

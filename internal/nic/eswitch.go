@@ -16,6 +16,11 @@ type VPort struct {
 	// EgressTable is the table packets transmitted *by* this vport
 	// enter (eSwitch rules: encap, loopback, forwarding).
 	EgressTable int
+	// Domain is the forwarding domain the vport belongs to: 0 for the
+	// PF and the wire, a VF ID for vports owned by that function. The
+	// pipeline refuses to move a packet between two nonzero domains —
+	// tenant isolation that no programmed rule can override.
+	Domain int
 }
 
 // UplinkID is the vport number of the physical port.
@@ -39,6 +44,11 @@ type Match struct {
 type pktView struct {
 	frame   []byte
 	flowTag uint32
+	// domain is the forwarding domain the packet entered the pipeline
+	// from (the transmitting vport's Domain; 0 from the wire). It rides
+	// the view across re-parses — header rewrites must not launder a
+	// tenant's identity.
+	domain int
 
 	ethOK  bool
 	eth    netpkt.Eth
@@ -92,6 +102,15 @@ func parseView(frame []byte, flowTag uint32) *pktView {
 		}
 	}
 	return v
+}
+
+// reparse swaps the view's frame for a rewritten one (encap, decap,
+// decrypt), re-deriving the header caches while the packet keeps its
+// flow tag and forwarding domain.
+func (v *pktView) reparse(frame []byte) {
+	dom := v.domain
+	*v = *parseView(frame, v.flowTag)
+	v.domain = dom
 }
 
 // Matches reports whether the view satisfies every set field.
@@ -222,6 +241,18 @@ func (e *ESwitch) AddVPort() *VPort {
 // VPort returns the vport with the given ID, or nil.
 func (e *ESwitch) VPort(id int) *VPort { return e.vports[id] }
 
+// removeVPort retires a vport (VF teardown). Rules still pointing at it
+// hit DropNoSuchVPort, like hardware steering to a destroyed function.
+func (e *ESwitch) removeVPort(id int) { delete(e.vports, id) }
+
+// crossDomain reports whether delivering the packet to a target in
+// targetDomain would cross between two different tenant domains. The
+// wire and the PF (domain 0) may exchange traffic with any function;
+// only VF→other-VF movement is forbidden.
+func (e *ESwitch) crossDomain(v *pktView, targetDomain int) bool {
+	return v.domain != 0 && targetDomain != 0 && targetDomain != v.domain
+}
+
 // AddRule appends a rule to a table.
 func (e *ESwitch) AddRule(table int, r Rule) {
 	e.tables[table] = append(e.tables[table], r)
@@ -292,7 +323,7 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 			nf := make([]byte, 0, len(a.Encap)+len(v.frame))
 			nf = append(nf, a.Encap...)
 			nf = append(nf, v.frame...)
-			*v = *parseView(nf, v.flowTag)
+			v.reparse(nf)
 		}
 		if a.SetFlowTag != nil {
 			v.flowTag = *a.SetFlowTag
@@ -324,6 +355,11 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 				sent()
 				return
 			}
+			if e.crossDomain(v, vp.Domain) {
+				e.nic.drop(DropCrossDomain)
+				sent()
+				return
+			}
 			// Hairpin through the switch fabric.
 			run(func() {
 				e.loopback.Acquire(e.LoopbackRate.Serialize(len(v.frame)), func() {
@@ -333,13 +369,24 @@ func (e *ESwitch) process(table int, v *pktView, onWire func()) {
 			})
 			return
 		case a.ToRQ != nil:
+			if e.crossDomain(v, a.ToRQ.domain()) {
+				e.nic.drop(DropCrossDomain)
+				sent()
+				return
+			}
+			rq := a.ToRQ
 			run(func() {
 				sent()
-				e.deliverRQ(a.ToRQ, v)
+				e.deliverRQ(rq, v)
 			})
 			return
 		case a.ToTIR != nil:
 			rq := a.ToTIR.pick(netpkt.RSSHash(v.frame))
+			if e.crossDomain(v, rq.domain()) {
+				e.nic.drop(DropCrossDomain)
+				sent()
+				return
+			}
 			run(func() {
 				sent()
 				e.deliverRQ(rq, v)
@@ -385,7 +432,7 @@ func (e *ESwitch) decap(v *pktView) bool {
 	if err != nil {
 		return false
 	}
-	*v = *parseView(payload, v.flowTag)
+	v.reparse(payload)
 	return true
 }
 
@@ -402,7 +449,7 @@ func (e *ESwitch) espDecrypt(v *pktView, sa *netpkt.ESPSA) bool {
 	}
 	nf := eth.Marshal(make([]byte, 0, netpkt.EthHeaderLen+len(inner)))
 	nf = append(nf, inner...)
-	*v = *parseView(nf, v.flowTag)
+	v.reparse(nf)
 	return true
 }
 
@@ -435,6 +482,7 @@ func (n *NIC) egress(vp *VPort, frame []byte, flowTag uint32, onSent func()) {
 		t.txBytes.Add(int64(len(frame)))
 	}
 	v := parseView(frame, flowTag)
+	v.domain = vp.Domain
 	n.eng.After(n.Prm.PipelineDelay, func() {
 		n.esw.process(vp.EgressTable, v, onSent)
 	})

@@ -28,7 +28,7 @@ type etsQueue struct {
 type etsScheduler struct {
 	n       *NIC
 	queues  map[uint32]*etsQueue
-	order   []uint32 // round-robin order of active queue IDs
+	order   []uint32 // round-robin order of active arbitration keys
 	quantum int
 	busy    bool
 }
@@ -37,24 +37,52 @@ func newETSScheduler(n *NIC) *etsScheduler {
 	return &etsScheduler{n: n, queues: make(map[uint32]*etsQueue), quantum: 1500}
 }
 
+// etsKey resolves an SQ's arbitration account and weight. A queue with
+// its own Weight arbitrates individually under its SQ ID. A weightless
+// queue owned by a weighted VF joins the VF's shared account (vfETSKey):
+// every queue of the function draws from ONE deficit, so a tenant's
+// bandwidth share is set by its VF weight, not by how many queues it
+// opens.
+func (sq *SQ) etsKey() (key uint32, weight int, arbitrated bool) {
+	if sq.Weight > 0 {
+		return sq.ID, sq.Weight, true
+	}
+	if sq.vf != nil && sq.vf.weight > 0 {
+		return vfETSKey(sq.vf.ID), sq.vf.weight, true
+	}
+	return 0, 0, false
+}
+
 // dispatch enqueues one frame from the given SQ and starts the pump.
 func (s *etsScheduler) dispatch(sq *SQ, frame []byte, flowTag uint32, onSent func()) {
-	q := s.queues[sq.ID]
+	key, w, _ := sq.etsKey()
+	q := s.queues[key]
 	if q == nil {
-		w := sq.Weight
 		if w < 1 {
 			w = 1
 		}
 		q = &etsQueue{weight: w}
-		s.queues[sq.ID] = q
+		s.queues[key] = q
 	}
 	if !q.inRound {
 		q.inRound = true
-		s.order = append(s.order, sq.ID)
+		s.order = append(s.order, key)
 	}
 	q.fifo = append(q.fifo, etsFrame{frame: frame, flowTag: flowTag, vport: sq.VPort, onSent: onSent})
 	if !s.busy {
 		s.pump()
+	}
+}
+
+// setWeight re-slices an existing arbitration account live (VF requota).
+// Accounts not yet created pick up the new weight on their first
+// dispatch; frames already queued keep their accumulated deficit.
+func (s *etsScheduler) setWeight(key uint32, w int) {
+	if q := s.queues[key]; q != nil {
+		if w < 1 {
+			w = 1
+		}
+		q.weight = w
 	}
 }
 

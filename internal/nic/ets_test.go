@@ -91,6 +91,88 @@ func TestETSWorkConserving(t *testing.T) {
 	}
 }
 
+// TestETSZeroShareTenant pins the zero-share boundary: a queue with
+// weight 0 (a tenant whose VF claims no ETS slice) is unarbitrated —
+// it bypasses the DRR rounds entirely and rides the egress pipeline
+// best-effort. It must still deliver everything (best-effort is not
+// blackholed), and the weighted competitor must not be starved by it.
+func TestETSZeroShareTenant(t *testing.T) {
+	eng, q1, q2, delivered := etsBed(t, 3, 0)
+	if _, _, arb := q2.sq.etsKey(); arb {
+		t.Fatal("weight-0 queue claims an arbitration account")
+	}
+	f1 := flood(t, q1, 0, 100, 800)
+	f2 := flood(t, q2, 1, 100, 800)
+	eng.Run()
+	if delivered[0] != int64(100*f1) || delivered[1] != int64(100*f2) {
+		t.Fatalf("zero-share run lost frames: %v, want %d/%d", *delivered, 100*f1, 100*f2)
+	}
+}
+
+// TestETSRequotaToZeroKeepsDraining: re-slicing a live arbitration
+// account to zero (the control plane shrinking a tenant to no share
+// mid-drain) clamps at the DRR floor of weight 1 rather than freezing
+// the account's deficit forever. The backlog still drains — slowly —
+// so a reconcile that zeroes a tenant's slice cannot wedge its queues.
+func TestETSRequotaToZeroKeepsDraining(t *testing.T) {
+	eng, q1, q2, delivered := etsBed(t, 4, 4)
+	f1 := flood(t, q1, 0, 100, 800)
+	flood(t, q2, 1, 100, 800)
+	// Let the scheduler materialize both accounts, then zero one.
+	eng.RunUntil(50 * sim.Microsecond)
+	q1.sq.n.ets.setWeight(q1.sq.ID, 0)
+	eng.Run()
+	if delivered[0] != int64(100*f1) {
+		t.Fatalf("zeroed account wedged: delivered %d of %d bytes", delivered[0], 100*f1)
+	}
+}
+
+// TestETSSingleTenantFullShare pins the 100%-share boundary with
+// timing: a tenant alone on the port must reach full line rate — the
+// DRR quantum is a sharing granularity, never a throttle. The run must
+// finish within the pure serialization budget plus startup slack; an
+// arbitration tax (e.g. pausing a round per quantum) would blow it.
+func TestETSSingleTenantFullShare(t *testing.T) {
+	eng, q1, _, delivered := etsBed(t, 5, 1)
+	const n = 100
+	fl := flood(t, q1, 0, n, 800)
+	eng.Run()
+	if delivered[0] != int64(n*fl) {
+		t.Fatalf("lone tenant delivered %d bytes, want %d", delivered[0], n*fl)
+	}
+	budget := sim.Duration(n)*(1*sim.Gbps).Serialize(fl+EthWireOverhead) + 50*sim.Microsecond
+	if eng.Now() > budget {
+		t.Fatalf("lone tenant finished at %v, line-rate budget %v", eng.Now(), budget)
+	}
+}
+
+// TestShaperOddRateRounding pins fractional-rate accounting in the
+// egress shaper: at an odd bit rate that divides no frame size evenly,
+// the cumulative token math must neither let the flow beat its rate
+// (rounding up the balance) nor drift slower each frame (rounding the
+// wait down and re-charging). n frames may finish no earlier than the
+// ideal schedule and only a startup's worth later.
+func TestShaperOddRateRounding(t *testing.T) {
+	eng, q1, _, delivered := etsBed(t, 0, 0)
+	const n, size = 50, 737 // odd frame size against an odd rate
+	rate := 0.777 * sim.Gbps
+	q1.sq.Shaper = sim.NewTokenBucket(eng, rate, size)
+	fl := flood(t, q1, 0, n, size)
+	eng.Run()
+	if delivered[0] != int64(n*fl) {
+		t.Fatalf("shaped queue delivered %d bytes, want %d", delivered[0], n*fl)
+	}
+	// The burst covers exactly one frame, so the last of n frames clears
+	// the bucket no earlier than (n-1) frames' worth of refill.
+	floor := rate.Serialize((n - 1) * fl)
+	if eng.Now() < floor {
+		t.Fatalf("shaped flow finished at %v, before the rate floor %v", eng.Now(), floor)
+	}
+	if ceil := floor + 50*sim.Microsecond; eng.Now() > ceil {
+		t.Fatalf("shaped flow finished at %v, drifted past %v", eng.Now(), ceil)
+	}
+}
+
 // TestETSIdleQueueRejoins: a queue that goes idle and returns is not
 // penalized or double-credited.
 func TestETSIdleQueueRejoins(t *testing.T) {

@@ -110,6 +110,12 @@ type NIC struct {
 	cqs map[uint32]*CQ
 	qps map[uint32]*QP
 
+	// vfs holds the virtual functions the PF has created (see vf.go);
+	// nil until the first CreateVF. Their queues live in the flat maps
+	// above — device-level Crash/FLR cover every function at once.
+	vfs    map[int]*VF
+	nextVF int
+
 	txEngine *sim.Resource
 	rxEngine *sim.Resource
 	ets      *etsScheduler // lazily created when a weighted SQ sends
@@ -262,14 +268,30 @@ type CQConfig struct {
 	OnCQE func(CQE)
 }
 
-// CreateCQ allocates a completion queue.
+// CreateCQ allocates a completion queue on the physical function. VF
+// queues are created through VF.CreateCQ, which enforces the quota.
 func (n *NIC) CreateCQ(cfg CQConfig) *CQ {
-	cq := &CQ{n: n, ID: n.allocQN(), Ring: cfg.Ring, Size: cfg.Size, onCQE: cfg.OnCQE}
+	return n.createCQ(cfg, nil)
+}
+
+func (n *NIC) createCQ(cfg CQConfig, vf *VF) *CQ {
+	cq := &CQ{n: n, ID: n.allocQN(), Ring: cfg.Ring, Size: cfg.Size, onCQE: cfg.OnCQE, vf: vf}
 	n.cqs[cq.ID] = cq
 	if n.tlm != nil {
-		cq.instrument(n.tlm.scope)
+		cq.instrument(n.queueScope(vf))
 	}
 	return cq
+}
+
+// queueScope picks the telemetry scope a queue instruments under: the
+// owning VF's vf<ID>/ sub-scope, or the NIC scope for PF queues — so
+// per-function counters are separable in the tree and PF paths are
+// byte-identical to the pre-VF layout.
+func (n *NIC) queueScope(vf *VF) *telemetry.Scope {
+	if vf != nil && vf.scope != nil {
+		return vf.scope
+	}
+	return n.tlm.scope
 }
 
 // SQConfig configures a send queue.
@@ -285,17 +307,22 @@ type SQConfig struct {
 	Weight int
 }
 
-// CreateSQ allocates a send queue.
+// CreateSQ allocates a send queue on the physical function. VF queues
+// are created through VF.CreateSQ, which enforces quota and domain.
 func (n *NIC) CreateSQ(cfg SQConfig) *SQ {
+	return n.createSQ(cfg, nil)
+}
+
+func (n *NIC) createSQ(cfg SQConfig, vf *VF) *SQ {
 	if cfg.Size&(cfg.Size-1) != 0 {
 		panic(fmt.Sprintf("nic: SQ size %d not a power of two", cfg.Size))
 	}
 	sq := &SQ{n: n, ID: n.allocQN(), Ring: cfg.Ring, Size: cfg.Size,
 		CQ: cfg.CQ, VPort: cfg.VPort, Shaper: cfg.Shaper, Weight: cfg.Weight,
-		mmio: make(map[uint32][]byte)}
+		vf: vf, mmio: make(map[uint32][]byte)}
 	n.sqs[sq.ID] = sq
 	if n.tlm != nil {
-		sq.instrument(n.tlm.scope)
+		sq.instrument(n.queueScope(vf))
 	}
 	return sq
 }
@@ -311,16 +338,21 @@ type RQConfig struct {
 	StrideSize int
 }
 
-// CreateRQ allocates a receive queue.
+// CreateRQ allocates a receive queue on the physical function. VF
+// queues are created through VF.CreateRQ, which enforces the quota.
 func (n *NIC) CreateRQ(cfg RQConfig) *RQ {
+	return n.createRQ(cfg, nil)
+}
+
+func (n *NIC) createRQ(cfg RQConfig, vf *VF) *RQ {
 	if cfg.Size&(cfg.Size-1) != 0 {
 		panic(fmt.Sprintf("nic: RQ size %d not a power of two", cfg.Size))
 	}
 	rq := &RQ{n: n, ID: n.allocQN(), Ring: cfg.Ring, Size: cfg.Size,
-		CQ: cfg.CQ, StrideSize: cfg.StrideSize}
+		CQ: cfg.CQ, StrideSize: cfg.StrideSize, vf: vf}
 	n.rqs[rq.ID] = rq
 	if n.tlm != nil {
-		rq.instrument(n.tlm.scope)
+		rq.instrument(n.queueScope(vf))
 	}
 	return rq
 }
@@ -338,6 +370,7 @@ type SQ struct {
 	CQ    *CQ
 	VPort *VPort
 	QP    *QP // non-nil when this SQ feeds an RDMA queue pair
+	vf    *VF // owning virtual function; nil for PF queues
 
 	Shaper *sim.TokenBucket
 	Weight int // >0: ETS-arbitrated egress
@@ -527,6 +560,16 @@ func (sq *SQ) retire(ep uint32, idx uint32, cqe CQE, signal bool) {
 // CI exposes the consumer index for tests.
 func (sq *SQ) CI() uint32 { return sq.ci }
 
+// PI exposes the producer index — the newest work the queue has been
+// told about via doorbell or WQE-by-MMIO.
+func (sq *SQ) PI() uint32 { return sq.pi }
+
+// Idle reports whether the queue has executed everything posted to it:
+// Ready, with the consumer index caught up to the producer. Drain logic
+// combines this with the FLD's own accounting to tell an executed-but-
+// unsignaled tail apart from work still in flight.
+func (sq *SQ) Idle() bool { return sq.state == QueueReady && sq.ci == sq.pi }
+
 // --- Receive queue -------------------------------------------------------
 
 type pendingRx struct {
@@ -545,6 +588,7 @@ type RQ struct {
 	Size       int
 	CQ         *CQ
 	StrideSize int
+	vf         *VF // owning virtual function; nil for PF queues
 
 	pi, ci uint32 // ci: next descriptor index to hand to placement
 
@@ -782,6 +826,7 @@ type CQ struct {
 	Size  int
 	pi    uint32
 	onCQE func(CQE)
+	vf    *VF // owning virtual function; nil for PF queues
 
 	tCQEs *telemetry.Counter // nil-safe; see instrument
 }

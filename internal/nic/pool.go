@@ -85,7 +85,7 @@ func (n *NIC) putTxSend(x *txSend) {
 func txSendFire(a any) {
 	x := a.(*txSend)
 	sq := x.sq
-	if sq.Weight > 0 {
+	if _, _, arb := sq.etsKey(); arb {
 		if sq.n.ets == nil {
 			sq.n.ets = newETSScheduler(sq.n)
 		}

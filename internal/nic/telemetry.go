@@ -47,14 +47,19 @@ func (n *NIC) SetTelemetry(sc *telemetry.Scope) {
 	}
 	sc.Func("tx_engine/util", n.txEngine.Utilization)
 	sc.Func("rx_engine/util", n.rxEngine.Utilization)
+	for _, vf := range n.VFs() {
+		if vf.scope == nil {
+			vf.instrument(sc)
+		}
+	}
 	for _, sq := range n.sqs {
-		sq.instrument(sc)
+		sq.instrument(n.queueScope(sq.vf))
 	}
 	for _, rq := range n.rqs {
-		rq.instrument(sc)
+		rq.instrument(n.queueScope(rq.vf))
 	}
 	for _, cq := range n.cqs {
-		cq.instrument(sc)
+		cq.instrument(n.queueScope(cq.vf))
 	}
 	n.esw.setTelemetry(sc.Scope("eswitch"))
 }

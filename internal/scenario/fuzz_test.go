@@ -40,7 +40,10 @@ func FuzzScenarioInvariants(f *testing.F) {
 func FuzzParseScenarioSpec(f *testing.F) {
 	f.Add(Generate(1).String())
 	f.Add(Generate(7).String())
+	f.Add(Generate(5).String()) // multi-tenant draw
 	f.Add("seed=5 clients=2 rdma=1 plant=40")
+	f.Add("seed=5 clients=2 tenants=2 reconfig=1 plantleak=25")
+	f.Add("tenants=2 path=vxlan")
 	f.Add("frames=64:1024 gbps=2.5 path=vxlan faults=wire.loss=0.01,pcie.drop=0.005")
 	f.Add("gbps=NaN")
 	f.Add("frames=512:64")

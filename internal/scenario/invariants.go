@@ -33,6 +33,7 @@ type runState struct {
 	reg     *flexdriver.Registry
 	plan    *faults.Plan
 	rts     []*flexdriver.Runtime
+	tn      *tenantRun // nil unless spec.Tenants > 0
 	clients []*client
 	sups    []*swdriver.Supervisor
 	epA     *swdriver.RDMAEndpoint
@@ -116,6 +117,12 @@ func checkInvariants(res *Result, st *runState) {
 	// before the crash legitimately arrive twice. Driver-process crashes
 	// drop their window instead of replaying it and earn no allowance.
 	maxDups := inj.WireDups + 512*(inj.NICFLRs+inj.NodeCrashes+inj.FLDResets)
+	// Tenant drains may heal a silently lost posting by replaying the
+	// FLD's descriptor window (fldsw.NudgeTx): at-least-once delivery,
+	// one window per drain episode.
+	if st.tn != nil {
+		maxDups += 512 * snap.Get("server/ctrlplane/drains")
+	}
 	if res.Dups > maxDups {
 		bad("duplication", "%d duplicate deliveries vs %d allowed (%d injected wire dups)",
 			res.Dups, maxDups, inj.WireDups)
@@ -146,10 +153,16 @@ func checkInvariants(res *Result, st *runState) {
 	// excusable only by an injected fault (a dropped PCIe TLP can kill
 	// the completion write after the payload already landed), so the
 	// receive-side bound is exact on a fault-free run.
+	// VF-owned queues instrument under <node>/nic/vf<ID>/{sq,rq,cq}<ID>/
+	// rather than the PF's flat paths, so the sums take both scopes; the
+	// law itself is VF-blind.
 	for _, nd := range nodes {
-		executed := snap.Sum(nd.name+"/nic/sq", "/wqe_executed")
-		placed := snap.Sum(nd.name+"/nic/rq", "/packets")
-		cqes := snap.Sum(nd.name+"/nic/cq", "/cqes")
+		executed := snap.Sum(nd.name+"/nic/sq", "/wqe_executed") +
+			snap.Sum(nd.name+"/nic/vf", "/wqe_executed")
+		placed := snap.Sum(nd.name+"/nic/rq", "/packets") +
+			snap.Sum(nd.name+"/nic/vf", "/packets")
+		cqes := snap.Sum(nd.name+"/nic/cq", "/cqes") +
+			snap.Sum(nd.name+"/nic/vf", "/cqes")
 		errs := nd.nic.Stats.QueueErrors
 		if cqes > executed+placed+errs {
 			bad("cqe-wqe", "%s: %d CQEs exceed %d executed WQEs + %d placed packets + %d errors",
@@ -264,6 +277,42 @@ func checkInvariants(res *Result, st *runState) {
 			snap.Get(base+"crashes") != d.Crashes ||
 			snap.Get(base+"down/tx_drops") != d.DownTxDrops {
 			bad("telemetry-mirror", "%s: driver Stats and telemetry error/crash counters disagree", h.Name())
+		}
+	}
+
+	// Multi-tenant isolation and convergence. Leakage is zero-tolerance:
+	// no fault class, drain race or steering rewrite excuses a reply
+	// carrying a foreign tenant's identity (the PlantLeakNth hook
+	// manufactures exactly such a reply, and this is the invariant that
+	// must catch it). The reconciler must also have converged on the
+	// final spec version — v2 if the scenario reconfigured mid-window —
+	// without abandoning an episode, with every tenant queue back Ready.
+	if st.tn != nil {
+		var leaks int64
+		for _, c := range st.clients {
+			leaks += c.leaks
+		}
+		if leaks > 0 {
+			bad("tenant-leak", "%d replies delivered with a foreign tenant's source port", leaks)
+		}
+		rec := st.tn.tm.Reconciler()
+		wantV := 1
+		if st.spec.Reconfig {
+			wantV = 2
+		}
+		if !rec.Converged() || rec.Version() != wantV {
+			bad("tenancy-converged", "reconciler at version %d (converged=%v), want version %d",
+				rec.Version(), rec.Converged(), wantV)
+		}
+		if n := snap.Get("server/ctrlplane/abandoned"); n > 0 {
+			bad("tenancy-converged", "%d reconcile episodes abandoned", n)
+		}
+		for _, name := range st.tn.names {
+			for i, rt := range st.tn.tm.Runtimes(name) {
+				if !rt.QueuesReady() {
+					bad("queues-recovered", "tenant %s runtime %d has queues not in Ready", name, i)
+				}
+			}
 		}
 	}
 

@@ -75,6 +75,134 @@ type client struct {
 	recv      map[int64]int64
 	ghosts    int64
 	short     int64
+	// leaks counts replies carrying a foreign tenant's UDP source port
+	// (tenant scenarios only; the zero-tolerance isolation invariant).
+	leaks int64
+}
+
+// tenantBasePort numbers tenant T<i>'s service port tenantBasePort+i.
+// Clients bind to tenants round-robin and every reply's source port
+// must name the client's own tenant.
+const tenantBasePort = 7801
+
+// tenantRun is the managed-mode counterpart of the flat server data
+// path: the node's TenantManager plus the tenant naming the clients,
+// the watchdog and the invariants key off.
+type tenantRun struct {
+	tm    *flexdriver.TenantManager
+	names []string
+	ports []uint16
+}
+
+// port returns the service port of client ci's tenant.
+func (t *tenantRun) port(ci int) uint16 { return t.ports[ci%len(t.ports)] }
+
+// recover sweeps every tenant runtime for silently-errored queues or an
+// unresynced crash and re-kicks the reconciler in case an episode was
+// abandoned mid-storm. Tenant order (not map order) keeps the sweep
+// deterministic.
+func (t *tenantRun) recover() {
+	for _, name := range t.names {
+		for _, rt := range t.tm.Runtimes(name) {
+			rt.Recover()
+		}
+	}
+	t.tm.Reconciler().Kick()
+}
+
+// tenancyDesired builds the version-v desired state: one single-core VF
+// slice per tenant, quotas sized to the runtime's fixed footprint (2
+// CQs + the RQ) plus the one echo tx queue. Version 1 alternates DRR
+// weights 1/2 across tenants; version 2 flips them — a bandwidth-only
+// reshape the reconciler still applies through a live drain →
+// reconfigure → undrain episode per tenant.
+func tenancyDesired(s Spec, version int) flexdriver.TenancySpec {
+	spec := flexdriver.TenancySpec{Version: version}
+	for i := 0; i < s.Tenants; i++ {
+		w := 1 + i%2
+		if version >= 2 {
+			w = 2 - i%2
+		}
+		spec.Tenants = append(spec.Tenants, flexdriver.TenantSpec{
+			Name: fmt.Sprintf("T%d", i), VFs: 1, Cores: 1, SQs: 1, RQs: 1, CQs: 2, Weight: w})
+	}
+	return spec
+}
+
+// setupTenants puts the server under control-plane management and
+// applies the version-1 spec. Wire ingress is steered per tenant by
+// destination port into the tenant's own RQs; the provision hook
+// re-installs each runtime's echo path after every (re)build, and the
+// drain hook rebuilds steering so a draining tenant stops receiving new
+// frames (eSwitch-missed frames count as reasoned drops, and the cutoff
+// is what lets a drain complete under open-loop load).
+func setupTenants(cl *flexdriver.Cluster, srv *flexdriver.Innova, s Spec, echoSendFails *int64) *tenantRun {
+	t := &tenantRun{tm: cl.ManageTenants(srv, s.Seed)}
+	for i := 0; i < s.Tenants; i++ {
+		t.names = append(t.names, fmt.Sprintf("T%d", i))
+		t.ports = append(t.ports, tenantBasePort+uint16(i))
+	}
+	reSteer := func() {
+		esw := srv.NIC.ESwitch()
+		esw.ClearTable(0)
+		for i, name := range t.names {
+			if t.tm.Draining(name) {
+				continue
+			}
+			rts := t.tm.Runtimes(name)
+			if len(rts) == 0 {
+				continue
+			}
+			var rqs []*nic.RQ
+			for _, rt := range rts {
+				rqs = append(rqs, rt.RQ())
+			}
+			dp := t.ports[i]
+			esw.AddRule(0, flexdriver.Rule{
+				Match:  flexdriver.Match{DstPort: &dp},
+				Action: flexdriver.Action{ToTIR: &nic.TIR{RQs: rqs}}})
+		}
+	}
+	provisioned := make(map[*flexdriver.Runtime]bool)
+	var t0Echoed int64
+	t.tm.SetProvision(func(name string, _ flexdriver.TenantSpec, rts []*flexdriver.Runtime) {
+		for _, rt := range rts {
+			if provisioned[rt] {
+				continue // bandwidth-only re-slice: the data plane stands
+			}
+			provisioned[rt] = true
+			rt.CreateEthTxQueue(0, nil)
+			ecp := flexdriver.NewEControlPlane(rt)
+			ecp.InstallDefaultEgressToWire()
+			rt.Start()
+			f := rt.FLD()
+			plantPort := uint16(0)
+			if s.PlantLeakNth > 0 && name == t.names[0] {
+				plantPort = t.ports[1]
+			}
+			f.SetHandler(flexdriver.HandlerFunc(func(data []byte, md flexdriver.Metadata) {
+				out := append([]byte(nil), data...)
+				swapEcho(out)
+				if plantPort != 0 {
+					if t0Echoed++; t0Echoed%s.PlantLeakNth == 0 {
+						// The planted defect: tenant 0's pipeline claims
+						// tenant 1's identity on the wire — the isolation
+						// violation the tenant-leak invariant must catch.
+						out[34], out[35] = byte(plantPort>>8), byte(plantPort)
+					}
+				}
+				if err := f.Send(0, out, md); err != nil {
+					*echoSendFails++
+				}
+			}))
+		}
+		reSteer()
+	})
+	t.tm.SetOnDrainChange(func(string) { reSteer() })
+	if err := cl.Apply(tenancyDesired(s, 1)); err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // udpFrame builds a UDP frame between two concrete NICs, sized to size
@@ -193,40 +321,48 @@ func Run(s Spec) *Result {
 		SwitchRate(sim.BitRate(s.RateGbps) * sim.Gbps).
 		SwitchQueueFrames(s.QueueFrames)
 
-	// Server: one Innova, FLDCores cores behind an RSS TIR, each running
-	// the header-swapping echo. Send failures (credit stalls under fault
-	// storms) are counted so open-loop loss stays accounted for.
+	// Server: one Innova. With Tenants set, the FLD cores and NIC queues
+	// are carved into per-tenant VF slices by the managed control plane;
+	// otherwise FLDCores cores sit behind one flat RSS TIR. Either way
+	// every core runs the header-swapping echo, and send failures (credit
+	// stalls under fault storms) are counted so open-loop loss stays
+	// accounted for.
 	srv := cl.AddInnova("server")
 	rts := []*flexdriver.Runtime{srv.RT}
-	for i := 1; i < s.FLDCores; i++ {
-		_, rt := srv.AddFLD(srv.FLD.Config())
-		rts = append(rts, rt)
-	}
 	var echoSendFails int64
-	var rqs []*nic.RQ
-	for _, rt := range rts {
-		rt.CreateEthTxQueue(0, nil)
-		ecp := flexdriver.NewEControlPlane(rt)
-		ecp.InstallDefaultEgressToWire()
-		rt.Start()
-		f := rt.FLD()
-		f.SetHandler(flexdriver.HandlerFunc(func(data []byte, md flexdriver.Metadata) {
-			out := append([]byte(nil), data...)
-			swapEcho(out)
-			if err := f.Send(0, out, md); err != nil {
-				echoSendFails++
-			}
-		}))
-		rqs = append(rqs, rt.RQ())
-	}
-	if s.Path == "vxlan" {
-		vxport := uint16(netpkt.VXLANPort)
-		srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{
-			Match:  flexdriver.Match{DstPort: &vxport},
-			Action: flexdriver.Action{Decap: true, ToTIR: &nic.TIR{RQs: rqs}}})
+	var tn *tenantRun
+	if s.Tenants > 0 {
+		tn = setupTenants(cl, srv, s, &echoSendFails)
 	} else {
-		srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{
-			Action: flexdriver.Action{ToTIR: &nic.TIR{RQs: rqs}}})
+		for i := 1; i < s.FLDCores; i++ {
+			_, rt := srv.AddFLD(srv.FLD.Config())
+			rts = append(rts, rt)
+		}
+		var rqs []*nic.RQ
+		for _, rt := range rts {
+			rt.CreateEthTxQueue(0, nil)
+			ecp := flexdriver.NewEControlPlane(rt)
+			ecp.InstallDefaultEgressToWire()
+			rt.Start()
+			f := rt.FLD()
+			f.SetHandler(flexdriver.HandlerFunc(func(data []byte, md flexdriver.Metadata) {
+				out := append([]byte(nil), data...)
+				swapEcho(out)
+				if err := f.Send(0, out, md); err != nil {
+					echoSendFails++
+				}
+			}))
+			rqs = append(rqs, rt.RQ())
+		}
+		if s.Path == "vxlan" {
+			vxport := uint16(netpkt.VXLANPort)
+			srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+				Match:  flexdriver.Match{DstPort: &vxport},
+				Action: flexdriver.Action{Decap: true, ToTIR: &nic.TIR{RQs: rqs}}})
+		} else {
+			srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+				Action: flexdriver.Action{ToTIR: &nic.TIR{RQs: rqs}}})
+		}
 	}
 
 	// Clients: per-client flow sets (random sports and sizes), sequence
@@ -246,6 +382,15 @@ func Run(s Spec) *Result {
 			Match:  flexdriver.Match{DstIP: &ip},
 			Action: flexdriver.Action{ToRQ: port.RQ()}})
 		c := &client{host: h, port: port, recv: make(map[int64]int64)}
+		// In tenant mode each client belongs to one tenant (round-robin)
+		// and addresses it by destination port; every reply's source port
+		// must then name that same tenant, or the reply leaked across an
+		// isolation domain.
+		dport, myPort := uint16(7777), uint16(0)
+		if tn != nil {
+			dport = tn.port(ci)
+			myPort = dport
+		}
 		frng := sim.NewRand(s.Seed*7919 + int64(ci))
 		for fi := 0; fi < flowsPerClient; fi++ {
 			sport := uint16(4000 + frng.Intn(20000))
@@ -253,7 +398,7 @@ func Run(s Spec) *Result {
 			if s.FrameMax > s.FrameMin {
 				size += frng.Intn(s.FrameMax - s.FrameMin + 1)
 			}
-			f := udpFrame(h.NIC, srv.NIC, sport, 7777, size)
+			f := udpFrame(h.NIC, srv.NIC, sport, dport, size)
 			if s.Path == "vxlan" {
 				f = vxlanWrap(h.NIC, srv.NIC, sport, f)
 			}
@@ -264,6 +409,9 @@ func Run(s Spec) *Result {
 			if len(fr) < seqOff+8 {
 				c.short++
 				return
+			}
+			if myPort != 0 && uint16(fr[34])<<8|uint16(fr[35]) != myPort {
+				c.leaks++
 			}
 			c.delivered++
 			if plant > 0 && c.delivered%plant == 0 {
@@ -341,6 +489,17 @@ func Run(s Spec) *Result {
 		sw.Program(inn.NIC.MAC, cl.PortOf(inn.NIC))
 	}
 
+	// Spec v2 (flipped DRR weights) lands mid-window as a cluster-wide
+	// barrier action, so the reconciler drains and reshapes every tenant
+	// while traffic and the fault plan are live.
+	if tn != nil && s.Reconfig {
+		cl.Control(warmup+window/2, func() {
+			if err := cl.Apply(tenancyDesired(s, 2)); err != nil {
+				panic(err)
+			}
+		})
+	}
+
 	// Open-loop load: Poisson clients draw i.i.d. exponential gaps;
 	// bursty clients send fixed back-to-back trains at the same mean
 	// rate, stressing the switch queues and RQ refill paths.
@@ -406,6 +565,9 @@ func Run(s Spec) *Result {
 		for _, rt := range rts {
 			rt.Recover()
 		}
+		if tn != nil {
+			tn.recover()
+		}
 		if epA != nil {
 			epA.Poll()
 			epB.Poll()
@@ -461,7 +623,7 @@ func Run(s Spec) *Result {
 	}
 
 	checkInvariants(res, &runState{
-		spec: s, cl: cl, reg: reg, plan: plan, rts: rts,
+		spec: s, cl: cl, reg: reg, plan: plan, rts: rts, tn: tn,
 		clients: clients, sups: sups, epA: epA, epB: epB,
 		rdmaBad: rdmaBad, rdmaGhosts: rdmaGhosts,
 		echoSendFails: echoSendFails,

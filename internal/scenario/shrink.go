@@ -80,7 +80,30 @@ func candidates(s Spec) []Spec {
 		}
 	}
 
-	// Structural reductions.
+	// Structural reductions. Tenancy first: a violation that survives
+	// without the managed control plane removes the whole subsystem from
+	// the repro; one that needs it keeps tenants but sheds the mid-window
+	// reconfigure, then spare tenants. (A planted leak pins the tenancy:
+	// the drop-tenancy candidate would make the spec invalid, so it is
+	// only offered when PlantLeakNth is off.)
+	if s.Tenants > 0 {
+		if s.PlantLeakNth == 0 {
+			c := s
+			c.Tenants, c.Reconfig = 0, false
+			add(c)
+		}
+		if s.Reconfig {
+			c := s
+			c.Reconfig = false
+			add(c)
+		}
+		if s.Tenants > 2 {
+			c := s
+			c.Tenants = s.Tenants - 1
+			c.FLDCores = c.Tenants // tenant mode builds one core per tenant
+			add(c)
+		}
+	}
 	if s.RDMA {
 		c := s
 		c.RDMA = false
@@ -106,7 +129,9 @@ func candidates(s Spec) []Spec {
 			add(c2)
 		}
 	}
-	if s.FLDCores > 1 {
+	// Tenant mode pins one core per tenant, so halving cores only applies
+	// to the flat data path.
+	if s.Tenants == 0 && s.FLDCores > 1 {
 		c := s
 		c.FLDCores = s.FLDCores / 2
 		add(c)

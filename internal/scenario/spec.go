@@ -52,12 +52,32 @@ type Spec struct {
 	Path               string  // "eth" or "vxlan" (decap on the server NIC)
 	RDMA               bool    // add an RDMA host pair on the same switch
 
+	// --- multi-tenancy ---
+	// Tenants > 0 replaces the flat server data path with the managed
+	// control plane: the server's FLD cores and NIC queues are carved
+	// into Tenants isolated VFs (one core each, DRR weights alternating
+	// 1/2), clients are steered to tenants round-robin by destination
+	// port, and a zero-tolerance leakage invariant checks every echo
+	// reply came back from the client's own tenant. 0 keeps the legacy
+	// single-tenant path and every pre-tenancy seed byte-identical.
+	Tenants int
+	// Reconfig applies a version-2 spec (DRR weights flipped) mid-window
+	// while traffic and faults are live; the tenancy-converged invariant
+	// then requires the reconciler to have reached version 2.
+	Reconfig bool
+
 	// PlantLossNth is a test-only defect injector: every Nth frame
 	// delivered to a client is silently discarded *before* the
 	// bookkeeping sees it — a modeled "drop without a drop reason" that
 	// the frame-conservation invariant must catch. 0 disables it. It is
 	// part of the spec so a shrunk repro still plants the same bug.
 	PlantLossNth int64
+
+	// PlantLeakNth plants a cross-tenant leak: tenant T0's echo path
+	// rewrites every Nth reply's UDP source port to T1's port, which the
+	// zero-tolerance tenant-leak invariant must catch. Requires at least
+	// two tenants. 0 disables it.
+	PlantLeakNth int64
 
 	// Faults is a faults.ParseSpec specification ("" injects nothing).
 	// Run confines the probabilistic window to the measurement window.
@@ -106,6 +126,22 @@ func Generate(seed int64) Spec {
 	}
 
 	s.Faults = genFaults(rng)
+
+	// Multi-tenancy draws come from their own stream so adding the
+	// feature left every pre-tenancy field of every seed untouched (the
+	// golden telemetry pins depend on that). Roughly one scenario in
+	// three runs the managed control plane; half of those reconfigure
+	// mid-window. VXLAN decap rules and tenant steering both own the
+	// server NIC's table 0, so tenant scenarios pin the plain Ethernet
+	// path.
+	trng := sim.NewRand(seed ^ 0x58d10b3e)
+	if trng.Intn(3) == 0 {
+		s.Tenants = 2 + trng.Intn(2)
+		s.Reconfig = trng.Intn(2) == 0
+		s.Path = "eth"
+		// One core per tenant; FLDCores states the total actually built.
+		s.FLDCores = s.Tenants
+	}
 	return s
 }
 
@@ -195,8 +231,17 @@ func (s Spec) String() string {
 	if s.RDMA {
 		parts = append(parts, "rdma=1")
 	}
+	if s.Tenants > 0 {
+		parts = append(parts, "tenants="+strconv.Itoa(s.Tenants))
+	}
+	if s.Reconfig {
+		parts = append(parts, "reconfig=1")
+	}
 	if s.PlantLossNth > 0 {
 		parts = append(parts, "plant="+strconv.FormatInt(s.PlantLossNth, 10))
+	}
+	if s.PlantLeakNth > 0 {
+		parts = append(parts, "plantleak="+strconv.FormatInt(s.PlantLeakNth, 10))
 	}
 	if s.Faults != "" {
 		parts = append(parts, "faults="+s.Faults)
@@ -273,9 +318,18 @@ func Parse(text string) (Spec, error) {
 			s.Path = val
 		case "rdma":
 			s.RDMA = val == "1" || val == "true"
+		case "tenants":
+			s.Tenants, err = parseRange(val, 2, 4)
+		case "reconfig":
+			s.Reconfig = val == "1" || val == "true"
 		case "plant":
 			s.PlantLossNth, err = strconv.ParseInt(val, 10, 64)
 			if err == nil && s.PlantLossNth < 0 {
+				err = fmt.Errorf("must be >= 0")
+			}
+		case "plantleak":
+			s.PlantLeakNth, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && s.PlantLeakNth < 0 {
 				err = fmt.Errorf("must be >= 0")
 			}
 		case "faults":
@@ -288,6 +342,17 @@ func Parse(text string) (Spec, error) {
 		if err != nil {
 			return s, fmt.Errorf("scenario: bad value for %s: %v", key, err)
 		}
+	}
+	// Cross-field constraints (fields arrive in any order, so they are
+	// judged after the loop).
+	if s.Tenants > 0 && s.Path == "vxlan" {
+		return s, fmt.Errorf("scenario: tenants and vxlan both steer via the server NIC's table 0; use path=eth")
+	}
+	if s.Reconfig && s.Tenants == 0 {
+		return s, fmt.Errorf("scenario: reconfig=1 needs tenants")
+	}
+	if s.PlantLeakNth > 0 && s.Tenants < 2 {
+		return s, fmt.Errorf("scenario: plantleak needs at least two tenants")
 	}
 	return s, nil
 }

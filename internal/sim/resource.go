@@ -159,3 +159,16 @@ func (tb *TokenBucket) Reserve(n int) Duration {
 
 // Rate returns the configured refill rate.
 func (tb *TokenBucket) Rate() BitRate { return tb.rate }
+
+// SetRate retunes the bucket live: the balance is settled at the old
+// rate first, then refills continue at the new rate with the new depth.
+// An over-full or over-drawn balance carries across the change, so a
+// shaper mid-delay keeps its reservation honest.
+func (tb *TokenBucket) SetRate(rate BitRate, burst int) {
+	tb.refill()
+	tb.rate = rate
+	tb.burst = float64(burst)
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+}

@@ -1,0 +1,378 @@
+package flexdriver
+
+import (
+	"fmt"
+
+	"flexdriver/internal/ctrlplane"
+	"flexdriver/internal/fld"
+	"flexdriver/internal/fldsw"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/telemetry"
+)
+
+// TenantManager actuates the control plane's desired state on one Innova
+// node: it owns VF lifecycle on the NIC, the FLD core partition, and the
+// per-(core, VF) runtimes, and it implements ctrlplane.Actuator so a
+// Reconciler can converge the node through drain → reconfigure → undrain
+// steps. Build one per managed node with NewTenantManager (or
+// Cluster.ManageTenants) and feed it specs through Apply.
+type TenantManager struct {
+	inn  *Innova
+	part *fld.Partition
+	rec  *ctrlplane.Reconciler
+
+	tenants map[string]*tenantActuation
+	free    []*fld.FLD // released cores awaiting reuse, in release order
+
+	// provision, when set, re-installs a tenant's data plane (steering
+	// rules, tx queues, accelerator handlers) after every reconfigure —
+	// the experiment's hook for keeping traffic flowing across live
+	// reconfigurations.
+	provision func(name string, t TenantSpec, rts []*Runtime)
+	// onDrainChange, when set, fires at every drain-state transition:
+	// once per drain episode as it opens (so a workload can stop
+	// steering new frames into the tenant, which is what lets the drain
+	// complete under continuous traffic), on undrain, and on removal
+	// (so steering resumes or retires with the tenant).
+	onDrainChange func(name string)
+
+	sc     *telemetry.Scope // <node>/ctrlplane, nil without telemetry
+	gauges map[string]tenantGauges
+}
+
+// tenantActuation is one tenant's live footprint on the node.
+type tenantActuation struct {
+	shape    ctrlplane.TenantState
+	vfs      []*nic.VF
+	cores    []*fld.FLD
+	rts      []*fldsw.Runtime
+	draining bool
+}
+
+// tenantGauges mirror a tenant's actuated shape into the telemetry tree
+// under <node>/ctrlplane/tenant/<name>/ — the observable record the
+// tenancy experiment (and operators) read convergence from.
+type tenantGauges struct {
+	vfs, cores, sqs, rqs, cqs, weight, rateMbps *Gauge
+}
+
+// NewTenantManager builds the actuator plus its reconciler for one node.
+// The seed feeds only the reconciler's backoff-jitter stream.
+func NewTenantManager(inn *Innova, seed int64) *TenantManager {
+	tm := &TenantManager{
+		inn:     inn,
+		part:    fld.NewPartition(),
+		tenants: make(map[string]*tenantActuation),
+		gauges:  make(map[string]tenantGauges),
+	}
+	tm.rec = ctrlplane.NewReconciler(inn.eng, tm, seed)
+	if inn.tel != nil {
+		tm.sc = inn.tel.Scope(inn.name).Scope("ctrlplane")
+		tm.rec.SetTelemetry(tm.sc)
+	}
+	return tm
+}
+
+// Node returns the managed Innova.
+func (tm *TenantManager) Node() *Innova { return tm.inn }
+
+// Reconciler exposes the node's reconcile loop (for watchdog Kicks and
+// convergence checks).
+func (tm *TenantManager) Reconciler() *ctrlplane.Reconciler { return tm.rec }
+
+// Partition exposes the FLD core→tenant ledger.
+func (tm *TenantManager) Partition() *fld.Partition { return tm.part }
+
+// Apply hands a desired-state spec to the node's reconciler.
+func (tm *TenantManager) Apply(spec TenancySpec) error { return tm.rec.Apply(spec) }
+
+// SetProvision installs the data-plane (re)provisioning hook, called at
+// the end of every successful Reconfigure with the tenant's fresh
+// runtimes (one per core, each bound to one of the tenant's VFs).
+func (tm *TenantManager) SetProvision(fn func(name string, t TenantSpec, rts []*Runtime)) {
+	tm.provision = fn
+}
+
+// SetOnDrainChange installs the drain-transition hook (see
+// onDrainChange).
+func (tm *TenantManager) SetOnDrainChange(fn func(name string)) { tm.onDrainChange = fn }
+
+// Draining reports whether the tenant is mid-drain: traffic generators
+// gate new work on this, which is what lets a drain complete.
+func (tm *TenantManager) Draining(name string) bool {
+	a := tm.tenants[name]
+	return a != nil && a.draining
+}
+
+// VFs returns the tenant's live virtual functions (nil if not running).
+func (tm *TenantManager) VFs(name string) []*nic.VF {
+	if a := tm.tenants[name]; a != nil {
+		return a.vfs
+	}
+	return nil
+}
+
+// Runtimes returns the tenant's live runtimes, one per assigned core.
+func (tm *TenantManager) Runtimes(name string) []*Runtime {
+	if a := tm.tenants[name]; a != nil {
+		return a.rts
+	}
+	return nil
+}
+
+// Cores returns the tenant's assigned FLD cores in assignment order.
+func (tm *TenantManager) Cores(name string) []*FLD {
+	if a := tm.tenants[name]; a != nil {
+		return a.cores
+	}
+	return nil
+}
+
+// --- ctrlplane.Actuator ---
+
+// Observed reports the tenants the node is actually running. The same
+// shapes are mirrored as gauges under <node>/ctrlplane/tenant/<name>/,
+// so the telemetry tree and the reconciler agree by construction.
+func (tm *TenantManager) Observed() map[string]ctrlplane.TenantState {
+	out := make(map[string]ctrlplane.TenantState, len(tm.tenants))
+	for name, a := range tm.tenants {
+		out[name] = a.shape
+	}
+	return out
+}
+
+// Drain stops feeding the tenant new work (via Draining) and reports
+// whether its in-flight work has quiesced: every assigned core idle with
+// no replay window owed, every runtime queue Ready. A tenant the node
+// does not run drains trivially.
+func (tm *TenantManager) Drain(name string) bool {
+	a := tm.tenants[name]
+	if a == nil {
+		return true
+	}
+	if !a.draining {
+		a.draining = true
+		if tm.onDrainChange != nil {
+			tm.onDrainChange(name)
+		}
+	}
+	// Drained (rather than bare Quiesced) tolerates an executed-but-
+	// unsignaled descriptor tail: once traffic stops, the NIC owes no
+	// CQE for it, so waiting on full quiescence would wedge the drain.
+	for _, rt := range a.rts {
+		if !rt.QueuesReady() || !rt.Drained() {
+			// A posting silently lost on the fabric (dropped doorbell or
+			// WQE write) never errors a queue, so nothing but this drain
+			// would ever repair it — nudge before the next attempt.
+			rt.NudgeTx()
+			return false
+		}
+	}
+	return true
+}
+
+// Reconfigure creates the tenant or reshapes it to the desired state.
+// Bandwidth-only changes (weight, rate) re-slice the live VFs without
+// touching queues; anything structural rebuilds the tenant from scratch
+// — the reconciler guarantees it is drained first.
+func (tm *TenantManager) Reconfigure(name string, t TenantSpec) error {
+	if old := tm.tenants[name]; old != nil && old.shape.VFs == t.VFs &&
+		old.shape.Cores == t.Cores && old.shape.SQs == t.SQs &&
+		old.shape.RQs == t.RQs && old.shape.CQs == t.CQs {
+		for _, vf := range old.vfs {
+			vf.SetWeight(t.Weight)
+			vf.SetRate(perVFRate(t), 0)
+		}
+		old.shape.Weight = t.Weight
+		old.shape.RateGbps = t.RateGbps
+		tm.publish(name, old.shape)
+		if tm.provision != nil {
+			tm.provision(name, t, old.rts)
+		}
+		return nil
+	}
+
+	tm.teardown(name)
+	a := &tenantActuation{}
+	for i := 0; i < t.VFs; i++ {
+		a.vfs = append(a.vfs, tm.inn.NIC.CreateVF(nic.VFConfig{
+			Quota:  nic.VFQuota{SQs: t.SQs, RQs: t.RQs, CQs: t.CQs},
+			Weight: t.Weight,
+			Rate:   perVFRate(t),
+		}))
+	}
+	for i := 0; i < t.Cores; i++ {
+		f := tm.takeCore()
+		if err := tm.part.Assign(name, f); err != nil {
+			tm.free = append(tm.free, f)
+			tm.tenants[name] = a
+			tm.teardown(name)
+			return err
+		}
+		a.cores = append(a.cores, f)
+		rt, err := fldsw.NewRuntimeVF(tm.inn.eng, tm.inn.Fab, tm.inn.Mem,
+			tm.inn.NIC, f, a.vfs[i%len(a.vfs)])
+		if err != nil {
+			tm.tenants[name] = a
+			tm.teardown(name)
+			return err
+		}
+		// Managed cores crash-restart under the fault plan; a tenant's
+		// supervision must resync after a crash even when the window was
+		// too short for any queue to trip into Error.
+		rt.CrashResync = true
+		a.rts = append(a.rts, rt)
+	}
+	a.shape = ctrlplane.TenantState{VFs: t.VFs, Cores: t.Cores,
+		SQs: t.SQs, RQs: t.RQs, CQs: t.CQs, Weight: t.Weight, RateGbps: t.RateGbps}
+	tm.tenants[name] = a
+	tm.publish(name, a.shape)
+	if tm.provision != nil {
+		tm.provision(name, t, a.rts)
+	}
+	return nil
+}
+
+// Undrain resumes the tenant after a successful reconfigure.
+func (tm *TenantManager) Undrain(name string) {
+	if a := tm.tenants[name]; a != nil {
+		a.draining = false
+	}
+	if tm.onDrainChange != nil {
+		tm.onDrainChange(name)
+	}
+}
+
+// Remove tears the tenant down: VFs destroyed (their queues failed, the
+// forwarding domain retired), cores released back to the free pool.
+func (tm *TenantManager) Remove(name string) error {
+	tm.teardown(name)
+	tm.publish(name, ctrlplane.TenantState{})
+	if tm.onDrainChange != nil {
+		tm.onDrainChange(name)
+	}
+	return nil
+}
+
+// teardown releases a tenant's footprint. Runtimes die with their VFs:
+// DestroyVF fails every queue they hold, so a runtime handle kept past
+// teardown can no longer move traffic.
+func (tm *TenantManager) teardown(name string) {
+	a := tm.tenants[name]
+	if a == nil {
+		return
+	}
+	for _, f := range a.cores {
+		tm.part.Release(f)
+		// Function-reset the released core: any unsignaled descriptor
+		// tail it still tracks must not leak pool pages or translations
+		// into the next tenant's tenure.
+		f.ResetFunction()
+		tm.free = append(tm.free, f)
+	}
+	for _, vf := range a.vfs {
+		tm.inn.NIC.DestroyVF(vf)
+	}
+	delete(tm.tenants, name)
+}
+
+// takeCore reuses a released core or instantiates a fresh one on the
+// node's FPGA — AddFLD's wiring minus the PF runtime, since tenant cores
+// get their runtimes through a VF.
+func (tm *TenantManager) takeCore() *fld.FLD {
+	if n := len(tm.free); n > 0 {
+		f := tm.free[0]
+		tm.free = tm.free[1:]
+		return f
+	}
+	inn := tm.inn
+	f := fld.New(inn.eng, inn.FLD.Config())
+	f.SetPCIeName(fmt.Sprintf("fld%d", inn.numFLDs))
+	f.AttachPCIe(inn.Fab, inn.link)
+	if inn.tel != nil {
+		f.SetTelemetry(inn.tel.Scope(inn.name).Scope(fmt.Sprintf("fld%d", inn.numFLDs)))
+	}
+	inn.numFLDs++
+	inn.flds = append(inn.flds, f)
+	if inn.faults != nil {
+		inn.faults.AttachFLD(f)
+		inn.faults.AttachFLDReset(inn.eng, f)
+	}
+	return f
+}
+
+// perVFRate splits a tenant's aggregate rate cap evenly across its VFs.
+func perVFRate(t TenantSpec) BitRate {
+	if t.RateGbps <= 0 || t.VFs <= 0 {
+		return 0
+	}
+	return BitRate(t.RateGbps) * Gbps / BitRate(t.VFs)
+}
+
+// publish mirrors the tenant's actuated shape into the telemetry tree.
+func (tm *TenantManager) publish(name string, s ctrlplane.TenantState) {
+	if tm.sc == nil {
+		return
+	}
+	g, ok := tm.gauges[name]
+	if !ok {
+		sc := tm.sc.Scope("tenant").Scope(name)
+		g = tenantGauges{
+			vfs: sc.Gauge("vfs"), cores: sc.Gauge("cores"),
+			sqs: sc.Gauge("sqs"), rqs: sc.Gauge("rqs"), cqs: sc.Gauge("cqs"),
+			weight: sc.Gauge("weight"), rateMbps: sc.Gauge("rate_mbps"),
+		}
+		tm.gauges[name] = g
+	}
+	g.vfs.Set(int64(s.VFs))
+	g.cores.Set(int64(s.Cores))
+	g.sqs.Set(int64(s.SQs))
+	g.rqs.Set(int64(s.RQs))
+	g.cqs.Set(int64(s.CQs))
+	g.weight.Set(int64(s.Weight))
+	g.rateMbps.Set(int64(s.RateGbps * 1000))
+}
+
+// --- Cluster facade ---
+
+// ManageTenants puts an Innova node under control-plane management,
+// returning its TenantManager. Specs applied through Cluster.Apply or
+// Cluster.AddTenant reach every managed node.
+func (c *Cluster) ManageTenants(inn *Innova, seed int64) *TenantManager {
+	tm := NewTenantManager(inn, seed)
+	c.tms = append(c.tms, tm)
+	return tm
+}
+
+// TenantManagers returns the cluster's managed nodes in management order.
+func (c *Cluster) TenantManagers() []*TenantManager { return c.tms }
+
+// TenancySpec returns the spec the cluster last applied (version 0 before
+// the first Apply).
+func (c *Cluster) TenancySpec() TenancySpec { return c.tenancy }
+
+// Apply publishes a desired-state spec to every managed node. Call it
+// before Run or from a Cluster.Control callback, so every reconciler
+// opens its episode at a synchronized instant.
+func (c *Cluster) Apply(spec TenancySpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	for _, tm := range c.tms {
+		if err := tm.Apply(spec); err != nil {
+			return err
+		}
+	}
+	c.tenancy = spec
+	return nil
+}
+
+// AddTenant appends a tenant to the cluster's current spec, bumps the
+// version, and applies the result — the one-call "give this tenant a
+// slice" operation.
+func (c *Cluster) AddTenant(t TenantSpec) error {
+	spec := c.tenancy
+	spec.Tenants = append(append([]TenantSpec(nil), spec.Tenants...), t)
+	spec.Version++
+	return c.Apply(spec)
+}

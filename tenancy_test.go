@@ -1,0 +1,175 @@
+package flexdriver
+
+import (
+	"testing"
+)
+
+func tenancyTestSpec() TenancySpec {
+	return TenancySpec{Version: 1, Tenants: []TenantSpec{
+		{Name: "alpha", VFs: 1, Cores: 1, SQs: 2, RQs: 1, CQs: 2, Weight: 2, RateGbps: 10},
+		{Name: "beta", VFs: 2, Cores: 2, SQs: 2, RQs: 1, CQs: 2, Weight: 1},
+	}}
+}
+
+func TestTenantManagerConverges(t *testing.T) {
+	reg := NewRegistry()
+	inn := NewLocalInnova(WithTelemetry(reg))
+	tm := NewTenantManager(inn, 7)
+	if err := tm.Apply(tenancyTestSpec()); err != nil {
+		t.Fatal(err)
+	}
+	inn.Run()
+	if !tm.Reconciler().Converged() {
+		t.Fatal("node did not converge")
+	}
+	if got := len(tm.VFs("alpha")); got != 1 {
+		t.Fatalf("alpha has %d VFs, want 1", got)
+	}
+	if got := len(tm.Runtimes("beta")); got != 2 {
+		t.Fatalf("beta has %d runtimes, want 2", got)
+	}
+	// beta's two runtimes round-robin across its two VFs.
+	rts := tm.Runtimes("beta")
+	if rts[0].VF() == rts[1].VF() {
+		t.Fatal("beta's runtimes share a VF; want round-robin placement")
+	}
+	// The partition ledger agrees with the actuation.
+	if got := len(tm.Partition().Cores("beta")); got != 2 {
+		t.Fatalf("partition shows %d beta cores, want 2", got)
+	}
+	// Actuated shapes are mirrored into the telemetry tree.
+	snap := reg.Snapshot()
+	if v := snap.Gauges["innova/ctrlplane/tenant/alpha/cores"].Value; v != 1 {
+		t.Fatalf("alpha cores gauge = %d, want 1", v)
+	}
+	if v := snap.Gauges["innova/ctrlplane/tenant/beta/vfs"].Value; v != 2 {
+		t.Fatalf("beta vfs gauge = %d, want 2", v)
+	}
+	if v := snap.Gauges["innova/ctrlplane/tenant/alpha/rate_mbps"].Value; v != 10000 {
+		t.Fatalf("alpha rate gauge = %d, want 10000", v)
+	}
+}
+
+func TestTenantManagerLiveReshapeAndRemove(t *testing.T) {
+	inn := NewLocalInnova()
+	tm := NewTenantManager(inn, 7)
+	if err := tm.Apply(tenancyTestSpec()); err != nil {
+		t.Fatal(err)
+	}
+	inn.Run()
+	alphaVF := tm.VFs("alpha")[0]
+	betaCores := tm.Cores("beta")
+
+	// v2: bandwidth-only change for alpha (re-slices the live VF, same
+	// queues), structural shrink for beta (rebuild on fresh VFs).
+	s := tenancyTestSpec()
+	s.Version = 2
+	s.Tenants[0].Weight = 5
+	s.Tenants[0].RateGbps = 4
+	s.Tenants[1].Cores = 1
+	s.Tenants[1].VFs = 1
+	if err := tm.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	inn.Run()
+	if !tm.Reconciler().Converged() {
+		t.Fatal("did not converge after reshape")
+	}
+	if tm.VFs("alpha")[0] != alphaVF {
+		t.Fatal("bandwidth-only change rebuilt alpha's VF")
+	}
+	if alphaVF.Weight() != 5 {
+		t.Fatalf("alpha VF weight = %d, want 5", alphaVF.Weight())
+	}
+	if got := len(tm.Cores("beta")); got != 1 {
+		t.Fatalf("beta has %d cores after shrink, want 1", got)
+	}
+
+	// v3: remove beta entirely; its core returns to the free pool and is
+	// reused when a new tenant arrives.
+	s2 := TenancySpec{Version: 3, Tenants: []TenantSpec{s.Tenants[0]}}
+	if err := tm.Apply(s2); err != nil {
+		t.Fatal(err)
+	}
+	inn.Run()
+	if tm.Runtimes("beta") != nil {
+		t.Fatal("beta still actuated after removal")
+	}
+	if got := len(tm.Partition().Tenants()); got != 1 {
+		t.Fatalf("partition still holds %d tenants, want 1", got)
+	}
+
+	s3 := s2
+	s3.Version = 4
+	s3.Tenants = append(append([]TenantSpec(nil), s2.Tenants...),
+		TenantSpec{Name: "gamma", VFs: 1, Cores: 1, SQs: 2, RQs: 1, CQs: 2, Weight: 1})
+	if err := tm.Apply(s3); err != nil {
+		t.Fatal(err)
+	}
+	inn.Run()
+	if !tm.Reconciler().Converged() {
+		t.Fatal("did not converge after gamma")
+	}
+	reused := false
+	for _, f := range betaCores {
+		if len(tm.Cores("gamma")) == 1 && tm.Cores("gamma")[0] == f {
+			reused = true
+		}
+	}
+	if !reused {
+		t.Fatal("gamma did not reuse a released core")
+	}
+	if n := inn.NumFLDs(); n != 4 {
+		// 1 PF core + alpha's 1 + beta's peak of 2; gamma reuses.
+		t.Fatalf("node carries %d FLD cores, want 4", n)
+	}
+}
+
+func TestTenantManagerInfeasibleSpecAbandons(t *testing.T) {
+	reg := NewRegistry()
+	inn := NewLocalInnova(WithTelemetry(reg))
+	tm := NewTenantManager(inn, 7)
+	// One core needs two CQs on its VF; a 1-CQ quota can never actuate.
+	bad := TenancySpec{Version: 1, Tenants: []TenantSpec{
+		{Name: "cramped", VFs: 1, Cores: 1, SQs: 1, RQs: 1, CQs: 1, Weight: 1},
+	}}
+	if err := tm.Apply(bad); err != nil {
+		t.Fatal(err)
+	}
+	inn.Run()
+	if tm.Reconciler().Converged() {
+		t.Fatal("converged on an infeasible spec?")
+	}
+	snap := reg.Snapshot()
+	if snap.Get("innova/ctrlplane/abandoned") != 1 {
+		t.Fatal("infeasible episode not abandoned")
+	}
+	if snap.Get("innova/ctrlplane/actuator_errors") == 0 {
+		t.Fatal("quota denials not surfaced as actuator errors")
+	}
+}
+
+func TestClusterApplyReachesEveryManagedNode(t *testing.T) {
+	c := NewCluster()
+	a := c.AddInnova("a")
+	b := c.AddInnova("b")
+	tma := c.ManageTenants(a, 1)
+	tmb := c.ManageTenants(b, 2)
+	if err := c.Apply(tenancyTestSpec()); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if !tma.Reconciler().Converged() || !tmb.Reconciler().Converged() {
+		t.Fatal("managed nodes did not all converge")
+	}
+	if err := c.AddTenant(TenantSpec{Name: "gamma", VFs: 1, SQs: 1, RQs: 1, CQs: 1, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if c.TenancySpec().Version != 2 {
+		t.Fatalf("cluster spec version = %d, want 2", c.TenancySpec().Version)
+	}
+	if len(tmb.VFs("gamma")) != 1 {
+		t.Fatal("AddTenant did not reach node b")
+	}
+}
