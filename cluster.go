@@ -34,11 +34,12 @@ type Cluster struct {
 	Hosts   []*Host
 	Innovas []*Innova
 
-	group *sim.Group
-	o     Options
-	swCfg ethswitch.Config
-	sw    *ethswitch.Switch
-	ports map[*NIC]*ethswitch.Port
+	group  *sim.Group
+	o      Options
+	swCfg  ethswitch.Config
+	sw     *ethswitch.Switch
+	ports  map[*NIC]*ethswitch.Port
+	shared *sim.Engine // the single engine under WithColocated
 
 	// Tenancy control plane: per-node managers plus the cluster's
 	// current desired-state spec (see tenancy.go).
@@ -98,11 +99,26 @@ func (c *Cluster) SwitchQueueFrames(n int) *Cluster {
 	return c
 }
 
+// shardEngine returns the engine for the next node or the switch: a
+// fresh shard normally, the cluster's one shared engine under
+// WithColocated (conduits between identical engines degenerate to
+// direct scheduling, so a fully colocated cluster has no cross-shard
+// paths at all and the group runs it monolithically).
+func (c *Cluster) shardEngine() *sim.Engine {
+	if !c.o.Colocate {
+		return c.group.NewEngine()
+	}
+	if c.shared == nil {
+		c.shared = c.group.NewEngine()
+	}
+	return c.shared
+}
+
 // Switch returns the ToR switch, creating it (and its shard engine) on
 // first use.
 func (c *Cluster) Switch() *EthSwitch {
 	if c.sw == nil {
-		c.sw = ethswitch.New(c.group.NewEngine(), c.swCfg)
+		c.sw = ethswitch.New(c.shardEngine(), c.swCfg)
 		if c.o.Telemetry != nil {
 			c.sw.SetTelemetry(c.o.Telemetry.Scope("switch"))
 		}
@@ -187,7 +203,7 @@ func (c *Cluster) AddInnova(name string) *Innova {
 // buildHost constructs a node on a fresh shard without cabling it;
 // NewRemotePair instead colocates its two nodes via buildHostOn.
 func (c *Cluster) buildHost(name string) *Host {
-	return c.buildHostOn(c.group.NewEngine(), name)
+	return c.buildHostOn(c.shardEngine(), name)
 }
 
 func (c *Cluster) buildHostOn(eng *Engine, name string) *Host {
@@ -198,7 +214,7 @@ func (c *Cluster) buildHostOn(eng *Engine, name string) *Host {
 }
 
 func (c *Cluster) buildInnova(name string) *Innova {
-	return c.buildInnovaOn(c.group.NewEngine(), name)
+	return c.buildInnovaOn(c.shardEngine(), name)
 }
 
 func (c *Cluster) buildInnovaOn(eng *Engine, name string) *Innova {

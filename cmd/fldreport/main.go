@@ -51,7 +51,8 @@ func main() {
 	faults := flag.String("faults", "", `fault spec for the chaos experiment: a preset ("light", "heavy", "crash") or key=value pairs, e.g. "heavy" or "light,wire.loss=0.1" (default "heavy")`)
 	count := flag.Int("count", 25, "how many generated scenarios the scenario sweep runs (seeds seed..seed+count-1)")
 	spec := flag.String("spec", "", "exact scenario spec to replay for -exp scenario (the form a shrunk repro command prints); overrides -count")
-	clients := flag.String("clients", "1,2,4,8", "client counts the cluster experiment sweeps, comma-separated")
+	clients := flag.String("clients", "1,2,4,8", "client counts the cluster experiment sweeps, comma-separated; with -hosts these are aggregated counts (e.g. -clients 128,512)")
+	hosts := flag.Int("hosts", 0, "fold each cluster client count onto this many aggregated-client hosts (0 = one discrete host per client); the hundred-node scaling mode")
 	workers := flag.Int("workers", 0, "scheduler workers for the cluster, chaos and failover experiments: 0 = one per CPU, 1 = sequential reference (identical telemetry either way)")
 	traceOut := flag.String("trace", "", "run the telemetry experiment, print its counter snapshot, and write the TLP flight recorder as Chrome trace_event JSON to this file")
 	flag.Parse()
@@ -107,7 +108,7 @@ func main() {
 		{"failover", "crash-failover SLOs under supervision; honors -workers", func() *exps.Result { return exps.FailoverWorkers(window, *workers) }},
 		{"scenario", "generated-scenario sweep; honors -seed -count -spec", func() *exps.Result { return exps.Scenario(*seed, *count, *spec) }},
 		{"tenancy", "multi-tenant live reconcile under traffic; honors -seed", func() *exps.Result { return exps.Tenancy(*seed, window) }},
-		{"cluster", "N-client scaling behind a ToR switch; honors -clients -workers", func() *exps.Result {
+		{"cluster", "N-client scaling behind a ToR switch; honors -clients -hosts -workers", func() *exps.Result {
 			p := exps.DefaultClusterParams(window)
 			ns, err := parseClients(*clients)
 			if err != nil {
@@ -115,6 +116,7 @@ func main() {
 				os.Exit(2)
 			}
 			p.Clients = ns
+			p.Hosts = *hosts
 			p.Workers = *workers
 			return exps.Cluster(p)
 		}},

@@ -39,6 +39,17 @@ type ClusterParams struct {
 	// byte-identical at any setting; the determinism tests and the
 	// parallel-speedup benchmarks sweep it.
 	Workers int
+	// Hosts, when positive, folds each point's N clients into this many
+	// aggregated-client hosts (flexdriver.AggregatedClients) instead of
+	// N discrete nodes: client gi keeps its discrete arrival stream
+	// (Seed*1000+gi) and per-client flow set, so offered load is
+	// unchanged while topology cost drops from N nodes to Hosts nodes.
+	// Zero keeps the historical one-host-per-client build.
+	Hosts int
+	// Colocate racks every node and the switch on one shared engine —
+	// the monolithic-baseline mode fldbench's scheduler-overhead ratio
+	// measures against.
+	Colocate bool
 }
 
 // DefaultClusterParams returns the standard sweep: N ∈ {1,2,4,8}
@@ -118,11 +129,19 @@ func clusterFrame(src, dst *flexdriver.NIC, sport, dport uint16, size int) []byt
 // flows exactly evenly over the server's cores — modeling a generator
 // with enough flow entropy for RSS to balance (§9).
 func balancedFlows(cli *flexdriver.Host, srv *flexdriver.Innova, flows, cores, size int) [][]byte {
+	return balancedFlowsFrom(cli.NIC, srv, flows, cores, size, 4000)
+}
+
+// balancedFlowsFrom is balancedFlows with an explicit source NIC and
+// starting sport: aggregated hosts carry many clients on one NIC, so
+// each client scans from its own base port and keeps a distinct flow-tag
+// set for RSS spread and telemetry attribution.
+func balancedFlowsFrom(src *flexdriver.NIC, srv *flexdriver.Innova, flows, cores, size int, base uint16) [][]byte {
 	per := (flows + cores - 1) / cores
 	count := make([]int, cores)
 	var out [][]byte
-	for sport := uint16(4000); len(out) < per*cores && sport < 60000; sport++ {
-		f := clusterFrame(cli.NIC, srv.NIC, sport, 7777, size)
+	for sport := base; len(out) < per*cores && sport < 65000; sport++ {
+		f := clusterFrame(src, srv.NIC, sport, 7777, size)
 		if b := int(netpkt.RSSHash(f)) % cores; count[b] < per {
 			count[b]++
 			out = append(out, f)
@@ -156,6 +175,7 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 		flexdriver.WithDriver(genDriverParams()),
 		flexdriver.WithTelemetry(reg),
 		flexdriver.WithWorkers(p.Workers),
+		flexdriver.WithColocated(p.Colocate),
 	).SwitchQueueFrames(p.QueueFrames)
 
 	// Server: one Innova, FLDCores cores behind an RSS TIR, each running
@@ -178,33 +198,26 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 	srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{
 		Action: flexdriver.Action{ToTIR: &nic.TIR{RQs: rqs}}})
 
-	// Clients: RSS-balanced flow sets, per-client sequence stamping for
-	// RTT, steering on own IP (flooded frames for other nodes miss).
-	// Every per-client accumulator (latencies, rx bytes) is private to
-	// that client's shard during the run and merged afterwards — shards
-	// run on real goroutines, so shared accumulators would race.
+	// Clients: RSS-balanced flow sets, sequence stamping for RTT,
+	// steering on own IP (flooded frames for other nodes miss). One
+	// bookkeeping record per traffic-carrying host — each discrete
+	// client, or each aggregated host folding many clients. Every
+	// accumulator (latencies, rx bytes) is private to that host's shard
+	// during the run and merged afterwards — shards run on real
+	// goroutines, so shared accumulators would race.
 	const seqOff = 42 // Eth(14) + IPv4(20) + UDP(8)
 	measuring := false
 	type client struct {
 		eng    *sim.Engine
 		port   *swdriver.EthPort
-		frames [][]byte
+		frames [][]byte // discrete mode only; aggregated flows live in the source
 		sent   int64
 		sendAt []flexdriver.Time
 		lat    []float64
 		rxB    int64
 	}
-	clients := make([]*client, 0, n)
-	for ci := 0; ci < n; ci++ {
-		h := cl.AddHost(fmt.Sprintf("client%d", ci))
-		port := h.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
-		ip := h.NIC.IP
-		h.NIC.ESwitch().AddRule(0, flexdriver.Rule{
-			Match:  flexdriver.Match{DstIP: &ip},
-			Action: flexdriver.Action{ToRQ: port.RQ()}})
-		c := &client{eng: h.Engine(), port: port,
-			frames: balancedFlows(h, srv, p.FlowsPerClient, p.FLDCores, p.FrameSize)}
-		port.OnReceive = func(fr []byte, _ swdriver.RxMeta) {
+	hookRecv := func(c *client) {
+		c.port.OnReceive = func(fr []byte, _ swdriver.RxMeta) {
 			if len(fr) < seqOff+8 || !measuring {
 				return
 			}
@@ -217,35 +230,91 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 			}
 			c.rxB += int64(len(fr))
 		}
-		clients = append(clients, c)
 	}
-
-	// Open-loop load: each client draws i.i.d. exponential gaps (Poisson
-	// arrivals) and round-robins its flow set, sending until the window
-	// closes.
 	stopSending := p.Warmup + p.Window
-	for ci, c := range clients {
-		rng := sim.NewRand(p.Seed*1000 + int64(ci))
-		mean := flexdriver.Duration(float64(p.FrameSize*8) /
-			(p.PerClientGbps * 1e9) * float64(flexdriver.Second))
-		c := c
-		var tick func()
-		tick = func() {
-			if c.eng.Now() >= stopSending {
-				return
+	mean := flexdriver.Duration(float64(p.FrameSize*8) /
+		(p.PerClientGbps * 1e9) * float64(flexdriver.Second))
+	nhosts := n
+	if p.Hosts > 0 && p.Hosts < n {
+		nhosts = p.Hosts
+	}
+	clients := make([]*client, 0, nhosts)
+	if p.Hosts > 0 {
+		// Aggregated topology: n logical clients folded into nhosts
+		// sources. Client gi keeps the arrival stream (Seed*1000+gi) it
+		// would own as a discrete host, and its own flow-tag set (base
+		// sport strided per client); stamps are host-level ordinals.
+		for hi, base := 0, 0; hi < nhosts; hi++ {
+			k := n / nhosts
+			if hi < n%nhosts {
+				k++
 			}
-			f := append([]byte(nil), c.frames[int(c.sent)%len(c.frames)]...)
-			seq := c.sent
-			for i := 7; i >= 0; i-- {
-				f[seqOff+i] = byte(seq)
-				seq >>= 8
+			c := &client{}
+			b := base
+			src := cl.AddAggregatedClients(fmt.Sprintf("client%d", hi), flexdriver.AggregatedClientsConfig{
+				Clients:    k,
+				StreamSeed: p.Seed*1000 + int64(b),
+				Stop:       stopSending,
+				Setup: func(h *flexdriver.Host, ci int, _ *sim.Rand) flexdriver.ClientSetup {
+					return flexdriver.ClientSetup{
+						Flows: balancedFlowsFrom(h.NIC, srv, p.FlowsPerClient,
+							p.FLDCores, p.FrameSize, uint16(4000+(b+ci)*97)),
+						Mean: mean,
+					}
+				},
+				OnSend: func(_ int, f []byte) {
+					seq := c.sent
+					for i := 7; i >= 0; i-- {
+						f[seqOff+i] = byte(seq)
+						seq >>= 8
+					}
+					c.sendAt = append(c.sendAt, c.eng.Now())
+					c.sent++
+				},
+			})
+			c.eng, c.port = src.Host.Engine(), src.Port
+			hookRecv(c)
+			clients = append(clients, c)
+			base += k
+		}
+	} else {
+		for ci := 0; ci < n; ci++ {
+			h := cl.AddHost(fmt.Sprintf("client%d", ci))
+			port := h.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
+			ip := h.NIC.IP
+			h.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+				Match:  flexdriver.Match{DstIP: &ip},
+				Action: flexdriver.Action{ToRQ: port.RQ()}})
+			c := &client{eng: h.Engine(), port: port,
+				frames: balancedFlows(h, srv, p.FlowsPerClient, p.FLDCores, p.FrameSize)}
+			hookRecv(c)
+			clients = append(clients, c)
+		}
+
+		// Open-loop load: each client draws i.i.d. exponential gaps
+		// (Poisson arrivals) and round-robins its flow set, sending until
+		// the window closes. (Aggregated sources drive themselves.)
+		for ci, c := range clients {
+			rng := sim.NewRand(p.Seed*1000 + int64(ci))
+			c := c
+			var tick func()
+			tick = func() {
+				if c.eng.Now() >= stopSending {
+					return
+				}
+				f := append([]byte(nil), c.frames[int(c.sent)%len(c.frames)]...)
+				seq := c.sent
+				for i := 7; i >= 0; i-- {
+					f[seqOff+i] = byte(seq)
+					seq >>= 8
+				}
+				c.sendAt = append(c.sendAt, c.eng.Now())
+				c.sent++
+				c.port.Send(f)
+				c.eng.After(rng.Exp(mean), tick)
 			}
-			c.sendAt = append(c.sendAt, c.eng.Now())
-			c.sent++
-			c.port.Send(f)
 			c.eng.After(rng.Exp(mean), tick)
 		}
-		c.eng.After(rng.Exp(mean), tick)
 	}
 
 	cl.RunUntil(p.Warmup)
@@ -282,9 +351,9 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 		pt.fldRx = append(pt.fldRx, rx)
 		total += rx
 	}
-	mean := float64(total) / float64(len(rts))
+	coreMean := float64(total) / float64(len(rts))
 	for _, rx := range pt.fldRx {
-		if dev := abs(float64(rx)-mean) / mean; dev > pt.imbalance {
+		if dev := abs(float64(rx)-coreMean) / coreMean; dev > pt.imbalance {
 			pt.imbalance = dev
 		}
 	}
@@ -294,8 +363,8 @@ func runClusterPoint(n int, p ClusterParams) clusterPoint {
 	snap := reg.Snapshot()
 	pt.telemHash = snap.Hash()
 	pt.pcieMismatches = pcieMismatches(snap, "server", srv.Fab)
-	for ci, h := range cl.Hosts {
-		pt.pcieMismatches += pcieMismatches(snap, fmt.Sprintf("client%d", ci), h.Fab)
+	for _, h := range cl.Hosts {
+		pt.pcieMismatches += pcieMismatches(snap, h.Name(), h.Fab)
 	}
 	return pt
 }

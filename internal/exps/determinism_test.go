@@ -136,6 +136,30 @@ func TestClusterSeqParIdentical(t *testing.T) {
 	}
 }
 
+// TestCluster128SeqParIdentical is the large-cluster form of the pin:
+// 256 aggregated clients folded onto 128 hosts (two per source) — the
+// topology the hundred-node experiments run — must hash byte-identically
+// at 1, 4 and 8 workers. This exercises the idle-shard skip and the
+// batched conduit merge at a shard count two orders of magnitude above
+// the 2-client pin, where any window-extension or merge-order bug that
+// depends on shard population would actually show.
+func TestCluster128SeqParIdentical(t *testing.T) {
+	p := DefaultClusterParams(40 * sim.Microsecond)
+	p.Warmup = 20 * sim.Microsecond
+	p.Drain = 60 * sim.Microsecond
+	p.Hosts = 128
+	p.PerClientGbps = 0.4
+	p.Workers = 1
+	seq := ClusterTelemetryHash(256, p)
+	for _, w := range []int{4, 8} {
+		p.Workers = w
+		if got := ClusterTelemetryHash(256, p); got != seq {
+			t.Fatalf("workers=%d diverged from the sequential schedule at 128 hosts:\n got  %s\n want %s",
+				w, got, seq)
+		}
+	}
+}
+
 // TestChaosSeqParIdentical extends the sequential-vs-parallel pin to a
 // fault-injecting scenario: per-attachment fault streams, recovery
 // watchdog controls and the RDMA sidecar must all replay identically

@@ -373,37 +373,12 @@ func Run(s Spec) *Result {
 	if s.Path == "vxlan" {
 		stampOff = vxlanOuter + seqOff
 	}
-	clients := make([]*client, 0, s.Clients)
-	for ci := 0; ci < s.Clients; ci++ {
-		h := cl.AddHost(fmt.Sprintf("client%d", ci))
-		port := h.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
-		ip := h.NIC.IP
-		h.NIC.ESwitch().AddRule(0, flexdriver.Rule{
-			Match:  flexdriver.Match{DstIP: &ip},
-			Action: flexdriver.Action{ToRQ: port.RQ()}})
-		c := &client{host: h, port: port, recv: make(map[int64]int64)}
-		// In tenant mode each client belongs to one tenant (round-robin)
-		// and addresses it by destination port; every reply's source port
-		// must then name that same tenant, or the reply leaked across an
-		// isolation domain.
-		dport, myPort := uint16(7777), uint16(0)
-		if tn != nil {
-			dport = tn.port(ci)
-			myPort = dport
-		}
-		frng := sim.NewRand(s.Seed*7919 + int64(ci))
-		for fi := 0; fi < flowsPerClient; fi++ {
-			sport := uint16(4000 + frng.Intn(20000))
-			size := s.FrameMin
-			if s.FrameMax > s.FrameMin {
-				size += frng.Intn(s.FrameMax - s.FrameMin + 1)
-			}
-			f := udpFrame(h.NIC, srv.NIC, sport, dport, size)
-			if s.Path == "vxlan" {
-				f = vxlanWrap(h.NIC, srv.NIC, sport, f)
-			}
-			c.frames = append(c.frames, f)
-		}
+	stop := warmup + window
+
+	// hookRecv installs the reply-side bookkeeping shared by discrete and
+	// aggregated client hosts: short-frame and foreign-tenant screening,
+	// the planted-loss defect, and the per-ordinal conservation ledger.
+	hookRecv := func(c *client, myPort uint16) {
 		plant := s.PlantLossNth
 		c.port.OnReceive = func(fr []byte, _ swdriver.RxMeta) {
 			if len(fr) < seqOff+8 {
@@ -426,6 +401,91 @@ func Run(s Spec) *Result {
 			}
 			c.recv[seq]++
 		}
+	}
+
+	// clientFlows draws global client gi's flow set — sports and sizes off
+	// the client's own flow stream (Seed*7919+gi), built against the
+	// carrying host's NIC. Folding clients onto fewer hosts never
+	// reshuffles which flows a client owns, only which NIC carries them.
+	clientFlows := func(h *flexdriver.Host, gi int, dport uint16) (flows [][]byte, avgBits float64) {
+		frng := sim.NewRand(s.Seed*7919 + int64(gi))
+		for fi := 0; fi < flowsPerClient; fi++ {
+			sport := uint16(4000 + frng.Intn(20000))
+			size := s.FrameMin
+			if s.FrameMax > s.FrameMin {
+				size += frng.Intn(s.FrameMax - s.FrameMin + 1)
+			}
+			f := udpFrame(h.NIC, srv.NIC, sport, dport, size)
+			if s.Path == "vxlan" {
+				f = vxlanWrap(h.NIC, srv.NIC, sport, f)
+			}
+			flows = append(flows, f)
+			avgBits += float64(len(f) * 8)
+		}
+		return flows, avgBits / flowsPerClient
+	}
+
+	clients := make([]*client, 0, s.Clients)
+	if s.AggClients > 0 {
+		// Hundred-node mode: AggClients modeled clients fold onto AggHosts
+		// event-driven sources. Each client keeps the arrival stream
+		// (Seed*1000+gi) and flow stream it would own as a discrete host;
+		// conservation bookkeeping moves to host granularity — OnSend
+		// stamps the host-level ordinal, so the per-sequence ledger spans
+		// every client the host carries.
+		base := 0
+		for hi := 0; hi < s.AggHosts; hi++ {
+			k := s.AggClients / s.AggHosts
+			if hi < s.AggClients%s.AggHosts {
+				k++
+			}
+			b := base
+			base += k
+			c := &client{recv: make(map[int64]int64)}
+			src := cl.AddAggregatedClients(fmt.Sprintf("client%d", hi), flexdriver.AggregatedClientsConfig{
+				Clients:    k,
+				StreamSeed: s.Seed*1000 + int64(b),
+				Stop:       stop,
+				Setup: func(h *flexdriver.Host, ci int, rng *sim.Rand) flexdriver.ClientSetup {
+					flows, avgBits := clientFlows(h, b+ci, 7777)
+					set := flexdriver.ClientSetup{
+						Flows: flows,
+						Mean:  sim.Duration(avgBits / (s.PerClientGbps * 1e9) * float64(sim.Second)),
+					}
+					if s.Pattern == "bursty" {
+						set.Burst = 8 + rng.Intn(25)
+					}
+					return set
+				},
+				OnSend: func(_ int, f []byte) {
+					stamp(f, stampOff, c.sent)
+					c.sent++
+				},
+			})
+			c.host, c.port = src.Host, src.Port
+			hookRecv(c, 0)
+			clients = append(clients, c)
+		}
+	}
+	for ci := 0; s.AggClients == 0 && ci < s.Clients; ci++ {
+		h := cl.AddHost(fmt.Sprintf("client%d", ci))
+		port := h.Drv.NewEthPort(swdriver.EthPortConfig{TxEntries: 512, RxEntries: 512})
+		ip := h.NIC.IP
+		h.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+			Match:  flexdriver.Match{DstIP: &ip},
+			Action: flexdriver.Action{ToRQ: port.RQ()}})
+		c := &client{host: h, port: port, recv: make(map[int64]int64)}
+		// In tenant mode each client belongs to one tenant (round-robin)
+		// and addresses it by destination port; every reply's source port
+		// must then name that same tenant, or the reply leaked across an
+		// isolation domain.
+		dport, myPort := uint16(7777), uint16(0)
+		if tn != nil {
+			dport = tn.port(ci)
+			myPort = dport
+		}
+		c.frames, _ = clientFlows(h, ci, dport)
+		hookRecv(c, myPort)
 		clients = append(clients, c)
 	}
 
@@ -502,9 +562,13 @@ func Run(s Spec) *Result {
 
 	// Open-loop load: Poisson clients draw i.i.d. exponential gaps;
 	// bursty clients send fixed back-to-back trains at the same mean
-	// rate, stressing the switch queues and RQ refill paths.
-	stop := warmup + window
+	// rate, stressing the switch queues and RQ refill paths. Aggregated
+	// hosts drive themselves (the source scheduled every client's first
+	// tick at construction), so the loop is empty in hundred-node mode.
 	for ci, c := range clients {
+		if s.AggClients > 0 {
+			break
+		}
 		rng := sim.NewRand(s.Seed*1000 + int64(ci))
 		var avgBits float64
 		for _, f := range c.frames {

@@ -69,6 +69,12 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 		"bogus=1",
 		"tenants=1",            // a single tenant is not multi-tenancy
 		"tenants=2 path=vxlan", // both own the server NIC's table 0
+		"hosts=4",              // aggregation needs a client population
+		"aggclients=64",        // ...and a host count to fold it onto
+		"hosts=8 aggclients=4", // more hosts than clients to carry
+		"hosts=128 aggclients=256",        // above the 64-host ceiling
+		"hosts=4 aggclients=4096",         // above the 2048-client ceiling
+		"tenants=2 hosts=4 aggclients=16", // aggregation is single-tenant only
 		"reconfig=1",           // nothing to reconfigure without tenants
 		"plantleak=5",          // a leak needs a foreign tenant to leak into
 		"tenants=2 plantleak=-1",
@@ -160,6 +166,88 @@ func TestTenancyGeneration(t *testing.T) {
 	if multi < 2 || reconfig < 1 {
 		t.Errorf("seeds 1..20 yield %d multi-tenant (%d reconfiguring); the sweep band lost its tenancy coverage",
 			multi, reconfig)
+	}
+}
+
+// TestAggregationGeneration pins the hundred-node draw the same way
+// TestTenancyGeneration pins tenancy: the aggregation stream is separate
+// from the main and tenancy streams precisely so the golden-pinned seeds
+// (2, 7, 27 single-tenant discrete; 5 multi-tenant) keep byte-identical
+// specs, while the nearby band must still widen some scenarios to
+// aggregated topologies or the sweeps stop exercising the new path.
+func TestAggregationGeneration(t *testing.T) {
+	for _, seed := range []int64{2, 5, 7, 27} {
+		if s := Generate(seed); s.AggClients != 0 || s.AggHosts != 0 {
+			t.Errorf("pinned seed %d became aggregated: %v", seed, s)
+		}
+	}
+	agg, big := 0, 0
+	for seed := int64(1); seed <= 20; seed++ {
+		s := Generate(seed)
+		if s.AggClients == 0 {
+			if s.AggHosts != 0 {
+				t.Errorf("seed %d: hosts without clients: %v", seed, s)
+			}
+			continue
+		}
+		agg++
+		if s.AggHosts >= 16 {
+			big++
+		}
+		if s.Tenants > 0 {
+			t.Errorf("seed %d: aggregated multi-tenant scenario: %v", seed, s)
+		}
+		if s.AggHosts < 1 || s.AggHosts > 64 || s.AggClients < s.AggHosts || s.AggClients > 2048 {
+			t.Errorf("seed %d: aggregation outside its envelope: hosts=%d clients=%d",
+				seed, s.AggHosts, s.AggClients)
+		}
+		// Total offered load must stay in the drop-free envelope the
+		// discrete draw targets (~60% of a capped 25G port).
+		if total := s.PerClientGbps * float64(s.AggClients); total > 15.1 {
+			t.Errorf("seed %d: aggregated total load %.1f Gbps escapes the envelope", seed, total)
+		}
+		if _, err := Parse(s.String()); err != nil {
+			t.Errorf("seed %d: generated aggregated spec does not re-parse: %v", seed, err)
+		}
+	}
+	if agg < 2 || big < 1 {
+		t.Errorf("seeds 1..20 yield %d aggregated (%d at >=16 hosts); the sweep band lost its hundred-node coverage",
+			agg, big)
+	}
+}
+
+// TestAggregatedPlantedLossIsCaughtAndShrunk reruns the harness
+// acceptance test in hundred-node mode: the planted unrecorded drop must
+// be caught by frame conservation on an aggregated host's ledger, and
+// the shrinker must walk the topology down — ideally all the way back to
+// the discrete path, since the bug is in the echo path, not the
+// aggregation.
+func TestAggregatedPlantedLossIsCaughtAndShrunk(t *testing.T) {
+	s := Generate(7)
+	s.Faults = ""
+	// Every 10th frame, not 40th: deliveries spread across the aggregated
+	// hosts, and each host's ledger must still reach the planted ordinal
+	// inside the window.
+	s.PlantLossNth = 10
+	s.AggHosts, s.AggClients = 4, 64
+	s.PerClientGbps = s.PerClientGbps * float64(s.Clients) / 64
+
+	res := Run(s)
+	if !res.Violated("frame-conservation") {
+		t.Fatalf("planted drop not caught in aggregated mode; violations: %v", res.Violations)
+	}
+
+	min, runs := Shrink(s, "frame-conservation")
+	t.Logf("shrunk after %d runs to: %s", runs, min)
+	if min.AggClients >= 64 && min.AggHosts >= 8 {
+		t.Errorf("shrinker did not reduce the aggregated topology: %v", min)
+	}
+	reparsed, err := Parse(min.String())
+	if err != nil {
+		t.Fatalf("shrunk spec does not re-parse: %v", err)
+	}
+	if !Run(reparsed).Violated("frame-conservation") {
+		t.Fatalf("re-parsed shrunk spec no longer reproduces the violation")
 	}
 }
 

@@ -104,6 +104,28 @@ func candidates(s Spec) []Spec {
 			add(c)
 		}
 	}
+	// Aggregation: first try collapsing the hundred-node topology back to
+	// the discrete path entirely (a violation that survives is not about
+	// aggregation at all), then halve the folded population and the host
+	// count while keeping the mode.
+	if s.AggClients > 0 {
+		c := s
+		c.AggHosts, c.AggClients = 0, 0
+		add(c)
+		if s.AggClients > 2 {
+			c2 := s
+			c2.AggClients = s.AggClients / 2
+			if c2.AggClients < c2.AggHosts {
+				c2.AggClients = c2.AggHosts
+			}
+			add(c2)
+		}
+		if s.AggHosts > 1 {
+			c3 := s
+			c3.AggHosts = s.AggHosts / 2
+			add(c3)
+		}
+	}
 	if s.RDMA {
 		c := s
 		c.RDMA = false

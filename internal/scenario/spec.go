@@ -66,6 +66,20 @@ type Spec struct {
 	// then requires the reconciler to have reached version 2.
 	Reconfig bool
 
+	// --- hundred-node scale ---
+	// AggClients > 0 switches the workload to flow-level client
+	// aggregation: AggClients modeled open-loop clients fold onto
+	// AggHosts AggregatedClients sources (one host each) instead of one
+	// discrete host per client, so a 2048-client scenario costs
+	// O(frames), not O(clients). Clients is ignored in this mode (it
+	// keeps its drawn value so shrinking back to the discrete path
+	// yields a valid spec). Conservation bookkeeping moves to host
+	// granularity: the send ordinal spans every client a host carries.
+	// Drawn on its own seed stream, only for single-tenant scenarios,
+	// so every pre-aggregation seed keeps a byte-identical spec.
+	AggHosts   int
+	AggClients int
+
 	// PlantLossNth is a test-only defect injector: every Nth frame
 	// delivered to a client is silently discarded *before* the
 	// bookkeeping sees it — a modeled "drop without a drop reason" that
@@ -141,6 +155,28 @@ func Generate(seed int64) Spec {
 		s.Path = "eth"
 		// One core per tenant; FLDCores states the total actually built.
 		s.FLDCores = s.Tenants
+	}
+
+	// Hundred-node scale draws own a third stream for the same reason the
+	// tenancy draws own a second: seeds that stay discrete keep their
+	// byte-identical specs and golden telemetry. Roughly a quarter of the
+	// single-tenant scenarios widen to an aggregated topology — up to 64
+	// hosts folding up to 2048 modeled clients — with per-client load
+	// rescaled so the *total* offered load keeps the discrete draw's
+	// drop-free envelope: frame volume stays O(window × rate) however
+	// many clients fold in.
+	arng := sim.NewRand(seed ^ 0x17a9b300)
+	if s.Tenants == 0 && arng.Intn(4) == 0 {
+		s.AggHosts = []int{2, 4, 8, 16, 32, 64}[arng.Intn(6)]
+		s.AggClients = s.AggHosts * []int{2, 4, 8, 16, 32}[arng.Intn(5)]
+		if s.AggClients > 2048 {
+			s.AggClients = 2048
+		}
+		per := s.PerClientGbps * float64(s.Clients) / float64(s.AggClients)
+		s.PerClientGbps = float64(int(per*1e5)) / 1e5
+		if s.PerClientGbps < 1e-5 {
+			s.PerClientGbps = 1e-5
+		}
 	}
 	return s
 }
@@ -231,6 +267,11 @@ func (s Spec) String() string {
 	if s.RDMA {
 		parts = append(parts, "rdma=1")
 	}
+	if s.AggClients > 0 {
+		parts = append(parts,
+			"hosts="+strconv.Itoa(s.AggHosts),
+			"aggclients="+strconv.Itoa(s.AggClients))
+	}
 	if s.Tenants > 0 {
 		parts = append(parts, "tenants="+strconv.Itoa(s.Tenants))
 	}
@@ -318,6 +359,10 @@ func Parse(text string) (Spec, error) {
 			s.Path = val
 		case "rdma":
 			s.RDMA = val == "1" || val == "true"
+		case "hosts":
+			s.AggHosts, err = parseRange(val, 1, 64)
+		case "aggclients":
+			s.AggClients, err = parseRange(val, 1, 2048)
 		case "tenants":
 			s.Tenants, err = parseRange(val, 2, 4)
 		case "reconfig":
@@ -353,6 +398,15 @@ func Parse(text string) (Spec, error) {
 	}
 	if s.PlantLeakNth > 0 && s.Tenants < 2 {
 		return s, fmt.Errorf("scenario: plantleak needs at least two tenants")
+	}
+	if (s.AggHosts > 0) != (s.AggClients > 0) {
+		return s, fmt.Errorf("scenario: hosts and aggclients come together")
+	}
+	if s.AggClients > 0 && s.AggClients < s.AggHosts {
+		return s, fmt.Errorf("scenario: aggclients %d below hosts %d", s.AggClients, s.AggHosts)
+	}
+	if s.AggClients > 0 && s.Tenants > 0 {
+		return s, fmt.Errorf("scenario: aggregated clients and tenants are mutually exclusive")
 	}
 	return s, nil
 }

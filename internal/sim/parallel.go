@@ -14,23 +14,40 @@ import (
 // link, then an event executed at time t can only influence another shard
 // at t+L or later. The group therefore advances in rounds: find the
 // earliest pending event time T across all shards, let every shard run its
-// own events in the window [T, T+L) on its own goroutine, then synchronize
-// at a barrier where cross-shard messages (buffered in Conduits during the
+// own events inside its window on its own goroutine, then synchronize at a
+// barrier where cross-shard messages (buffered in Conduits during the
 // round) are merged and injected into their destination engines.
 //
-// Determinism does not depend on the number of worker goroutines. Within a
-// round, shards touch only their own state plus per-conduit outboxes owned
-// by the sending shard; at the barrier the coordinator sorts all buffered
-// messages by (arrival time, conduit ID, send index) and injects them in
-// that order, so destination-engine sequence numbers — and hence the
-// (time, seq) execution order — come out identical whether the round ran
-// on one worker or eight. Sequential mode (SetWorkers(1)) runs the same
-// rounds in shard-index order and is the determinism reference.
+// Windows are per-shard and adaptive. Every shard but the one holding the
+// global minimum T runs the classic conservative window [T, T+L). The
+// owner of T may run further, to min(min2+L, T+2L), where min2 is the
+// earliest pending event on any *other* shard: nothing another shard
+// still has to execute reaches the owner before min2+L, and the owner's
+// own output — which can seed an idle neighbor with work as early as
+// T+L — boomerangs back no earlier than T+2L. That grows windows when
+// cross-shard traffic is sparse; a group with no cross-shard conduits at
+// all (a fully co-located model) has no influence paths and runs every
+// shard straight to the next control or deadline. Shards with no events
+// before their window end are skipped entirely: no wakeup, no barrier
+// work, no merge scan.
+//
+// Determinism does not depend on the number of worker goroutines. The
+// window bounds are a pure function of per-shard next-event times, and
+// within a round shards touch only their own state plus per-conduit
+// outboxes owned by the sending shard; at the barrier the coordinator
+// merges all buffered messages in (arrival time, conduit ID, send index)
+// order and injects them in that order, so destination-engine sequence
+// numbers — and hence the (time, seq) execution order — come out identical
+// whether the round ran on one worker or eight. Sequential mode
+// (SetWorkers(1)) runs the same rounds in shard-index order inline on the
+// coordinator and is the determinism reference.
 //
 // Zero lookahead degenerates gracefully: windows shrink to a single
 // picosecond instant, rounds crawl one timestamp at a time, and messages
 // sent at time t arrive at t in the next round at the same instant. Slow,
-// but still correct and still deterministic.
+// but still correct and still deterministic. (The run-ahead extension is
+// disabled at zero lookahead: a message sent at t can be answered at t,
+// and the answer must not land behind a shard that ran past t.)
 //
 // Construction (NewEngine, Conduit wiring, Control scheduling from outside
 // a run) is single-threaded, like everything else at build time. During a
@@ -50,7 +67,17 @@ type Group struct {
 	// Barrier scratch, reused across rounds so the steady state does not
 	// allocate.
 	active []*Engine
-	refs   []mref
+	dirty  []*Conduit // conduits with buffered messages, gathered per barrier
+	mh     []*Conduit // k-way merge heap over the dirty conduits
+
+	// inRound is true while shard events execute (set before a round is
+	// published to the workers, cleared after the barrier), guarding the
+	// Conduit lookahead check: only sends from shard events must respect
+	// the lookahead; controls and construction inject before any shard
+	// has run past them.
+	inRound bool
+
+	stats GroupStats
 
 	// Worker-pool state for the current run. Workers are spawned at the
 	// start of a parallel run and torn down when it returns, so an idle
@@ -60,13 +87,38 @@ type Group struct {
 	nwork  int
 }
 
+// GroupStats are scheduler-observability counters, cumulative over the
+// group's lifetime. They are deterministic: a fixed scenario produces the
+// same counts at any worker setting.
+type GroupStats struct {
+	// Rounds counts barrier rounds executed.
+	Rounds int64
+	// Merged counts cross-shard messages injected at barriers.
+	Merged int64
+	// ShardRounds counts, per shard index, the rounds that shard was
+	// active in (had events inside its window). A quiescent shard's
+	// count stays put — the idle-shard skip.
+	ShardRounds []int64
+}
+
+// Stats returns a snapshot of the group's scheduler counters.
+func (g *Group) Stats() GroupStats {
+	s := g.stats
+	s.ShardRounds = append([]int64(nil), g.stats.ShardRounds...)
+	return s
+}
+
+// maxTime is the largest representable instant, used as "no bound".
+const maxTime = Time(1<<63 - 1)
+
 // roundState is one round's work descriptor. It is a fresh object per
 // round so that a worker whose token delivery straggles past the barrier
 // finds an exhausted cursor and parks, instead of claiming work from the
-// next round with a stale window limit.
+// next round with a stale shard set. Each shard's window limit rides on
+// the engine itself (Engine.wend), written by the coordinator before the
+// descriptor is published.
 type roundState struct {
 	act   []*Engine
-	limit Time
 	claim atomic.Int64
 	left  atomic.Int64
 }
@@ -99,10 +151,11 @@ func (g *Group) NewEngine() *Engine {
 func (g *Group) Engines() []*Engine { return g.engines }
 
 // SetLookahead declares the minimum latency of any cross-shard link. The
-// scheduler never lets a shard run more than this far ahead of the
-// globally earliest event. Setting it too large breaks causality (the
-// Conduit send path panics when a message would arrive inside the current
-// window); too small only costs barrier rounds.
+// scheduler never lets a shard run further ahead than the earliest event
+// another shard could still send it. Setting it too large breaks
+// causality (the Conduit send path panics when a message would arrive
+// inside the sender's lookahead horizon); too small only costs barrier
+// rounds.
 func (g *Group) SetLookahead(d Duration) {
 	if d < 0 {
 		d = 0
@@ -128,7 +181,7 @@ func (g *Group) Workers() int { return g.workers }
 
 // Now returns the group's notion of current time: the maximum of the
 // barrier clock and every shard clock. It is exact at barriers (where
-// controls and snapshots run) and within one lookahead window elsewhere.
+// controls and snapshots run) and within one window elsewhere.
 func (g *Group) Now() Time {
 	t := g.now
 	for _, e := range g.engines {
@@ -199,13 +252,12 @@ func (g *Group) run(deadline Time, drain bool) {
 		g.startWorkers()
 		defer g.stopWorkers()
 	}
+	// Construction and controls from a previous run may have left
+	// messages in conduit outboxes; the scans below must see them in
+	// engine heaps.
+	g.flushAll()
 	for {
-		// Flush first: controls and the previous round may have left
-		// messages in conduit outboxes, and both the next-event scan and
-		// the quiescence check below must see them in engine heaps.
-		g.flush()
-
-		tNext, haveE := g.nextEventTime()
+		tNext, min2, haveE := g.nextEventTimes()
 		cAt, haveC := g.nextControlTime()
 
 		if haveC && (!haveE || cAt <= tNext) {
@@ -219,6 +271,9 @@ func (g *Group) run(deadline Time, drain bool) {
 				g.now = cAt
 			}
 			g.runControlsAt(cAt)
+			// Controls may send on any conduit, not just ones the last
+			// round's shards own — gather from the whole topology.
+			g.flushAll()
 			continue
 		}
 		if !haveE {
@@ -228,32 +283,80 @@ func (g *Group) run(deadline Time, drain bool) {
 			return
 		}
 
-		end := tNext + g.lookahead
-		if end <= tNext {
+		// Per-shard windows. base bounds every shard: nothing in flight
+		// or still to execute elsewhere arrives before tNext+L. The
+		// shard holding tNext itself may run further: other shards'
+		// pending events reach it at min2+L or later, and its *own*
+		// sends — which can seed an idle neighbor with work as early as
+		// tNext+L — boomerang back no sooner than tNext+2L. The tighter
+		// of the two is its window. A group with no cross-shard
+		// conduits has no influence paths at all, and every shard runs
+		// straight to the control/deadline bound.
+		base := tNext + g.lookahead
+		if base <= tNext {
 			// Zero lookahead: degenerate to lockstep single-instant
 			// rounds. Messages sent at tNext arrive at tNext next round.
-			end = tNext + 1
+			base = tNext + 1
 		}
-		if haveC && cAt < end {
-			end = cAt
+		ownerEnd := maxTime
+		if len(g.conduits) == 0 {
+			base = maxTime
+		} else {
+			m := min2
+			if t2 := tNext + g.lookahead; t2 < m {
+				m = t2
+			}
+			if m < maxTime-g.lookahead {
+				ownerEnd = m + g.lookahead
+			}
+			if g.lookahead == 0 {
+				// A zero-latency reply chain (send at t, answer at t)
+				// must not land behind a shard that ran past t: no
+				// run-ahead.
+				ownerEnd = base
+			}
+			if ownerEnd < base {
+				ownerEnd = base
+			}
 		}
-		if !drain && deadline+1 < end {
-			end = deadline + 1
+		bound := maxTime
+		if haveC && cAt < bound {
+			bound = cAt
 		}
-		g.round(end, par)
+		if !drain && deadline+1 < bound {
+			bound = deadline + 1
+		}
+		if base > bound {
+			base = bound
+		}
+		if ownerEnd > bound {
+			ownerEnd = bound
+		}
+		g.round(base, ownerEnd, tNext, par)
+		g.flushRound()
 	}
 }
 
-// nextEventTime scans the shards for the globally earliest pending event.
-func (g *Group) nextEventTime() (Time, bool) {
-	var best Time
-	have := false
+// nextEventTimes scans the shards once for the two globally earliest
+// pending-event times: min1 is the global minimum, min2 the earliest
+// outside one shard holding min1 (maxTime when no second shard has
+// events) — the bound that lets the min1 shard run ahead.
+func (g *Group) nextEventTimes() (min1, min2 Time, have bool) {
+	min1, min2 = maxTime, maxTime
 	for _, e := range g.engines {
-		if t, ok := e.nextTime(); ok && (!have || t < best) {
-			best, have = t, true
+		if len(e.events) == 0 {
+			continue
+		}
+		have = true
+		t := e.events[0].at
+		if t < min1 {
+			min2 = min1
+			min1 = t
+		} else if t < min2 {
+			min2 = t
 		}
 	}
-	return best, have
+	return min1, min2, have
 }
 
 // nextControlTime reports the earliest pending control.
@@ -304,31 +407,52 @@ func (g *Group) advanceAll(t Time) {
 	}
 }
 
-// round runs every shard with work before end, concurrently when par and
-// more than one shard is active.
-func (g *Group) round(end Time, par bool) {
+// round runs every shard with work before its window end — ownerEnd for
+// shards holding the global minimum min1, base for the rest — skipping
+// idle shards entirely, concurrently when par and more than one shard is
+// active.
+func (g *Group) round(base, ownerEnd, min1 Time, par bool) {
+	for len(g.stats.ShardRounds) < len(g.engines) {
+		g.stats.ShardRounds = append(g.stats.ShardRounds, 0)
+	}
 	act := g.active[:0]
 	for _, e := range g.engines {
-		if t, ok := e.nextTime(); ok && t < end {
+		if len(e.events) == 0 {
+			continue
+		}
+		t := e.events[0].at
+		end := base
+		if t == min1 {
+			// Ties all see min2 == min1, so ownerEnd == base and the
+			// extension is exact for any number of co-minimal shards.
+			end = ownerEnd
+		}
+		if t < end {
+			e.wend = end
 			act = append(act, e)
+			g.stats.ShardRounds[e.shard]++
 		}
 	}
 	g.active = act
 	if len(act) == 0 {
 		return
 	}
+	g.stats.Rounds++
+	g.inRound = true
 	if !par || len(act) == 1 {
 		for _, e := range act {
-			e.runBefore(end)
+			e.runBefore(e.wend)
 		}
+		g.inRound = false
 		return
 	}
 	// Parallel round: workers claim shards off the round descriptor via
-	// its atomic cursor. The token send publishes the descriptor to the
-	// workers; the worker that finishes the last shard signals done,
-	// which publishes every shard's state back to the coordinator, so
-	// the barrier merge observes a consistent world without locks.
-	rs := &roundState{act: act, limit: end}
+	// its atomic cursor. The token send publishes the descriptor (and
+	// every shard's wend) to the workers; the worker that finishes the
+	// last shard signals done, which publishes every shard's state back
+	// to the coordinator, so the barrier merge observes a consistent
+	// world without locks.
+	rs := &roundState{act: act}
 	rs.left.Store(int64(len(act)))
 	n := g.nwork
 	if n > len(act) {
@@ -338,6 +462,7 @@ func (g *Group) round(end Time, par bool) {
 		g.rounds <- rs
 	}
 	<-g.doneCh
+	g.inRound = false
 }
 
 // startWorkers spawns the round-execution goroutines for one run call.
@@ -361,7 +486,7 @@ func (g *Group) stopWorkers() {
 	g.doneCh = nil
 }
 
-// worker executes rounds: claim a shard, run it to the window end, repeat
+// worker executes rounds: claim a shard, run it to its window end, repeat
 // until the round's shards are exhausted. The worker that finishes the
 // last shard signals the coordinator. Channels come in as parameters so a
 // worker never touches group fields the coordinator rewrites between runs.
@@ -372,7 +497,8 @@ func (g *Group) worker(rounds <-chan *roundState, done chan<- struct{}) {
 			if i >= len(rs.act) {
 				break
 			}
-			rs.act[i].runBefore(rs.limit)
+			e := rs.act[i]
+			e.runBefore(e.wend)
 			if rs.left.Add(-1) == 0 {
 				done <- struct{}{}
 			}
@@ -430,6 +556,15 @@ type Conduit struct {
 	deliver func(frame []byte)
 	out     []cmsg
 	freeD   *dnode
+
+	// sorted tracks whether out was appended in non-decreasing arrival
+	// order (the overwhelmingly common case: a shard's clock only moves
+	// forward and most links add a fixed latency), letting the barrier
+	// merge treat it as a ready-sorted run. inDirty dedups registration
+	// on the source engine's dirty list; head is the merge cursor.
+	sorted  bool
+	inDirty bool
+	head    int
 }
 
 // NewConduit wires a one-directional channel from src to dst. deliver runs
@@ -455,17 +590,31 @@ func (c *Conduit) Src() *Engine { return c.src }
 func (c *Conduit) Dst() *Engine { return c.dst }
 
 // Send schedules frame to arrive at absolute time at. Call it from the
-// source shard (or from a control action). The arrival must respect the
-// group's lookahead — at least one full window after the current round
-// began — which holds by construction when the lookahead is the minimum
-// cross-shard link latency.
+// source shard (or from a control action). From a shard event the arrival
+// must respect the group's lookahead — at least one lookahead after the
+// sender's clock — which holds by construction when the lookahead is the
+// minimum cross-shard link latency; the per-shard run-ahead windows lean
+// on that bound, so violating it panics rather than corrupting causality.
 func (c *Conduit) Send(at Time, frame []byte) {
 	if c.src == c.dst {
 		d := c.get(frame)
 		c.src.push(at, conduitDeliver, d)
 		return
 	}
+	if g := c.g; g.inRound && at < c.src.now+g.lookahead {
+		panic(fmt.Sprintf("sim: conduit message at %v violates lookahead %v from shard time %v",
+			at, g.lookahead, c.src.now))
+	}
+	if n := len(c.out); n == 0 {
+		c.sorted = true
+	} else if at < c.out[n-1].at {
+		c.sorted = false
+	}
 	c.out = append(c.out, cmsg{at: at, frame: frame})
+	if !c.inDirty {
+		c.inDirty = true
+		c.src.dirty = append(c.src.dirty, c)
+	}
 }
 
 // get pops a delivery node off the freelist.
@@ -481,55 +630,154 @@ func (c *Conduit) get(frame []byte) *dnode {
 	return d
 }
 
-// mref indexes one buffered message during the barrier merge.
-type mref struct {
-	c *Conduit
-	i int
-}
-
-// flush merges every conduit outbox into the destination engines in
-// (arrival time, conduit ID, send index) order. That order is a pure
-// function of what the shards produced — not of which worker ran them or
-// when — so the injected sequence numbers, and every subsequent tie-break,
-// are identical in sequential and parallel runs. Runs on the coordinator
-// between rounds; uses a reused scratch slice and an insertion sort
-// (message counts per barrier are small) so it does not allocate in steady
-// state.
-func (g *Group) flush() {
-	refs := g.refs[:0]
-	for _, c := range g.conduits {
-		for i := range c.out {
-			refs = append(refs, mref{c, i})
-		}
-	}
-	if len(refs) == 0 {
-		g.refs = refs
+// sortRun restores arrival order within one conduit's buffered run. The
+// common case is a no-op; a retrograde append (variable extra delay from
+// a fault plan, say) falls back to a stable insertion sort, preserving
+// send order among equal arrival times so the merged order stays the
+// documented (arrival time, conduit ID, send index).
+func (c *Conduit) sortRun() {
+	if c.sorted {
 		return
 	}
-	for i := 1; i < len(refs); i++ {
-		r := refs[i]
-		ra := r.c.out[r.i].at
+	out := c.out
+	for i := 1; i < len(out); i++ {
+		m := out[i]
 		j := i - 1
-		for j >= 0 {
-			o := refs[j]
-			oa := o.c.out[o.i].at
-			if oa < ra || (oa == ra && (o.c.id < r.c.id || (o.c.id == r.c.id && o.i < r.i))) {
-				break
-			}
-			refs[j+1] = refs[j]
+		for j >= 0 && out[j].at > m.at {
+			out[j+1] = out[j]
 			j--
 		}
-		refs[j+1] = r
+		out[j+1] = m
 	}
-	for _, r := range refs {
-		m := &r.c.out[r.i]
-		r.c.dst.push(m.at, conduitDeliver, r.c.get(m.frame))
-		m.frame = nil
+	c.sorted = true
+}
+
+// flushAll gathers every conduit with buffered messages and merges them
+// into the destination engines. Used at run start and after control
+// actions — contexts that may send on conduits whose source shard was not
+// in the last round's active set. Also resets every engine's dirty list,
+// so flushRound's incremental bookkeeping restarts clean.
+func (g *Group) flushAll() {
+	for _, e := range g.engines {
+		e.dirty = e.dirty[:0]
 	}
+	d := g.dirty[:0]
 	for _, c := range g.conduits {
+		c.inDirty = false
 		if len(c.out) > 0 {
-			c.out = c.out[:0]
+			d = append(d, c)
 		}
 	}
-	g.refs = refs[:0]
+	g.dirty = d
+	g.merge()
+}
+
+// flushRound gathers the conduits dirtied by the shards that ran in the
+// last round — the only place shard execution can buffer cross-shard
+// sends — so a barrier's merge cost scales with the traffic that actually
+// crossed, not with the topology. Idle shards contribute nothing.
+func (g *Group) flushRound() {
+	d := g.dirty[:0]
+	for _, e := range g.active {
+		for _, c := range e.dirty {
+			c.inDirty = false
+			if len(c.out) > 0 {
+				d = append(d, c)
+			}
+		}
+		e.dirty = e.dirty[:0]
+	}
+	g.dirty = d
+	g.merge()
+}
+
+// cless orders the merge heap by (head arrival time, conduit ID).
+func cless(a, b *Conduit) bool {
+	aa, ba := a.out[a.head].at, b.out[b.head].at
+	return aa < ba || (aa == ba && a.id < b.id)
+}
+
+func siftUpC(h []*Conduit, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if cless(h[p], h[i]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDownC(h []*Conduit, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && cless(h[r], h[l]) {
+			m = r
+		}
+		if cless(h[i], h[m]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// merge injects every buffered message on the gathered dirty conduits
+// into the destination engines in (arrival time, conduit ID, send index)
+// order. That order is a pure function of what the shards produced — not
+// of which worker ran them or when — so the injected sequence numbers,
+// and every subsequent tie-break, are identical in sequential and
+// parallel runs. Runs on the coordinator between rounds. Each conduit's
+// outbox is a (nearly always pre-sorted) run, so the merge is a k-way
+// heap walk over per-conduit cursors: no per-message scratch records, no
+// global sort, and all scratch is reused, so steady state does not
+// allocate.
+func (g *Group) merge() {
+	d := g.dirty
+	switch len(d) {
+	case 0:
+		return
+	case 1:
+		c := d[0]
+		c.sortRun()
+		for i := range c.out {
+			m := &c.out[i]
+			c.dst.push(m.at, conduitDeliver, c.get(m.frame))
+			m.frame = nil
+		}
+		g.stats.Merged += int64(len(c.out))
+		c.out = c.out[:0]
+		return
+	}
+	h := g.mh[:0]
+	for _, c := range d {
+		c.sortRun()
+		c.head = 0
+		h = append(h, c)
+		siftUpC(h, len(h)-1)
+	}
+	for len(h) > 0 {
+		c := h[0]
+		m := &c.out[c.head]
+		c.dst.push(m.at, conduitDeliver, c.get(m.frame))
+		m.frame = nil
+		g.stats.Merged++
+		c.head++
+		if c.head == len(c.out) {
+			c.out = c.out[:0]
+			n := len(h) - 1
+			h[0] = h[n]
+			h[n] = nil
+			h = h[:n]
+		}
+		if len(h) > 0 {
+			siftDownC(h, 0)
+		}
+	}
+	g.mh = h[:0]
 }

@@ -221,6 +221,68 @@ func TestGroupSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestGroupIdleShardSkip pins the idle-shard skip: a quiescent shard —
+// racked, cabled, but with no events — must schedule zero barrier work
+// while its neighbors run thousands of rounds. ShardRounds is the
+// direct observable: it counts only rounds a shard was active in.
+func TestGroupIdleShardSkip(t *testing.T) {
+	g := NewGroup()
+	g.SetLookahead(500 * Nanosecond)
+	a, b := g.NewEngine(), g.NewEngine()
+	idle := g.NewEngine() // racked like any node, never scheduled
+	var ab, ba *Conduit
+	var n int
+	ab = NewConduit(a, b, func([]byte) {
+		if n++; n < 2000 {
+			ba.Send(b.Now()+500*Nanosecond, []byte{1})
+		}
+	})
+	ba = NewConduit(b, a, func([]byte) {
+		ab.Send(a.Now()+500*Nanosecond, []byte{0})
+	})
+	_ = NewConduit(a, idle, func([]byte) {}) // a cabled path that stays dark
+	ab.Send(500*Nanosecond, []byte{0})
+	g.Run()
+	st := g.Stats()
+	if st.Rounds < 100 {
+		t.Fatalf("exchange ran only %d rounds; the test lost its workload", st.Rounds)
+	}
+	if st.ShardRounds[0] == 0 || st.ShardRounds[1] == 0 {
+		t.Fatalf("active shards show no rounds: %v", st.ShardRounds)
+	}
+	if st.ShardRounds[2] != 0 {
+		t.Fatalf("quiescent shard was scheduled %d times; the idle-shard skip is broken",
+			st.ShardRounds[2])
+	}
+	if st.Merged == 0 {
+		t.Fatalf("no cross-shard messages merged; the workload is wrong")
+	}
+}
+
+// TestGroupBarrierMergeAllocs pins the barrier merge at high fan-in to
+// zero steady-state allocations: 16 shards all forwarding every round,
+// so every barrier gathers and k-way-merges 16 dirty conduits. Before
+// the per-conduit batched merge this path re-grew scratch slices every
+// round.
+func TestGroupBarrierMergeAllocs(t *testing.T) {
+	w := newRingWorld(16, 13, 500*Nanosecond, 1<<30)
+	w.quiet = true
+	for i := range w.eng {
+		w.send(i)
+		w.send(i)
+	}
+	// Warm until every freelist, per-conduit run, merge-heap and event-
+	// heap array has reached its high-water capacity (the first few
+	// hundred microseconds still grow them).
+	w.g.RunUntil(2 * Millisecond)
+	avg := testing.AllocsPerRun(10, func() {
+		w.g.RunUntil(w.g.Now() + 200*Microsecond)
+	})
+	if avg > 0.5 {
+		t.Fatalf("high fan-in barrier merge allocates %.1f/op at steady state", avg)
+	}
+}
+
 // TestGroupRaceStress exists to give `go test -race` a workout over the
 // barrier, worker-claim, and merge paths: many shards, all-to-all-ish
 // traffic, thousands of rounds. Correctness is checked against the

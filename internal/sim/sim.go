@@ -99,6 +99,15 @@ type Engine struct {
 	ids     map[string]int
 	group   *Group // non-nil when the engine is one shard of a Group
 	shard   int    // index within the group (creation order)
+
+	// Group-scheduler state. wend is the shard's window end for the
+	// round in flight (written by the coordinator before the round is
+	// published, read by the worker that claims the shard); dirty lists
+	// the conduits this shard buffered messages on since the last
+	// barrier, so the barrier merge visits only conduits that actually
+	// carry traffic instead of scanning the whole topology.
+	wend  Time
+	dirty []*Conduit
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.

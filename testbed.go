@@ -48,6 +48,15 @@ type Options struct {
 	// reference schedule, n > 1 uses n workers. Every setting produces
 	// byte-identical results; workers change only wall-clock time.
 	Workers int
+	// Colocate builds every Cluster node and the switch on one shared
+	// engine instead of one shard each. With no cross-shard conduits the
+	// group runs the single shard straight to each deadline — no windows,
+	// no barriers — making this the monolithic-engine baseline that
+	// scheduler-overhead measurements (fldbench cluster_scaling vs
+	// cluster_par1) compare against. Same-instant event interleaving
+	// across nodes differs from the sharded schedule, so telemetry hashes
+	// are comparable only within one mode.
+	Colocate bool
 }
 
 // Option customizes testbed construction (the functional-options
@@ -105,6 +114,11 @@ func WithParallel(on bool) Option {
 // WithWorkers pins the scheduler's worker count for Cluster runs
 // (0 = one per CPU, 1 = sequential).
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithColocated(true) racks every cluster node and the switch on one
+// shared engine — the monolithic baseline for scheduler-overhead
+// measurement. See Options.Colocate for the determinism caveat.
+func WithColocated(on bool) Option { return func(o *Options) { o.Colocate = on } }
 
 // WithOptions replaces the whole carrier at once — an escape hatch for
 // callers that build an Options value programmatically.
