@@ -1,5 +1,5 @@
 // Command fldbench runs the simulator's steady-state performance
-// benchmarks and records the results in BENCH_PR9.json, so CI can catch
+// benchmarks and records the results in BENCH_PR10.json, so CI can catch
 // event-throughput or allocation regressions without parsing `go test
 // -bench` output.
 //
@@ -18,8 +18,9 @@
 // that dominates `go test -bench` wall clock, a 16-client cluster point
 // at 1, 4 and 8 scheduler workers plus the same point on one colocated
 // monolithic engine (cluster_scaling — the scheduler-overhead
-// denominator), and 128/512-aggregated-client cluster points
-// (cluster128/cluster512). DESIGN.md's "Simulator performance",
+// denominator), 128/512-aggregated-client cluster points
+// (cluster128/cluster512), and 20k/100k-connection KV serving points
+// (kvserve20k/kvserve100k). DESIGN.md's "Simulator performance",
 // "Parallel simulation" and "Large-cluster scaling" sections explain
 // how to read the numbers.
 package main
@@ -47,7 +48,7 @@ type Result struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
-// File is the BENCH_PR9.json schema.
+// File is the BENCH_PR10.json schema.
 type File struct {
 	GeneratedBy string            `json:"generated_by"`
 	GoVersion   string            `json:"go_version"`
@@ -151,6 +152,26 @@ var benches = []struct {
 	{"cluster_par8", clusterPointBench(8)},
 	{"cluster128", aggClusterBench(128, 8, 0.5)},
 	{"cluster512", aggClusterBench(512, 16, 0.2)},
+	{"kvserve20k", kvServeBench(20000, 8)},
+	{"kvserve100k", kvServeBench(100000, 16)},
+}
+
+// kvServeBench runs one KV serving point — conns flow-level TCP
+// connections folded onto hosts aggregated-client nodes against the
+// kv AFU server — on the sequential reference schedule, hashing the
+// telemetry tree. O(frames) cost despite the 1e5-connection population
+// is the point: the 100k point must not cost materially more per frame
+// than the 20k one.
+func kvServeBench(conns, hosts int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		p := exps.DefaultKVServeParams(200 * flexdriver.Microsecond)
+		p.Connections, p.Hosts = conns, hosts
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			exps.KVServeTelemetryHash(p, 1)
+		}
+	}
 }
 
 // aggClusterBench runs one aggregated-client cluster point: n logical
@@ -283,7 +304,7 @@ func check(baseline, got File) error {
 
 func main() {
 	checkMode := flag.Bool("check", false, "compare against the baseline file instead of rewriting it")
-	path := flag.String("baseline", "BENCH_PR9.json", "baseline file to write or check against")
+	path := flag.String("baseline", "BENCH_PR10.json", "baseline file to write or check against")
 	flag.Parse()
 
 	got := run()

@@ -108,6 +108,14 @@ func main() {
 		{"failover", "crash-failover SLOs under supervision; honors -workers", func() *exps.Result { return exps.FailoverWorkers(window, *workers) }},
 		{"scenario", "generated-scenario sweep; honors -seed -count -spec", func() *exps.Result { return exps.Scenario(*seed, *count, *spec) }},
 		{"tenancy", "multi-tenant live reconcile under traffic; honors -seed", func() *exps.Result { return exps.Tenancy(*seed, window) }},
+		{"kvserve", "TCP offload + KV serving under 10^5 connections; honors -seed -workers", func() *exps.Result {
+			p := exps.DefaultKVServeParams(window)
+			p.Seed = *seed
+			if *workers > 0 {
+				p.HashWorkers = []int{*workers, 1, 4}
+			}
+			return exps.KVServe(p)
+		}},
 		{"cluster", "N-client scaling behind a ToR switch; honors -clients -hosts -workers", func() *exps.Result {
 			p := exps.DefaultClusterParams(window)
 			ns, err := parseClients(*clients)

@@ -1,0 +1,391 @@
+package exps
+
+import (
+	"fmt"
+
+	"flexdriver"
+	"flexdriver/internal/accel/kv"
+	"flexdriver/internal/memmodel"
+	"flexdriver/internal/nic"
+	"flexdriver/internal/perfmodel"
+	"flexdriver/internal/rpc"
+	"flexdriver/internal/sim"
+	"flexdriver/internal/stats"
+	"flexdriver/internal/swdriver"
+	"flexdriver/internal/tcp"
+)
+
+// KVServeParams configures the TCP-offload key-value serving experiment:
+// a population of flow-level TCP connections (one per modeled client,
+// folded into a few aggregated hosts) issues Zipf-popular GET/PUT
+// requests against the kv AFU running on every FLD core of one server.
+type KVServeParams struct {
+	// Connections is the modeled connection population (>= 1e5 for the
+	// paper-scale point). Each connection owns a TCP 4-tuple, a private
+	// arrival stream and a sequence cursor; only the fraction that ticks
+	// inside the window actually sends (open-loop, flow-level).
+	Connections int
+	// Hosts is the number of aggregated-client hosts the population is
+	// folded into.
+	Hosts int
+	// FLDCores is the number of kv AFU instances behind the server's RSS
+	// TIR; a connection's requests stay core-affine (4-tuple RSS).
+	FLDCores int
+	// KeyBytes / ValueBytes size the RPC fields; every request frame is
+	// tcp.FrameOverhead + rpc.HeaderLen + KeyBytes + ValueBytes on the
+	// wire (GETs carry the value field as padding so request size is
+	// uniform).
+	KeyBytes, ValueBytes int
+	// Keys is the key-space size; ZipfS is the popularity skew exponent.
+	Keys  int
+	ZipfS float64
+	// PutEvery makes every PutEvery-th request of a connection a PUT
+	// (the first always is), the rest GETs.
+	PutEvery int
+	// OfferedGbps is the aggregate request-frame goodput offered by the
+	// whole population.
+	OfferedGbps float64
+	// QueueFrames bounds the ToR switch's per-port output queues.
+	QueueFrames int
+	// Warmup, Window, Drain phase the measurement; only the window counts.
+	Warmup, Window, Drain flexdriver.Duration
+	// Seed drives every arrival and popularity stream.
+	Seed int64
+	// HashWorkers lists the scheduler worker counts the experiment
+	// re-runs under to pin telemetry-hash equality (default {1, 4, 8});
+	// the first entry is the measurement run.
+	HashWorkers []int
+}
+
+// DefaultKVServeParams returns the paper-scale point: 10^5 connections
+// over 16 aggregated hosts offering 10 Gbit/s of 214 B requests into a
+// 4-core server on 25 GbE.
+func DefaultKVServeParams(window flexdriver.Duration) KVServeParams {
+	return KVServeParams{
+		Connections: 100000,
+		Hosts:       16,
+		FLDCores:    4,
+		KeyBytes:    16,
+		ValueBytes:  128,
+		Keys:        1 << 16,
+		ZipfS:       1.07,
+		PutEvery:    8,
+		OfferedGbps: 10,
+		QueueFrames: 256,
+		Warmup:      100 * flexdriver.Microsecond,
+		Window:      window,
+		Drain:       150 * flexdriver.Microsecond,
+		Seed:        1,
+	}
+}
+
+// ReqBytes returns the uniform request frame size on the wire.
+func (p KVServeParams) ReqBytes() int {
+	return tcp.FrameOverhead + rpc.HeaderLen + p.KeyBytes + p.ValueBytes
+}
+
+// kvPoint is one run's measurements.
+type kvPoint struct {
+	sentW, respW         int64 // in-window requests / responses
+	rxB                  int64 // in-window response bytes at the clients
+	p50us, p99us, p999us float64
+	activeConns          int   // distinct connections the server saw
+	served               int64 // AFU-parsed requests (whole run)
+	hits, misses         int64
+	stored               int64
+	replyBytes           int64 // whole-run response bytes (mean-size estimate)
+	responses            int64
+	dropped, malformed   int64
+	fldRx                []int64
+	tailDrops            int64
+	pcieMismatches       int
+	pending              int
+	hash                 string
+}
+
+// Frame offsets of the mutable request fields: the TCP sequence number,
+// the RPC op byte, the RPC correlation ID and the key field. The IPv4
+// header checksum only covers the L3 header, so stamping L4 bytes keeps
+// the frame parseable.
+const (
+	kvSeqOff = 38                        // Eth(14) + IPv4(20) + seq at TCP+4
+	kvOpOff  = tcp.FrameOverhead + 1     // rpc op byte
+	kvIDOff  = tcp.FrameOverhead + rpc.IDOffset
+	kvKeyOff = tcp.FrameOverhead + rpc.HeaderLen
+)
+
+// runKVServePoint runs the serving topology once at the given worker
+// count. Every accumulator is shard-private during the run (client state
+// with its host, AFU counters with the server) and merged after.
+func runKVServePoint(p KVServeParams, workers int) kvPoint {
+	reg := flexdriver.NewRegistry()
+	cl := flexdriver.NewCluster(
+		flexdriver.WithDriver(genDriverParams()),
+		flexdriver.WithTelemetry(reg),
+		flexdriver.WithWorkers(workers),
+	).SwitchQueueFrames(p.QueueFrames)
+
+	// Server: FLDCores kv AFUs behind an RSS TIR, like the cluster echo.
+	srv := cl.AddInnova("server")
+	rts := []*flexdriver.Runtime{srv.RT}
+	for i := 1; i < p.FLDCores; i++ {
+		_, rt := srv.AddFLD(srv.FLD.Config())
+		rts = append(rts, rt)
+	}
+	var rqs []*nic.RQ
+	kvs := make([]*kv.AFU, 0, len(rts))
+	for _, rt := range rts {
+		rt.CreateEthTxQueue(0, nil)
+		ecp := flexdriver.NewEControlPlane(rt)
+		ecp.InstallDefaultEgressToWire()
+		rt.Start()
+		kvs = append(kvs, kv.New(rt.FLD()))
+		rqs = append(rqs, rt.RQ())
+	}
+	srv.NIC.ESwitch().AddRule(0, flexdriver.Rule{
+		Action: flexdriver.Action{ToTIR: &nic.TIR{RQs: rqs}}})
+
+	// Clients: Connections flow-level TCP connections folded into Hosts
+	// aggregated sources. Connection gi owns arrival stream Seed*1000+gi
+	// (splitmix state — 10^5 full rand.Rand instances would cost half a
+	// gigabyte), the 4-tuple (hostIP, 2048+local, srv, 7777), a sequence
+	// cursor and a request ordinal; popularity is a per-host Zipf stream.
+	measuring := false
+	reqLen := rpc.HeaderLen + p.KeyBytes + p.ValueBytes
+	type client struct {
+		eng    *sim.Engine
+		port   *swdriver.EthPort
+		sent   int64
+		sentW  int64
+		sendAt []flexdriver.Time
+		lat    []float64
+		rxB    int64
+		respW  int64
+	}
+	// conns[gi] counts connection gi's requests; each index is touched
+	// only by its owning host's shard, so the shared slice does not race.
+	conns := make([]uint32, p.Connections)
+	stopSending := p.Warmup + p.Window
+	perConnBps := p.OfferedGbps * 1e9 / float64(p.Connections)
+	mean := flexdriver.Duration(float64(p.ReqBytes()*8) / perConnBps *
+		float64(flexdriver.Second))
+	nhosts := p.Hosts
+	if nhosts > p.Connections {
+		nhosts = p.Connections
+	}
+	clients := make([]*client, 0, nhosts)
+	for hi, base := 0, 0; hi < nhosts; hi++ {
+		k := p.Connections / nhosts
+		if hi < p.Connections%nhosts {
+			k++
+		}
+		c := &client{}
+		b := base
+		zipf := sim.NewLightRand(p.Seed*77 + int64(hi)).Zipf(p.ZipfS, 1, uint64(p.Keys-1))
+		src := cl.AddAggregatedClients(fmt.Sprintf("client%d", hi), flexdriver.AggregatedClientsConfig{
+			Clients:    k,
+			StreamSeed: p.Seed*1000 + int64(b),
+			Stop:       stopSending,
+			Rand:       sim.NewLightRand,
+			Setup: func(h *flexdriver.Host, ci int, _ *sim.Rand) flexdriver.ClientSetup {
+				// One flow per connection: a full TCP request frame
+				// template; OnSend stamps the per-request fields.
+				seg := tcp.Segment{
+					SrcPort: uint16(2048 + ci), DstPort: 7777,
+					Flags: tcp.FlagAck | tcp.FlagPsh, Window: 0xffff, Epoch: 1,
+				}
+				req := rpc.Frame{Op: rpc.OpPut,
+					Key: make([]byte, p.KeyBytes), Val: make([]byte, p.ValueBytes)}
+				for i := range req.Val {
+					req.Val[i] = byte(b + ci)
+				}
+				frame := tcp.BuildFrame(h.NIC.MAC, srv.NIC.MAC, h.NIC.IP, srv.NIC.IP,
+					seg, req.Marshal(nil))
+				return flexdriver.ClientSetup{Flows: [][]byte{frame}, Mean: mean}
+			},
+			OnSend: func(ci int, f []byte) {
+				// Host-level ordinal for RTT correlation.
+				ord := c.sent
+				for i := 7; i >= 0; i-- {
+					f[kvIDOff+i] = byte(ord)
+					ord >>= 8
+				}
+				c.sendAt = append(c.sendAt, c.eng.Now())
+				c.sent++
+				if measuring {
+					c.sentW++
+				}
+				// Connection-level stream position and op mix.
+				gi := b + ci
+				reqs := conns[gi]
+				conns[gi]++
+				seq := reqs * uint32(reqLen)
+				f[kvSeqOff], f[kvSeqOff+1] = byte(seq>>24), byte(seq>>16)
+				f[kvSeqOff+2], f[kvSeqOff+3] = byte(seq>>8), byte(seq)
+				if int(reqs)%p.PutEvery == 0 {
+					f[kvOpOff] = rpc.OpPut
+				} else {
+					f[kvOpOff] = rpc.OpGet
+				}
+				// Zipf-popular key, drawn on the host's popularity stream.
+				rank := zipf()
+				for i := 7; i >= 0; i-- {
+					f[kvKeyOff+i] = byte(rank)
+					rank >>= 8
+				}
+			},
+		})
+		c.eng, c.port = src.Host.Engine(), src.Port
+		c.port.OnReceive = func(fr []byte, _ swdriver.RxMeta) {
+			if len(fr) < kvIDOff+8 || !measuring {
+				return
+			}
+			var ord int64
+			for i := 0; i < 8; i++ {
+				ord = ord<<8 | int64(fr[kvIDOff+i])
+			}
+			if ord < int64(len(c.sendAt)) {
+				c.lat = append(c.lat, (c.eng.Now()-c.sendAt[ord]).Seconds()*1e6)
+			}
+			c.respW++
+			c.rxB += int64(len(fr))
+		}
+		clients = append(clients, c)
+		base += k
+	}
+
+	cl.RunUntil(p.Warmup)
+	measuring = true
+	cl.RunUntil(stopSending)
+	measuring = false
+	cl.RunUntil(stopSending + p.Drain)
+	cl.Run()
+
+	// Merge the shard-private accumulators now that every shard is idle.
+	lat := stats.NewSample(1 << 16)
+	pt := kvPoint{pending: cl.Pending()}
+	for _, c := range clients {
+		for _, v := range c.lat {
+			lat.Add(v)
+		}
+		pt.sentW += c.sentW
+		pt.respW += c.respW
+		pt.rxB += c.rxB
+	}
+	pt.p50us, pt.p99us, pt.p999us = lat.Median(), lat.Percentile(99), lat.Percentile(99.9)
+	for i, a := range kvs {
+		pt.activeConns += a.ConnCount()
+		pt.served += a.Requests
+		pt.hits += a.Hits
+		pt.misses += a.Misses
+		pt.stored += a.Stored
+		pt.replyBytes += a.ReplyBytes
+		pt.responses += a.Responses
+		pt.dropped += a.Dropped
+		pt.malformed += a.Malformed
+		pt.fldRx = append(pt.fldRx, rts[i].FLD().Stats.RxPackets)
+	}
+	for _, port := range cl.Switch().Ports() {
+		pt.tailDrops += port.Counters.TailDrops
+	}
+	snap := reg.Snapshot()
+	pt.hash = snap.Hash()
+	pt.pcieMismatches = pcieMismatches(snap, "server", srv.Fab)
+	for _, h := range cl.Hosts {
+		pt.pcieMismatches += pcieMismatches(snap, h.Name(), h.Fab)
+	}
+	return pt
+}
+
+// KVServeTelemetryHash runs the serving point at the given worker count
+// and returns the final telemetry snapshot hash (fldbench's determinism
+// subject).
+func KVServeTelemetryHash(p KVServeParams, workers int) string {
+	return runKVServePoint(p, workers).hash
+}
+
+// KVServe runs the TCP-offload key-value serving experiment: 10^5
+// flow-level connections issue Zipf GET/PUT requests through the TCP +
+// RPC framing layers against the per-core kv AFUs, and the measurement
+// is checked against the analytic serving model and the FPGA SRAM
+// budget:
+//
+//   - latency: p999 stays under perfmodel.KVServeModel.P999BoundUs at
+//     the offered utilization;
+//   - goodput: the served response rate tracks the offered request rate
+//     and never exceeds the model ceiling;
+//   - memory: the Connections-sized connection table plus the FLD
+//     driver structures fit the XCKU15P on-chip budget;
+//   - determinism: the telemetry hash is byte-identical across
+//     scheduler worker counts (default 1, 4 and 8).
+func KVServe(p KVServeParams) *Result {
+	r := &Result{ID: "kvserve",
+		Title: fmt.Sprintf("TCP offload + RPC serving: %d connections vs %d kv cores",
+			p.Connections, p.FLDCores)}
+	r.Columns = []string{"conns", "active", "req/s (win)", "resp Gb/s", "p50 us", "p99 us", "p999 us", "hit rate"}
+
+	hw := p.HashWorkers
+	if len(hw) == 0 {
+		hw = []int{1, 4, 8}
+	}
+	pt := runKVServePoint(p, hw[0])
+
+	win := p.Window.Seconds()
+	reqRate := float64(pt.sentW) / win
+	respGbps := float64(pt.rxB) * 8 / win / 1e9
+	hitRate := 0.0
+	if pt.hits+pt.misses > 0 {
+		hitRate = float64(pt.hits) / float64(pt.hits+pt.misses)
+	}
+	r.AddRow(d0(p.Connections), d0(pt.activeConns), f1(reqRate), f2(respGbps),
+		f1(pt.p50us), f1(pt.p99us), f1(pt.p999us), f2(hitRate))
+
+	// The analytic model uses the measured mean response size (GET hits
+	// carry the value, PUTs and misses only the header frame).
+	respMean := p.ReqBytes()
+	if pt.responses > 0 {
+		respMean = int(pt.replyBytes / pt.responses)
+	}
+	m := perfmodel.DefaultKVServeModel(25, p.ReqBytes(), respMean)
+	offeredRps := p.OfferedGbps * 1e9 / float64(p.ReqBytes()*8)
+	rho := offeredRps / m.RequestRate()
+
+	r.Check("population runs at paper scale", 1e5, float64(p.Connections), "conns",
+		p.Connections >= 1e5, fmt.Sprintf("%d active in the window", pt.activeConns))
+	r.Check("served responses track offered requests", float64(pt.sentW), float64(pt.respW),
+		"responses", pt.respW >= int64(0.9*float64(pt.sentW)) && pt.sentW > 0,
+		"open-loop window counts, >= 90%")
+	r.Check("p999 latency under the analytic envelope", m.P999BoundUs(rho), pt.p999us, "us",
+		pt.p999us > 0 && pt.p999us <= m.P999BoundUs(rho),
+		fmt.Sprintf("M/D/1 bound at rho=%.2f", rho))
+	bound := m.OfferedGoodputGbps(reqRate)
+	r.Check("response goodput within the model bound", bound, respGbps, "Gbit/s",
+		respGbps <= bound*1.02 && respGbps >= 0.85*bound,
+		"offered-rate ceiling from the PCIe/Ethernet model")
+	total, fits := memmodel.PaperParams().ConnTableFits(p.Connections)
+	r.Check("connection table fits FLD SRAM", float64(memmodel.XCKU15PBytes),
+		float64(total), "bytes", fits,
+		fmt.Sprintf("%d B/conn cuckoo table + driver structures", memmodel.ConnEntryBytes))
+	r.Check("Zipf popularity produces GET hits", 0.2, hitRate, "frac",
+		hitRate > 0.2 && pt.stored > 0, "per-core stores, core-affine connections")
+	r.Check("server parsed every request", 0, float64(pt.malformed), "frames",
+		pt.malformed == 0, "")
+	r.Check("no credit-stall response drops", 0, float64(pt.dropped), "frames",
+		pt.dropped == 0, "")
+
+	hashes := []string{pt.hash}
+	hashOK := true
+	for _, w := range hw[1:] {
+		h := runKVServePoint(p, w).hash
+		hashes = append(hashes, h)
+		if h != pt.hash {
+			hashOK = false
+		}
+	}
+	r.Check("telemetry hash identical across workers", float64(len(hw)), b2f(hashOK), "",
+		hashOK, fmt.Sprintf("workers %v, hash %s...", hw, pt.hash[:12]))
+	r.Check("PCIe byte counters reconcile on every node", 0, float64(pt.pcieMismatches),
+		"mismatches", pt.pcieMismatches == 0, "telemetry vs Port.{Up,Down}Bytes, all nodes")
+	r.Check("sim engine quiesced", 0, float64(pt.pending), "events", pt.pending == 0, "")
+	return r
+}

@@ -119,6 +119,29 @@ func xltBytes(n int) int {
 	return cuckoo.New(n).Slots() * xltEntry
 }
 
+// ConnEntryBytes is the packed per-connection state of the TCP-offload
+// connection table: the 4-tuple folded to the cuckoo key, 32-bit
+// send/receive sequence cursors, the advertised window and flags — 16 B
+// per live connection.
+const ConnEntryBytes = 16
+
+// ConnTableBytes sizes the connection table for n live connections the
+// same way the translation tables are sized: a 4-bank cuckoo layout at
+// the banks' provisioned load factor, ConnEntryBytes per slot. This is
+// the SRAM term a TCP-serving AFU (internal/accel/kv) adds on top of
+// the driver structures in FLD().
+func ConnTableBytes(n int) int {
+	return cuckoo.New(n).Slots() * ConnEntryBytes
+}
+
+// ConnTableFits reports whether n connections' table plus the FLD
+// driver structures stay inside the prototype FPGA's on-chip memory
+// (the Figure 4 budget line), and the total bytes it compared.
+func (p Params) ConnTableFits(n int) (total int, ok bool) {
+	total = p.FLD().Total() + ConnTableBytes(n)
+	return total, total <= XCKU15PBytes
+}
+
 // FLD computes the FlexDriver column of Table 3: a shared compressed
 // descriptor pool behind address translation, buffer pools sized at twice
 // the bandwidth-delay product with page-granular translation, compressed

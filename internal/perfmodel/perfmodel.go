@@ -143,6 +143,114 @@ func (m EchoModel) Sweep(sizes []int) []Point {
 	return out
 }
 
+// KVServeModel is the analytic bound for the key-value serving
+// experiment (exps.KVServe): request frames of ReqBytes arrive on the
+// Ethernet link, cross the NIC-FPGA PCIe link into the KV AFU, and a
+// RespBytes response crosses back and out — the echo model's cost
+// structure with asymmetric sizes.
+type KVServeModel struct {
+	Echo EchoModel
+	// ReqBytes / RespBytes are the full wire frame sizes (Ethernet
+	// header through payload) of one request and the mean response.
+	ReqBytes, RespBytes int
+}
+
+// DefaultKVServeModel matches the prototype serving setup at the given
+// line rate and frame sizes.
+func DefaultKVServeModel(ethGbps float64, reqBytes, respBytes int) KVServeModel {
+	return KVServeModel{Echo: DefaultEchoModel(ethGbps), ReqBytes: reqBytes, RespBytes: respBytes}
+}
+
+// PerRequestBytes returns the NIC-FPGA wire bytes one served request
+// costs in each direction: the request in (plus its receive CQE and the
+// read requests fetching the response), the response out (plus its
+// descriptor and the amortized control writes).
+func (m KVServeModel) PerRequestBytes() (toFPGA, toNIC int) {
+	l := m.Echo.Link
+	toFPGA = l.WriteWireBytes(m.ReqBytes)
+	toFPGA += l.WriteWireBytes(nic.CQESize)
+	toFPGA += l.ReadReqWireBytes(m.RespBytes)
+	toFPGA += l.WriteWireBytes(nic.CQESize) / m.Echo.SignalEvery
+	toNIC = l.CompletionWireBytes(m.RespBytes)
+	if m.Echo.WQEByMMIO {
+		toNIC += l.WriteWireBytes(nic.SendWQESize)
+	} else {
+		toNIC += l.WriteWireBytes(4)
+		toNIC += l.CompletionWireBytes(nic.SendWQESize)
+		toFPGA += l.ReadReqWireBytes(nic.SendWQESize)
+	}
+	toNIC += l.WriteWireBytes(4) / m.Echo.RxRecyclePackets
+	return toFPGA, toNIC
+}
+
+// RequestRate returns the served-requests-per-second upper bound: the
+// minimum of the Ethernet link in each direction, the PCIe bottleneck
+// direction, and the pipeline's pps ceiling.
+func (m KVServeModel) RequestRate() float64 {
+	ethBps := m.Echo.EthRateGbps * 1e9
+	r := ethBps / (float64(m.ReqBytes+nic.EthWireOverhead) * 8)
+	if out := ethBps / (float64(m.RespBytes+nic.EthWireOverhead) * 8); out < r {
+		r = out
+	}
+	toFPGA, toNIC := m.PerRequestBytes()
+	worst := toFPGA
+	if toNIC > worst {
+		worst = toNIC
+	}
+	if p := float64(m.Echo.Link.EffectiveRate()) / 8 / float64(worst); p < r {
+		r = p
+	}
+	if m.Echo.PpsCap > 0 && m.Echo.PpsCap < r {
+		r = m.Echo.PpsCap
+	}
+	return r
+}
+
+// GoodputGbps returns the response-side goodput bound at the request-
+// rate ceiling.
+func (m KVServeModel) GoodputGbps() float64 {
+	return m.RequestRate() * float64(m.RespBytes) * 8 / 1e9
+}
+
+// OfferedGoodputGbps returns the response goodput at an offered request
+// rate (requests/s), capped by the ceiling.
+func (m KVServeModel) OfferedGoodputGbps(rps float64) float64 {
+	if cap := m.RequestRate(); rps > cap {
+		rps = cap
+	}
+	return rps * float64(m.RespBytes) * 8 / 1e9
+}
+
+// BaseRTTUs is the unloaded request latency: serialization of the
+// request and response on two Ethernet hops each (client-switch,
+// switch-server), both PCIe crossings, and a fixed allowance for the
+// store-and-forward and pipeline stages along the path.
+func (m KVServeModel) BaseRTTUs() float64 {
+	ethBps := m.Echo.EthRateGbps * 1e9
+	ser := 2 * float64((m.ReqBytes+m.RespBytes)*8) / ethBps * 1e6
+	toFPGA, toNIC := m.PerRequestBytes()
+	pcie := float64((toFPGA+toNIC)*8) / float64(m.Echo.Link.EffectiveRate()) * 1e6
+	const pipeline = 3.0 // us: NIC pipelines, FLD stages, driver CPU costs
+	return ser + pcie + pipeline
+}
+
+// P999BoundUs is the analytic 99.9th-percentile latency envelope at
+// utilization rho: the unloaded RTT plus an M/D/1-shaped queueing term
+// scaled by ln(1000) for the tail quantile, with headroom for the
+// open-loop arrival bursts the mean-wait formula undercounts.
+func (m KVServeModel) P999BoundUs(rho float64) float64 {
+	if rho >= 0.99 {
+		rho = 0.99
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	svc := 1e6 / m.RequestRate() // us per request at the bottleneck
+	wait := rho / (1 - rho) * svc / 2
+	const lnTail = 6.9 // ln(1000)
+	return m.BaseRTTUs() + lnTail*(wait+svc) + 2*m.BaseRTTUs()
+}
+
 // ZucModel is the Figure 8a upper bound: the 25 GbE link carrying RoCE
 // framing plus the 64 B application header per request/response.
 type ZucModel struct {

@@ -40,8 +40,11 @@ func FuzzScenarioInvariants(f *testing.F) {
 func FuzzParseScenarioSpec(f *testing.F) {
 	f.Add(Generate(1).String())
 	f.Add(Generate(7).String())
-	f.Add(Generate(5).String()) // multi-tenant draw
+	f.Add(Generate(5).String())  // multi-tenant draw
+	f.Add(Generate(3).String())  // TCP-framed echo draw
+	f.Add(Generate(53).String()) // key-value (rpc) serving draw
 	f.Add("seed=5 clients=2 rdma=1 plant=40")
+	f.Add("seed=3 clients=1 proto=tcp plantackdrop=30")
 	f.Add("seed=5 clients=2 tenants=2 reconfig=1 plantleak=25")
 	f.Add("tenants=2 path=vxlan")
 	f.Add("frames=64:1024 gbps=2.5 path=vxlan faults=wire.loss=0.01,pcie.drop=0.005")

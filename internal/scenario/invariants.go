@@ -41,6 +41,13 @@ type runState struct {
 
 	rdmaBad, rdmaGhosts int64
 	echoSendFails       int64
+
+	// TCP sidecar endpoints and tallies (nil/zero unless spec.Proto set).
+	tepA, tepB        *swdriver.TCPEndpoint
+	tcpBad, tcpGhosts int64
+	// kv-server reasoned losses (proto=rpc): credit-stall response drops
+	// and parse rejections, both part of the conservation budget.
+	kvDrops, kvMalformed int64
 }
 
 // node is one racked node's identity for per-node checks.
@@ -93,11 +100,13 @@ func checkInvariants(res *Result, st *runState) {
 		short += c.short
 	}
 	swStats := st.cl.Switch().Stats
-	budget := 512*inj.Total() + res.TailDrops + nicDrops + st.echoSendFails + swStats.Malformed + short
+	budget := 512*inj.Total() + res.TailDrops + nicDrops + st.echoSendFails +
+		swStats.Malformed + short + st.kvDrops + st.kvMalformed
 	if res.Lost > budget {
 		bad("frame-conservation",
-			"%d of %d frames lost but only %d accounted for (injected=%d tail=%d nic=%d echo-fail=%d)",
-			res.Lost, res.Sent, budget, inj.Total(), res.TailDrops, nicDrops, st.echoSendFails)
+			"%d of %d frames lost but only %d accounted for (injected=%d tail=%d nic=%d echo-fail=%d kv=%d)",
+			res.Lost, res.Sent, budget, inj.Total(), res.TailDrops, nicDrops, st.echoSendFails,
+			st.kvDrops+st.kvMalformed)
 	}
 
 	// No ghost frames: a client must never receive a sequence number it
@@ -330,6 +339,30 @@ func checkInvariants(res *Result, st *runState) {
 		if inj.Total() == 0 && res.RDMADelivered != res.RDMASent {
 			bad("rdma-delivery", "fault-free run delivered %d of %d messages",
 				res.RDMADelivered, res.RDMASent)
+		}
+	}
+
+	// TCP sidecar: the byte-stream transport must never corrupt or
+	// manufacture a message, and on a fault-free run it must deliver
+	// every one — a stalled connection that burns its retry budget and
+	// flushes queued messages (the planted ack-drop defect) surfaces
+	// here as missing deliveries with no fault to excuse them.
+	if st.spec.Proto != "" {
+		if st.tcpBad > 0 {
+			bad("tcp-corruption", "%d decoded messages failed byte verification", st.tcpBad)
+		}
+		if st.tcpGhosts > 0 || res.TCPDelivered > res.TCPSent {
+			bad("tcp-ghost", "delivered %d messages, sent %d (%d with unsent ordinals)",
+				res.TCPDelivered, res.TCPSent, st.tcpGhosts)
+		}
+		if inj.Total() == 0 && res.TCPDelivered != res.TCPSent {
+			bad("tcp-delivery", "fault-free run delivered %d of %d stream messages",
+				res.TCPDelivered, res.TCPSent)
+		}
+		for i, ep := range []*swdriver.TCPEndpoint{st.tepA, st.tepB} {
+			if ep.Port().SQ().State() != nic.QueueReady || ep.Port().RQ().State() != nic.QueueReady {
+				bad("queues-recovered", "TCP sidecar endpoint %d has rings not in Ready", i)
+			}
 		}
 	}
 }

@@ -4,11 +4,14 @@ import (
 	"fmt"
 
 	"flexdriver"
+	"flexdriver/internal/accel/kv"
 	"flexdriver/internal/faults"
 	"flexdriver/internal/netpkt"
 	"flexdriver/internal/nic"
+	"flexdriver/internal/rpc"
 	"flexdriver/internal/sim"
 	"flexdriver/internal/swdriver"
+	"flexdriver/internal/tcp"
 )
 
 // Phasing shared by every scenario: clean warmup (queues settle, no
@@ -26,6 +29,16 @@ const (
 	// flowsPerClient is each client's flow-set size (sport/size variety
 	// for RSS spread).
 	flowsPerClient = 6
+	// tcpStampOff is the ordinal's home in a TCP-framed echo frame: the
+	// first payload bytes behind Eth(14) + IPv4(20) + TCP(20).
+	tcpStampOff = tcp.FrameOverhead
+	// rpcStampOff is the ordinal's home on the rpc path: the RPC
+	// correlation ID inside the frame header, which the kv server echoes
+	// into its response.
+	rpcStampOff = tcp.FrameOverhead + rpc.IDOffset
+	// rpcFrameMin is the smallest rpc request the flow builder emits:
+	// headers plus an 8-byte key and room for a value.
+	rpcFrameMin = 96
 )
 
 // Violation is one failed global invariant.
@@ -48,6 +61,7 @@ type Result struct {
 
 	Sent, Lost, Dups        int64
 	RDMASent, RDMADelivered int64
+	TCPSent, TCPDelivered   int64
 	Injected                faults.Counts
 	TailDrops               int64
 	// SupEpisodes counts closed supervision-ladder recovery episodes
@@ -293,6 +307,67 @@ func rdmaVerify(msg []byte) (seq int64, ok bool) {
 	return seq, true
 }
 
+// tcpEchoFrame builds a TCP-framed frame of size bytes on the wire whose
+// payload carries the send ordinal at tcpStampOff — the proto=tcp
+// workload shape. The sequence fields are inert (the server echoes by
+// header swap, it does not terminate the stream).
+func tcpEchoFrame(src, dst *flexdriver.NIC, sport, dport uint16, size int) []byte {
+	seg := tcp.Segment{SrcPort: sport, DstPort: dport,
+		Flags: tcp.FlagAck | tcp.FlagPsh, Window: 0xffff, Epoch: 1}
+	return tcp.BuildFrame(src.MAC, dst.MAC, src.IP, dst.IP, seg,
+		make([]byte, size-tcp.FrameOverhead))
+}
+
+// rpcReqFrame builds a TCP-framed RPC request of size bytes: an 8-byte
+// key naming the flow and a value filling the rest. Even flows PUT their
+// key, odd flows GET the preceding flow's key, so the kv stores see both
+// ops (hits once the PUT landed, misses before). OnSend stamps the
+// correlation ID at rpcStampOff.
+func rpcReqFrame(src, dst *flexdriver.NIC, sport, dport uint16, size, fi int) []byte {
+	if size < rpcFrameMin {
+		size = rpcFrameMin
+	}
+	op, keyFlow := uint8(rpc.OpPut), fi
+	if fi%2 == 1 {
+		op, keyFlow = rpc.OpGet, fi-1
+	}
+	key := make([]byte, 8)
+	k := uint64(sport)<<16 | uint64(keyFlow)
+	for i := 7; i >= 0; i-- {
+		key[i] = byte(k)
+		k >>= 8
+	}
+	val := make([]byte, size-tcp.FrameOverhead-rpc.HeaderLen-len(key))
+	for i := range val {
+		val[i] = byte(i*3 + fi)
+	}
+	seg := tcp.Segment{SrcPort: sport, DstPort: dport,
+		Flags: tcp.FlagAck | tcp.FlagPsh, Window: 0xffff, Epoch: 1}
+	return tcp.BuildFrame(src.MAC, dst.MAC, src.IP, dst.IP, seg,
+		rpc.Frame{Op: op, Key: key, Val: val}.Marshal(nil))
+}
+
+// tcpMsg builds (and tcpMsgVerify checks) one TCP-sidecar message: an
+// rpc-framed record whose ID is the send ordinal and whose value is an
+// ordinal-keyed byte pattern, so a decoded frame proves byte-exact
+// stream transport through retransmission and recovery.
+func tcpMsg(seq int64, n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte(int64(i)*7 + seq)
+	}
+	return rpc.Frame{Op: rpc.OpPut, ID: uint64(seq), Val: v}.Marshal(nil)
+}
+
+func tcpMsgVerify(f rpc.Frame) bool {
+	for i, b := range f.Val {
+		if b != byte(int64(i)*7+int64(f.ID)) {
+			return false
+		}
+	}
+	return true
+}
+
 // Run executes one scenario to quiescence and checks every global
 // invariant. The run is a pure function of the Spec: identical specs
 // produce identical Results, including the telemetry hash.
@@ -330,6 +405,7 @@ func Run(s Spec) *Result {
 	srv := cl.AddInnova("server")
 	rts := []*flexdriver.Runtime{srv.RT}
 	var echoSendFails int64
+	var kvs []*kv.AFU // per-core key-value servers (proto=rpc only)
 	var tn *tenantRun
 	if s.Tenants > 0 {
 		tn = setupTenants(cl, srv, s, &echoSendFails)
@@ -345,13 +421,20 @@ func Run(s Spec) *Result {
 			ecp.InstallDefaultEgressToWire()
 			rt.Start()
 			f := rt.FLD()
-			f.SetHandler(flexdriver.HandlerFunc(func(data []byte, md flexdriver.Metadata) {
-				out := append([]byte(nil), data...)
-				swapEcho(out)
-				if err := f.Send(0, out, md); err != nil {
-					echoSendFails++
-				}
-			}))
+			if s.Proto == "rpc" {
+				// The serving path: each core answers GET/PUT from its
+				// private store; its send failures and parse rejections
+				// join the loss budget like echo send failures do.
+				kvs = append(kvs, kv.New(f))
+			} else {
+				f.SetHandler(flexdriver.HandlerFunc(func(data []byte, md flexdriver.Metadata) {
+					out := append([]byte(nil), data...)
+					swapEcho(out)
+					if err := f.Send(0, out, md); err != nil {
+						echoSendFails++
+					}
+				}))
+			}
 			rqs = append(rqs, rt.RQ())
 		}
 		if s.Path == "vxlan" {
@@ -370,8 +453,23 @@ func Run(s Spec) *Result {
 	// rides at the *inner* offset on the VXLAN path, so replies (which
 	// come back decapped) always carry it at seqOff.
 	stampOff := seqOff
-	if s.Path == "vxlan" {
+	switch {
+	case s.Path == "vxlan":
 		stampOff = vxlanOuter + seqOff
+	case s.Proto == "tcp":
+		stampOff = tcpStampOff
+	case s.Proto == "rpc":
+		stampOff = rpcStampOff
+	}
+	// Replies carry the stamp where the request put it: decapped VXLAN
+	// frames at seqOff, TCP echoes at the payload offset, and rpc
+	// responses echo the correlation ID in their own header.
+	recvOff := seqOff
+	switch s.Proto {
+	case "tcp":
+		recvOff = tcpStampOff
+	case "rpc":
+		recvOff = rpcStampOff
 	}
 	stop := warmup + window
 
@@ -381,12 +479,19 @@ func Run(s Spec) *Result {
 	hookRecv := func(c *client, myPort uint16) {
 		plant := s.PlantLossNth
 		c.port.OnReceive = func(fr []byte, _ swdriver.RxMeta) {
-			if len(fr) < seqOff+8 {
+			if len(fr) < recvOff+8 {
 				c.short++
 				return
 			}
 			if myPort != 0 && uint16(fr[34])<<8|uint16(fr[35]) != myPort {
 				c.leaks++
+			}
+			if s.Proto == "rpc" && fr[tcp.FrameOverhead+2] == rpc.StatusBadReq {
+				// A BadReq response carries no request ID; screening it
+				// keeps a rejected request out of the per-ordinal ledger
+				// (its loss is the server's Malformed count).
+				c.short++
+				return
 			}
 			c.delivered++
 			if plant > 0 && c.delivered%plant == 0 {
@@ -394,7 +499,7 @@ func Run(s Spec) *Result {
 				// the bookkeeping — a drop with no drop reason anywhere.
 				return
 			}
-			seq := unstamp(fr, seqOff)
+			seq := unstamp(fr, recvOff)
 			if seq < 0 || seq >= c.sent {
 				c.ghosts++
 				return
@@ -415,9 +520,17 @@ func Run(s Spec) *Result {
 			if s.FrameMax > s.FrameMin {
 				size += frng.Intn(s.FrameMax - s.FrameMin + 1)
 			}
-			f := udpFrame(h.NIC, srv.NIC, sport, dport, size)
-			if s.Path == "vxlan" {
-				f = vxlanWrap(h.NIC, srv.NIC, sport, f)
+			var f []byte
+			switch s.Proto {
+			case "tcp":
+				f = tcpEchoFrame(h.NIC, srv.NIC, sport, dport, size)
+			case "rpc":
+				f = rpcReqFrame(h.NIC, srv.NIC, sport, dport, size, fi)
+			default:
+				f = udpFrame(h.NIC, srv.NIC, sport, dport, size)
+				if s.Path == "vxlan" {
+					f = vxlanWrap(h.NIC, srv.NIC, sport, f)
+				}
 			}
 			flows = append(flows, f)
 			avgBits += float64(len(f) * 8)
@@ -538,6 +651,50 @@ func Run(s Spec) *Result {
 		superviseHost(rb, 101)
 	}
 
+	// TCP sidecar: with any Proto set, a host pair runs the reliable
+	// byte-stream transport (internal/tcp) with rpc-framed messages over
+	// the same switch and fault plan — the go-back-N counterpart of the
+	// RDMA sidecar, exercising retransmission, zero-window handling and
+	// the retry-exceeded -> reconnect escalation under the full fault
+	// mix. Delivered IDs are collected raw and judged post-run for the
+	// same shard-discipline reason as the RDMA ordinals. The modest
+	// stream window makes a stalled connection overflow into queued
+	// (flushable) messages quickly — what the planted ack-drop defect
+	// needs to surface as lost deliveries.
+	var tepA, tepB *swdriver.TCPEndpoint
+	var tcpSent, tcpDelivered, tcpBad int64
+	var tcpSeqs []int64
+	var tdec rpc.Decoder
+	trng := sim.NewRand(s.Seed * 52711)
+	var tcpEng *flexdriver.Engine
+	if s.Proto != "" {
+		ta := cl.AddHost("tcp0")
+		tb := cl.AddHost("tcp1")
+		tcpEng = ta.Engine()
+		mk := func(sport, dport uint16) tcp.Config {
+			return tcp.Config{SrcPort: sport, DstPort: dport, Window: 8192}
+		}
+		tepA = ta.Drv.NewTCPEndpoint(swdriver.TCPConfig{Conn: mk(9100, 9101)})
+		tepB = tb.Drv.NewTCPEndpoint(swdriver.TCPConfig{Conn: mk(9101, 9100)})
+		tepA.DropAcksAfterN = s.PlantAckDropNth
+		tepB.Conn.OnDeliver = func(p []byte) {
+			for _, fr := range tdec.Feed(p) {
+				tcpDelivered++
+				if !tcpMsgVerify(fr) {
+					tcpBad++
+				}
+				tcpSeqs = append(tcpSeqs, int64(fr.ID))
+			}
+			tepB.Conn.Consume(len(p))
+		}
+		// A reconnect starts a fresh stream incarnation; the decoder must
+		// drop its partial frame or it would splice bytes across epochs.
+		tepB.OnReconnect = func() { tdec.Reset() }
+		swdriver.ConnectTCPEndpoints(tepA, tepB)
+		superviseHost(ta, 102)
+		superviseHost(tb, 103)
+	}
+
 	// The FDB is programmed statically (every MAC pinned to its port) so
 	// no frame ever floods to a foreign NIC: per-sequence conservation
 	// then has no benign flood copies to excuse.
@@ -612,6 +769,20 @@ func Run(s Spec) *Result {
 		}
 		rdmaEng.After(rrng.Exp(interval), mtick)
 	}
+	if s.Proto != "" {
+		valBytes := 64 << trng.Intn(3) // 64, 128 or 256 B values
+		interval := sim.Duration(float64((valBytes+16)*8) / 1.5e9 * float64(sim.Second))
+		var ttick func()
+		ttick = func() {
+			if tcpEng.Now() >= stop {
+				return
+			}
+			tepA.Send(tcpMsg(tcpSent, valBytes))
+			tcpSent++
+			tcpEng.After(trng.Exp(interval), ttick)
+		}
+		tcpEng.After(trng.Exp(interval), ttick)
+	}
 
 	// Watchdog: poll-mode drivers and the FLD runtimes notice Error-state
 	// queues even when the CQE announcing the error was itself lost; a QP
@@ -637,6 +808,13 @@ func Run(s Spec) *Result {
 			epB.Poll()
 			if epA.QP.State() != nic.QueueReady || epB.QP.State() != nic.QueueReady {
 				swdriver.ReconnectEndpoints(epA, epB)
+			}
+		}
+		if tepA != nil {
+			tepA.Poll()
+			tepB.Poll()
+			if tepA.Conn.State() == tcp.StateError || tepB.Conn.State() == tcp.StateError {
+				swdriver.ReconnectTCPEndpoints(tepA, tepB)
 			}
 		}
 	}
@@ -685,12 +863,29 @@ func Run(s Spec) *Result {
 			rdmaGhosts++
 		}
 	}
+	res.TCPSent, res.TCPDelivered = tcpSent, tcpDelivered
+	var tcpGhosts int64
+	for _, seq := range tcpSeqs {
+		if seq < 0 || seq >= tcpSent {
+			tcpGhosts++
+		}
+	}
+	// The kv servers' reasoned losses (credit-stall drops, parse
+	// rejections) join the conservation budget like echo send failures.
+	var kvDrops, kvMalformed int64
+	for _, a := range kvs {
+		kvDrops += a.Dropped
+		kvMalformed += a.Malformed
+	}
 
 	checkInvariants(res, &runState{
 		spec: s, cl: cl, reg: reg, plan: plan, rts: rts, tn: tn,
 		clients: clients, sups: sups, epA: epA, epB: epB,
 		rdmaBad: rdmaBad, rdmaGhosts: rdmaGhosts,
 		echoSendFails: echoSendFails,
+		tepA: tepA, tepB: tepB,
+		tcpBad: tcpBad, tcpGhosts: tcpGhosts,
+		kvDrops: kvDrops, kvMalformed: kvMalformed,
 	})
 	return res
 }

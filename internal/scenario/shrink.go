@@ -126,6 +126,23 @@ func candidates(s Spec) []Spec {
 			add(c3)
 		}
 	}
+	// TCP/RPC serving: first try dropping the whole data path back to UDP
+	// (removes the framing layers and the sidecar at once); an rpc
+	// violation that survives raw TCP framing sheds the key-value layer.
+	// A planted ack-drop pins the sidecar, so the drop-proto candidate is
+	// only offered when the plant is off.
+	if s.Proto != "" {
+		if s.PlantAckDropNth == 0 {
+			c := s
+			c.Proto = ""
+			add(c)
+		}
+		if s.Proto == "rpc" {
+			c := s
+			c.Proto = "tcp"
+			add(c)
+		}
+	}
 	if s.RDMA {
 		c := s
 		c.RDMA = false

@@ -80,6 +80,29 @@ type Spec struct {
 	AggHosts   int
 	AggClients int
 
+	// --- TCP offload / RPC serving ---
+	// Proto selects the client framing on the plain Ethernet path: ""
+	// keeps the historical UDP echo, "tcp" sends TCP-framed frames
+	// through the same header-swapping echo (the port words sit at the
+	// UDP offsets, so the swap is framing-blind), and "rpc" runs the
+	// key-value AFU (internal/accel/kv) on every server core with
+	// TCP-framed RPC GET/PUT requests, conservation riding the RPC
+	// correlation ID. Any Proto also adds a TCP host pair running the
+	// reliable byte-stream transport (internal/tcp) through the same
+	// switch and fault plan — the RDMA sidecar's TCP counterpart. Drawn
+	// on its own seed stream (pre-existing seeds keep byte-identical
+	// specs); excludes vxlan and tenants, which own the same steering
+	// table and stamp offsets.
+	Proto string
+
+	// PlantAckDropNth plants the dropped-ack defect on the TCP sidecar:
+	// after N pure-ack segments have reached the sending endpoint, every
+	// further one is silently discarded, so the connection stalls, burns
+	// its retry budget and flushes queued messages — the stalled-
+	// connection loss the tcp-delivery invariant must catch. Requires
+	// Proto. 0 disables it.
+	PlantAckDropNth int64
+
 	// PlantLossNth is a test-only defect injector: every Nth frame
 	// delivered to a client is silently discarded *before* the
 	// bookkeeping sees it — a modeled "drop without a drop reason" that
@@ -178,6 +201,17 @@ func Generate(seed int64) Spec {
 			s.PerClientGbps = 1e-5
 		}
 	}
+
+	// TCP/RPC serving draws own a fourth stream, again so every earlier
+	// seed keeps its byte-identical spec (the golden pins depend on it).
+	// Roughly a quarter of the plain-Ethernet single-tenant scenarios
+	// trade UDP framing for the TCP data path — half of those raw
+	// TCP-framed echo, half the RPC key-value servers — and gain the TCP
+	// sidecar pair alongside.
+	prng := sim.NewRand(seed ^ 0x2fd4e1c3)
+	if s.Tenants == 0 && s.Path == "eth" && prng.Intn(4) == 0 {
+		s.Proto = []string{"tcp", "rpc"}[prng.Intn(2)]
+	}
 	return s
 }
 
@@ -272,6 +306,12 @@ func (s Spec) String() string {
 			"hosts="+strconv.Itoa(s.AggHosts),
 			"aggclients="+strconv.Itoa(s.AggClients))
 	}
+	if s.Proto != "" {
+		parts = append(parts, "proto="+s.Proto)
+	}
+	if s.PlantAckDropNth > 0 {
+		parts = append(parts, "plantackdrop="+strconv.FormatInt(s.PlantAckDropNth, 10))
+	}
 	if s.Tenants > 0 {
 		parts = append(parts, "tenants="+strconv.Itoa(s.Tenants))
 	}
@@ -363,6 +403,16 @@ func Parse(text string) (Spec, error) {
 			s.AggHosts, err = parseRange(val, 1, 64)
 		case "aggclients":
 			s.AggClients, err = parseRange(val, 1, 2048)
+		case "proto":
+			if val != "tcp" && val != "rpc" {
+				err = fmt.Errorf("must be tcp or rpc")
+			}
+			s.Proto = val
+		case "plantackdrop":
+			s.PlantAckDropNth, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && s.PlantAckDropNth < 0 {
+				err = fmt.Errorf("must be >= 0")
+			}
 		case "tenants":
 			s.Tenants, err = parseRange(val, 2, 4)
 		case "reconfig":
@@ -407,6 +457,15 @@ func Parse(text string) (Spec, error) {
 	}
 	if s.AggClients > 0 && s.Tenants > 0 {
 		return s, fmt.Errorf("scenario: aggregated clients and tenants are mutually exclusive")
+	}
+	if s.Proto != "" && s.Path != "eth" {
+		return s, fmt.Errorf("scenario: proto=%s frames the plain Ethernet path; use path=eth", s.Proto)
+	}
+	if s.Proto != "" && s.Tenants > 0 {
+		return s, fmt.Errorf("scenario: proto and tenants are mutually exclusive")
+	}
+	if s.PlantAckDropNth > 0 && s.Proto == "" {
+		return s, fmt.Errorf("scenario: plantackdrop needs proto")
 	}
 	return s, nil
 }

@@ -16,6 +16,41 @@ func NewRand(seed int64) *Rand {
 	return &Rand{rand.New(rand.NewSource(seed))}
 }
 
+// splitmix is a SplitMix64 rand.Source64: 8 bytes of state against the
+// default lagged-Fibonacci source's ~5 KiB. Population-scale workloads
+// (10^5 per-connection streams in exps.KVServe) would pay ~500 MB for
+// the default source; this one costs ~10 MB.
+type splitmix struct{ s uint64 }
+
+func (s *splitmix) Uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	z := s.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (s *splitmix) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix) Seed(seed int64) { s.s = uint64(seed) }
+
+// NewLightRand returns a deterministic generator with O(1)-byte state
+// (SplitMix64). Streams differ from NewRand's for the same seed, so a
+// workload must pick one constructor and keep it — the aggregated/
+// discrete equivalence only holds when both sides use the same one.
+func NewLightRand(seed int64) *Rand {
+	return &Rand{rand.New(&splitmix{s: uint64(seed)})}
+}
+
+// Zipf returns a sampler over [0, imax] with Zipf parameter s > 1 and
+// offset v >= 1 (math/rand's parameterization), driven by r's stream —
+// the key-popularity skew of the KV-serving workloads.
+func (r *Rand) Zipf(s, v float64, imax uint64) func() uint64 {
+	z := rand.NewZipf(r.Rand, s, v, imax)
+	return z.Uint64
+}
+
 // Exp returns an exponentially distributed duration with the given mean,
 // used for Poisson (open-loop) arrival processes.
 func (r *Rand) Exp(mean Duration) Duration {

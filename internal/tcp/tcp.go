@@ -1,0 +1,683 @@
+// Package tcp is the testbed's TCP data-path engine: a byte-stream
+// transport with cumulative acknowledgments, go-back-N retransmission
+// under an RTO, receive-window flow control (zero-window stall, persist
+// probes, window-update reopen) and FIN teardown. It deliberately
+// mirrors the retry/error-escalation shape of the RoCE transport in
+// internal/nic/rdma.go: a bounded no-progress retry budget that
+// escalates to an Error state the application heals by reconnecting
+// (Reconnect), and an incarnation epoch that keeps a stale segment from
+// one connection life from splicing into the next.
+//
+// The packet format is byte-compatible with a 20-byte TCP header
+// (internal/netpkt can steer it by ports), with two testbed liberties:
+// the checksum stays zero (the wire model injects corruption below L4,
+// where the PCIe reconciliation invariants catch it) and the urgent
+// pointer's low byte carries the connection epoch, the same reserved-
+// field trick the RoCE BTH plays.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flexdriver/internal/netpkt"
+	"flexdriver/internal/sim"
+)
+
+// TCP flag bits (the subset the engine generates).
+const (
+	FlagFin = 1 << 0
+	FlagSyn = 1 << 1
+	FlagPsh = 1 << 3 // set on zero-length persist probes: "ack me"
+	FlagAck = 1 << 4
+)
+
+// HeaderLen is the fixed header size (no options).
+const HeaderLen = 20
+
+// Segment is one parsed TCP segment header.
+type Segment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	// Window is the advertised receive window, bytes (capped at 64 KiB
+	// minus one by the 16-bit field; Config.Window stays within it).
+	Window uint16
+	// Epoch is the connection incarnation, carried in the urgent
+	// pointer's low byte. A segment from a previous incarnation is
+	// dropped on ingress, exactly like the RoCE BTH epoch.
+	Epoch uint8
+}
+
+// Marshal appends the 20-byte header to b.
+func (s Segment) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, s.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, s.DstPort)
+	b = binary.BigEndian.AppendUint32(b, s.Seq)
+	b = binary.BigEndian.AppendUint32(b, s.Ack)
+	b = append(b, 5<<4, s.Flags)
+	b = binary.BigEndian.AppendUint16(b, s.Window)
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum (unused in the model)
+	return append(b, 0, s.Epoch)            // urgent pointer carries the epoch
+}
+
+// ParseSegment decodes a segment header and returns it with the payload.
+// It is total on arbitrary bytes: any input either parses or returns ok
+// == false, never panics.
+func ParseSegment(b []byte) (s Segment, payload []byte, ok bool) {
+	if len(b) < HeaderLen {
+		return Segment{}, nil, false
+	}
+	off := int(b[12]>>4) * 4
+	if off < HeaderLen || off > len(b) {
+		return Segment{}, nil, false
+	}
+	s.SrcPort = binary.BigEndian.Uint16(b[0:])
+	s.DstPort = binary.BigEndian.Uint16(b[2:])
+	s.Seq = binary.BigEndian.Uint32(b[4:])
+	s.Ack = binary.BigEndian.Uint32(b[8:])
+	s.Flags = b[13]
+	s.Window = binary.BigEndian.Uint16(b[14:])
+	s.Epoch = b[19]
+	return s, b[off:], true
+}
+
+// State is a connection's lifecycle state.
+type State int
+
+const (
+	// StateEstablished carries data both ways.
+	StateEstablished State = iota
+	// StateFinWait: our FIN is queued or in flight; receiving continues.
+	StateFinWait
+	// StateClosed: both FINs sent, acked and received.
+	StateClosed
+	// StateError: the retry budget ran out with no progress. The
+	// connection stays dead until Reconnect — the application-level
+	// heal, like ReconnectQPs for an errored QP pair.
+	StateError
+)
+
+func (s State) String() string {
+	switch s {
+	case StateEstablished:
+		return "Established"
+	case StateFinWait:
+		return "FinWait"
+	case StateClosed:
+		return "Closed"
+	default:
+		return "Error"
+	}
+}
+
+// Config sizes one connection endpoint.
+type Config struct {
+	SrcPort, DstPort uint16
+	// MTU bounds one segment's payload (default 1024).
+	MTU int
+	// Window is the receive-buffer bound in bytes (default 16 KiB, max
+	// 65535 — the 16-bit header field). The peer may never have more
+	// than this many unconsumed bytes in flight.
+	Window int
+	// RTO is the retransmission timeout (default 10 us — sized to the
+	// testbed's microsecond RTTs, not a WAN's).
+	RTO sim.Duration
+	// MaxRetries bounds consecutive no-progress retransmissions (and
+	// unanswered persist probes) before the connection enters Error
+	// (default 8, the QP's SynRetryExceeded shape).
+	MaxRetries int
+}
+
+func (c *Config) fill() {
+	if c.MTU == 0 {
+		c.MTU = 1024
+	}
+	if c.Window == 0 {
+		c.Window = 16 << 10
+	}
+	if c.Window > 0xffff {
+		c.Window = 0xffff
+	}
+	if c.RTO == 0 {
+		c.RTO = 10 * sim.Microsecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+}
+
+// Stats counts a connection's transport events.
+type Stats struct {
+	SentSegs, RcvdSegs         int64
+	Retransmits                int64 // RTO-driven go-back-N resends (segments)
+	FastRetransmits            int64 // triple-dup-ack resends
+	Probes                     int64 // zero-window persist probes sent
+	ZeroWindowStalls           int64 // stalls: window closed, or too small with nothing in flight
+	OutOfOrder                 int64 // segments ahead of rcvNxt (dropped, dup-acked)
+	DupAcksSent, DupAcksRcvd   int64
+	StaleEpoch                 int64 // segments from a previous incarnation
+	AckedBytes, DeliveredBytes int64
+	FlushedBytes               int64 // unacked bytes discarded by Error/Reconnect
+	Errors                     int64 // retry-exceeded escalations
+}
+
+// txSeg is one queued (sent-or-unsent) outbound segment.
+type txSeg struct {
+	seq     uint32
+	payload []byte // nil for a bare FIN
+	fin     bool
+	sent    bool
+}
+
+func (t txSeg) seqLen() uint32 {
+	n := uint32(len(t.payload))
+	if t.fin {
+		n++
+	}
+	return n
+}
+
+// Conn is one endpoint of a connection. All methods must run on the
+// owning engine's shard (ingress from the host's receive path, timers on
+// the host's engine); only Connect/Reconnect touch both ends and belong
+// in a control barrier, exactly like ConnectQPs/ReconnectQPs.
+type Conn struct {
+	eng *sim.Engine
+	cfg Config
+
+	// Transmit hands a built segment to the owner (frame construction
+	// and the NIC send path live there). Required before any traffic.
+	Transmit func(seg Segment, payload []byte)
+	// OnDeliver receives in-order stream bytes. The bytes count against
+	// the receive window until Consume; a nil OnDeliver auto-consumes.
+	OnDeliver func(p []byte)
+	// OnError fires on retry-exceeded escalation, after the send queue
+	// is flushed.
+	OnError func()
+
+	state State
+	epoch uint8
+
+	// Sender half (go-back-N over a byte stream).
+	sndUna, sndNxt uint32
+	txq            []txSeg
+	peerWnd        int
+	retries        int
+	dupAcks        int
+	stalled        bool // inside a zero-window stall episode
+	gen            uint32
+	probeGen       uint32
+	timerLive      bool // an RTO timer event is outstanding
+	probeLive      bool // a persist-probe timer event is outstanding
+
+	// Receiver half.
+	rcvNxt   uint32
+	buffered int // delivered-not-consumed bytes, held against Window
+	finRcvd  bool
+	finSent  bool
+
+	Stats Stats
+}
+
+// New builds one endpoint. Pair it with Connect before sending.
+func New(eng *sim.Engine, cfg Config) *Conn {
+	cfg.fill()
+	return &Conn{eng: eng, cfg: cfg, state: StateClosed}
+}
+
+// Config returns the (defaults-filled) configuration.
+func (c *Conn) Config() Config { return c.cfg }
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Epoch returns the current incarnation.
+func (c *Conn) Epoch() uint8 { return c.epoch }
+
+// InflightBytes returns the unacknowledged byte count.
+func (c *Conn) InflightBytes() int { return int(c.sndNxt - c.sndUna) }
+
+// Connect establishes a pair (the three-way handshake abstracted away,
+// like ConnectQPs). Both ends start at sequence zero, epoch 1.
+func Connect(a, b *Conn) {
+	a.reset(1)
+	b.reset(1)
+	a.peerWnd = b.cfg.Window
+	b.peerWnd = a.cfg.Window
+}
+
+// Reconnect tears down whatever incarnation a and b are in and
+// establishes a fresh one: epochs advance past both ends' (so stale
+// segments can never splice in), sequence spaces restart, and any
+// unacknowledged send state is flushed and counted. Call from a control
+// barrier: it touches both shards.
+func Reconnect(a, b *Conn) {
+	e := a.epoch
+	if b.epoch > e {
+		e = b.epoch
+	}
+	e++
+	if e == 0 { // epoch wrapped: 0 is reserved for "never connected"
+		e = 1
+	}
+	a.reset(e)
+	b.reset(e)
+	a.peerWnd = b.cfg.Window
+	b.peerWnd = a.cfg.Window
+}
+
+func (c *Conn) reset(epoch uint8) {
+	c.flushTx()
+	c.state = StateEstablished
+	c.epoch = epoch
+	c.sndUna, c.sndNxt, c.rcvNxt = 0, 0, 0
+	c.buffered = 0
+	c.retries, c.dupAcks = 0, 0
+	c.stalled = false
+	c.finRcvd, c.finSent = false, false
+	c.gen++ // disarm any pending timer
+	c.probeGen++
+}
+
+// flushTx discards the send queue, counting unacked/unsent bytes.
+func (c *Conn) flushTx() {
+	for _, t := range c.txq {
+		c.Stats.FlushedBytes += int64(len(t.payload))
+	}
+	c.txq = nil
+}
+
+// ErrNotEstablished is returned by Send on a closed, closing or errored
+// connection.
+var ErrNotEstablished = errors.New("tcp: connection not established")
+
+// Send queues stream bytes, segmented at the MTU, and transmits as far
+// as the peer's window allows. The bytes are copied.
+func (c *Conn) Send(data []byte) error {
+	if c.state != StateEstablished || c.finSent {
+		return ErrNotEstablished
+	}
+	for len(data) > 0 {
+		n := len(data)
+		if n > c.cfg.MTU {
+			n = c.cfg.MTU
+		}
+		c.txq = append(c.txq, txSeg{seq: c.sndNxt, payload: append([]byte(nil), data[:n]...)})
+		c.sndNxt += uint32(n)
+		data = data[n:]
+	}
+	c.pump()
+	return nil
+}
+
+// Close queues a FIN (consuming one sequence number). The connection
+// reaches Closed once the FIN is acked and the peer's FIN has arrived.
+func (c *Conn) Close() error {
+	if c.state != StateEstablished || c.finSent {
+		return ErrNotEstablished
+	}
+	c.finSent = true
+	c.state = StateFinWait
+	c.txq = append(c.txq, txSeg{seq: c.sndNxt, fin: true})
+	c.sndNxt++
+	c.pump()
+	return nil
+}
+
+// Consume releases n delivered bytes back to the receive window and, if
+// the window was closed, sends the window-update ack that reopens the
+// peer's sender.
+func (c *Conn) Consume(n int) {
+	wasClosed := c.window() == 0
+	c.buffered -= n
+	if c.buffered < 0 {
+		c.buffered = 0
+	}
+	if wasClosed && c.window() > 0 && (c.state == StateEstablished || c.state == StateFinWait) {
+		c.sendAck() // window update: un-stall the peer
+	}
+}
+
+// window returns the current advertised receive window.
+func (c *Conn) window() int {
+	w := c.cfg.Window - c.buffered
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// pump transmits queued segments as far as the peer's window allows,
+// arming the retransmission machinery.
+func (c *Conn) pump() {
+	if c.state != StateEstablished && c.state != StateFinWait {
+		return
+	}
+	sent := false
+	for i := range c.txq {
+		t := &c.txq[i]
+		if t.sent {
+			continue
+		}
+		// Window check against the segment's *end*: a FIN occupies a
+		// sequence number but no window space (its payload is empty).
+		if int(t.seq+uint32(len(t.payload))-c.sndUna) > c.peerWnd {
+			// Stall (and arm the persist timer) when the window is
+			// closed — or merely too small for this segment with nothing
+			// left in flight: no ack is coming, so without a probe the
+			// flow would deadlock until the RTO budget burned to Error.
+			if c.peerWnd == 0 || int(t.seq-c.sndUna) >= c.peerWnd || t.seq == c.sndUna {
+				if !c.stalled {
+					c.stalled = true
+					c.Stats.ZeroWindowStalls++
+				}
+				c.armProbe()
+			}
+			break
+		}
+		t.sent = true
+		c.stalled = false
+		c.emit(*t)
+		sent = true
+	}
+	if sent || c.sndUna != c.sndNxt {
+		c.armTimer()
+	}
+}
+
+// emit builds and transmits one segment, piggybacking the current ack
+// and window.
+func (c *Conn) emit(t txSeg) {
+	flags := uint8(FlagAck)
+	if t.fin {
+		flags |= FlagFin
+	}
+	c.send(Segment{Seq: t.seq, Flags: flags}, t.payload)
+}
+
+func (c *Conn) send(seg Segment, payload []byte) {
+	seg.SrcPort, seg.DstPort = c.cfg.SrcPort, c.cfg.DstPort
+	seg.Ack = c.rcvNxt
+	seg.Window = uint16(c.window())
+	seg.Epoch = c.epoch
+	c.Stats.SentSegs++
+	c.Transmit(seg, payload)
+}
+
+func (c *Conn) sendAck() {
+	c.send(Segment{Seq: c.sndNxt, Flags: FlagAck}, nil)
+}
+
+// armTimer guards the oldest unacked byte with the RTO. At most one
+// timer event is outstanding (repeated pumps never push the deadline
+// out, so a silent peer cannot be out-waited by a busy sender); the
+// generation guard mirrors the QP's — a reset bumps gen and the stale
+// event turns into a no-op. A fire that finds the window already
+// advanced re-arms for the new oldest byte instead of retrying.
+func (c *Conn) armTimer() {
+	if c.timerLive {
+		return
+	}
+	c.timerLive = true
+	gen := c.gen
+	una := c.sndUna
+	c.eng.After(c.cfg.RTO, func() {
+		c.timerLive = false
+		if c.state != StateEstablished && c.state != StateFinWait {
+			return
+		}
+		if c.sndUna == c.sndNxt {
+			return // all acked: nothing to guard
+		}
+		if len(c.txq) == 0 || !c.txq[0].sent {
+			// Queued but nothing actually in flight (the window holds
+			// the whole queue): the persist machinery owns escalation;
+			// keep guarding quietly without burning the retry budget.
+			c.armTimer()
+			return
+		}
+		if c.gen != gen || c.sndUna != una {
+			c.armTimer() // new incarnation or progress: guard the new window
+			return
+		}
+		c.retries++
+		if c.retries > c.cfg.MaxRetries {
+			c.enterError()
+			return
+		}
+		// Go-back-N: resend every in-flight segment from the oldest
+		// unacked, window permitting.
+		for i := range c.txq {
+			t := &c.txq[i]
+			if !t.sent {
+				break
+			}
+			if c.peerWnd > 0 && int(t.seq+uint32(len(t.payload))-c.sndUna) > c.peerWnd {
+				break
+			}
+			c.Stats.Retransmits++
+			c.emit(*t)
+		}
+		c.armTimer()
+	})
+}
+
+// armProbe starts the zero-window persist timer: a bare Psh segment
+// that solicits a window-update ack. Unanswered probes consume the same
+// retry budget as retransmissions, so a dead peer still escalates to
+// Error instead of probing forever.
+func (c *Conn) armProbe() {
+	if c.probeLive {
+		return
+	}
+	c.probeLive = true
+	gen := c.probeGen
+	c.eng.After(c.cfg.RTO, func() {
+		c.probeLive = false
+		if c.state != StateEstablished && c.state != StateFinWait {
+			return
+		}
+		next := c.firstUnsent()
+		if next < 0 {
+			return
+		}
+		if c.probeGen != gen {
+			c.armProbe() // new incarnation, still stalled: keep probing
+			return
+		}
+		// The window opened enough for the next segment while the probe
+		// was armed: resume the pump instead of probing.
+		if t := c.txq[next]; int(t.seq+uint32(len(t.payload))-c.sndUna) <= c.peerWnd &&
+			(c.peerWnd > 0 || len(t.payload) == 0) {
+			c.pump()
+			return
+		}
+		c.retries++
+		if c.retries > c.cfg.MaxRetries {
+			c.enterError()
+			return
+		}
+		c.Stats.Probes++
+		c.send(Segment{Seq: c.sndNxt, Flags: FlagAck | FlagPsh}, nil)
+		c.armProbe()
+	})
+}
+
+func (c *Conn) firstUnsent() int {
+	for i := range c.txq {
+		if !c.txq[i].sent {
+			return i
+		}
+	}
+	return -1
+}
+
+// enterError is the retry-exceeded escalation: the send queue is
+// flushed (those bytes will never complete on this incarnation — the
+// application recovers them above the transport) and the connection
+// waits dead for Reconnect.
+func (c *Conn) enterError() {
+	c.state = StateError
+	c.Stats.Errors++
+	c.gen++
+	c.probeGen++
+	c.flushTx()
+	c.sndNxt = c.sndUna
+	if c.OnError != nil {
+		c.OnError()
+	}
+}
+
+// Ingress processes one received segment. Call it from the owning
+// host's receive path with the parsed header and payload.
+func (c *Conn) Ingress(seg Segment, payload []byte) {
+	if c.state == StateClosed || c.state == StateError {
+		return
+	}
+	if seg.Epoch != c.epoch {
+		c.Stats.StaleEpoch++
+		return
+	}
+	c.Stats.RcvdSegs++
+
+	// Sender half: cumulative ack and window processing.
+	c.peerWnd = int(seg.Window)
+	if adv := int32(seg.Ack - c.sndUna); adv > 0 && int32(seg.Ack-c.sndNxt) <= 0 {
+		c.Stats.AckedBytes += int64(adv)
+		c.sndUna = seg.Ack
+		c.retries = 0
+		c.dupAcks = 0
+		for len(c.txq) > 0 {
+			t := c.txq[0]
+			if int32(t.seq+t.seqLen()-c.sndUna) > 0 {
+				break
+			}
+			c.txq = c.txq[1:]
+		}
+		// The outstanding RTO event notices the progress on its own:
+		// all-acked falls idle, partial progress re-arms for the new
+		// oldest byte.
+	} else if seg.Ack == c.sndUna && c.sndUna != c.sndNxt && len(payload) == 0 && seg.Flags&FlagFin == 0 {
+		c.Stats.DupAcksRcvd++
+		if c.dupAcks++; c.dupAcks == 3 {
+			c.dupAcks = 0
+			if len(c.txq) > 0 && c.txq[0].sent {
+				c.Stats.FastRetransmits++
+				c.emit(c.txq[0])
+				c.armTimer()
+			}
+		}
+	}
+
+	// Receiver half: in-order delivery, out-of-order drop + dup-ack.
+	fin := seg.Flags&FlagFin != 0
+	seqLen := uint32(len(payload))
+	if fin {
+		seqLen++
+	}
+	switch {
+	case seqLen == 0:
+		// Pure ack, window update, or persist probe. Only a probe
+		// (Psh) is answered, so acks never ping-pong.
+		if seg.Flags&FlagPsh != 0 {
+			c.sendAck()
+		}
+	case seg.Seq == c.rcvNxt:
+		if len(payload) > 0 {
+			if len(payload) > c.window() {
+				// Beyond our advertised window (a retransmit raced a
+				// shrinking window): drop, re-ack the current edge.
+				c.Stats.OutOfOrder++
+				c.sendDupAck()
+				break
+			}
+			c.rcvNxt += uint32(len(payload))
+			c.buffered += len(payload)
+			c.Stats.DeliveredBytes += int64(len(payload))
+			if c.OnDeliver != nil {
+				c.OnDeliver(append([]byte(nil), payload...))
+			} else {
+				c.buffered -= len(payload)
+			}
+		}
+		if fin {
+			c.rcvNxt++
+			c.finRcvd = true
+		}
+		c.sendAck()
+	case int32(seg.Seq-c.rcvNxt) < 0:
+		// Duplicate (our ack was lost): re-ack so the sender advances.
+		c.sendDupAck()
+	default:
+		// Ahead of the stream: go-back-N receivers hold no reassembly
+		// buffer — drop and dup-ack so the sender rewinds.
+		c.Stats.OutOfOrder++
+		c.sendDupAck()
+	}
+
+	c.maybeClose()
+	c.pump()
+}
+
+func (c *Conn) sendDupAck() {
+	c.Stats.DupAcksSent++
+	c.sendAck()
+}
+
+// maybeClose finishes the teardown once our FIN is acked and the peer's
+// has arrived.
+func (c *Conn) maybeClose() {
+	if c.finSent && c.finRcvd && c.sndUna == c.sndNxt && len(c.txq) == 0 {
+		c.state = StateClosed
+		c.gen++
+		c.probeGen++
+	}
+}
+
+// FrameOverhead is the Eth+IPv4+TCP header bytes in front of the payload.
+const FrameOverhead = netpkt.EthHeaderLen + netpkt.IPv4HeaderLen + HeaderLen
+
+// FrameInfo is a parsed TCP-in-IPv4-in-Ethernet frame's addressing.
+type FrameInfo struct {
+	Eth netpkt.Eth
+	IP  netpkt.IPv4
+	Seg Segment
+}
+
+// BuildFrame wraps a segment in Eth+IPv4 headers between two NICs.
+func BuildFrame(srcMAC, dstMAC netpkt.MAC, srcIP, dstIP netpkt.IP, seg Segment, payload []byte) []byte {
+	l4 := append(seg.Marshal(nil), payload...)
+	ip := netpkt.IPv4{TotalLen: uint16(netpkt.IPv4HeaderLen + len(l4)), Proto: netpkt.ProtoTCP,
+		Src: srcIP, Dst: dstIP}
+	l3 := append(ip.Marshal(nil), l4...)
+	eth := netpkt.Eth{Dst: dstMAC, Src: srcMAC, EtherType: netpkt.EtherTypeIPv4}
+	return append(eth.Marshal(nil), l3...)
+}
+
+// ParseFrame decodes an Eth+IPv4+TCP frame. Non-IPv4 and non-TCP frames
+// return ok == false; it never panics on arbitrary bytes.
+func ParseFrame(frame []byte) (FrameInfo, []byte, bool) {
+	var info FrameInfo
+	eth, l3, err := netpkt.ParseEth(frame)
+	if err != nil || eth.EtherType != netpkt.EtherTypeIPv4 {
+		return info, nil, false
+	}
+	ip, l4, err := netpkt.ParseIPv4(l3)
+	if err != nil || ip.Proto != netpkt.ProtoTCP {
+		return info, nil, false
+	}
+	seg, payload, ok := ParseSegment(l4)
+	if !ok {
+		return info, nil, false
+	}
+	info.Eth, info.IP, info.Seg = eth, ip, seg
+	return info, payload, true
+}
+
+// String renders a segment for test failure messages.
+func (s Segment) String() string {
+	return fmt.Sprintf("tcp %d>%d seq=%d ack=%d flags=%#x wnd=%d epoch=%d",
+		s.SrcPort, s.DstPort, s.Seq, s.Ack, s.Flags, s.Window, s.Epoch)
+}

@@ -49,6 +49,11 @@ type AggregatedClientsConfig struct {
 	Stop Time
 	// TxEntries/RxEntries size the host's EthPort (default 512 each).
 	TxEntries, RxEntries int
+	// Rand constructs client ci's arrival rng from StreamSeed+ci (nil =
+	// sim.NewRand, the stream every pre-existing workload pins).
+	// Population-scale sources (10^5 modeled connections) pass
+	// sim.NewLightRand: same determinism, ~600x less state per client.
+	Rand func(seed int64) *sim.Rand
 }
 
 // AggregatedClients models K open-loop clients as one event-driven
@@ -131,9 +136,13 @@ func AttachAggregatedClients(h *Host, cfg AggregatedClientsConfig) *AggregatedCl
 		s.frames = sc.Counter("frames")
 		s.bytes = sc.Counter("bytes")
 	}
+	newRand := cfg.Rand
+	if newRand == nil {
+		newRand = sim.NewRand
+	}
 	now := s.eng.Now()
 	for ci := 0; ci < cfg.Clients; ci++ {
-		rng := sim.NewRand(cfg.StreamSeed + int64(ci))
+		rng := newRand(cfg.StreamSeed + int64(ci))
 		set := cfg.Setup(h, ci, rng)
 		if len(set.Flows) == 0 {
 			panic(fmt.Sprintf("flexdriver: aggregated client %d has no flows", ci))
